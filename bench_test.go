@@ -1,0 +1,133 @@
+package s4dcache
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus the DESIGN.md ablations. Each iteration regenerates the experiment
+// at the quick scale (all of the paper's ratios preserved at ~1/250 of
+// the data volume) on the simulated testbed; custom metrics report the
+// reproduced series. Because one iteration is a complete experiment, run
+// these with:
+//
+//	go test -bench=. -benchtime=1x
+//
+// The same experiments, with the paper's published sizes, run via
+// `go run ./cmd/s4dbench -full`.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"s4dcache/internal/bench"
+)
+
+// runExperiment executes the identified experiment b.N times and reports
+// the last run's numeric cells as benchmark metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var table *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = e.Run(bench.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportTable(b, table)
+}
+
+// reportTable converts table rows into ReportMetric series: the metric
+// name is "<row-label>:<column>" and the value is the parsed cell.
+func reportTable(b *testing.B, t *bench.Table) {
+	b.Helper()
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		label := sanitizeMetric(row[0])
+		for c := 1; c < len(row) && c < len(t.Columns); c++ {
+			v, ok := parseCell(row[c])
+			if !ok {
+				continue
+			}
+			b.ReportMetric(v, label+":"+sanitizeMetric(t.Columns[c]))
+		}
+	}
+}
+
+func parseCell(cell string) (float64, bool) {
+	s := strings.TrimSpace(cell)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "+")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func sanitizeMetric(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t':
+			return '_'
+		default:
+			return r
+		}
+	}, s)
+}
+
+// BenchmarkFig1 regenerates Figure 1: sequential vs random read bandwidth
+// on the stock system across request sizes.
+func BenchmarkFig1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig6 regenerates Figure 6(a)/(b): mixed IOR throughput vs
+// request size, stock vs S4D, writes and second-run reads.
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkTable3 regenerates Table III: the DServer/CServer request
+// distribution at 16KB and 4MB.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig7 regenerates Figure 7: throughput vs process count.
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTable4 regenerates Table IV: throughput vs cache capacity.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig8 regenerates Figure 8: throughput vs number of CServers.
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9: HPIO throughput vs region spacing.
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10: MPI-Tile-IO throughput vs process
+// count.
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: the all-miss overhead check.
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkMetaOverhead regenerates §V.E.1: DMT metadata space overhead.
+func BenchmarkMetaOverhead(b *testing.B) { runExperiment(b, "meta") }
+
+// BenchmarkAblationAdmission contrasts selective admission with
+// cache-everything and stock.
+func BenchmarkAblationAdmission(b *testing.B) { runExperiment(b, "ablation-admission") }
+
+// BenchmarkAblationLazy contrasts lazy and eager read caching.
+func BenchmarkAblationLazy(b *testing.B) { runExperiment(b, "ablation-lazy") }
+
+// BenchmarkAblationDMTSync measures the cost of synchronous DMT
+// persistence.
+func BenchmarkAblationDMTSync(b *testing.B) { runExperiment(b, "ablation-dmtsync") }
+
+// BenchmarkAblationRebuild sweeps the Rebuilder period.
+func BenchmarkAblationRebuild(b *testing.B) { runExperiment(b, "ablation-rebuild") }
+
+// BenchmarkAblationTableII contrasts the exact s_m computation with the
+// paper's Table II formulas.
+func BenchmarkAblationTableII(b *testing.B) { runExperiment(b, "ablation-tableii") }

@@ -1,0 +1,43 @@
+// Command hddprof performs the offline seek-curve profiling step of the
+// cost model (paper §III.B, reference [28]): it measures the simulated
+// HDD's startup time as a function of seek distance and prints the
+// derived F(d) curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s4dcache/internal/device"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		samples = flag.Int("samples", 24, "number of log-spaced probe distances")
+		trials  = flag.Int("trials", 32, "trials averaged per distance")
+		probe   = flag.Int64("probe", 4<<10, "probe request size in bytes")
+	)
+	flag.Parse()
+
+	params := device.DefaultHDDParams()
+	hdd := device.NewHDD(params)
+	curve, err := device.ProfileSeekCurve(hdd, device.ProfileConfig{
+		Samples: *samples, TrialsPerSample: *trials, ProbeSize: *probe,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hddprof: %v\n", err)
+		return 1
+	}
+	fmt.Printf("hddprof: %s, rotation %v, max seek %v, %0.f MB/s\n",
+		hdd.Name(), params.FullRotation, params.MaxSeek, params.Bandwidth/1e6)
+	fmt.Printf("%-16s %-14s %s\n", "distance(B)", "F(d)", "true-seek")
+	for _, p := range curve.Points() {
+		fmt.Printf("%-16d %-14v %v\n", p.Distance, p.Time, hdd.SeekTime(p.Distance))
+	}
+	return 0
+}

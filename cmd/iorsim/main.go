@@ -1,0 +1,94 @@
+// Command iorsim runs an IOR-style benchmark (paper reference [5]) on the
+// simulated testbed: n processes share one file, each owning 1/n of it,
+// issuing fixed-size sequential or random requests.
+//
+// Usage:
+//
+//	iorsim [-procs 16] [-filesize 1073741824] [-req 16384] [-random]
+//	       [-read] [-stock] [-cache-frac 0.2] [-dservers 8] [-cservers 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		procs     = flag.Int("procs", 16, "number of MPI processes")
+		fileSize  = flag.Int64("filesize", 1<<30, "shared file size in bytes")
+		reqSize   = flag.Int64("req", 16<<10, "request size in bytes")
+		random    = flag.Bool("random", false, "random offsets (default sequential)")
+		read      = flag.Bool("read", false, "read instead of write")
+		stock     = flag.Bool("stock", false, "disable S4D-Cache (baseline)")
+		cacheFrac = flag.Float64("cache-frac", 0.2, "cache capacity as a fraction of the file size")
+		dservers  = flag.Int("dservers", 8, "number of HDD file servers")
+		cservers  = flag.Int("cservers", 4, "number of SSD cache servers")
+		seed      = flag.Int64("seed", 1, "random stream seed")
+	)
+	flag.Parse()
+
+	params := cluster.Default()
+	params.DServers = *dservers
+	params.CServers = *cservers
+	params.CacheCapacity = int64(float64(*fileSize) * *cacheFrac)
+
+	var tb *cluster.Testbed
+	var err error
+	if *stock {
+		tb, err = cluster.NewStock(params)
+	} else {
+		tb, err = cluster.NewS4D(params)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		return 1
+	}
+	comm, err := tb.Comm(*procs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		return 1
+	}
+	cfg := workload.IORConfig{
+		Ranks: *procs, FileSize: *fileSize, RequestSize: *reqSize,
+		Random: *random, Seed: *seed,
+	}
+	var res workload.Result
+	finished := false
+	if err := workload.RunIOR(comm, cfg, !*read, func(r workload.Result) { res = r; finished = true }); err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		return 1
+	}
+	tb.Eng.RunWhile(func() bool { return !finished })
+	tb.Close()
+
+	mode := "write"
+	if *read {
+		mode = "read"
+	}
+	pattern := "sequential"
+	if *random {
+		pattern = "random"
+	}
+	fmt.Printf("iorsim: %s %s, %d procs, %d B requests, %d B file\n",
+		pattern, mode, *procs, *reqSize, *fileSize)
+	fmt.Printf("  virtual time : %v\n", res.Elapsed())
+	fmt.Printf("  requests     : %d\n", res.Requests)
+	fmt.Printf("  throughput   : %.1f MB/s\n", res.ThroughputMBps())
+	if tb.S4D != nil {
+		st := tb.S4D.Stats()
+		fmt.Printf("  cache shares : write %.1f%%, read %.1f%%\n",
+			st.CacheWriteShare()*100, st.CacheReadShare()*100)
+		fmt.Printf("  admissions   : %d (failures %d), flushes %d, fetches %d\n",
+			st.Admissions, st.AdmitFailures, st.Flushes, st.Fetches)
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+// Command iosig runs a workload with tracing enabled and prints the
+// IOSIG-style analyses of paper reference [33]: the DServer/CServer
+// request distribution (Table III) and per-server sequentiality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/iotrace"
+	"s4dcache/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		procs    = flag.Int("procs", 8, "number of MPI processes")
+		fileSize = flag.Int64("filesize", 256<<20, "per-instance shared file size")
+		reqSize  = flag.Int64("req", 16<<10, "request size in bytes")
+		window   = flag.Duration("window", 0, "analysis window length (0 = whole run)")
+		from     = flag.Duration("from", 0, "analysis window start")
+		binWidth = flag.Duration("bins", time.Second, "throughput time-series bin width")
+		savePath = flag.String("save", "", "write the trace to this file after the run")
+		loadPath = flag.String("load", "", "analyze an existing trace file instead of running a workload")
+	)
+	flag.Parse()
+
+	var rec *iotrace.Recorder
+	if *loadPath != "" {
+		rec = iotrace.NewRecorder()
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosig: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := rec.Load(f); err != nil {
+			fmt.Fprintf(os.Stderr, "iosig: %v\n", err)
+			return 1
+		}
+		fmt.Printf("iosig: loaded %d events from %s\n", rec.Len(), *loadPath)
+	} else {
+		mix := workload.MixedIORConfig{
+			Instances: 10, RandomInstances: 4, Ranks: *procs,
+			FileSize: *fileSize, RequestSize: *reqSize, Seed: 42,
+		}
+		params := cluster.Default()
+		params.CacheCapacity = mix.DataSize() / 5
+		params.Trace = true
+		tb, err := cluster.NewS4D(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosig: %v\n", err)
+			return 1
+		}
+		comm, err := tb.Comm(*procs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosig: %v\n", err)
+			return 1
+		}
+		finished := false
+		if err := workload.RunMixed(comm, mix, true, func(workload.Result) { finished = true }); err != nil {
+			fmt.Fprintf(os.Stderr, "iosig: %v\n", err)
+			return 1
+		}
+		tb.Eng.RunWhile(func() bool { return !finished })
+		tb.Close()
+		rec = tb.Recorder
+		fmt.Printf("iosig: mixed IOR write pass, %d procs, %d B requests\n", *procs, *reqSize)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosig: %v\n", err)
+			return 1
+		}
+		if err := rec.Save(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "iosig: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "iosig: %v\n", err)
+			return 1
+		}
+		fmt.Printf("iosig: saved %d events to %s\n", rec.Len(), *savePath)
+	}
+
+	to := time.Duration(0)
+	if *window > 0 {
+		to = *from + *window
+	}
+	d := rec.Distribute(*from, to)
+	fmt.Printf("\nrequest distribution (window %v..%v, %d events):\n", *from, to, rec.Len())
+	fmt.Printf("  DServers: %5.1f%% of sub-requests, %5.1f%% of bytes\n",
+		d.RequestShare("OPFS")*100, d.ByteShare("OPFS")*100)
+	fmt.Printf("  CServers: %5.1f%% of sub-requests, %5.1f%% of bytes\n",
+		d.RequestShare("CPFS")*100, d.ByteShare("CPFS")*100)
+	fmt.Printf("\nsequentiality:\n")
+	fmt.Printf("  DServers: %.2f\n", rec.Sequentiality("OPFS"))
+	fmt.Printf("  CServers: %.2f\n", rec.Sequentiality("CPFS"))
+
+	fmt.Printf("\nthroughput series (bin %v):\n", *binWidth)
+	for _, b := range rec.Throughput("", *binWidth) {
+		if b.Requests == 0 {
+			continue
+		}
+		fmt.Printf("  t=%-10v %8.1f MB/s  (%d sub-requests)\n",
+			b.Start, float64(b.Bytes)/1e6/binSeconds(*binWidth), b.Requests)
+	}
+	return 0
+}
+
+func binSeconds(d time.Duration) float64 {
+	s := d.Seconds()
+	if s <= 0 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+// Command tileiosim runs an MPI-Tile-IO-style benchmark (paper reference
+// [32]) on the simulated testbed: a dense 2-D dataset accessed tile by
+// tile with nested strides.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		procs    = flag.Int("procs", 100, "number of MPI processes (tiles)")
+		ex       = flag.Int("ex", 10, "elements per tile in X")
+		ey       = flag.Int("ey", 10, "elements per tile in Y")
+		elemSize = flag.Int64("elem", 32<<10, "element size in bytes")
+		read     = flag.Bool("read", false, "read instead of write")
+		stock    = flag.Bool("stock", false, "disable S4D-Cache (baseline)")
+	)
+	flag.Parse()
+
+	cfg := workload.TileIOConfig{
+		Ranks: *procs, ElementsX: *ex, ElementsY: *ey, ElementSize: *elemSize,
+	}
+	dataSize := int64(*procs) * int64(*ex) * int64(*ey) * *elemSize
+	params := cluster.Default()
+	params.CacheCapacity = dataSize / 5
+
+	var tb *cluster.Testbed
+	var err error
+	if *stock {
+		tb, err = cluster.NewStock(params)
+	} else {
+		tb, err = cluster.NewS4D(params)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tileiosim: %v\n", err)
+		return 1
+	}
+	comm, err := tb.Comm(*procs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tileiosim: %v\n", err)
+		return 1
+	}
+	var res workload.Result
+	finished := false
+	if err := workload.RunTileIO(comm, cfg, !*read, func(r workload.Result) { res = r; finished = true }); err != nil {
+		fmt.Fprintf(os.Stderr, "tileiosim: %v\n", err)
+		return 1
+	}
+	tb.Eng.RunWhile(func() bool { return !finished })
+	tb.Close()
+
+	tx, ty := cfg.Grid()
+	fmt.Printf("tileiosim: %d procs (%dx%d grid), %dx%d elements x %d B\n",
+		*procs, tx, ty, *ex, *ey, *elemSize)
+	fmt.Printf("  virtual time : %v\n", res.Elapsed())
+	fmt.Printf("  throughput   : %.1f MB/s\n", res.ThroughputMBps())
+	if tb.S4D != nil {
+		st := tb.S4D.Stats()
+		fmt.Printf("  cache shares : write %.1f%%, read %.1f%%\n",
+			st.CacheWriteShare()*100, st.CacheReadShare()*100)
+	}
+	return 0
+}

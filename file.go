@@ -1,0 +1,95 @@
+package s4dcache
+
+import (
+	"fmt"
+
+	"s4dcache/internal/mpiio"
+)
+
+// File is a shared-file handle with per-rank access, like an MPI file.
+// Synchronous methods drive the virtual clock until the operation
+// completes; Async variants return a Pending to be awaited with
+// System.Wait, letting many ranks' requests overlap in virtual time.
+type File struct {
+	sys *System
+	f   *mpiio.File
+}
+
+// WriteAt writes p at offset off on behalf of rank, synchronously in
+// virtual time.
+func (f *File) WriteAt(rank int, p []byte, off int64) error {
+	pending, err := f.WriteAtAsync(rank, p, off)
+	if err != nil {
+		return err
+	}
+	f.sys.Wait(pending)
+	return nil
+}
+
+// ReadAt fills p from offset off on behalf of rank, synchronously in
+// virtual time. Unwritten bytes read as zero.
+func (f *File) ReadAt(rank int, p []byte, off int64) error {
+	pending, err := f.ReadAtAsync(rank, p, off)
+	if err != nil {
+		return err
+	}
+	f.sys.Wait(pending)
+	return nil
+}
+
+// Pending tracks an in-flight asynchronous operation.
+type Pending struct {
+	done bool
+}
+
+// Done reports whether the operation has completed.
+func (p *Pending) Done() bool { return p.done }
+
+// WriteAtAsync schedules a write and returns immediately; await it with
+// System.Wait.
+func (f *File) WriteAtAsync(rank int, p []byte, off int64) (*Pending, error) {
+	if p == nil {
+		return nil, fmt.Errorf("s4dcache: nil payload (use WriteZeroes for timing-only I/O)")
+	}
+	pending := &Pending{}
+	err := f.f.WriteAt(rank, off, int64(len(p)), p, func() { pending.done = true })
+	if err != nil {
+		return nil, err
+	}
+	return pending, nil
+}
+
+// ReadAtAsync schedules a read and returns immediately; p is filled once
+// the returned Pending completes.
+func (f *File) ReadAtAsync(rank int, p []byte, off int64) (*Pending, error) {
+	if p == nil {
+		return nil, fmt.Errorf("s4dcache: nil buffer")
+	}
+	pending := &Pending{}
+	err := f.f.ReadAt(rank, off, int64(len(p)), p, func() { pending.done = true })
+	if err != nil {
+		return nil, err
+	}
+	return pending, nil
+}
+
+// WriteZeroes schedules a payload-less write of size bytes (timing-only,
+// performance mode) and returns its Pending.
+func (f *File) WriteZeroes(rank int, off, size int64) (*Pending, error) {
+	pending := &Pending{}
+	err := f.f.WriteAt(rank, off, size, nil, func() { pending.done = true })
+	if err != nil {
+		return nil, err
+	}
+	return pending, nil
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.f.Name() }
+
+// Size returns the file's logical size as known to the DServer file
+// system. Data that exists only in the cache (not yet flushed) is not
+// reflected here; System.Stats carries the cache accounting.
+func (f *File) Size() int64 {
+	return f.sys.tb.OPFS.FileSize(f.f.Name())
+}

@@ -1,0 +1,3 @@
+module s4dcache
+
+go 1.22

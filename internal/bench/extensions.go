@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/mpiio"
+	"s4dcache/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-memcache",
+		Title: "Future work (§II.B): memory cache layered over S4D-Cache",
+		Run:   runExtMemcache,
+	})
+}
+
+// runExtMemcache implements and evaluates the paper's stated future work:
+// "SSDs are a complement of memory cache and can be served as an
+// extension of memory cache... The integration of memory cache and
+// S4D-Cache will be an interesting topic for future study" (§II.B).
+//
+// A re-referencing random-read workload (each rank re-reads its probe set
+// several times) runs on three deployments: stock, S4D, and
+// memory-cache + S4D. The memory cache captures re-references at DRAM
+// latency; S4D captures the first-touch misses that fall out of memory.
+func runExtMemcache(cfg Config) (*Table, error) {
+	fileSize := int64(float64(2<<30) * cfg.Scale)
+	if fileSize < 8<<20 {
+		fileSize = 8 << 20
+	}
+	probe := workload.IORConfig{
+		Ranks: cfg.Ranks, FileSize: fileSize, RequestSize: 16 << 10,
+		Random: true, Seed: 23,
+	}
+	seed := workload.IORConfig{Ranks: cfg.Ranks, FileSize: fileSize, RequestSize: 1 << 20}
+
+	t := &Table{
+		ID:      "ext-memcache",
+		Title:   "Re-referencing random 16KB reads (3 passes of the same probe set)",
+		Columns: []string{"deployment", "pass1 MB/s", "pass2 MB/s", "pass3 MB/s"},
+	}
+	type deployment struct {
+		name     string
+		stock    bool
+		memcache int64
+	}
+	// The memory cache is sized to half the probe working set so both
+	// tiers stay in play.
+	working := fileSize * 63 / 100
+	deployments := []deployment{
+		{"stock", true, 0},
+		{"S4D only", false, 0},
+		{"memory cache + S4D", false, working / 2},
+	}
+	for _, d := range deployments {
+		params := cluster.Default()
+		params.CacheCapacity = fileSize
+		params.MemCacheBytes = d.memcache
+		var tb *cluster.Testbed
+		var err error
+		if d.stock {
+			tb, err = cluster.NewStock(params)
+		} else {
+			tb, err = cluster.NewS4D(params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		seedPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
+			return workload.RunIOR(comm, seed, true, done)
+		}
+		probePhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
+			return workload.RunIOR(comm, probe, false, done)
+		}
+		res, err := runPhases(tb, cfg.Ranks,
+			seedPhase, nil, probePhase, nil, probePhase, nil, probePhase)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d.name,
+			mbps(res[2].ThroughputMBps()),
+			mbps(res[4].ThroughputMBps()),
+			mbps(res[6].ThroughputMBps()))
+		if tb.MemCache != nil {
+			t.AddNote("memcache: %d hits, %d misses, %d pages resident",
+				tb.MemCache.Hits, tb.MemCache.Misses, tb.MemCache.Pages())
+		}
+	}
+	t.AddNote(fmt.Sprintf("memory cache sized at half the probe working set (%d MB)", working/2>>20))
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/mpiio"
+	"s4dcache/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Stock PFS: sequential vs random read bandwidth vs request size (motivation)",
+		Run:   runFig1,
+	})
+}
+
+// runFig1 reproduces Figure 1: IOR reads on a stock 8-HDD-server PVFS2,
+// 16 processes sharing a 16 GB file, request sizes 4 KB – 32 MB, sequential
+// vs random offsets. The paper reports random bandwidth below half of
+// sequential for 4–32 KB and comparable beyond 4 MB.
+func runFig1(cfg Config) (*Table, error) {
+	fileSize := int64(16 << 30)
+	ranks := 16
+	if cfg.Scale < 1 {
+		fileSize = int64(float64(fileSize) * cfg.Scale * 4) // keep enough requests per size
+		ranks = cfg.Ranks
+	}
+	maxReq := fileSize / int64(ranks) / 4 // >= 4 requests per process
+	sizes := []int64{4 << 10, 16 << 10, 32 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20, 32 << 20}
+
+	t := &Table{
+		ID:      "fig1",
+		Title:   "IOR read bandwidth, stock I/O system (8 DServers)",
+		Columns: []string{"req", "seq MB/s", "rand MB/s", "rand/seq"},
+	}
+	for _, req := range sizes {
+		if req > maxReq {
+			t.AddNote("request sizes above %s skipped at this scale", kb(maxReq))
+			break
+		}
+		var bw [2]float64
+		for i, random := range []bool{false, true} {
+			tb, err := cluster.NewStock(cluster.Default())
+			if err != nil {
+				return nil, err
+			}
+			ior := workload.IORConfig{
+				Ranks: ranks, FileSize: fileSize, RequestSize: req,
+				Random: random, Seed: 11,
+			}
+			res, err := runPhases(tb, ranks, func(comm *mpiio.Comm, done func(workload.Result)) error {
+				return workload.RunIOR(comm, ior, false, done)
+			})
+			if err != nil {
+				return nil, err
+			}
+			bw[i] = res[0].ThroughputMBps()
+		}
+		ratio := 0.0
+		if bw[0] > 0 {
+			ratio = bw[1] / bw[0]
+		}
+		t.AddRow(kb(req), mbps(bw[0]), mbps(bw[1]), fmt.Sprintf("%.2f", ratio))
+	}
+	t.AddNote("paper: random < 50%% of sequential at 4–32KB; comparable above 4MB")
+	return t, nil
+}

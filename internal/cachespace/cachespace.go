@@ -1,0 +1,266 @@
+// Package cachespace manages the byte space of the cache files on the
+// CServers. It implements the allocation policy of Algorithm 1: a write
+// admission first takes free space; when none is left it reclaims clean
+// (flushed) space in LRU order; dirty space is never reclaimed — if free
+// plus clean space cannot satisfy a request, admission fails and the
+// request goes to the DServers.
+//
+// Allocations may be scattered (a request can receive several fragments),
+// matching an extent-based cache file; every fragment carries the identity
+// of the original-file range it caches, so evictions can be translated
+// back into DMT deletions by the caller.
+package cachespace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"s4dcache/internal/extent"
+)
+
+// ErrNoSpace is returned when free plus reclaimable clean space cannot
+// satisfy an allocation.
+var ErrNoSpace = errors.New("cachespace: insufficient free and clean space")
+
+// Owner identifies the original-file range a cache fragment holds.
+type Owner struct {
+	// File is the original file name (D_file).
+	File string
+	// FileOff is the range start in the original file (D_offset).
+	FileOff int64
+}
+
+// Fragment is one allocated piece of cache-file space.
+type Fragment struct {
+	// CacheOff is the fragment's offset in the cache file.
+	CacheOff int64
+	// Len is the fragment length.
+	Len int64
+}
+
+// Evicted reports a clean fragment reclaimed by an allocation.
+type Evicted struct {
+	Owner    Owner
+	CacheOff int64
+	Len      int64
+}
+
+type unit struct {
+	owner Owner
+	dirty bool
+	seq   uint64 // LRU timestamp: larger = more recently used
+}
+
+// Manager tracks one cache file's space. Use New.
+type Manager struct {
+	capacity int64
+	used     *extent.Map[unit]
+	usedB    int64
+	dirtyB   int64
+	seq      uint64
+
+	evictions uint64
+	failures  uint64
+}
+
+// New returns a manager for a cache file of the given capacity in bytes.
+func New(capacity int64) (*Manager, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cachespace: capacity must be positive, got %d", capacity)
+	}
+	return &Manager{
+		capacity: capacity,
+		used: extent.New[unit](func(u unit, delta int64) unit {
+			return unit{owner: Owner{File: u.owner.File, FileOff: u.owner.FileOff + delta}, dirty: u.dirty, seq: u.seq}
+		}),
+	}, nil
+}
+
+// Capacity returns the total space.
+func (m *Manager) Capacity() int64 { return m.capacity }
+
+// FreeBytes returns unallocated space.
+func (m *Manager) FreeBytes() int64 { return m.capacity - m.usedB }
+
+// UsedBytes returns allocated space (clean + dirty).
+func (m *Manager) UsedBytes() int64 { return m.usedB }
+
+// DirtyBytes returns allocated space awaiting flush.
+func (m *Manager) DirtyBytes() int64 { return m.dirtyB }
+
+// CleanBytes returns allocated reclaimable space.
+func (m *Manager) CleanBytes() int64 { return m.usedB - m.dirtyB }
+
+// Evictions returns how many clean fragments have been reclaimed.
+func (m *Manager) Evictions() uint64 { return m.evictions }
+
+// Failures returns how many allocations returned ErrNoSpace.
+func (m *Manager) Failures() uint64 { return m.failures }
+
+// Allocate reserves size bytes for owner. The first fragment caches
+// owner.FileOff, the second owner.FileOff + len(first), and so on. If the
+// free space is insufficient, clean fragments are reclaimed in LRU order;
+// the reclaimed ranges are returned so the caller can drop their DMT
+// mappings. Returns ErrNoSpace if free + clean space is insufficient.
+func (m *Manager) Allocate(size int64, owner Owner, dirty bool) ([]Fragment, []Evicted, error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("cachespace: allocation size must be positive, got %d", size)
+	}
+	if size > m.FreeBytes()+m.CleanBytes() {
+		m.failures++
+		return nil, nil, fmt.Errorf("%w: need %d, free %d, clean %d", ErrNoSpace, size, m.FreeBytes(), m.CleanBytes())
+	}
+	var evicted []Evicted
+	if size > m.FreeBytes() {
+		evicted = m.reclaim(size - m.FreeBytes())
+	}
+	frags := m.takeFree(size, owner, dirty)
+	return frags, evicted, nil
+}
+
+// FreeRange releases [cacheOff, cacheOff+length) back to the free pool,
+// regardless of state. Callers use it when a DMT mapping is dropped or
+// overwritten.
+func (m *Manager) FreeRange(cacheOff, length int64) {
+	if length <= 0 {
+		return
+	}
+	m.accountRemoval(cacheOff, length)
+	m.used.Delete(cacheOff, length)
+}
+
+// MarkClean clears the dirty state of allocated fragments overlapping
+// [cacheOff, cacheOff+length), making them reclaimable (flush completed).
+func (m *Manager) MarkClean(cacheOff, length int64) {
+	for _, e := range m.used.Overlaps(cacheOff, length) {
+		if !e.Val.dirty {
+			continue
+		}
+		lo, hi := clip(e.Off, e.End(), cacheOff, cacheOff+length)
+		u := e.Val
+		u.dirty = false
+		u.seq = m.nextSeq()
+		delta := lo - e.Off
+		u.owner.FileOff += delta
+		m.dirtyB -= hi - lo
+		m.used.Insert(lo, hi-lo, unit{owner: u.owner, dirty: false, seq: u.seq})
+	}
+}
+
+// MarkDirty sets the dirty state of allocated fragments overlapping
+// [cacheOff, cacheOff+length) (a cached range was re-written).
+func (m *Manager) MarkDirty(cacheOff, length int64) {
+	for _, e := range m.used.Overlaps(cacheOff, length) {
+		if e.Val.dirty {
+			continue
+		}
+		lo, hi := clip(e.Off, e.End(), cacheOff, cacheOff+length)
+		u := e.Val
+		delta := lo - e.Off
+		u.owner.FileOff += delta
+		m.dirtyB += hi - lo
+		m.used.Insert(lo, hi-lo, unit{owner: u.owner, dirty: true, seq: m.nextSeq()})
+	}
+}
+
+// Touch refreshes the LRU recency of fragments overlapping the range (a
+// cache hit).
+func (m *Manager) Touch(cacheOff, length int64) {
+	for _, e := range m.used.Overlaps(cacheOff, length) {
+		u := e.Val
+		u.seq = m.nextSeq()
+		m.used.Insert(e.Off, e.Len, u)
+	}
+}
+
+// Walk visits every allocated fragment in cache-offset order.
+func (m *Manager) Walk(fn func(cacheOff, length int64, owner Owner, dirty bool) bool) {
+	m.used.Walk(func(e extent.Entry[unit]) bool {
+		return fn(e.Off, e.Len, e.Val.owner, e.Val.dirty)
+	})
+}
+
+func (m *Manager) nextSeq() uint64 {
+	m.seq++
+	return m.seq
+}
+
+// reclaim frees at least need bytes of clean space in LRU order and
+// returns what was evicted. Callers have already verified feasibility.
+func (m *Manager) reclaim(need int64) []Evicted {
+	type candidate struct {
+		off, length int64
+		owner       Owner
+		seq         uint64
+	}
+	var clean []candidate
+	m.used.Walk(func(e extent.Entry[unit]) bool {
+		if !e.Val.dirty {
+			clean = append(clean, candidate{off: e.Off, length: e.Len, owner: e.Val.owner, seq: e.Val.seq})
+		}
+		return true
+	})
+	sort.Slice(clean, func(i, j int) bool { return clean[i].seq < clean[j].seq })
+	var out []Evicted
+	var reclaimed int64
+	for _, c := range clean {
+		if reclaimed >= need {
+			break
+		}
+		take := c.length
+		if remaining := need - reclaimed; take > remaining {
+			// Partial eviction of the LRU fragment: take the head.
+			take = remaining
+		}
+		out = append(out, Evicted{Owner: c.owner, CacheOff: c.off, Len: take})
+		m.FreeRange(c.off, take)
+		m.evictions++
+		reclaimed += take
+	}
+	return out
+}
+
+// takeFree allocates size bytes from the free gaps (first fit, scattered).
+func (m *Manager) takeFree(size int64, owner Owner, dirty bool) []Fragment {
+	var frags []Fragment
+	var taken int64
+	for _, g := range m.used.Gaps(0, m.capacity) {
+		if taken >= size {
+			break
+		}
+		n := g.Len
+		if remaining := size - taken; n > remaining {
+			n = remaining
+		}
+		fragOwner := Owner{File: owner.File, FileOff: owner.FileOff + taken}
+		m.used.Insert(g.Off, n, unit{owner: fragOwner, dirty: dirty, seq: m.nextSeq()})
+		m.usedB += n
+		if dirty {
+			m.dirtyB += n
+		}
+		frags = append(frags, Fragment{CacheOff: g.Off, Len: n})
+		taken += n
+	}
+	return frags
+}
+
+func (m *Manager) accountRemoval(cacheOff, length int64) {
+	for _, e := range m.used.Overlaps(cacheOff, length) {
+		lo, hi := clip(e.Off, e.End(), cacheOff, cacheOff+length)
+		m.usedB -= hi - lo
+		if e.Val.dirty {
+			m.dirtyB -= hi - lo
+		}
+	}
+}
+
+func clip(lo, hi, qlo, qhi int64) (int64, int64) {
+	if lo < qlo {
+		lo = qlo
+	}
+	if hi > qhi {
+		hi = qhi
+	}
+	return lo, hi
+}

@@ -1,0 +1,357 @@
+package cachespace
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, capacity int64) *Manager {
+	t.Helper()
+	m, err := New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(-5); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestAllocateFromFree(t *testing.T) {
+	m := mustNew(t, 1000)
+	frags, evicted, err := m.Allocate(300, Owner{File: "f", FileOff: 0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("evicted %v on empty cache", evicted)
+	}
+	if len(frags) != 1 || frags[0].CacheOff != 0 || frags[0].Len != 300 {
+		t.Fatalf("frags = %+v", frags)
+	}
+	if m.FreeBytes() != 700 || m.UsedBytes() != 300 || m.DirtyBytes() != 300 {
+		t.Fatalf("accounting: free=%d used=%d dirty=%d", m.FreeBytes(), m.UsedBytes(), m.DirtyBytes())
+	}
+}
+
+func TestAllocateRejectsDegenerateSize(t *testing.T) {
+	m := mustNew(t, 1000)
+	if _, _, err := m.Allocate(0, Owner{}, false); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, _, err := m.Allocate(-1, Owner{}, false); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestAllocateNoSpaceWhenAllDirty(t *testing.T) {
+	m := mustNew(t, 1000)
+	if _, _, err := m.Allocate(1000, Owner{File: "f"}, true); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := m.Allocate(1, Owner{File: "g"}, true)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace (dirty space must not be reclaimed)", err)
+	}
+	if m.Failures() != 1 {
+		t.Fatalf("Failures = %d, want 1", m.Failures())
+	}
+}
+
+func TestAllocateReclaimsCleanLRU(t *testing.T) {
+	m := mustNew(t, 300)
+	// Three clean allocations, touched in order a, b, c (c most recent).
+	for i, name := range []string{"a", "b", "c"} {
+		if _, _, err := m.Allocate(100, Owner{File: name, FileOff: int64(i) * 1000}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-touch "a" so "b" becomes the LRU victim.
+	m.Touch(0, 100)
+	frags, evicted, err := m.Allocate(100, Owner{File: "d"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].Owner.File != "b" {
+		t.Fatalf("evicted = %+v, want file b (LRU)", evicted)
+	}
+	if evicted[0].Owner.FileOff != 1000 || evicted[0].Len != 100 {
+		t.Fatalf("evicted = %+v", evicted[0])
+	}
+	if len(frags) != 1 || frags[0].Len != 100 {
+		t.Fatalf("frags = %+v", frags)
+	}
+	if m.Evictions() != 1 {
+		t.Fatalf("Evictions = %d", m.Evictions())
+	}
+}
+
+func TestPartialEviction(t *testing.T) {
+	m := mustNew(t, 200)
+	if _, _, err := m.Allocate(200, Owner{File: "a"}, false); err != nil {
+		t.Fatal(err)
+	}
+	_, evicted, err := m.Allocate(50, Owner{File: "b"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].Len != 50 {
+		t.Fatalf("evicted = %+v, want 50-byte head of a", evicted)
+	}
+	if m.UsedBytes() != 200 || m.DirtyBytes() != 50 {
+		t.Fatalf("used=%d dirty=%d", m.UsedBytes(), m.DirtyBytes())
+	}
+}
+
+func TestScatteredAllocation(t *testing.T) {
+	m := mustNew(t, 300)
+	if _, _, err := m.Allocate(100, Owner{File: "keep1"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Allocate(100, Owner{File: "gap"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Allocate(100, Owner{File: "keep2"}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Free the middle: hole at [100, 200).
+	m.FreeRange(100, 100)
+	if m.FreeBytes() != 100 {
+		t.Fatalf("FreeBytes = %d", m.FreeBytes())
+	}
+	// A 100-byte allocation fits the hole exactly.
+	frags, _, err := m.Allocate(100, Owner{File: "fill", FileOff: 500}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[0].CacheOff != 100 {
+		t.Fatalf("frags = %+v, want hole reuse at 100", frags)
+	}
+}
+
+func TestScatteredFragmentsCarrySplitOwners(t *testing.T) {
+	m := mustNew(t, 300)
+	// Occupy [0,100) and [150,200), leaving holes [100,150) and [200,300).
+	if _, _, err := m.Allocate(100, Owner{File: "x"}, true); err != nil {
+		t.Fatal(err)
+	}
+	frags, _, err := m.Allocate(100, Owner{File: "y"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 {
+		t.Fatal("setup failed")
+	}
+	m.FreeRange(100, 50) // hole [100,150)
+	frags, _, err = m.Allocate(120, Owner{File: "z", FileOff: 7000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 2 {
+		t.Fatalf("frags = %+v, want 2 scattered fragments", frags)
+	}
+	if frags[0].CacheOff != 100 || frags[0].Len != 50 {
+		t.Fatalf("first fragment = %+v", frags[0])
+	}
+	if frags[1].CacheOff != 200 || frags[1].Len != 70 {
+		t.Fatalf("second fragment = %+v", frags[1])
+	}
+	// Verify owners: second fragment caches FileOff 7050.
+	var owners []Owner
+	m.Walk(func(off, l int64, o Owner, dirty bool) bool {
+		if o.File == "z" {
+			owners = append(owners, o)
+		}
+		return true
+	})
+	if len(owners) != 2 || owners[0].FileOff != 7000 || owners[1].FileOff != 7050 {
+		t.Fatalf("owners = %+v", owners)
+	}
+}
+
+func TestMarkCleanEnablesReclaim(t *testing.T) {
+	m := mustNew(t, 100)
+	if _, _, err := m.Allocate(100, Owner{File: "a"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Allocate(50, Owner{File: "b"}, true); !errors.Is(err, ErrNoSpace) {
+		t.Fatal("dirty data reclaimed")
+	}
+	m.MarkClean(0, 100)
+	if m.DirtyBytes() != 0 || m.CleanBytes() != 100 {
+		t.Fatalf("dirty=%d clean=%d after MarkClean", m.DirtyBytes(), m.CleanBytes())
+	}
+	if _, _, err := m.Allocate(50, Owner{File: "b"}, true); err != nil {
+		t.Fatalf("clean space not reclaimable: %v", err)
+	}
+}
+
+func TestMarkDirtyPinsData(t *testing.T) {
+	m := mustNew(t, 100)
+	if _, _, err := m.Allocate(100, Owner{File: "a"}, false); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkDirty(0, 40)
+	if m.DirtyBytes() != 40 {
+		t.Fatalf("DirtyBytes = %d, want 40", m.DirtyBytes())
+	}
+	// Only 60 clean bytes remain reclaimable.
+	if _, _, err := m.Allocate(61, Owner{File: "b"}, true); !errors.Is(err, ErrNoSpace) {
+		t.Fatal("allocated more than clean space")
+	}
+	if _, evicted, err := m.Allocate(60, Owner{File: "b"}, true); err != nil || len(evicted) == 0 {
+		t.Fatalf("60-byte allocation failed: %v", err)
+	}
+}
+
+func TestMarkCleanPartialRange(t *testing.T) {
+	m := mustNew(t, 100)
+	if _, _, err := m.Allocate(100, Owner{File: "a", FileOff: 300}, true); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkClean(20, 30)
+	if m.DirtyBytes() != 70 || m.CleanBytes() != 30 {
+		t.Fatalf("dirty=%d clean=%d", m.DirtyBytes(), m.CleanBytes())
+	}
+	// The clean window's owner FileOff must be advanced (300+20).
+	found := false
+	m.Walk(func(off, l int64, o Owner, dirty bool) bool {
+		if !dirty {
+			found = true
+			if off != 20 || l != 30 || o.FileOff != 320 {
+				t.Fatalf("clean window = off %d len %d owner %+v", off, l, o)
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no clean window found")
+	}
+}
+
+func TestIdempotentMarks(t *testing.T) {
+	m := mustNew(t, 100)
+	if _, _, err := m.Allocate(100, Owner{File: "a"}, true); err != nil {
+		t.Fatal(err)
+	}
+	m.MarkDirty(0, 100) // already dirty
+	if m.DirtyBytes() != 100 {
+		t.Fatalf("double MarkDirty corrupted accounting: %d", m.DirtyBytes())
+	}
+	m.MarkClean(0, 100)
+	m.MarkClean(0, 100) // already clean
+	if m.DirtyBytes() != 0 || m.CleanBytes() != 100 {
+		t.Fatalf("double MarkClean corrupted accounting: dirty=%d", m.DirtyBytes())
+	}
+}
+
+func TestFreeRangeNoops(t *testing.T) {
+	m := mustNew(t, 100)
+	m.FreeRange(0, 0)
+	m.FreeRange(0, -10)
+	m.FreeRange(50, 10) // nothing allocated there
+	if m.UsedBytes() != 0 {
+		t.Fatal("no-op frees changed accounting")
+	}
+}
+
+// Property: accounting invariants hold under random operations —
+// used = clean + dirty, 0 <= free <= capacity, and allocations never
+// overlap (checked via Walk ordering).
+func TestAccountingInvariantProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 1000
+		m, err := New(capacity)
+		if err != nil {
+			return false
+		}
+		ops := int(opsRaw%50) + 1
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				size := rng.Int63n(300) + 1
+				_, _, err := m.Allocate(size, Owner{File: "f", FileOff: rng.Int63n(10000)}, rng.Intn(2) == 0)
+				if err != nil && !errors.Is(err, ErrNoSpace) {
+					return false
+				}
+			case 2:
+				m.MarkClean(rng.Int63n(capacity), rng.Int63n(200)+1)
+			case 3:
+				m.MarkDirty(rng.Int63n(capacity), rng.Int63n(200)+1)
+			case 4:
+				m.FreeRange(rng.Int63n(capacity), rng.Int63n(200)+1)
+			}
+			// Invariants.
+			if m.UsedBytes() != m.CleanBytes()+m.DirtyBytes() {
+				return false
+			}
+			if m.FreeBytes() < 0 || m.FreeBytes() > capacity {
+				return false
+			}
+			// Recompute used from Walk; must match the counter.
+			var walked int64
+			prevEnd := int64(-1)
+			ok := true
+			m.Walk(func(off, l int64, o Owner, dirty bool) bool {
+				if off < prevEnd || l <= 0 || off+l > capacity {
+					ok = false
+					return false
+				}
+				prevEnd = off + l
+				walked += l
+				return true
+			})
+			if !ok || walked != m.UsedBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an allocation either fails with ErrNoSpace or returns
+// fragments summing exactly to the requested size.
+func TestAllocationSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := New(500)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			size := rng.Int63n(200) + 1
+			frags, _, err := m.Allocate(size, Owner{File: "f"}, rng.Intn(3) == 0)
+			if errors.Is(err, ErrNoSpace) {
+				// Free something and continue.
+				m.MarkClean(0, 500)
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			var sum int64
+			for _, fr := range frags {
+				sum += fr.Len
+			}
+			if sum != size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

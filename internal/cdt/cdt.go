@@ -1,0 +1,213 @@
+// Package cdt implements the Critical Data Table (paper §III.C, Fig. 5
+// left): the set of file ranges the Data Identifier has classified as
+// performance-critical. Each entry records the range (D_file, D_offset,
+// Length) and the C_flag that marks data awaiting a lazy fetch into the
+// CServers by the Rebuilder.
+package cdt
+
+import (
+	"time"
+
+	"s4dcache/internal/extent"
+)
+
+// Info is the payload of one critical extent.
+type Info struct {
+	// CFlag marks data that missed the cache on a read and should be
+	// fetched into the CServers by the Rebuilder (Algorithm 1, line 18).
+	CFlag bool
+	// Benefit is the modeled redirection benefit when the range was
+	// identified, kept for eviction ordering and reporting.
+	Benefit time.Duration
+	// seq is the insertion sequence, for FIFO eviction.
+	seq uint64
+}
+
+// Fetch is a pending lazy fetch (a C_flag-marked range).
+type Fetch struct {
+	File    string
+	Off     int64
+	Len     int64
+	Benefit time.Duration
+}
+
+// Table is the Critical Data Table. Use New.
+type Table struct {
+	files    map[string]*extent.Map[Info]
+	order    []fifoRef // insertion order, for bounded eviction
+	maxBytes int64
+	bytes    int64
+	seq      uint64
+	evicted  uint64
+}
+
+type fifoRef struct {
+	file string
+	off  int64
+	len  int64
+	seq  uint64
+}
+
+// New returns an empty table bounded to maxBytes of tracked data;
+// maxBytes <= 0 means unbounded.
+func New(maxBytes int64) *Table {
+	return &Table{files: make(map[string]*extent.Map[Info]), maxBytes: maxBytes}
+}
+
+// Add records [off, off+length) of file as critical. Re-adding an existing
+// range refreshes its benefit and keeps its C_flag.
+func (t *Table) Add(file string, off, length int64, benefit time.Duration) {
+	if length <= 0 {
+		return
+	}
+	m := t.fileMap(file)
+	// Preserve an existing C_flag if the new range overlaps flagged data.
+	flag := false
+	for _, e := range m.Overlaps(off, length) {
+		if e.Val.CFlag {
+			flag = true
+			break
+		}
+	}
+	t.bytes -= overlapBytes(m, off, length)
+	t.seq++
+	m.Insert(off, length, Info{CFlag: flag, Benefit: benefit, seq: t.seq})
+	t.bytes += length
+	t.order = append(t.order, fifoRef{file: file, off: off, len: length, seq: t.seq})
+	t.evict()
+}
+
+// Contains reports whether [off, off+length) is fully covered by critical
+// extents — the Algorithm 1 "req is in CDT" test.
+func (t *Table) Contains(file string, off, length int64) bool {
+	m, ok := t.files[file]
+	if !ok {
+		return false
+	}
+	return m.Covered(off, length)
+}
+
+// SetCFlag marks the overlapped critical parts of [off, off+length) for
+// lazy fetching (Algorithm 1, line 18).
+func (t *Table) SetCFlag(file string, off, length int64) {
+	m, ok := t.files[file]
+	if !ok {
+		return
+	}
+	for _, e := range m.Overlaps(off, length) {
+		if !e.Val.CFlag {
+			v := e.Val
+			v.CFlag = true
+			m.Insert(e.Off, e.Len, v)
+		}
+	}
+}
+
+// ClearCFlag unmarks the overlapped parts of [off, off+length), after the
+// Rebuilder has fetched them (paper §III.F).
+func (t *Table) ClearCFlag(file string, off, length int64) {
+	m, ok := t.files[file]
+	if !ok {
+		return
+	}
+	for _, e := range m.Overlaps(off, length) {
+		if e.Val.CFlag {
+			v := e.Val
+			v.CFlag = false
+			m.Insert(e.Off, e.Len, v)
+		}
+	}
+}
+
+// PendingFetches returns up to max C_flag-marked ranges (all if max <= 0).
+func (t *Table) PendingFetches(max int) []Fetch {
+	var out []Fetch
+	for file, m := range t.files {
+		m.Walk(func(e extent.Entry[Info]) bool {
+			if e.Val.CFlag {
+				out = append(out, Fetch{File: file, Off: e.Off, Len: e.Len, Benefit: e.Val.Benefit})
+				if max > 0 && len(out) >= max {
+					return false
+				}
+			}
+			return true
+		})
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Remove drops coverage of [off, off+length).
+func (t *Table) Remove(file string, off, length int64) {
+	m, ok := t.files[file]
+	if !ok {
+		return
+	}
+	t.bytes -= overlapBytes(m, off, length)
+	m.Delete(off, length)
+}
+
+// Bytes returns the total tracked critical bytes.
+func (t *Table) Bytes() int64 { return t.bytes }
+
+// Entries returns the total extent count.
+func (t *Table) Entries() int {
+	n := 0
+	for _, m := range t.files {
+		n += m.Len()
+	}
+	return n
+}
+
+// Evicted returns how many FIFO evictions the byte bound has forced.
+func (t *Table) Evicted() uint64 { return t.evicted }
+
+func (t *Table) fileMap(file string) *extent.Map[Info] {
+	m, ok := t.files[file]
+	if !ok {
+		m = extent.New[Info](nil)
+		t.files[file] = m
+	}
+	return m
+}
+
+func (t *Table) evict() {
+	if t.maxBytes <= 0 {
+		return
+	}
+	for t.bytes > t.maxBytes && len(t.order) > 0 {
+		ref := t.order[0]
+		t.order = t.order[1:]
+		m, ok := t.files[ref.file]
+		if !ok {
+			continue
+		}
+		// Only evict parts still owned by this insertion (not overwritten
+		// by a newer Add).
+		for _, e := range m.Overlaps(ref.off, ref.len) {
+			if e.Val.seq == ref.seq {
+				t.bytes -= e.Len
+				m.Delete(e.Off, e.Len)
+				t.evicted++
+			}
+		}
+	}
+}
+
+func overlapBytes(m *extent.Map[Info], off, length int64) int64 {
+	var n int64
+	end := off + length
+	for _, e := range m.Overlaps(off, length) {
+		lo, hi := e.Off, e.End()
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		n += hi - lo
+	}
+	return n
+}

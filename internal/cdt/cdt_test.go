@@ -1,0 +1,159 @@
+package cdt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddAndContains(t *testing.T) {
+	c := New(0)
+	c.Add("f", 100, 50, time.Millisecond)
+	if !c.Contains("f", 100, 50) {
+		t.Fatal("added range not contained")
+	}
+	if !c.Contains("f", 110, 20) {
+		t.Fatal("sub-range not contained")
+	}
+	if c.Contains("f", 90, 20) {
+		t.Fatal("partially uncovered range reported contained")
+	}
+	if c.Contains("g", 100, 50) {
+		t.Fatal("other file contained")
+	}
+	if c.Bytes() != 50 || c.Entries() != 1 {
+		t.Fatalf("Bytes=%d Entries=%d", c.Bytes(), c.Entries())
+	}
+}
+
+func TestAddZeroLengthIgnored(t *testing.T) {
+	c := New(0)
+	c.Add("f", 0, 0, 0)
+	if c.Entries() != 0 {
+		t.Fatal("zero-length add created an entry")
+	}
+}
+
+func TestContainsAdjacentExtents(t *testing.T) {
+	c := New(0)
+	c.Add("f", 0, 100, time.Millisecond)
+	c.Add("f", 100, 100, time.Millisecond)
+	if !c.Contains("f", 50, 100) {
+		t.Fatal("range spanning adjacent extents not contained")
+	}
+}
+
+func TestCFlagLifecycle(t *testing.T) {
+	c := New(0)
+	c.Add("f", 0, 100, time.Millisecond)
+	c.Add("f", 200, 100, 2*time.Millisecond)
+	if got := c.PendingFetches(0); len(got) != 0 {
+		t.Fatalf("fresh entries already pending: %+v", got)
+	}
+	c.SetCFlag("f", 0, 100)
+	got := c.PendingFetches(0)
+	if len(got) != 1 || got[0].Off != 0 || got[0].Len != 100 || got[0].File != "f" {
+		t.Fatalf("PendingFetches = %+v", got)
+	}
+	if got[0].Benefit != time.Millisecond {
+		t.Fatalf("fetch benefit = %v", got[0].Benefit)
+	}
+	c.ClearCFlag("f", 0, 100)
+	if got := c.PendingFetches(0); len(got) != 0 {
+		t.Fatalf("cleared flag still pending: %+v", got)
+	}
+}
+
+func TestSetCFlagOnMissingFileNoop(t *testing.T) {
+	c := New(0)
+	c.SetCFlag("missing", 0, 10)
+	c.ClearCFlag("missing", 0, 10)
+	c.Remove("missing", 0, 10)
+	if c.Entries() != 0 {
+		t.Fatal("no-ops mutated the table")
+	}
+}
+
+func TestPendingFetchesLimit(t *testing.T) {
+	c := New(0)
+	for i := int64(0); i < 10; i++ {
+		c.Add("f", i*100, 50, time.Millisecond)
+	}
+	c.SetCFlag("f", 0, 1000)
+	if got := c.PendingFetches(3); len(got) != 3 {
+		t.Fatalf("limited PendingFetches returned %d", len(got))
+	}
+}
+
+func TestReAddPreservesCFlag(t *testing.T) {
+	c := New(0)
+	c.Add("f", 0, 100, time.Millisecond)
+	c.SetCFlag("f", 0, 100)
+	// The same range is identified as critical again (second run).
+	c.Add("f", 0, 100, 3*time.Millisecond)
+	got := c.PendingFetches(0)
+	if len(got) != 1 {
+		t.Fatalf("re-add dropped the C_flag: %+v", got)
+	}
+	if got[0].Benefit != 3*time.Millisecond {
+		t.Fatalf("benefit not refreshed: %v", got[0].Benefit)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(0)
+	c.Add("f", 0, 100, time.Millisecond)
+	c.Remove("f", 25, 50)
+	if c.Contains("f", 0, 100) {
+		t.Fatal("removed range still contained")
+	}
+	if !c.Contains("f", 0, 25) || !c.Contains("f", 75, 25) {
+		t.Fatal("remove clipped too much")
+	}
+	if c.Bytes() != 50 {
+		t.Fatalf("Bytes = %d, want 50", c.Bytes())
+	}
+}
+
+func TestOverwriteAccounting(t *testing.T) {
+	c := New(0)
+	c.Add("f", 0, 100, time.Millisecond)
+	c.Add("f", 50, 100, time.Millisecond) // overlaps 50 bytes
+	if c.Bytes() != 150 {
+		t.Fatalf("Bytes = %d, want 150 after overlapping add", c.Bytes())
+	}
+}
+
+func TestBoundedEviction(t *testing.T) {
+	c := New(250)
+	for i := int64(0); i < 5; i++ {
+		c.Add("f", i*1000, 100, time.Millisecond)
+	}
+	if c.Bytes() > 250 {
+		t.Fatalf("Bytes = %d exceeds bound 250", c.Bytes())
+	}
+	if c.Evicted() == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// Oldest entries go first.
+	if c.Contains("f", 0, 100) {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if !c.Contains("f", 4000, 100) {
+		t.Fatal("newest entry was evicted")
+	}
+}
+
+func TestEvictionSkipsOverwrittenRanges(t *testing.T) {
+	c := New(0) // unbounded; manipulate directly
+	c = New(300)
+	c.Add("f", 0, 100, time.Millisecond)
+	c.Add("f", 0, 100, 2*time.Millisecond) // overwrite: old FIFO ref is stale
+	c.Add("f", 1000, 100, time.Millisecond)
+	c.Add("f", 2000, 100, time.Millisecond)
+	// Inserting one more (total would be 400 tracked across refs) forces
+	// eviction; the stale ref must not evict the newer overwrite.
+	c.Add("f", 3000, 100, time.Millisecond)
+	if c.Bytes() > 300 {
+		t.Fatalf("Bytes = %d exceeds bound", c.Bytes())
+	}
+}

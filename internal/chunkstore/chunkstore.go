@@ -1,0 +1,124 @@
+// Package chunkstore provides the per-server payload stores behind the
+// simulated file servers.
+//
+// Two modes exist behind one interface:
+//
+//   - Sparse: actually stores bytes in fixed-size chunks, so functional
+//     tests can verify end-to-end data integrity across redirection,
+//     caching, flush and fetch (reads of never-written ranges return
+//     zeros, like a POSIX sparse file).
+//   - Null: stores nothing and only tracks the written byte count, for
+//     performance experiments whose simulated files would not fit in
+//     memory.
+package chunkstore
+
+// Store is a flat byte address space.
+type Store interface {
+	// WriteAt stores p at byte offset off.
+	WriteAt(p []byte, off int64)
+	// ReadAt fills p from byte offset off; unwritten bytes read as zero.
+	ReadAt(p []byte, off int64)
+	// Written returns the total number of distinct bytes ever written.
+	Written() int64
+}
+
+const chunkSize = 64 << 10
+
+// Sparse is a chunked in-memory store. The zero value is ready to use.
+type Sparse struct {
+	chunks  map[int64][]byte
+	written int64
+}
+
+var _ Store = (*Sparse)(nil)
+
+// NewSparse returns an empty sparse store.
+func NewSparse() *Sparse {
+	return &Sparse{chunks: make(map[int64][]byte)}
+}
+
+// WriteAt implements Store.
+func (s *Sparse) WriteAt(p []byte, off int64) {
+	if off < 0 || len(p) == 0 {
+		return
+	}
+	if s.chunks == nil {
+		s.chunks = make(map[int64][]byte)
+	}
+	for len(p) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := int64(len(p))
+		if n > chunkSize-co {
+			n = chunkSize - co
+		}
+		c, ok := s.chunks[ci]
+		if !ok {
+			c = make([]byte, chunkSize)
+			s.chunks[ci] = c
+		}
+		copy(c[co:co+n], p[:n])
+		p = p[n:]
+		off += n
+		s.written += n
+	}
+}
+
+// ReadAt implements Store.
+func (s *Sparse) ReadAt(p []byte, off int64) {
+	for i := range p {
+		p[i] = 0
+	}
+	if off < 0 || len(p) == 0 || s.chunks == nil {
+		return
+	}
+	q := p
+	for len(q) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := int64(len(q))
+		if n > chunkSize-co {
+			n = chunkSize - co
+		}
+		if c, ok := s.chunks[ci]; ok {
+			copy(q[:n], c[co:co+n])
+		}
+		q = q[n:]
+		off += n
+	}
+}
+
+// Written implements Store. It counts bytes written including overwrites.
+func (s *Sparse) Written() int64 { return s.written }
+
+// Chunks returns the number of allocated chunks, for memory accounting.
+func (s *Sparse) Chunks() int { return len(s.chunks) }
+
+// Null discards payloads; only the written byte count is kept. The zero
+// value is ready to use.
+type Null struct {
+	written int64
+}
+
+var _ Store = (*Null)(nil)
+
+// NewNull returns a metadata-only store.
+func NewNull() *Null { return &Null{} }
+
+// WriteAt implements Store.
+func (n *Null) WriteAt(p []byte, off int64) {
+	if off < 0 {
+		return
+	}
+	n.written += int64(len(p))
+}
+
+// ReadAt implements Store: reads return zeros.
+func (n *Null) ReadAt(p []byte, off int64) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// Written implements Store.
+func (n *Null) Written() int64 { return n.written }

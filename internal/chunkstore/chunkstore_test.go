@@ -1,0 +1,151 @@
+package chunkstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseRoundTrip(t *testing.T) {
+	s := NewSparse()
+	data := []byte("hello parallel file system")
+	s.WriteAt(data, 1000)
+	got := make([]byte, len(data))
+	s.ReadAt(got, 1000)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %q", got)
+	}
+}
+
+func TestSparseUnwrittenReadsZero(t *testing.T) {
+	s := NewSparse()
+	got := make([]byte, 64)
+	for i := range got {
+		got[i] = 0xff
+	}
+	s.ReadAt(got, 12345)
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestSparseCrossChunkBoundary(t *testing.T) {
+	s := NewSparse()
+	data := make([]byte, 3*chunkSize)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	off := int64(chunkSize - 100)
+	s.WriteAt(data, off)
+	got := make([]byte, len(data))
+	s.ReadAt(got, off)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-chunk round trip failed")
+	}
+	// Bytes just outside the write must be zero.
+	edge := make([]byte, 1)
+	s.ReadAt(edge, off-1)
+	if edge[0] != 0 {
+		t.Fatal("byte before write is dirty")
+	}
+	s.ReadAt(edge, off+int64(len(data)))
+	if edge[0] != 0 {
+		t.Fatal("byte after write is dirty")
+	}
+}
+
+func TestSparseOverwrite(t *testing.T) {
+	s := NewSparse()
+	s.WriteAt([]byte("aaaaaaaa"), 0)
+	s.WriteAt([]byte("bbb"), 2)
+	got := make([]byte, 8)
+	s.ReadAt(got, 0)
+	if string(got) != "aabbbaaa" {
+		t.Fatalf("overwrite result %q, want aabbbaaa", got)
+	}
+}
+
+func TestSparseNegativeOffsetIgnored(t *testing.T) {
+	s := NewSparse()
+	s.WriteAt([]byte("x"), -1)
+	if s.Written() != 0 {
+		t.Fatal("negative-offset write was not ignored")
+	}
+	buf := []byte{0xff}
+	s.ReadAt(buf, -1)
+	if buf[0] != 0 {
+		t.Fatal("negative-offset read should zero the buffer")
+	}
+}
+
+func TestSparseZeroValueUsable(t *testing.T) {
+	var s Sparse
+	s.WriteAt([]byte("ok"), 5)
+	got := make([]byte, 2)
+	s.ReadAt(got, 5)
+	if string(got) != "ok" {
+		t.Fatal("zero-value Sparse not usable")
+	}
+}
+
+func TestSparseWrittenAndChunks(t *testing.T) {
+	s := NewSparse()
+	s.WriteAt(make([]byte, 100), 0)
+	s.WriteAt(make([]byte, 50), 10)
+	if s.Written() != 150 {
+		t.Fatalf("Written() = %d, want 150", s.Written())
+	}
+	if s.Chunks() != 1 {
+		t.Fatalf("Chunks() = %d, want 1", s.Chunks())
+	}
+}
+
+// Property: a Sparse store behaves exactly like one flat byte array, for
+// any sequence of writes at random offsets.
+func TestSparseMatchesFlatArrayProperty(t *testing.T) {
+	const space = 4 * chunkSize
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%30) + 1
+		ref := make([]byte, space)
+		s := NewSparse()
+		for i := 0; i < ops; i++ {
+			off := rng.Int63n(space - 1)
+			n := rng.Int63n(space-off) + 1
+			data := make([]byte, n)
+			rng.Read(data)
+			s.WriteAt(data, off)
+			copy(ref[off:off+n], data)
+		}
+		got := make([]byte, space)
+		s.ReadAt(got, 0)
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullDiscardsButCounts(t *testing.T) {
+	n := NewNull()
+	n.WriteAt(make([]byte, 1000), 0)
+	if n.Written() != 1000 {
+		t.Fatalf("Written() = %d, want 1000", n.Written())
+	}
+	buf := []byte{0xff, 0xff}
+	n.ReadAt(buf, 0)
+	if buf[0] != 0 || buf[1] != 0 {
+		t.Fatal("Null reads must return zeros")
+	}
+}
+
+func TestNullZeroValueUsable(t *testing.T) {
+	var n Null
+	n.WriteAt([]byte("abc"), 7)
+	if n.Written() != 3 {
+		t.Fatal("zero-value Null not usable")
+	}
+}

@@ -1,0 +1,254 @@
+// Package cluster assembles complete testbeds: the paper's 65-node SUN
+// Fire configuration (§V.A) — 8 HDD DServers and 4 SSD CServers on Gigabit
+// Ethernet, PVFS2-style striping, MPI ranks — in either stock or
+// S4D-Cache form. Benchmarks, examples and the public API all build their
+// deployments through this package.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"s4dcache/internal/chunkstore"
+	"s4dcache/internal/core"
+	"s4dcache/internal/costmodel"
+	"s4dcache/internal/device"
+	"s4dcache/internal/iotrace"
+	"s4dcache/internal/kvstore"
+	"s4dcache/internal/memcache"
+	"s4dcache/internal/mpiio"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+// Params describes the hardware and software configuration of a testbed.
+type Params struct {
+	// DServers is the number of HDD file servers (paper: 8).
+	DServers int
+	// CServers is the number of SSD file servers (paper: 4).
+	CServers int
+	// Stripe is the PFS stripe size (PVFS2 default: 64 KB).
+	Stripe int64
+	// HDD configures every DServer's disk.
+	HDD device.HDDParams
+	// SSD configures every CServer's flash device.
+	SSD device.SSDParams
+	// Net is the interconnect (paper: Gigabit Ethernet).
+	Net netmodel.Params
+	// Functional selects payload-carrying stores (tests, examples) over
+	// metadata-only stores (large performance runs).
+	Functional bool
+	// CacheCapacity is the S4D cache size in bytes (paper: 20% of the
+	// application data size).
+	CacheCapacity int64
+	// RebuildPeriod is the Rebuilder trigger period; 0 disables it.
+	RebuildPeriod time.Duration
+	// RebuildBatch caps per-cycle reorganization work; 0 = default.
+	RebuildBatch int
+	// Policy is the admission policy (zero = the paper's selective one).
+	Policy core.AdmissionPolicy
+	// EagerFetch disables the paper's lazy read caching (ablation).
+	EagerFetch bool
+	// PersistMeta persists the DMT in an embedded store.
+	PersistMeta bool
+	// ChargeMetaIO charges DMT commits as CServer I/O (needs PersistMeta).
+	ChargeMetaIO bool
+	// Trace installs an iotrace.Recorder on both file systems.
+	Trace bool
+	// PaperTableII switches the cost model to the verbatim Table II
+	// formulas (ablation).
+	PaperTableII bool
+	// MemCacheBytes layers a client-side memory cache of this capacity
+	// over the transport — the paper's stated future work (§II.B). 0
+	// disables it.
+	MemCacheBytes int64
+	// MemCachePageBytes is the memory-cache page granularity; the zero
+	// value means 16 KB (pages must be no larger than the requests they
+	// should capture).
+	MemCachePageBytes int64
+}
+
+// Default returns the paper's testbed configuration.
+func Default() Params {
+	return Params{
+		DServers:      8,
+		CServers:      4,
+		Stripe:        64 << 10,
+		HDD:           device.DefaultHDDParams(),
+		SSD:           device.DefaultSSDParams(),
+		Net:           netmodel.Gigabit(),
+		CacheCapacity: 2 << 30, // overridden per experiment (20% of data)
+		RebuildPeriod: 250 * time.Millisecond,
+	}
+}
+
+// Testbed is an assembled deployment.
+type Testbed struct {
+	// Eng is the shared virtual clock.
+	Eng *sim.Engine
+	// OPFS and CPFS are the two file systems; CPFS is nil in stock mode.
+	OPFS, CPFS *pfs.FS
+	// S4D is the cache instance; nil in stock mode.
+	S4D *core.S4D
+	// Recorder is non-nil when Params.Trace is set.
+	Recorder *iotrace.Recorder
+	// MemCache is non-nil after Comm() when Params.MemCacheBytes is set.
+	MemCache *memcache.Cache
+	// Model is the calibrated cost model (valid in S4D mode).
+	Model costmodel.Params
+	// Params echoes the configuration.
+	Params Params
+}
+
+// NewStock builds the baseline testbed: DServers only, no cache.
+func NewStock(p Params) (*Testbed, error) {
+	tb, err := build(p, false)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: stock testbed: %w", err)
+	}
+	return tb, nil
+}
+
+// NewS4D builds the full S4D-Cache testbed.
+func NewS4D(p Params) (*Testbed, error) {
+	tb, err := build(p, true)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: s4d testbed: %w", err)
+	}
+	return tb, nil
+}
+
+// Comm returns an MPI communicator of the given size over this testbed:
+// through S4D when present, otherwise straight to the OPFS, with an
+// optional memory-cache layer on top.
+func (tb *Testbed) Comm(ranks int) (*mpiio.Comm, error) {
+	var transport mpiio.Transport
+	if tb.S4D != nil {
+		transport = tb.S4D
+	} else {
+		transport = mpiio.StockTransport{FS: tb.OPFS}
+	}
+	if tb.Params.MemCacheBytes > 0 {
+		page := tb.Params.MemCachePageBytes
+		if page <= 0 {
+			page = 16 << 10
+		}
+		mc, err := memcache.New(memcache.Config{
+			Engine:        tb.Eng,
+			Below:         transport,
+			CapacityBytes: tb.Params.MemCacheBytes,
+			PageSize:      page,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.MemCache = mc
+		transport = mc
+	}
+	return mpiio.NewComm(tb.Eng, ranks, transport)
+}
+
+// Close stops background activity (the Rebuilder ticker), letting
+// Engine.Run terminate.
+func (tb *Testbed) Close() {
+	if tb.S4D != nil {
+		tb.S4D.Close()
+	}
+}
+
+func build(p Params, withCache bool) (*Testbed, error) {
+	if p.DServers <= 0 {
+		return nil, fmt.Errorf("need at least one DServer, got %d", p.DServers)
+	}
+	if withCache && p.CServers <= 0 {
+		return nil, fmt.Errorf("need at least one CServer, got %d", p.CServers)
+	}
+	eng := sim.NewEngine()
+	tb := &Testbed{Eng: eng, Params: p}
+
+	newStore := func(int) chunkstore.Store { return chunkstore.NewNull() }
+	if p.Functional {
+		newStore = func(int) chunkstore.Store { return chunkstore.NewSparse() }
+	}
+	var trace pfs.TraceFunc
+	if p.Trace {
+		tb.Recorder = iotrace.NewRecorder()
+		trace = tb.Recorder.Hook()
+	}
+
+	opfs, err := pfs.New(pfs.Config{
+		Label:  "OPFS",
+		Layout: pfs.Layout{Servers: p.DServers, StripeSize: p.Stripe},
+		Engine: eng,
+		NewDevice: func(i int) device.Device {
+			hp := p.HDD
+			hp.Seed = int64(i + 1)
+			return device.NewHDD(hp)
+		},
+		NewStore: newStore,
+		Net:      p.Net,
+		Trace:    trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.OPFS = opfs
+	if !withCache {
+		return tb, nil
+	}
+
+	cpfs, err := pfs.New(pfs.Config{
+		Label:  "CPFS",
+		Layout: pfs.Layout{Servers: p.CServers, StripeSize: p.Stripe},
+		Engine: eng,
+		NewDevice: func(i int) device.Device {
+			return device.NewSSD(p.SSD)
+		},
+		NewStore: newStore,
+		Net:      p.Net,
+		Trace:    trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.CPFS = cpfs
+
+	// Offline profiling of the HDD model, as the paper profiles its disks.
+	curve, err := device.ProfileSeekCurve(device.NewHDD(p.HDD), device.DefaultProfileConfig())
+	if err != nil {
+		return nil, err
+	}
+	model := costmodel.Calibrate(p.HDD, p.SSD, p.Net, curve)
+	model.M = p.DServers
+	model.N = p.CServers
+	model.Stripe = p.Stripe
+	model.PaperTableII = p.PaperTableII
+	tb.Model = model
+
+	var metaStore *kvstore.Store
+	if p.PersistMeta {
+		metaStore, err = kvstore.Open(kvstore.NewMemBackend(), "dmt", kvstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	s4d, err := core.New(core.Config{
+		Engine:        eng,
+		OPFS:          opfs,
+		CPFS:          cpfs,
+		Model:         model,
+		CacheCapacity: p.CacheCapacity,
+		RebuildPeriod: p.RebuildPeriod,
+		RebuildBatch:  p.RebuildBatch,
+		MetaStore:     metaStore,
+		ChargeMetaIO:  p.ChargeMetaIO,
+		Policy:        p.Policy,
+		LazyFetch:     !p.EagerFetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.S4D = s4d
+	return tb, nil
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"testing"
+
+	"s4dcache/internal/core"
+	"s4dcache/internal/workload"
+)
+
+func TestStockTestbedShape(t *testing.T) {
+	tb, err := NewStock(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.OPFS == nil || tb.CPFS != nil || tb.S4D != nil {
+		t.Fatal("stock testbed has wrong components")
+	}
+	if len(tb.OPFS.Servers()) != 8 {
+		t.Fatalf("DServers = %d, want 8", len(tb.OPFS.Servers()))
+	}
+	comm, err := tb.Comm(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comm.Size() != 4 {
+		t.Fatal("comm size wrong")
+	}
+	tb.Close() // no-op on stock
+}
+
+func TestS4DTestbedShape(t *testing.T) {
+	p := Default()
+	p.Trace = true
+	p.PersistMeta = true
+	p.ChargeMetaIO = true
+	tb, err := NewS4D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if tb.S4D == nil || tb.CPFS == nil || tb.Recorder == nil {
+		t.Fatal("S4D testbed missing components")
+	}
+	if len(tb.CPFS.Servers()) != 4 {
+		t.Fatalf("CServers = %d, want 4", len(tb.CPFS.Servers()))
+	}
+	if tb.Model.M != 8 || tb.Model.N != 4 {
+		t.Fatalf("model M/N = %d/%d", tb.Model.M, tb.Model.N)
+	}
+	if err := tb.Model.Validate(); err != nil {
+		t.Fatalf("calibrated model invalid: %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	p := Default()
+	p.DServers = 0
+	if _, err := NewStock(p); err == nil {
+		t.Fatal("zero DServers accepted")
+	}
+	p = Default()
+	p.CServers = 0
+	if _, err := NewS4D(p); err == nil {
+		t.Fatal("zero CServers accepted")
+	}
+	if _, err := NewStock(Default()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestS4DBeatsStockOnMixedIOR is the headline integration check: the
+// paper's mixed IOR scenario with 16KB requests must run significantly
+// faster under S4D-Cache than on the stock I/O system (Fig. 6 reports
+// ~49% at 16KB), and the request distribution must favor the CServers
+// for small requests (Table III).
+func TestS4DBeatsStockOnMixedIOR(t *testing.T) {
+	const ranks = 4
+	cfg := workload.PaperMixedIOR(ranks, 16<<10, 0.004) // ~8MB per instance
+	run := func(s4d bool) (mbps float64, tb *Testbed) {
+		p := Default()
+		p.CacheCapacity = cfg.DataSize() / 5 // 20% of data size (§V.A)
+		var err error
+		if s4d {
+			tb, err = NewS4D(p)
+		} else {
+			tb, err = NewStock(p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		comm, err := tb.Comm(ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res workload.Result
+		finished := false
+		if err := workload.RunMixed(comm, cfg, true, func(r workload.Result) { res = r; finished = true }); err != nil {
+			t.Fatal(err)
+		}
+		tb.Eng.RunWhile(func() bool { return !finished })
+		tb.Close()
+		return res.ThroughputMBps(), tb
+	}
+	stock, _ := run(false)
+	s4d, tbS4D := run(true)
+	if stock <= 0 || s4d <= 0 {
+		t.Fatalf("throughputs: stock=%.1f s4d=%.1f", stock, s4d)
+	}
+	speedup := s4d / stock
+	if speedup < 1.15 {
+		t.Fatalf("S4D speedup = %.2fx (stock %.1f MB/s, s4d %.1f MB/s); want >= 1.15x", speedup, stock, s4d)
+	}
+	st := tbS4D.S4D.Stats()
+	if st.Admissions == 0 {
+		t.Fatal("no cache admissions in mixed workload")
+	}
+	// Random instances should be absorbed: cache share well above the
+	// random fraction alone would suggest if nothing were cached.
+	if share := st.CacheWriteShare(); share < 0.2 {
+		t.Fatalf("cache write share = %.2f, want >= 0.2", share)
+	}
+}
+
+// TestOverheadWhenNothingCaches is the Fig. 11 check: with the admission
+// policy disabled (every request misses and goes to the DServers), the
+// S4D machinery must add almost no cost relative to stock.
+func TestOverheadWhenNothingCaches(t *testing.T) {
+	const ranks = 4
+	iorCfg := workload.IORConfig{
+		Ranks: ranks, FileSize: 16 << 20, RequestSize: 16 << 10,
+		Random: true, Seed: 3,
+	}
+	run := func(s4d bool) float64 {
+		p := Default()
+		p.CacheCapacity = 8 << 20
+		p.Policy = core.PolicyNone
+		p.PersistMeta = true
+		p.ChargeMetaIO = true
+		var tb *Testbed
+		var err error
+		if s4d {
+			tb, err = NewS4D(p)
+		} else {
+			tb, err = NewStock(p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		comm, err := tb.Comm(ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res workload.Result
+		finished := false
+		if err := workload.RunIOR(comm, iorCfg, true, func(r workload.Result) { res = r; finished = true }); err != nil {
+			t.Fatal(err)
+		}
+		tb.Eng.RunWhile(func() bool { return !finished })
+		tb.Close()
+		return res.ThroughputMBps()
+	}
+	stock := run(false)
+	s4dOff := run(true)
+	overhead := (stock - s4dOff) / stock
+	if overhead > 0.05 {
+		t.Fatalf("all-miss overhead = %.1f%% (stock %.1f vs s4d %.1f MB/s), want <= 5%%",
+			overhead*100, stock, s4dOff)
+	}
+}
+
+// TestReadSecondRunSpeedup checks the paper's read protocol (§V.A): the
+// first run populates the cache via lazy fetches; the second run's reads
+// are then served by the CServers and run faster.
+func TestReadSecondRunSpeedup(t *testing.T) {
+	const ranks = 4
+	cfg := workload.IORConfig{
+		Ranks: ranks, FileSize: 8 << 20, RequestSize: 16 << 10,
+		Random: true, Seed: 9,
+	}
+	p := Default()
+	p.CacheCapacity = 16 << 20
+	tb, err := NewS4D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	comm, err := tb.Comm(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the file on the DServers via a stock-path write (sequential).
+	seed := workload.IORConfig{Ranks: ranks, FileSize: 8 << 20, RequestSize: 1 << 20}
+	seeded := false
+	if err := workload.RunIOR(comm, seed, true, func(workload.Result) { seeded = true }); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.RunWhile(func() bool { return !seeded })
+
+	var first workload.Result
+	firstDone := false
+	if err := workload.RunIOR(comm, cfg, false, func(r workload.Result) { first = r; firstDone = true }); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.RunWhile(func() bool { return !firstDone })
+	// Let the Rebuilder finish all lazy fetches.
+	drained := false
+	tb.S4D.DrainRebuild(func() { drained = true })
+	tb.Eng.RunWhile(func() bool { return !drained })
+
+	var second workload.Result
+	secondDone := false
+	if err := workload.RunIOR(comm, cfg, false, func(r workload.Result) { second = r; secondDone = true }); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.RunWhile(func() bool { return !secondDone })
+
+	if tb.S4D.Stats().Fetches == 0 {
+		t.Fatal("no lazy fetches happened")
+	}
+	speedup := second.ThroughputMBps() / first.ThroughputMBps()
+	if speedup < 1.5 {
+		t.Fatalf("second-run read speedup = %.2fx (%.1f → %.1f MB/s), want >= 1.5x",
+			speedup, first.ThroughputMBps(), second.ThroughputMBps())
+	}
+}

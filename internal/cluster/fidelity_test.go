@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"s4dcache/internal/costmodel"
+	"s4dcache/internal/sim"
+)
+
+// TestCostModelPredictsSimulatedHardware validates the relationship the
+// paper relies on: the analytic cost model (calibrated by offline
+// profiling) must predict the behaviour of the actual storage system well
+// enough to rank requests. We issue single requests on an otherwise idle
+// testbed and compare the measured completion time against the model's
+// T_D prediction.
+func TestCostModelPredictsSimulatedHardware(t *testing.T) {
+	p := Default()
+	tb, err := NewS4D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	model := tb.Model
+
+	type probe struct {
+		size, dist int64
+	}
+	probes := []probe{
+		{16 << 10, 0},
+		{16 << 10, 1 << 30},
+		{64 << 10, 512 << 20},
+		{1 << 20, 0},
+		{1 << 20, 2 << 30},
+		{4 << 20, 1 << 30},
+	}
+	// Warm the file layout and head positions deterministically.
+	rng := rand.New(rand.NewSource(5))
+	var cursor int64
+	for i, pr := range probes {
+		// Establish the head position: access at `cursor`, then probe at
+		// cursor+dist (same definition of distance the model uses).
+		pre := cursor
+		target := pre + pr.dist
+		done := false
+		if err := tb.OPFS.Write("probe", pre, 4096, sim.PriorityHigh, nil, func() { done = true }); err != nil {
+			t.Fatal(err)
+		}
+		tb.Eng.RunWhile(func() bool { return !done })
+
+		start := tb.Eng.Now()
+		done = false
+		if err := tb.OPFS.Write("probe", target, pr.size, sim.PriorityHigh, nil, func() { done = true }); err != nil {
+			t.Fatal(err)
+		}
+		tb.Eng.RunWhile(func() bool { return !done })
+		measured := tb.Eng.Now() - start
+
+		predicted := model.HDDCost(costmodel.Request{
+			Offset: target, Size: pr.size, Distance: pr.dist - 4096,
+		})
+		ratio := float64(predicted) / float64(measured)
+		// The model is an expectation over rotational positions and an
+		// approximation of queueing-free service; a 3x band is the
+		// "good enough to rank" requirement.
+		if ratio < 0.33 || ratio > 3.0 {
+			t.Errorf("probe %d (size=%d dist=%d): predicted %v vs measured %v (ratio %.2f)",
+				i, pr.size, pr.dist, predicted, measured, ratio)
+		}
+		cursor = target + pr.size + rng.Int63n(1<<20)
+	}
+}
+
+// TestCostModelRanksRequestsLikeHardware is the weaker but more important
+// property: across a spread of request shapes, the model's benefit
+// ordering must broadly agree with the measured HDD-vs-SSD time
+// difference, since admission only needs the *sign and ranking* of B.
+func TestCostModelRanksRequestsLikeHardware(t *testing.T) {
+	type shape struct {
+		name  string
+		size  int64
+		dist  int64
+		wantB bool // expected sign of the benefit per the paper
+	}
+	shapes := []shape{
+		{"small-random", 16 << 10, 2 << 30, true},
+		{"small-seq", 16 << 10, 0, false},
+		{"mid-random", 256 << 10, 2 << 30, true},
+		{"large-seq", 4 << 20, 0, false},
+		{"large-random", 4 << 20, 8 << 30, false},
+	}
+	tb, err := NewS4D(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	for _, s := range shapes {
+		b := tb.Model.Benefit(costmodel.Request{Offset: 16 << 30, Size: s.size, Distance: s.dist})
+		if (b > 0) != s.wantB {
+			t.Errorf("%s: benefit %v, want positive=%v", s.name, b, s.wantB)
+		}
+	}
+	// And the measured system agrees on the headline pair: a small random
+	// request is served much faster by the CServers than the DServers.
+	measure := func(useCache bool) time.Duration {
+		var fsWrite func(off int64, done func()) error
+		if useCache {
+			fsWrite = func(off int64, done func()) error {
+				return tb.CPFS.Write("x", off, 16<<10, sim.PriorityHigh, nil, done)
+			}
+		} else {
+			fsWrite = func(off int64, done func()) error {
+				return tb.OPFS.Write("x", off, 16<<10, sim.PriorityHigh, nil, done)
+			}
+		}
+		start := tb.Eng.Now()
+		rng := rand.New(rand.NewSource(8))
+		var run func(i int)
+		finished := false
+		run = func(i int) {
+			if i == 50 {
+				finished = true
+				return
+			}
+			if err := fsWrite(rng.Int63n(4<<30), func() { run(i + 1) }); err != nil {
+				t.Error(err)
+				finished = true
+			}
+		}
+		run(0)
+		tb.Eng.RunWhile(func() bool { return !finished })
+		return tb.Eng.Now() - start
+	}
+	hdd := measure(false)
+	ssd := measure(true)
+	if hdd < 5*ssd {
+		t.Fatalf("measured small-random gap too small: HDD %v vs SSD %v", hdd, ssd)
+	}
+}

@@ -1,0 +1,464 @@
+// Package core implements S4D-Cache itself: the Data Identifier, the
+// Redirector and the Rebuilder (paper §III, Fig. 3), wired over two
+// parallel file system instances — the original PFS (OPFS) on HDD-backed
+// DServers and the cache PFS (CPFS) on SSD-backed CServers.
+//
+// Every application request is intercepted (the MPI-IO layer calls Read/
+// Write here), evaluated with the cost model, split against the Data
+// Mapping Table into cached and uncached segments, and routed per
+// Algorithm 1:
+//
+//   - DMT hit      → served by the CServers (writes re-dirty the mapping).
+//   - write miss   → if critical (CDT) and space is available (free first,
+//     then clean-LRU reclaim), absorbed by the CServers;
+//     otherwise sent to the DServers.
+//   - read miss    → served by the DServers; if critical, the CDT C_flag
+//     is set so the Rebuilder fetches it lazily.
+//
+// The Rebuilder periodically writes dirty cache data back to the DServers
+// and fetches C_flag-marked data into the CServers, using low-priority
+// I/O so it yields to foreground requests.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"s4dcache/internal/cachespace"
+	"s4dcache/internal/cdt"
+	"s4dcache/internal/costmodel"
+	"s4dcache/internal/dmt"
+	"s4dcache/internal/kvstore"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+// CacheFileName is the shared cache file on the CPFS. The paper creates
+// one cache file per original file; a single shared cache file with a
+// shared extent allocator is equivalent and keeps cache-space accounting
+// global (documented in DESIGN.md).
+const CacheFileName = "__s4d_cache__"
+
+// MetaFileName is the CPFS file that absorbs DMT persistence I/O when
+// metadata charging is enabled (the paper stores the DMT "to an
+// addressable file in CServers", §III.D).
+const MetaFileName = "__s4d_dmt__"
+
+// AdmissionPolicy selects how write misses are admitted to the cache.
+type AdmissionPolicy int
+
+const (
+	// PolicyBenefit admits requests whose modeled benefit is positive —
+	// the paper's selective policy.
+	PolicyBenefit AdmissionPolicy = iota + 1
+	// PolicyAll admits every request (cache-everything ablation).
+	PolicyAll
+	// PolicyNone admits nothing; the cache only serves prior mappings
+	// (used by the Fig. 11 overhead experiment: the full identification
+	// and lookup path runs, but every request misses).
+	PolicyNone
+	// PolicyLocality admits on temporal locality (second touch of a
+	// region) instead of the cost model — the conventional Hystor-style
+	// baseline the paper argues against (§I, §II.C).
+	PolicyLocality
+)
+
+// Config assembles an S4D instance.
+type Config struct {
+	// Engine is the shared virtual clock.
+	Engine *sim.Engine
+	// OPFS is the original parallel file system (HDD DServers).
+	OPFS *pfs.FS
+	// CPFS is the cache parallel file system (SSD CServers).
+	CPFS *pfs.FS
+	// Model is the calibrated cost model.
+	Model costmodel.Params
+	// CacheCapacity is the usable cache space in bytes (the paper sets it
+	// to 20% of the application data size).
+	CacheCapacity int64
+	// CDTMaxBytes bounds the critical data table; 0 means unbounded.
+	CDTMaxBytes int64
+	// RebuildPeriod triggers the Rebuilder every period; 0 disables the
+	// automatic trigger (RebuildNow can still be called).
+	RebuildPeriod time.Duration
+	// RebuildBatch caps the extents flushed and fetched per cycle; 0
+	// means 64.
+	RebuildBatch int
+	// MetaStore, if non-nil, persists the DMT through this store.
+	MetaStore *kvstore.Store
+	// ChargeMetaIO, when true (and MetaStore is set), issues a CPFS write
+	// for every DMT commit so metadata persistence consumes simulated
+	// I/O time.
+	ChargeMetaIO bool
+	// Policy selects the admission policy; zero value = PolicyBenefit.
+	Policy AdmissionPolicy
+	// LazyFetch controls read-miss handling: when true (the paper's
+	// behaviour), critical read misses only set the C_flag and the
+	// Rebuilder fetches them later; when false, read misses are cached
+	// eagerly in the request path (ablation).
+	LazyFetch bool
+}
+
+// S4D is one S4D-Cache instance.
+type S4D struct {
+	eng     *sim.Engine
+	opfs    *pfs.FS
+	cpfs    *pfs.FS
+	model   costmodel.Params
+	policy  AdmissionPolicy
+	lazy    bool
+	tracker *costmodel.Tracker
+	cdt     *cdt.Table
+	dmt     *dmt.Table
+	space   *cachespace.Manager
+
+	rebuildBatch   int
+	ticker         *sim.Ticker
+	rebuildBusy    bool
+	rebuildWaiters []func()
+	fileEpoch      map[string]uint64
+	locality       *localityTracker
+	metaOff        int64
+	chargeMeta     bool
+	inFlightFetch  map[string]bool
+
+	stats Stats
+}
+
+// New builds an S4D instance.
+func New(cfg Config) (*S4D, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("core: engine is required")
+	}
+	if cfg.OPFS == nil || cfg.CPFS == nil {
+		return nil, fmt.Errorf("core: OPFS and CPFS are required")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.CacheCapacity <= 0 {
+		return nil, fmt.Errorf("core: cache capacity must be positive, got %d", cfg.CacheCapacity)
+	}
+	space, err := cachespace.New(cfg.CacheCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyBenefit
+	}
+	if cfg.RebuildBatch <= 0 {
+		cfg.RebuildBatch = 64
+	}
+	table := dmt.New()
+	if cfg.MetaStore != nil {
+		table, err = dmt.Open(cfg.MetaStore)
+		if err != nil {
+			return nil, fmt.Errorf("core: open DMT: %w", err)
+		}
+	}
+	s := &S4D{
+		eng:           cfg.Engine,
+		opfs:          cfg.OPFS,
+		cpfs:          cfg.CPFS,
+		model:         cfg.Model,
+		policy:        cfg.Policy,
+		lazy:          cfg.LazyFetch,
+		tracker:       costmodel.NewTracker(),
+		cdt:           cdt.New(cfg.CDTMaxBytes),
+		dmt:           table,
+		space:         space,
+		rebuildBatch:  cfg.RebuildBatch,
+		fileEpoch:     make(map[string]uint64),
+		chargeMeta:    cfg.ChargeMetaIO && cfg.MetaStore != nil,
+		inFlightFetch: make(map[string]bool),
+	}
+	if cfg.Policy == PolicyLocality {
+		s.locality = newLocalityTracker(0, 0)
+	}
+	if cfg.RebuildPeriod > 0 {
+		s.ticker = cfg.Engine.Every(cfg.RebuildPeriod, func() { s.RebuildNow(nil) })
+	}
+	return s, nil
+}
+
+// Close stops the periodic Rebuilder.
+func (s *S4D) Close() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// DMT exposes the mapping table (read-mostly: reports and tests).
+func (s *S4D) DMT() *dmt.Table { return s.dmt }
+
+// CDT exposes the critical data table.
+func (s *S4D) CDT() *cdt.Table { return s.cdt }
+
+// Space exposes the cache space manager.
+func (s *S4D) Space() *cachespace.Manager { return s.space }
+
+// Model returns the cost model in use.
+func (s *S4D) Model() costmodel.Params { return s.model }
+
+// Write intercepts an application write of file[off, off+size) by rank.
+// data may be nil in performance mode. done runs in virtual time when all
+// segments complete.
+func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done func()) error {
+	if err := checkRange(off, size, data); err != nil {
+		return err
+	}
+	if size == 0 {
+		s.complete(done)
+		return nil
+	}
+	s.stats.Writes++
+	s.stats.BytesWritten += size
+	s.fileEpoch[file]++
+
+	benefit := s.identify(rank, file, off, size)
+
+	hits, gaps := s.dmt.Lookup(file, off, size)
+	join := sim.NewJoin(len(hits)+len(gaps), func() { s.complete(done) })
+
+	// DMT hits: the cache holds the range — write there and re-dirty
+	// (Algorithm 1, line 22).
+	for _, h := range hits {
+		s.stats.SegWritesCache++
+		s.stats.BytesWriteCache += h.Len
+		if err := s.dmt.SetDirty(file, h.Off, h.Len); err != nil {
+			return fmt.Errorf("core: set dirty: %w", err)
+		}
+		s.space.MarkDirty(h.CacheOff, h.Len)
+		s.space.Touch(h.CacheOff, h.Len)
+		s.chargeMetaIO()
+		if err := s.cpfs.Write(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, slice(data, off, h.Off, h.Len), join.Done); err != nil {
+			return err
+		}
+	}
+
+	// Misses: admit critical segments if space allows, else DServers.
+	for _, g := range gaps {
+		if s.admitWrite(file, g.Off, g.Len, benefit) {
+			if err := s.absorbWrite(file, g.Off, g.Len, slice(data, off, g.Off, g.Len), join); err != nil {
+				return err
+			}
+			continue
+		}
+		s.stats.SegWritesDisk++
+		s.stats.BytesWriteDisk += g.Len
+		if err := s.opfs.Write(file, g.Off, g.Len, sim.PriorityHigh, slice(data, off, g.Off, g.Len), join.Done); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read intercepts an application read of file[off, off+size) by rank. buf
+// may be nil in performance mode; otherwise it is filled by completion.
+func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func()) error {
+	if err := checkRange(off, size, buf); err != nil {
+		return err
+	}
+	if size == 0 {
+		s.complete(done)
+		return nil
+	}
+	s.stats.Reads++
+	s.stats.BytesRead += size
+
+	benefit := s.identify(rank, file, off, size)
+
+	hits, gaps := s.dmt.Lookup(file, off, size)
+	join := sim.NewJoin(len(hits)+len(gaps), func() { s.complete(done) })
+
+	for _, h := range hits {
+		s.stats.SegReadsCache++
+		s.stats.BytesReadCache += h.Len
+		s.space.Touch(h.CacheOff, h.Len)
+		if err := s.cpfs.Read(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, slice(buf, off, h.Off, h.Len), join.Done); err != nil {
+			return err
+		}
+	}
+	for _, g := range gaps {
+		g := g
+		critical := benefit > 0 || s.cdt.Contains(file, g.Off, g.Len)
+		if critical && s.lazy {
+			// Lazy caching: mark for the Rebuilder (line 18).
+			s.cdt.SetCFlag(file, g.Off, g.Len)
+			s.stats.LazyMarks++
+		}
+		s.stats.SegReadsDisk++
+		s.stats.BytesReadDisk += g.Len
+		eager := critical && !s.lazy
+		payload := slice(buf, off, g.Off, g.Len)
+		if err := s.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, payload, func() {
+			if eager {
+				s.eagerFetch(file, g.Off, g.Len, payload)
+			}
+			join.Done()
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// identify runs the Data Identifier: compute the benefit (Eq. 8) and
+// record critical requests in the CDT. Under PolicyLocality the
+// criterion is temporal locality instead of the cost model. Returns the
+// benefit (zero when the policy replaces the model).
+func (s *S4D) identify(rank int, file string, off, size int64) time.Duration {
+	s.stats.Identified++
+	if s.policy == PolicyLocality {
+		if s.locality.Touch(file, off, size) {
+			s.stats.Critical++
+			s.cdt.Add(file, off, size, 0)
+			return time.Nanosecond // admissible marker
+		}
+		return 0
+	}
+	stream := file + "|" + strconv.Itoa(rank)
+	dist := s.tracker.Observe(stream, off, size)
+	benefit := s.model.Benefit(costmodel.Request{Offset: off, Size: size, Distance: dist})
+	if benefit > 0 {
+		s.stats.Critical++
+		if s.policy != PolicyNone {
+			s.cdt.Add(file, off, size, benefit)
+		}
+	}
+	return benefit
+}
+
+// admitWrite decides whether a write miss segment is absorbed by the
+// CServers (Algorithm 1, line 3).
+func (s *S4D) admitWrite(file string, off, length int64, benefit time.Duration) bool {
+	switch s.policy {
+	case PolicyNone:
+		return false
+	case PolicyAll:
+		return true
+	default:
+		// PolicyBenefit and PolicyLocality: the identifier has already
+		// encoded its verdict in benefit/CDT membership.
+		return benefit > 0 || s.cdt.Contains(file, off, length)
+	}
+}
+
+// absorbWrite allocates cache space for a critical write miss and writes
+// the segment to the CServers (Algorithm 1, lines 4–13). On allocation
+// failure the segment falls back to the DServers.
+func (s *S4D) absorbWrite(file string, off, length int64, data []byte, join *sim.Join) error {
+	frags, evicted, err := s.space.Allocate(length, cachespace.Owner{File: file, FileOff: off}, true)
+	if err != nil {
+		// No free or clean space: the request goes to the DServers.
+		s.stats.AdmitFailures++
+		s.stats.SegWritesDisk++
+		s.stats.BytesWriteDisk += length
+		return s.opfs.Write(file, off, length, sim.PriorityHigh, data, join.Done)
+	}
+	for _, ev := range evicted {
+		if err := s.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len); err != nil {
+			return fmt.Errorf("core: evict mapping: %w", err)
+		}
+		s.chargeMetaIO()
+	}
+	s.stats.Admissions++
+	s.stats.SegWritesCache++
+	s.stats.BytesWriteCache += length
+	// Map every fragment atomically (one DMT transaction per admitted
+	// segment), then issue the cache writes.
+	inserts := make([]dmt.FragmentInsert, 0, len(frags))
+	pos := off
+	for _, fr := range frags {
+		inserts = append(inserts, dmt.FragmentInsert{
+			Off: pos, Length: fr.Len, CacheOff: fr.CacheOff, Dirty: true,
+		})
+		pos += fr.Len
+	}
+	if err := s.dmt.InsertBatch(file, inserts); err != nil {
+		return fmt.Errorf("core: map fragments: %w", err)
+	}
+	s.chargeMetaIO()
+	// join expects a single completion for this miss segment.
+	sub := sim.NewJoin(len(frags), join.Done)
+	pos = off
+	for _, fr := range frags {
+		if err := s.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityHigh, slice(data, off, pos, fr.Len), sub.Done); err != nil {
+			return err
+		}
+		pos += fr.Len
+	}
+	return nil
+}
+
+// eagerFetch caches a just-read range in the request path (ablation mode).
+// It only proceeds for fully unmapped ranges: partially mapped ranges may
+// hold dirty cache data that a disk-sourced insert would clobber.
+func (s *S4D) eagerFetch(file string, off, length int64, data []byte) {
+	if hits, _ := s.dmt.Lookup(file, off, length); len(hits) > 0 {
+		return
+	}
+	frags, evicted, err := s.space.Allocate(length, cachespace.Owner{File: file, FileOff: off}, false)
+	if err != nil {
+		return // no space: skip caching
+	}
+	for _, ev := range evicted {
+		if s.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len) != nil {
+			return
+		}
+	}
+	s.stats.Fetches++
+	pos := off
+	for _, fr := range frags {
+		if s.dmt.Insert(file, pos, fr.Len, fr.CacheOff, false) != nil {
+			return
+		}
+		s.chargeMetaIO()
+		// Population write happens off the critical path at low priority.
+		_ = s.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityLow, slice(data, off, pos, fr.Len), nil)
+		pos += fr.Len
+	}
+}
+
+// chargeMetaIO issues a CPFS write for the synchronous DMT commit, so
+// metadata persistence consumes simulated CServer time (§III.D).
+func (s *S4D) chargeMetaIO() {
+	if !s.chargeMeta {
+		return
+	}
+	s.stats.MetaWrites++
+	_ = s.cpfs.Write(MetaFileName, s.metaOff, dmt.EntryBytes, sim.PriorityHigh, nil, nil)
+	s.metaOff += dmt.EntryBytes
+}
+
+func (s *S4D) complete(done func()) {
+	if done != nil {
+		s.eng.After(0, done)
+	}
+}
+
+func checkRange(off, size int64, payload []byte) error {
+	if off < 0 {
+		return fmt.Errorf("core: negative offset %d", off)
+	}
+	if size < 0 {
+		return fmt.Errorf("core: negative size %d", size)
+	}
+	if payload != nil && int64(len(payload)) != size {
+		return fmt.Errorf("core: payload length %d != size %d", len(payload), size)
+	}
+	return nil
+}
+
+// slice returns the sub-payload of a request payload for segment
+// [segOff, segOff+segLen), where the payload covers [reqOff, ...). Returns
+// nil for nil payloads (performance mode).
+func slice(payload []byte, reqOff, segOff, segLen int64) []byte {
+	if payload == nil {
+		return nil
+	}
+	lo := segOff - reqOff
+	return payload[lo : lo+segLen]
+}

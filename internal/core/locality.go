@@ -1,0 +1,80 @@
+package core
+
+import "container/list"
+
+// localityTracker implements the conventional cache-admission criterion
+// that S4D-Cache explicitly rejects (§I: "Conventionally, a cache uses
+// data locality principals... the selection algorithm of S4D-Cache is
+// derived from the randomness of data accesses, not the data access
+// locality"). It serves as the Hystor-style baseline (paper [15]:
+// "identifies critical data blocks with strong temporal locality"):
+// a region becomes admissible on its second touch within the tracked
+// window.
+type localityTracker struct {
+	regionSize int64
+	maxRegions int
+	lru        *list.List // front = most recent
+	regions    map[regionKey]*list.Element
+}
+
+type regionKey struct {
+	file   string
+	region int64
+}
+
+type regionInfo struct {
+	key     regionKey
+	touches int
+}
+
+// newLocalityTracker tracks up to maxRegions regions of regionSize bytes.
+func newLocalityTracker(regionSize int64, maxRegions int) *localityTracker {
+	if regionSize <= 0 {
+		regionSize = 1 << 20
+	}
+	if maxRegions <= 0 {
+		maxRegions = 1 << 16
+	}
+	return &localityTracker{
+		regionSize: regionSize,
+		maxRegions: maxRegions,
+		lru:        list.New(),
+		regions:    make(map[regionKey]*list.Element),
+	}
+}
+
+// Touch records an access to [off, off+size) of file and reports whether
+// the range exhibits temporal locality (every covered region has been
+// touched before).
+func (t *localityTracker) Touch(file string, off, size int64) bool {
+	if size <= 0 {
+		return false
+	}
+	first := off / t.regionSize
+	last := (off + size - 1) / t.regionSize
+	hot := true
+	for r := first; r <= last; r++ {
+		key := regionKey{file: file, region: r}
+		if el, ok := t.regions[key]; ok {
+			info := el.Value.(*regionInfo)
+			info.touches++
+			t.lru.MoveToFront(el)
+			if info.touches < 2 {
+				hot = false
+			}
+			continue
+		}
+		hot = false
+		el := t.lru.PushFront(&regionInfo{key: key, touches: 1})
+		t.regions[key] = el
+		if t.lru.Len() > t.maxRegions {
+			oldest := t.lru.Back()
+			t.lru.Remove(oldest)
+			delete(t.regions, oldest.Value.(*regionInfo).key)
+		}
+	}
+	return hot
+}
+
+// Tracked returns the number of live regions.
+func (t *localityTracker) Tracked() int { return t.lru.Len() }

@@ -1,0 +1,60 @@
+package core
+
+// Stats counts S4D activity. Segment counters (Seg*) count DMT-split
+// segments, so one application request may contribute several; the
+// request distribution of the paper's Table III is the cache/disk split
+// of these counters.
+type Stats struct {
+	// Reads and Writes count intercepted application requests.
+	Reads, Writes uint64
+	// BytesRead and BytesWritten count application bytes.
+	BytesRead, BytesWritten int64
+
+	// Identified counts Data Identifier evaluations; Critical counts
+	// positive-benefit results.
+	Identified, Critical uint64
+
+	// Segment routing counters.
+	SegReadsCache, SegReadsDisk     uint64
+	SegWritesCache, SegWritesDisk   uint64
+	BytesReadCache, BytesReadDisk   int64
+	BytesWriteCache, BytesWriteDisk int64
+
+	// Admissions counts write-miss segments absorbed by the cache;
+	// AdmitFailures counts segments denied for lack of space.
+	Admissions, AdmitFailures uint64
+
+	// LazyMarks counts read-miss segments marked C_flag for lazy fetch.
+	LazyMarks uint64
+
+	// Rebuilder activity. Retries count flushes/fetches abandoned because
+	// the file was written during the data movement (epoch conflicts).
+	RebuildCycles, Flushes, FlushRetries, Fetches, FetchFailures, FetchRetries uint64
+	BytesFlushed, BytesFetched                                                 int64
+
+	// MetaWrites counts charged DMT persistence writes.
+	MetaWrites uint64
+}
+
+// Stats returns a snapshot of the instance counters.
+func (s *S4D) Stats() Stats { return s.stats }
+
+// CacheWriteShare returns the fraction of written bytes absorbed by the
+// CServers — the paper's Table III "CServers %" for writes.
+func (st Stats) CacheWriteShare() float64 {
+	total := st.BytesWriteCache + st.BytesWriteDisk
+	if total == 0 {
+		return 0
+	}
+	return float64(st.BytesWriteCache) / float64(total)
+}
+
+// CacheReadShare returns the fraction of read bytes served by the
+// CServers.
+func (st Stats) CacheReadShare() float64 {
+	total := st.BytesReadCache + st.BytesReadDisk
+	if total == 0 {
+		return 0
+	}
+	return float64(st.BytesReadCache) / float64(total)
+}

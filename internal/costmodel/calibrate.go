@@ -1,0 +1,93 @@
+package costmodel
+
+import (
+	"time"
+
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+)
+
+// Calibrate derives model parameters from the testbed's hardware models,
+// the analogue of the paper's offline profiling step. The per-byte costs
+// βD and βC include the server network link share, since a sub-request's
+// service time in the testbed is network transfer plus device access.
+func Calibrate(hdd device.HDDParams, ssd device.SSDParams, net netmodel.Params, curve *device.Curve) Params {
+	var netBeta float64
+	if net.Bandwidth > 0 {
+		netBeta = 1 / net.Bandwidth
+	}
+	// SSD: one conservative per-byte cost covering reads and writes; the
+	// write path (amplified) dominates admission decisions.
+	ssdBeta := ssd.WriteAmplification / ssd.WriteBandwidth
+	if rb := 1 / ssd.ReadBandwidth; rb > ssdBeta {
+		ssdBeta = rb
+	}
+	ssdLatency := ssd.WriteLatency
+	if ssd.ReadLatency > ssdLatency {
+		ssdLatency = ssd.ReadLatency
+	}
+	return Params{
+		Stripe:    64 << 10, // callers overwrite with the PFS stripe
+		R:         hdd.FullRotation / 2,
+		S:         hdd.MaxSeek,
+		SeekCurve: curve,
+		BetaD:     1/hdd.Bandwidth + netBeta,
+		BetaC:     ssdBeta + netBeta,
+		LatencyD:  hdd.Overhead + net.Latency,
+		LatencyC:  ssdLatency + net.Latency,
+		Startup:   StartupCalibrated,
+	}
+}
+
+// Tracker derives the request distance d (Table I): the logical address
+// distance between a request and the previous request of the same stream.
+// Streams are identified by an opaque key — the S4D core uses
+// "file|rank", matching the per-process view the MPI-IO layer observes.
+type Tracker struct {
+	last map[string]int64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{last: make(map[string]int64)}
+}
+
+// Observe returns the distance from the previous request's end to this
+// request's offset, and records this request as the new predecessor. The
+// first request of a stream is treated as seeking from the file start, so
+// its distance is the request offset itself.
+func (t *Tracker) Observe(stream string, off, size int64) int64 {
+	if t.last == nil {
+		t.last = make(map[string]int64)
+	}
+	prev, ok := t.last[stream]
+	t.last[stream] = off + size
+	if !ok {
+		return off
+	}
+	d := off - prev
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Streams returns the number of tracked streams.
+func (t *Tracker) Streams() int { return len(t.last) }
+
+// Reset forgets all streams.
+func (t *Tracker) Reset() { t.last = make(map[string]int64) }
+
+// ExpectedMaxUniform is the closed-form expectation of the maximum of m
+// i.i.d. uniforms on [a,b] (Eq. 4), exported for verification against
+// numeric integration in tests and for documentation tooling.
+func ExpectedMaxUniform(m int, a, b time.Duration) time.Duration {
+	if m <= 0 {
+		return 0
+	}
+	if a > b {
+		a = b
+	}
+	frac := float64(m) / float64(m+1)
+	return a + time.Duration(frac*float64(b-a))
+}

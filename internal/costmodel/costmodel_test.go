@@ -1,0 +1,408 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/pfs"
+)
+
+// paperParams returns a model calibrated against the default testbed
+// hardware: 8 HDD DServers, 4 SSD CServers, 64KB stripe, GbE.
+func paperParams(t *testing.T) Params {
+	t.Helper()
+	hdd := device.NewHDD(device.DefaultHDDParams())
+	curve, err := device.ProfileSeekCurve(hdd, device.DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Calibrate(device.DefaultHDDParams(), device.DefaultSSDParams(), netmodel.Gigabit(), curve)
+	p.M = 8
+	p.N = 4
+	p.Stripe = 64 << 10
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	p := paperParams(t)
+	bad := p
+	bad.M = 0
+	if bad.Validate() == nil {
+		t.Fatal("M=0 accepted")
+	}
+	bad = p
+	bad.N = 0
+	if bad.Validate() == nil {
+		t.Fatal("N=0 accepted")
+	}
+	bad = p
+	bad.Stripe = 0
+	if bad.Validate() == nil {
+		t.Fatal("stripe=0 accepted")
+	}
+	bad = p
+	bad.SeekCurve = nil
+	if bad.Validate() == nil {
+		t.Fatal("nil curve accepted")
+	}
+	bad = p
+	bad.BetaD = 0
+	if bad.Validate() == nil {
+		t.Fatal("betaD=0 accepted")
+	}
+}
+
+// Property: the closed form of Eq. 4 matches numeric integration of the
+// density f(x) = m (x-a)^(m-1) / (b-a)^m over [a, b].
+func TestExpectedMaxUniformMatchesIntegrationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(16) + 1
+		a := time.Duration(rng.Intn(10_000_000))
+		b := a + time.Duration(rng.Intn(20_000_000)+1)
+		closed := ExpectedMaxUniform(m, a, b)
+		// Numeric integration with 20k steps.
+		const steps = 20000
+		af, bf := float64(a), float64(b)
+		h := (bf - af) / steps
+		var sum float64
+		for i := 0; i < steps; i++ {
+			x := af + (float64(i)+0.5)*h
+			density := float64(m) * pow(x-af, m-1) / pow(bf-af, m)
+			sum += x * density * h
+		}
+		diff := float64(closed) - sum
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 0.001*float64(b) // 0.1% tolerance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}
+
+func TestExpectedMaxUniformEdges(t *testing.T) {
+	if got := ExpectedMaxUniform(0, 1, 2); got != 0 {
+		t.Fatalf("m=0 → %v, want 0", got)
+	}
+	// m=1: plain mean (a+b)/2.
+	if got := ExpectedMaxUniform(1, 0, 10); got != 5 {
+		t.Fatalf("m=1 → %v, want 5", got)
+	}
+	// a > b is clamped.
+	if got := ExpectedMaxUniform(3, 10, 4); got != 4 {
+		t.Fatalf("inverted support → %v, want 4", got)
+	}
+	// Large m approaches b.
+	if got := ExpectedMaxUniform(1000, 0, 1000); got < 990 {
+		t.Fatalf("m=1000 → %v, want ≈1000", got)
+	}
+}
+
+func TestTableIIVerbatimCases(t *testing.T) {
+	p := paperParams(t)
+	p.PaperTableII = true
+	p.Stripe = 100
+	cases := []struct {
+		name    string
+		f, r    int64
+		want    int64
+		servers int
+	}{
+		{"case1-single-stripe", 10, 50, 50, 4},
+		{"case2-delta-multiple-of-M", 0, 410, 110, 4},
+		{"case3-delta-mod-M-1", 0, 150, 100, 4},
+		{"case4-otherwise", 0, 250, 100, 4},
+		{"case2-M1", 0, 110, 110, 1},
+	}
+	for _, c := range cases {
+		got := p.MaxSubRequest(Request{Offset: c.f, Size: c.r}, c.servers)
+		if got != c.want {
+			t.Errorf("%s: s_m(f=%d,r=%d,M=%d) = %d, want %d", c.name, c.f, c.r, c.servers, got, c.want)
+		}
+	}
+}
+
+// Property: the exact s_m equals pfs.Layout.MaxSubRequest (independent
+// implementation over Split), and the paper's Table II formula is within
+// one stripe above the exact value (its E is one-past at aligned ends).
+func TestMaxSubRequestCrossCheckProperty(t *testing.T) {
+	p := paperParams(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		servers := rng.Intn(10) + 1
+		stripe := int64(rng.Intn(900) + 1)
+		off := rng.Int63n(50000)
+		size := rng.Int63n(30000) + 1
+
+		model := p
+		model.Stripe = stripe
+		req := Request{Offset: off, Size: size}
+		exact := model.MaxSubRequest(req, servers)
+
+		layout := pfs.Layout{Servers: servers, StripeSize: stripe}
+		want := layout.MaxSubRequest(off, size)
+		if exact != want {
+			return false
+		}
+		model.PaperTableII = true
+		paper := model.MaxSubRequest(req, servers)
+		return paper >= exact && paper <= exact+stripe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exact involved-server count matches pfs.Layout.
+func TestInvolvedServersCrossCheckProperty(t *testing.T) {
+	p := paperParams(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		servers := rng.Intn(10) + 1
+		stripe := int64(rng.Intn(900) + 1)
+		off := rng.Int63n(50000)
+		size := rng.Int63n(30000) + 1
+		model := p
+		model.Stripe = stripe
+		layout := pfs.Layout{Servers: servers, StripeSize: stripe}
+		return model.InvolvedServers(Request{Offset: off, Size: size}, servers) ==
+			layout.InvolvedServers(off, size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallRandomRequestIsCritical(t *testing.T) {
+	p := paperParams(t)
+	req := Request{Offset: 1 << 30, Size: 16 << 10, Distance: 4 << 30}
+	if !p.Critical(req) {
+		t.Fatalf("16KB random request not critical: B = %v", p.Benefit(req))
+	}
+	// The benefit should be milliseconds, not noise.
+	if p.Benefit(req) < time.Millisecond {
+		t.Fatalf("benefit %v too small for a random 16KB request", p.Benefit(req))
+	}
+}
+
+func TestSequentialSmallRequestNotCritical(t *testing.T) {
+	// Table III: at 16KB, "DServers mostly sees sequential requests" —
+	// sequential requests must stay on the DServers.
+	p := paperParams(t)
+	req := Request{Offset: 1 << 20, Size: 16 << 10, Distance: 0}
+	if p.Critical(req) {
+		t.Fatalf("sequential 16KB request admitted: B = %v", p.Benefit(req))
+	}
+}
+
+func TestLargeRequestNotCritical(t *testing.T) {
+	// Table III: at 4096KB, 100%% of requests are dispatched to DServers.
+	p := paperParams(t)
+	// Distances span sequential through the largest in-file jump of the
+	// paper's workloads (16 GB shared files).
+	for _, dist := range []int64{0, 1 << 30, 16 << 30} {
+		req := Request{Offset: 0, Size: 4 << 20, Distance: dist}
+		if p.Critical(req) {
+			t.Fatalf("4MB request (d=%d) admitted: B = %v", dist, p.Benefit(req))
+		}
+	}
+}
+
+func TestMidSizeRandomStillCritical(t *testing.T) {
+	// Fig. 6: improvements persist through 64KB and decay toward 4MB.
+	p := paperParams(t)
+	req := Request{Offset: 0, Size: 64 << 10, Distance: 1 << 30}
+	if !p.Critical(req) {
+		t.Fatalf("64KB random request not critical: B = %v", p.Benefit(req))
+	}
+}
+
+func TestBenefitDecreasesWithSize(t *testing.T) {
+	p := paperParams(t)
+	sizes := []int64{16 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	// Normalized benefit (per byte) must decrease with size for random
+	// requests.
+	prev := float64(0)
+	for i, size := range sizes {
+		b := float64(p.Benefit(Request{Offset: 0, Size: size, Distance: 1 << 30}))
+		perByte := b / float64(size)
+		if i > 0 && perByte >= prev {
+			t.Fatalf("per-byte benefit not decreasing at size %d: %.3g >= %.3g", size, perByte, prev)
+		}
+		prev = perByte
+	}
+}
+
+func TestBenefitIncreasesWithDistance(t *testing.T) {
+	p := paperParams(t)
+	var prev time.Duration = -1 << 62
+	for _, d := range []int64{0, 1 << 20, 1 << 30, 64 << 30} {
+		b := p.Benefit(Request{Offset: 0, Size: 16 << 10, Distance: d})
+		if b < prev {
+			t.Fatalf("benefit decreased with distance at d=%d: %v < %v", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestUnknownDistanceTreatedAsRandom(t *testing.T) {
+	p := paperParams(t)
+	unknown := p.HDDCost(Request{Offset: 0, Size: 16 << 10, Distance: UnknownDistance})
+	far := p.HDDCost(Request{Offset: 0, Size: 16 << 10, Distance: 200 << 30})
+	if unknown < far {
+		t.Fatalf("unknown distance (%v) should cost at least a far seek (%v)", unknown, far)
+	}
+}
+
+func TestSSDCostIgnoresDistance(t *testing.T) {
+	p := paperParams(t)
+	a := p.SSDCost(Request{Offset: 0, Size: 1 << 20, Distance: 0})
+	b := p.SSDCost(Request{Offset: 0, Size: 1 << 20, Distance: 100 << 30})
+	if a != b {
+		t.Fatalf("SSD cost depends on distance: %v vs %v", a, b)
+	}
+}
+
+func TestZeroSizeRequestCostsNothing(t *testing.T) {
+	p := paperParams(t)
+	req := Request{Offset: 0, Size: 0, Distance: 0}
+	if p.HDDCost(req) != 0 || p.SSDCost(req) != 0 || p.Benefit(req) != 0 {
+		t.Fatal("zero-size request has non-zero cost")
+	}
+	if p.InvolvedServers(req, p.M) != 0 || p.MaxSubRequest(req, p.M) != 0 {
+		t.Fatal("zero-size request involves servers")
+	}
+}
+
+func TestStartupTimePaperMode(t *testing.T) {
+	p := paperParams(t)
+	p.Startup = StartupPaper
+	// Paper mode: support is [F(d)+R, S+R]; for m→large, T_s → S+R.
+	got := p.StartupTime(1000, 0)
+	want := p.S + p.R
+	if got < want*95/100 {
+		t.Fatalf("paper-mode T_s(m=1000) = %v, want ≈ %v", got, want)
+	}
+	// m=0 is free.
+	if p.StartupTime(0, 0) != 0 {
+		t.Fatal("m=0 startup should be 0")
+	}
+	// a is clamped when F(d)+R exceeds S+R.
+	if got := p.StartupTime(1, 1<<62); got > p.S+p.R {
+		t.Fatalf("paper-mode startup %v exceeds S+R", got)
+	}
+}
+
+func TestStartupTimeCalibratedSequentialIsFree(t *testing.T) {
+	p := paperParams(t)
+	if got := p.StartupTime(8, 0); got != 0 {
+		t.Fatalf("calibrated sequential startup = %v, want 0", got)
+	}
+	if got := p.StartupTime(1, 1<<30); got == 0 {
+		t.Fatal("calibrated random startup should not be 0")
+	}
+}
+
+func TestStartupDispersionDefaultsToR(t *testing.T) {
+	p := paperParams(t)
+	p.Dispersion = 0
+	base := p.StartupTime(1, 1<<30)
+	p.Dispersion = p.R
+	if got := p.StartupTime(1, 1<<30); got != base {
+		t.Fatalf("zero dispersion (%v) should default to R (%v)", base, got)
+	}
+}
+
+func TestTrackerDistances(t *testing.T) {
+	tr := NewTracker()
+	if d := tr.Observe("f|0", 1000, 100); d != 1000 {
+		t.Fatalf("first observation distance = %d, want offset 1000 (seek from file start)", d)
+	}
+	if d := tr.Observe("f|0", 1100, 100); d != 0 {
+		t.Fatalf("sequential distance = %d, want 0", d)
+	}
+	if d := tr.Observe("f|0", 5000, 100); d != 3800 {
+		t.Fatalf("forward jump distance = %d, want 3800", d)
+	}
+	if d := tr.Observe("f|0", 100, 100); d != 5000 {
+		t.Fatalf("backward jump distance = %d, want 5000", d)
+	}
+	// Independent streams do not interfere: a fresh stream starting at 0
+	// reads as sequential-from-start, not as a jump from f|0's cursor.
+	if d := tr.Observe("f|1", 0, 100); d != 0 {
+		t.Fatal("streams not independent")
+	}
+	if tr.Streams() != 2 {
+		t.Fatalf("Streams = %d, want 2", tr.Streams())
+	}
+	tr.Reset()
+	if tr.Streams() != 0 {
+		t.Fatal("Reset did not clear streams")
+	}
+}
+
+func TestTrackerZeroValueUsable(t *testing.T) {
+	var tr Tracker
+	if d := tr.Observe("s", 500, 10); d != 500 {
+		t.Fatal("zero-value Tracker broken")
+	}
+}
+
+func TestCalibrateProducesValidParams(t *testing.T) {
+	p := paperParams(t)
+	if p.BetaD <= 0 || p.BetaC <= 0 {
+		t.Fatal("calibrated betas not positive")
+	}
+	// The SSD per-byte cost must exceed the HDD's divided by parallelism
+	// advantage… sanity: both in a plausible range (1–100 ns/byte).
+	for _, beta := range []float64{p.BetaD, p.BetaC} {
+		if beta < 1e-9 || beta > 1e-7 {
+			t.Fatalf("beta %.3g out of plausible range", beta)
+		}
+	}
+	if p.LatencyD <= 0 || p.LatencyC <= 0 {
+		t.Fatal("calibrated latencies not positive")
+	}
+	if p.R <= 0 || p.S <= 0 {
+		t.Fatal("calibrated R/S not positive")
+	}
+}
+
+// Property: benefit is monotone non-increasing in N's inverse — more SSD
+// servers never increase the SSD cost.
+func TestMoreCServersNeverHurtProperty(t *testing.T) {
+	p := paperParams(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		req := Request{
+			Offset:   rng.Int63n(1 << 30),
+			Size:     rng.Int63n(8<<20) + 1,
+			Distance: rng.Int63n(1 << 35),
+		}
+		small := p
+		small.N = rng.Intn(4) + 1
+		big := p
+		big.N = small.N + rng.Intn(4) + 1
+		return big.SSDCost(req) <= small.SSDCost(req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

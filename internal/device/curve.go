@@ -1,0 +1,84 @@
+package device
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// CurvePoint is one sample of a distance→time function.
+type CurvePoint struct {
+	// Distance is the seek distance in bytes.
+	Distance int64
+	// Time is the measured or modeled time at that distance.
+	Time time.Duration
+}
+
+// Curve is a piecewise-linear distance→time function, used to represent the
+// seek-time function F(d) that the cost model derives from offline
+// profiling (paper §III.B, reference [28]). Points must be sorted by
+// distance; NewCurve enforces this.
+type Curve struct {
+	pts []CurvePoint
+}
+
+// ErrEmptyCurve is returned when constructing a curve with no points.
+var ErrEmptyCurve = errors.New("device: curve requires at least one point")
+
+// NewCurve builds a curve from sample points. Points are copied and sorted
+// by distance; duplicate distances keep the first occurrence.
+func NewCurve(pts []CurvePoint) (*Curve, error) {
+	if len(pts) == 0 {
+		return nil, ErrEmptyCurve
+	}
+	cp := make([]CurvePoint, len(pts))
+	copy(cp, pts)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Distance < cp[j].Distance })
+	dedup := cp[:1]
+	for _, p := range cp[1:] {
+		if p.Distance != dedup[len(dedup)-1].Distance {
+			dedup = append(dedup, p)
+		}
+	}
+	return &Curve{pts: dedup}, nil
+}
+
+// Eval returns the interpolated time at distance d. Outside the sampled
+// range the curve saturates at its end values.
+func (c *Curve) Eval(d int64) time.Duration {
+	pts := c.pts
+	if d <= pts[0].Distance {
+		return pts[0].Time
+	}
+	last := pts[len(pts)-1]
+	if d >= last.Distance {
+		return last.Time
+	}
+	// Binary search for the bracketing segment.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].Distance >= d })
+	lo, hi := pts[i-1], pts[i]
+	span := hi.Distance - lo.Distance
+	if span == 0 {
+		return lo.Time
+	}
+	frac := float64(d-lo.Distance) / float64(span)
+	return lo.Time + time.Duration(frac*float64(hi.Time-lo.Time))
+}
+
+// Max returns the largest time on the curve.
+func (c *Curve) Max() time.Duration {
+	var m time.Duration
+	for _, p := range c.pts {
+		if p.Time > m {
+			m = p.Time
+		}
+	}
+	return m
+}
+
+// Points returns a copy of the sample points.
+func (c *Curve) Points() []CurvePoint {
+	out := make([]CurvePoint, len(c.pts))
+	copy(out, c.pts)
+	return out
+}

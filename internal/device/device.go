@@ -1,0 +1,52 @@
+// Package device models the storage hardware under the simulated file
+// servers: a mechanical HDD whose service time is dominated by seek and
+// rotational delays for non-sequential accesses, and an SSD whose service
+// time is address-independent.
+//
+// These are the ground-truth devices of the reproduction. The paper's
+// analytic cost model (internal/costmodel) is an *approximation* of them,
+// exactly as the paper's Eq. 1–5 approximate real disks: the seek-time
+// function F(d) used by the cost model is obtained by offline profiling of
+// the simulated HDD (ProfileSeekCurve), mirroring the paper's use of the
+// FS2-style profiling approach [28].
+package device
+
+import "time"
+
+// Op is an access direction.
+type Op int
+
+const (
+	// OpRead reads data from the device.
+	OpRead Op = iota + 1
+	// OpWrite writes data to the device.
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return "unknown"
+	}
+}
+
+// Device computes service times for accesses at byte addresses. A Device is
+// stateful (e.g. disk head position): Access both returns the service time
+// of the operation and advances the device state as if the operation ran.
+// Devices are driven from the single-threaded simulation loop and are not
+// safe for concurrent use.
+type Device interface {
+	// Access returns the service time for an op of size bytes at byte
+	// address addr, and updates device state.
+	Access(op Op, addr, size int64) time.Duration
+	// Reset restores the initial device state (head at 0, clean timing
+	// state) without touching stored data.
+	Reset()
+	// Name identifies the device model for traces and reports.
+	Name() string
+}

@@ -1,0 +1,424 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testHDD() *HDD {
+	p := DefaultHDDParams()
+	return NewHDD(p)
+}
+
+func TestHDDSequentialFasterThanRandom(t *testing.T) {
+	d := testHDD()
+	const req = 16 << 10
+	var seq time.Duration
+	addr := int64(0)
+	for i := 0; i < 100; i++ {
+		seq += d.Access(OpRead, addr, req)
+		addr += req
+	}
+	d.Reset()
+	var rnd time.Duration
+	// Deterministic widely scattered addresses.
+	for i := 0; i < 100; i++ {
+		a := (int64(i)*7919003173 + 13) % (d.Params().Capacity - req)
+		rnd += d.Access(OpRead, a, req)
+	}
+	if rnd < 4*seq {
+		t.Fatalf("random (%v) should be much slower than sequential (%v) for 16KB requests", rnd, seq)
+	}
+}
+
+func TestHDDLargeRequestsCloseTheGap(t *testing.T) {
+	d := testHDD()
+	const req = 32 << 20
+	var seq time.Duration
+	addr := int64(0)
+	for i := 0; i < 20; i++ {
+		seq += d.Access(OpRead, addr, req)
+		addr += req
+	}
+	d.Reset()
+	var rnd time.Duration
+	for i := 0; i < 20; i++ {
+		a := (int64(i)*7919003173 + 13) % (d.Params().Capacity - req)
+		rnd += d.Access(OpRead, a, req)
+	}
+	ratio := float64(rnd) / float64(seq)
+	if ratio > 1.25 {
+		t.Fatalf("for 32MB requests random/seq ratio = %.2f, want near 1 (paper Fig. 1 crossover)", ratio)
+	}
+}
+
+func TestHDDSequentialHasNoSeek(t *testing.T) {
+	d := testHDD()
+	d.Access(OpRead, 0, 4096)
+	before := d.Seeks
+	d.Access(OpRead, 4096, 4096)
+	if d.Seeks != before {
+		t.Fatal("contiguous forward access counted as a seek")
+	}
+}
+
+func TestHDDBackwardAccessSeeks(t *testing.T) {
+	d := testHDD()
+	d.Access(OpRead, 10<<20, 4096)
+	before := d.Seeks
+	d.Access(OpRead, 0, 4096)
+	if d.Seeks != before+1 {
+		t.Fatal("backward access did not count as a seek")
+	}
+}
+
+func TestHDDSeekWithinWindowAbsorbed(t *testing.T) {
+	d := testHDD()
+	d.Access(OpRead, 0, 4096)
+	before := d.Seeks
+	d.Access(OpRead, 4096+d.Params().SeqWindow/2, 4096)
+	if d.Seeks != before {
+		t.Fatal("small forward skip within SeqWindow should not seek")
+	}
+}
+
+func TestHDDSeekTimeMonotonic(t *testing.T) {
+	d := testHDD()
+	prev := time.Duration(-1)
+	for _, dist := range []int64{0, 1 << 10, 1 << 20, 1 << 30, 100 << 30} {
+		s := d.SeekTime(dist)
+		if s < prev {
+			t.Fatalf("SeekTime(%d) = %v < previous %v; must be monotone", dist, s, prev)
+		}
+		prev = s
+	}
+	if d.SeekTime(0) != 0 {
+		t.Fatal("SeekTime(0) must be 0")
+	}
+	if max := d.SeekTime(d.Params().Capacity * 2); max > d.Params().MaxSeek {
+		t.Fatalf("SeekTime beyond capacity = %v exceeds MaxSeek %v", max, d.Params().MaxSeek)
+	}
+}
+
+func TestHDDSeekTimeBounds(t *testing.T) {
+	d := testHDD()
+	p := d.Params()
+	if s := d.SeekTime(1); s < p.TrackSeek {
+		t.Fatalf("minimal seek %v below TrackSeek %v", s, p.TrackSeek)
+	}
+	if s := d.SeekTime(p.Capacity); s != p.MaxSeek {
+		t.Fatalf("full-stroke seek = %v, want MaxSeek %v", s, p.MaxSeek)
+	}
+}
+
+func TestHDDResetRestoresDeterminism(t *testing.T) {
+	d := testHDD()
+	pattern := func() []time.Duration {
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			a := (int64(i)*104729 + 7) * 1 << 20 % d.Params().Capacity
+			out = append(out, d.Access(OpRead, a, 8192))
+		}
+		return out
+	}
+	first := pattern()
+	d.Reset()
+	second := pattern()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("access %d differs after Reset: %v vs %v (non-deterministic)", i, first[i], second[i])
+		}
+	}
+}
+
+func TestHDDTransferProportionalToSize(t *testing.T) {
+	d := testHDD()
+	small := d.Access(OpRead, 0, 1<<20)
+	big := d.Access(OpRead, 1<<20, 16<<20) // sequential continuation, no seek
+	// Subtract overhead; transfer should scale ~16x.
+	oh := d.Params().Overhead
+	ratio := float64(big-oh) / float64(small-oh)
+	if ratio < 14 || ratio > 18 {
+		t.Fatalf("transfer scaling ratio = %.1f, want ~16", ratio)
+	}
+}
+
+func TestHDDNegativeAndOverflowAddresses(t *testing.T) {
+	d := testHDD()
+	if got := d.Access(OpRead, -5, 4096); got <= 0 {
+		t.Fatal("negative address access returned non-positive time")
+	}
+	if got := d.Access(OpRead, d.Params().Capacity+123, 4096); got <= 0 {
+		t.Fatal("overflow address access returned non-positive time")
+	}
+	if got := d.Access(OpWrite, 0, -10); got <= 0 {
+		t.Fatal("negative size access should cost at least overhead")
+	}
+}
+
+// Property: HDD service time is always positive and bounded by
+// overhead + maxseek + full rotation + transfer.
+func TestHDDServiceTimeBoundsProperty(t *testing.T) {
+	d := testHDD()
+	p := d.Params()
+	f := func(addrRaw uint64, sizeRaw uint32) bool {
+		addr := int64(addrRaw % uint64(p.Capacity))
+		size := int64(sizeRaw % (64 << 20))
+		got := d.Access(OpRead, addr, size)
+		upper := p.Overhead + p.MaxSeek + p.FullRotation +
+			time.Duration(float64(size)/p.Bandwidth*float64(time.Second)) + time.Millisecond
+		return got > 0 && got <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHDDZonedBandwidth(t *testing.T) {
+	p := DefaultHDDParams()
+	p.InnerBandwidthRatio = 0.5
+	d := NewHDD(p)
+	outer := d.BandwidthAt(0)
+	inner := d.BandwidthAt(p.Capacity - 1)
+	if outer != p.Bandwidth {
+		t.Fatalf("outer rate = %v, want %v", outer, p.Bandwidth)
+	}
+	ratio := inner / outer
+	if ratio < 0.49 || ratio > 0.51 {
+		t.Fatalf("inner/outer = %.2f, want ~0.5", ratio)
+	}
+	// Sequential transfer at the inner zone is measurably slower.
+	d.Reset()
+	d.Access(OpRead, 0, 1) // park head at the outer edge
+	tOuter := d.Access(OpRead, 1, 16<<20)
+	d2 := NewHDD(p)
+	innerAddr := p.Capacity - 64<<20
+	d2.Access(OpRead, innerAddr, 1)
+	tInner := d2.Access(OpRead, innerAddr+1, 16<<20)
+	if tInner <= tOuter {
+		t.Fatalf("inner transfer (%v) not slower than outer (%v)", tInner, tOuter)
+	}
+	// Bounds clamping.
+	if d.BandwidthAt(-5) != outer {
+		t.Fatal("negative address not clamped")
+	}
+	if got := d.BandwidthAt(p.Capacity * 2); got > inner*1.01 {
+		t.Fatalf("overflow address bandwidth %v, want inner-zone rate", got)
+	}
+	// Default params keep zoning disabled (uniform rate).
+	du := NewHDD(DefaultHDDParams())
+	if du.BandwidthAt(0) != du.BandwidthAt(du.Params().Capacity-1) {
+		t.Fatal("zoning active by default")
+	}
+}
+
+func TestSSDAddressIndependent(t *testing.T) {
+	d := NewSSD(DefaultSSDParams())
+	a := d.Access(OpRead, 0, 16<<10)
+	b := d.Access(OpRead, 90e9, 16<<10)
+	if a != b {
+		t.Fatalf("SSD access time depends on address: %v vs %v", a, b)
+	}
+}
+
+func TestSSDReadFasterThanWrite(t *testing.T) {
+	d := NewSSD(DefaultSSDParams())
+	r := d.Access(OpRead, 0, 1<<20)
+	w := d.Access(OpWrite, 0, 1<<20)
+	if r >= w {
+		t.Fatalf("SSD read (%v) should be faster than write (%v)", r, w)
+	}
+}
+
+func TestSSDBeatsHDDOnSmallRandom(t *testing.T) {
+	ssd := NewSSD(DefaultSSDParams())
+	hdd := testHDD()
+	var st, ht time.Duration
+	for i := 0; i < 100; i++ {
+		a := (int64(i)*7919003173 + 13) % 90e9
+		st += ssd.Access(OpRead, a, 16<<10)
+		ht += hdd.Access(OpRead, a, 16<<10)
+	}
+	if ht < 20*st {
+		t.Fatalf("HDD random 16KB (%v) should be >20x slower than SSD (%v)", ht, st)
+	}
+}
+
+func TestSSDLargeSequentialHDDCompetitive(t *testing.T) {
+	// For large sequential transfers a single HDD is within an order of
+	// magnitude of the SSD — parallelism across M HDD servers is what makes
+	// DServers win for large requests (paper §III.C).
+	ssd := NewSSD(DefaultSSDParams())
+	hdd := testHDD()
+	st := ssd.Access(OpRead, 0, 64<<20)
+	ht := hdd.Access(OpRead, 0, 64<<20)
+	if float64(ht)/float64(st) > 10 {
+		t.Fatalf("HDD sequential 64MB %v vs SSD %v: gap too large", ht, st)
+	}
+}
+
+func TestSSDWriteAmplificationInflatesWrites(t *testing.T) {
+	p := DefaultSSDParams()
+	p.WriteAmplification = 1.0
+	base := NewSSD(p).Access(OpWrite, 0, 10<<20)
+	p.WriteAmplification = 2.0
+	amp := NewSSD(p).Access(OpWrite, 0, 10<<20)
+	if amp <= base {
+		t.Fatalf("write amplification 2.0 (%v) should exceed 1.0 (%v)", amp, base)
+	}
+}
+
+func TestSSDCountsReads(t *testing.T) {
+	d := NewSSD(DefaultSSDParams())
+	d.Access(OpRead, 0, 1)
+	d.Access(OpWrite, 0, 1)
+	d.Access(OpRead, 0, 1)
+	if d.Accesses != 3 || d.Reads != 2 {
+		t.Fatalf("Accesses=%d Reads=%d, want 3/2", d.Accesses, d.Reads)
+	}
+	d.Reset()
+	if d.Accesses != 0 || d.Reads != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestSSDParamDefaultsApplied(t *testing.T) {
+	d := NewSSD(SSDParams{})
+	if d.Params().Capacity <= 0 || d.Params().ReadBandwidth <= 0 {
+		t.Fatal("zero-value SSDParams not defaulted")
+	}
+	if d.Params().WriteAmplification < 1 {
+		t.Fatal("WriteAmplification below 1 not clamped")
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c, err := NewCurve([]CurvePoint{
+		{Distance: 0, Time: 0},
+		{Distance: 100, Time: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(50); got != 5*time.Millisecond {
+		t.Fatalf("Eval(50) = %v, want 5ms", got)
+	}
+	if got := c.Eval(-10); got != 0 {
+		t.Fatalf("Eval below range = %v, want saturation at 0", got)
+	}
+	if got := c.Eval(1000); got != 10*time.Millisecond {
+		t.Fatalf("Eval above range = %v, want saturation at 10ms", got)
+	}
+}
+
+func TestCurveUnsortedInputSorted(t *testing.T) {
+	c, err := NewCurve([]CurvePoint{
+		{Distance: 100, Time: 10},
+		{Distance: 0, Time: 0},
+		{Distance: 50, Time: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(25); got != 2 {
+		t.Fatalf("Eval(25) = %v, want 2 (linear 0→5 over 0→50, truncated)", got)
+	}
+}
+
+func TestCurveDuplicateDistances(t *testing.T) {
+	c, err := NewCurve([]CurvePoint{
+		{Distance: 10, Time: 1},
+		{Distance: 10, Time: 99},
+		{Distance: 20, Time: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(10); got != 1 {
+		t.Fatalf("duplicate distance: Eval(10) = %v, want first point (1)", got)
+	}
+}
+
+func TestCurveEmptyRejected(t *testing.T) {
+	if _, err := NewCurve(nil); err == nil {
+		t.Fatal("NewCurve(nil) should fail")
+	}
+}
+
+func TestCurveMaxAndPoints(t *testing.T) {
+	c, err := NewCurve([]CurvePoint{{0, 0}, {10, 7}, {20, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Max() != 7 {
+		t.Fatalf("Max() = %v, want 7", c.Max())
+	}
+	pts := c.Points()
+	pts[0].Time = 999
+	if c.Eval(0) == 999 {
+		t.Fatal("Points() must return a copy")
+	}
+}
+
+func TestProfileSeekCurveMonotoneAndBounded(t *testing.T) {
+	d := testHDD()
+	curve, err := ProfileSeekCurve(d, DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Params()
+	// The profiled curve should roughly match the true seek function.
+	for _, dist := range []int64{1 << 20, 1 << 30, 50 << 30, 200 << 30} {
+		got := curve.Eval(dist)
+		want := d.SeekTime(dist)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		// Allow rotation-averaging noise of about half a rotation.
+		if diff > p.FullRotation {
+			t.Errorf("profiled F(%d) = %v, true seek %v: error %v too large", dist, got, want, diff)
+		}
+	}
+	if curve.Max() > p.MaxSeek+p.FullRotation {
+		t.Fatalf("profiled max %v exceeds plausible bound", curve.Max())
+	}
+}
+
+func TestProfileSeekCurveValidation(t *testing.T) {
+	d := testHDD()
+	if _, err := ProfileSeekCurve(d, ProfileConfig{Samples: 1}); err == nil {
+		t.Fatal("profile with 1 sample should fail")
+	}
+	// Degenerate but legal config gets defaults applied.
+	c, err := ProfileSeekCurve(d, ProfileConfig{Samples: 3, TrialsPerSample: 0, ProbeSize: 0})
+	if err != nil || c == nil {
+		t.Fatalf("profile with clamped config failed: %v", err)
+	}
+}
+
+func TestProfileLeavesDeviceReset(t *testing.T) {
+	d := testHDD()
+	if _, err := ProfileSeekCurve(d, DefaultProfileConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Accesses != 0 || d.Head() != 0 {
+		t.Fatal("profiling must Reset the device afterwards")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" || Op(0).String() != "unknown" {
+		t.Fatal("Op.String mismatch")
+	}
+}
+
+func TestBytesPerSecond(t *testing.T) {
+	if got := BytesPerSecond(0); got != 0 {
+		t.Fatalf("BytesPerSecond(0) = %v, want 0", got)
+	}
+	if got := BytesPerSecond(1e-6); got != 1e6 {
+		t.Fatalf("BytesPerSecond(1e-6) = %v, want 1e6", got)
+	}
+}

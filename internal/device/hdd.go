@@ -1,0 +1,198 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// HDDParams configures the mechanical disk model. The defaults approximate
+// the paper's testbed drive class (Seagate ST32502NSSUN250G: 250 GB,
+// 7200 rpm SATA).
+type HDDParams struct {
+	// Capacity is the addressable size in bytes. Accesses are interpreted
+	// modulo Capacity.
+	Capacity int64
+	// TrackSeek is the minimum (track-to-track) seek time.
+	TrackSeek time.Duration
+	// MaxSeek is the full-stroke seek time (the paper's S).
+	MaxSeek time.Duration
+	// FullRotation is the time of one platter revolution (8.33 ms at
+	// 7200 rpm). The paper's R is the average rotational delay,
+	// FullRotation/2.
+	FullRotation time.Duration
+	// Bandwidth is the sustained media transfer rate in bytes/second at
+	// the outermost zone (address 0).
+	Bandwidth float64
+	// InnerBandwidthRatio models zoned bit recording: the innermost
+	// zone's rate as a fraction of Bandwidth, interpolated linearly in
+	// between (real drives sit around 0.5–0.6). Values <= 0 or >= 1
+	// disable zoning (uniform rate).
+	InnerBandwidthRatio float64
+	// Overhead is the fixed per-request controller/command overhead.
+	Overhead time.Duration
+	// SeqWindow is the address slack (bytes) within which a forward access
+	// is still considered sequential (track buffer / readahead absorbs it).
+	SeqWindow int64
+	// Seed seeds the device's private PRNG (rotational position).
+	Seed int64
+}
+
+// DefaultHDDParams returns parameters for a 250 GB 7200-rpm SATA drive.
+func DefaultHDDParams() HDDParams {
+	return HDDParams{
+		Capacity:     250e9,
+		TrackSeek:    800 * time.Microsecond,
+		MaxSeek:      15 * time.Millisecond,
+		FullRotation: 8333 * time.Microsecond,
+		Bandwidth:    90e6,
+		Overhead:     100 * time.Microsecond,
+		SeqWindow:    64 << 10,
+		Seed:         1,
+	}
+}
+
+// HDD is a mechanical disk. Service time for an access is
+//
+//	overhead + seek(distance) + rotation + size/bandwidth
+//
+// where seek is zero for sequential accesses (within SeqWindow ahead of the
+// head) and otherwise follows a concave square-root curve of the seek
+// distance, and rotation is a uniformly distributed fraction of a full
+// revolution whenever a seek occurred. This is the mechanism that makes
+// small random requests the "number one performance killer" of HDD-based
+// parallel file systems (paper §I).
+type HDD struct {
+	p    HDDParams
+	head int64
+	rng  *rand.Rand
+
+	// Seeks counts non-sequential accesses, for trace analysis.
+	Seeks uint64
+	// Accesses counts all accesses.
+	Accesses uint64
+}
+
+var _ Device = (*HDD)(nil)
+
+// NewHDD returns a disk with its head at address 0.
+func NewHDD(p HDDParams) *HDD {
+	if p.Capacity <= 0 {
+		p.Capacity = DefaultHDDParams().Capacity
+	}
+	if p.Bandwidth <= 0 {
+		p.Bandwidth = DefaultHDDParams().Bandwidth
+	}
+	return &HDD{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Name implements Device.
+func (d *HDD) Name() string { return fmt.Sprintf("hdd-%dGB", d.p.Capacity/1e9) }
+
+// Params returns the model parameters.
+func (d *HDD) Params() HDDParams { return d.p }
+
+// Head returns the current head byte address.
+func (d *HDD) Head() int64 { return d.head }
+
+// Access implements Device.
+func (d *HDD) Access(op Op, addr, size int64) time.Duration {
+	if size < 0 {
+		size = 0
+	}
+	addr = clampAddr(addr, d.p.Capacity)
+	d.Accesses++
+	t := d.p.Overhead + d.transferTimeAt(addr, size)
+	dist := addr - d.head
+	sequential := dist >= 0 && dist <= d.p.SeqWindow
+	if sequential {
+		// A forward skip within the window needs no seek, but the skipped
+		// media still has to pass under the head at the transfer rate —
+		// small holes (e.g. HPIO region spacing) are not free.
+		t += d.transferTimeAt(d.head, dist)
+	} else {
+		d.Seeks++
+		t += d.SeekTime(abs64(dist))
+		// Rotational delay: uniform over one revolution.
+		t += time.Duration(d.rng.Int63n(int64(d.p.FullRotation) + 1))
+	}
+	d.head = addr + size
+	if d.head >= d.p.Capacity {
+		d.head %= d.p.Capacity
+	}
+	return t
+}
+
+// SeekTime returns the deterministic seek component for a byte distance:
+// zero at distance zero, TrackSeek for any non-zero distance, growing with
+// the square root of the normalized distance up to MaxSeek at full stroke.
+func (d *HDD) SeekTime(dist int64) time.Duration {
+	if dist <= 0 {
+		return 0
+	}
+	x := float64(dist) / float64(d.p.Capacity)
+	if x > 1 {
+		x = 1
+	}
+	span := float64(d.p.MaxSeek - d.p.TrackSeek)
+	return d.p.TrackSeek + time.Duration(span*math.Sqrt(x))
+}
+
+// Reset implements Device.
+func (d *HDD) Reset() {
+	d.head = 0
+	d.rng = rand.New(rand.NewSource(d.p.Seed))
+	d.Seeks = 0
+	d.Accesses = 0
+}
+
+func (d *HDD) transferTime(size int64) time.Duration {
+	return d.transferTimeAt(0, size)
+}
+
+// transferTimeAt applies zoned bit recording: the media rate falls
+// linearly from Bandwidth at address 0 to Bandwidth*InnerBandwidthRatio
+// at the last address.
+func (d *HDD) transferTimeAt(addr, size int64) time.Duration {
+	bw := d.p.Bandwidth
+	if r := d.p.InnerBandwidthRatio; r > 0 && r < 1 {
+		frac := float64(addr) / float64(d.p.Capacity)
+		bw *= 1 - (1-r)*frac
+	}
+	return time.Duration(float64(size) / bw * float64(time.Second))
+}
+
+// BandwidthAt reports the effective media rate at a byte address, for
+// reports and tests.
+func (d *HDD) BandwidthAt(addr int64) float64 {
+	if addr < 0 {
+		addr = 0
+	}
+	if addr >= d.p.Capacity {
+		addr = d.p.Capacity - 1
+	}
+	bw := d.p.Bandwidth
+	if r := d.p.InnerBandwidthRatio; r > 0 && r < 1 {
+		frac := float64(addr) / float64(d.p.Capacity)
+		bw *= 1 - (1-r)*frac
+	}
+	return bw
+}
+
+func clampAddr(addr, capacity int64) int64 {
+	if addr < 0 {
+		return 0
+	}
+	if capacity > 0 && addr >= capacity {
+		return addr % capacity
+	}
+	return addr
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// ProfileConfig controls offline seek-curve profiling.
+type ProfileConfig struct {
+	// Samples is the number of log-spaced distances to probe. Minimum 2.
+	Samples int
+	// TrialsPerSample is how many accesses are averaged per distance.
+	TrialsPerSample int
+	// ProbeSize is the request size used for probing; its transfer time is
+	// subtracted out so the curve captures startup (seek) cost only.
+	ProbeSize int64
+}
+
+// DefaultProfileConfig returns a profile of 24 distances, 32 trials each.
+func DefaultProfileConfig() ProfileConfig {
+	return ProfileConfig{Samples: 24, TrialsPerSample: 32, ProbeSize: 4 << 10}
+}
+
+// ProfileSeekCurve derives the seek-time function F(d) of an HDD by offline
+// measurement, mirroring how the paper obtains F from profiling the real
+// drive [28]: for each probe distance the disk is forced to seek exactly
+// that far, the access time is measured, and the transfer and average
+// rotational components are subtracted. The result is the deterministic
+// seek component as a function of byte distance.
+func ProfileSeekCurve(d *HDD, cfg ProfileConfig) (*Curve, error) {
+	if cfg.Samples < 2 {
+		return nil, fmt.Errorf("device: profile needs >=2 samples, got %d", cfg.Samples)
+	}
+	if cfg.TrialsPerSample < 1 {
+		cfg.TrialsPerSample = 1
+	}
+	if cfg.ProbeSize <= 0 {
+		cfg.ProbeSize = 4 << 10
+	}
+	d.Reset()
+	defer d.Reset()
+
+	p := d.Params()
+	transfer := d.transferTime(cfg.ProbeSize)
+	avgRot := p.FullRotation / 2
+
+	// Probe bases stay inside a small window at the start of the disk so
+	// that base+dist never wraps past the end.
+	const baseWindow = 64 << 20
+
+	pts := make([]CurvePoint, 0, cfg.Samples+1)
+	pts = append(pts, CurvePoint{Distance: 0, Time: 0})
+	// Log-spaced distances from one stripe-ish unit up to (almost) full
+	// stroke.
+	minDist := int64(64 << 10)
+	maxDist := p.Capacity - baseWindow - 2*cfg.ProbeSize - 1
+	for i := 0; i < cfg.Samples; i++ {
+		frac := float64(i) / float64(cfg.Samples-1)
+		dist := logSpace(minDist, maxDist, frac)
+		var total time.Duration
+		for trial := 0; trial < cfg.TrialsPerSample; trial++ {
+			// Position the head deterministically, then probe at +dist.
+			// The device PRNG is intentionally NOT reset between trials so
+			// the rotational delay is averaged over many draws.
+			base := int64(trial) * (4 << 20) % baseWindow
+			d.Access(OpRead, base, cfg.ProbeSize)
+			t := d.Access(OpRead, base+cfg.ProbeSize+dist, cfg.ProbeSize)
+			total += t
+		}
+		avg := total / time.Duration(cfg.TrialsPerSample)
+		seek := avg - transfer - p.Overhead - avgRot
+		if seek < 0 {
+			seek = 0
+		}
+		pts = append(pts, CurvePoint{Distance: dist, Time: seek})
+	}
+	// Seek curves are physically monotone in distance; smooth residual
+	// rotational-sampling noise with a running maximum (isotonic fit).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time < pts[i-1].Time {
+			pts[i].Time = pts[i-1].Time
+		}
+	}
+	return NewCurve(pts)
+}
+
+func logSpace(lo, hi int64, frac float64) int64 {
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= lo {
+		return lo
+	}
+	ratio := float64(hi) / float64(lo)
+	v := float64(lo) * math.Pow(ratio, frac)
+	out := int64(v)
+	if out < lo {
+		out = lo
+	}
+	if out > hi {
+		out = hi
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+// Package dmt implements the Data Mapping Table (paper §III.D, Fig. 5
+// right): for every cached range it records where the data lives in the
+// cache file on the CServers (C_file/C_offset) and whether it is dirty
+// (D_flag). The table is an interval map per original file, with an
+// optional persistent operation log in a kvstore.Store — the Berkeley DB
+// file of the paper's implementation (§IV.A) — replayed on open so that
+// mappings survive crashes.
+package dmt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"s4dcache/internal/extent"
+	"s4dcache/internal/kvstore"
+)
+
+// EntryBytes is the persistent size the paper assumes per DMT entry
+// (six 4-byte fields, §V.E.1), used by the metadata-overhead experiment.
+const EntryBytes = 24
+
+// Mapping is the payload of one mapped extent.
+type Mapping struct {
+	// CacheOff is the byte offset in the cache file (C_offset).
+	CacheOff int64
+	// Dirty is the D_flag: the cache holds newer data than the DServers.
+	Dirty bool
+}
+
+// Hit is a mapped subrange of a lookup, clipped to the query range.
+type Hit struct {
+	// File is the original file (set by DirtyExtents; Lookup callers
+	// already know it).
+	File string
+	// Off and Len locate the subrange in the original file.
+	Off, Len int64
+	// CacheOff is where the subrange starts in the cache file.
+	CacheOff int64
+	// Dirty is the subrange's D_flag.
+	Dirty bool
+}
+
+// Table is the Data Mapping Table. Use New or Open.
+type Table struct {
+	files map[string]*extent.Map[Mapping]
+	store *kvstore.Store
+	seq   uint64
+
+	inserts, deletes uint64
+}
+
+// New returns a memory-only table (no persistence).
+func New() *Table {
+	return &Table{files: make(map[string]*extent.Map[Mapping])}
+}
+
+// Open returns a table persisted as an operation log in store, replaying
+// any existing log. Every mutation is written through before the in-memory
+// state changes, as the paper requires for power-failure safety.
+func Open(store *kvstore.Store) (*Table, error) {
+	if store == nil {
+		return nil, fmt.Errorf("dmt: store is required")
+	}
+	t := New()
+	t.store = store
+	keys := store.Keys(opPrefix)
+	for _, k := range keys {
+		v, ok := store.Get(k)
+		if !ok {
+			continue
+		}
+		op, err := decodeOp(v)
+		if err != nil {
+			return nil, fmt.Errorf("dmt: replay %s: %w", k, err)
+		}
+		t.apply(op)
+	}
+	if n := len(keys); n > 0 {
+		// Continue the sequence after the highest replayed op.
+		var last uint64
+		if _, err := fmt.Sscanf(keys[n-1], opPrefix+"%020d", &last); err == nil {
+			t.seq = last
+		}
+	}
+	return t, nil
+}
+
+// Insert maps [off, off+length) of file to cacheOff in the cache file,
+// overwriting any previous mapping of the range.
+func (t *Table) Insert(file string, off, length, cacheOff int64, dirty bool) error {
+	if length <= 0 {
+		return nil
+	}
+	op := logOp{kind: kindInsert, file: file, off: off, length: length, cacheOff: cacheOff, dirty: dirty}
+	if err := t.persist(op); err != nil {
+		return err
+	}
+	t.apply(op)
+	return nil
+}
+
+// FragmentInsert is one mapping of a batched insert.
+type FragmentInsert struct {
+	// Off and Length locate the fragment in the original file.
+	Off, Length int64
+	// CacheOff is the fragment's cache file location.
+	CacheOff int64
+	// Dirty is the initial D_flag.
+	Dirty bool
+}
+
+// InsertBatch maps several fragments of one file atomically: with a
+// persistent store, either all fragments survive a crash or none do (the
+// fragments of one admitted request must not be torn apart). Memory-only
+// tables apply the fragments directly.
+func (t *Table) InsertBatch(file string, frags []FragmentInsert) error {
+	if len(frags) == 0 {
+		return nil
+	}
+	ops := make([]logOp, 0, len(frags))
+	for _, fr := range frags {
+		if fr.Length <= 0 {
+			continue
+		}
+		ops = append(ops, logOp{
+			kind: kindInsert, file: file,
+			off: fr.Off, length: fr.Length, cacheOff: fr.CacheOff, dirty: fr.Dirty,
+		})
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if t.store != nil {
+		batch := t.store.NewBatch()
+		for _, op := range ops {
+			t.seq++
+			batch.Put(fmt.Sprintf(opPrefix+"%020d", t.seq), encodeOp(op))
+		}
+		if err := batch.Commit(); err != nil {
+			return fmt.Errorf("dmt: batch insert: %w", err)
+		}
+	}
+	for _, op := range ops {
+		t.apply(op)
+	}
+	return nil
+}
+
+// Delete removes mappings covering [off, off+length).
+func (t *Table) Delete(file string, off, length int64) error {
+	if length <= 0 {
+		return nil
+	}
+	op := logOp{kind: kindDelete, file: file, off: off, length: length}
+	if err := t.persist(op); err != nil {
+		return err
+	}
+	t.apply(op)
+	return nil
+}
+
+// SetClean clears the D_flag of every mapped subrange of
+// [off, off+length) — the Rebuilder calls this after writing dirty data
+// back to the DServers (§III.F).
+func (t *Table) SetClean(file string, off, length int64) error {
+	return t.setDirty(file, off, length, false)
+}
+
+// SetDirty sets the D_flag of every mapped subrange of [off, off+length) —
+// a write served by the cache makes the cached copy newer than the
+// DServers (Algorithm 1, line 22 followed by the write).
+func (t *Table) SetDirty(file string, off, length int64) error {
+	return t.setDirty(file, off, length, true)
+}
+
+func (t *Table) setDirty(file string, off, length int64, dirty bool) error {
+	m, ok := t.files[file]
+	if !ok {
+		return nil
+	}
+	hits := clipOverlaps(m, off, length)
+	for _, h := range hits {
+		if h.Dirty == dirty {
+			continue
+		}
+		if err := t.Insert(file, h.Off, h.Len, h.CacheOff, dirty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup splits [off, off+length) of file into mapped subranges (clipped,
+// in order) and unmapped gaps.
+func (t *Table) Lookup(file string, off, length int64) (hits []Hit, gaps []extent.Gap) {
+	m, ok := t.files[file]
+	if !ok {
+		if length > 0 {
+			return nil, []extent.Gap{{Off: off, Len: length}}
+		}
+		return nil, nil
+	}
+	return clipOverlaps(m, off, length), m.Gaps(off, length)
+}
+
+// Contains reports whether the full range is mapped.
+func (t *Table) Contains(file string, off, length int64) bool {
+	m, ok := t.files[file]
+	if !ok {
+		return false
+	}
+	return m.Covered(off, length)
+}
+
+// DirtyExtents returns up to max dirty mapped ranges across all files
+// (all if max <= 0), each with File set.
+func (t *Table) DirtyExtents(max int) []Hit {
+	var out []Hit
+	for file, m := range t.files {
+		m.Walk(func(e extent.Entry[Mapping]) bool {
+			if e.Val.Dirty {
+				out = append(out, Hit{File: file, Off: e.Off, Len: e.Len, CacheOff: e.Val.CacheOff, Dirty: true})
+				if max > 0 && len(out) >= max {
+					return false
+				}
+			}
+			return true
+		})
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// CleanExtents returns up to max clean mapped ranges (all if max <= 0),
+// candidates for space reclamation.
+func (t *Table) CleanExtents(max int) []Hit {
+	var out []Hit
+	for file, m := range t.files {
+		m.Walk(func(e extent.Entry[Mapping]) bool {
+			if !e.Val.Dirty {
+				out = append(out, Hit{File: file, Off: e.Off, Len: e.Len, CacheOff: e.Val.CacheOff})
+				if max > 0 && len(out) >= max {
+					return false
+				}
+			}
+			return true
+		})
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Entries returns the total mapped extent count.
+func (t *Table) Entries() int {
+	n := 0
+	for _, m := range t.files {
+		n += m.Len()
+	}
+	return n
+}
+
+// Bytes returns the total mapped byte count.
+func (t *Table) Bytes() int64 {
+	var n int64
+	for _, m := range t.files {
+		n += m.Bytes()
+	}
+	return n
+}
+
+// MetadataBytes estimates the persistent size of the table at the paper's
+// 24 bytes per entry (§V.E.1).
+func (t *Table) MetadataBytes() int64 { return int64(t.Entries()) * EntryBytes }
+
+// Compact rewrites the persistent log as one insert per live extent,
+// bounding recovery time. A memory-only table compacts trivially.
+func (t *Table) Compact() error {
+	if t.store == nil {
+		return nil
+	}
+	for _, k := range t.store.Keys(opPrefix) {
+		if err := t.store.Delete(k); err != nil {
+			return fmt.Errorf("dmt: compact: %w", err)
+		}
+	}
+	t.seq = 0
+	for file, m := range t.files {
+		var walkErr error
+		m.Walk(func(e extent.Entry[Mapping]) bool {
+			op := logOp{kind: kindInsert, file: file, off: e.Off, length: e.Len, cacheOff: e.Val.CacheOff, dirty: e.Val.Dirty}
+			if err := t.persist(op); err != nil {
+				walkErr = err
+				return false
+			}
+			return true
+		})
+		if walkErr != nil {
+			return walkErr
+		}
+	}
+	return t.store.Compact()
+}
+
+// Stats reports table activity.
+type Stats struct {
+	Inserts, Deletes uint64
+	Entries          int
+	Bytes            int64
+}
+
+// Stats returns a snapshot of activity counters.
+func (t *Table) Stats() Stats {
+	return Stats{Inserts: t.inserts, Deletes: t.deletes, Entries: t.Entries(), Bytes: t.Bytes()}
+}
+
+func (t *Table) apply(op logOp) {
+	m, ok := t.files[op.file]
+	if !ok {
+		m = extent.New[Mapping](func(v Mapping, delta int64) Mapping {
+			return Mapping{CacheOff: v.CacheOff + delta, Dirty: v.Dirty}
+		})
+		t.files[op.file] = m
+	}
+	switch op.kind {
+	case kindInsert:
+		t.inserts++
+		m.Insert(op.off, op.length, Mapping{CacheOff: op.cacheOff, Dirty: op.dirty})
+	case kindDelete:
+		t.deletes++
+		m.Delete(op.off, op.length)
+	}
+}
+
+func (t *Table) persist(op logOp) error {
+	if t.store == nil {
+		return nil
+	}
+	t.seq++
+	key := fmt.Sprintf(opPrefix+"%020d", t.seq)
+	if err := t.store.Put(key, encodeOp(op)); err != nil {
+		return fmt.Errorf("dmt: persist: %w", err)
+	}
+	return nil
+}
+
+func clipOverlaps(m *extent.Map[Mapping], off, length int64) []Hit {
+	end := off + length
+	var out []Hit
+	for _, e := range m.Overlaps(off, length) {
+		lo, hi := e.Off, e.End()
+		cacheOff := e.Val.CacheOff
+		if lo < off {
+			cacheOff += off - lo
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		out = append(out, Hit{Off: lo, Len: hi - lo, CacheOff: cacheOff, Dirty: e.Val.Dirty})
+	}
+	return out
+}
+
+const opPrefix = "dmtop|"
+
+const (
+	kindInsert byte = 1
+	kindDelete byte = 2
+)
+
+type logOp struct {
+	kind     byte
+	file     string
+	off      int64
+	length   int64
+	cacheOff int64
+	dirty    bool
+}
+
+func encodeOp(op logOp) []byte {
+	buf := make([]byte, 0, 1+4+len(op.file)+8+8+8+1)
+	buf = append(buf, op.kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.file)))
+	buf = append(buf, op.file...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.off))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.length))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.cacheOff))
+	var dirty byte
+	if op.dirty {
+		dirty = 1
+	}
+	buf = append(buf, dirty)
+	return buf
+}
+
+func decodeOp(data []byte) (logOp, error) {
+	var op logOp
+	if len(data) < 1+4 {
+		return op, fmt.Errorf("dmt: short op record (%d bytes)", len(data))
+	}
+	op.kind = data[0]
+	if op.kind != kindInsert && op.kind != kindDelete {
+		return op, fmt.Errorf("dmt: bad op kind %d", op.kind)
+	}
+	fileLen := int(binary.LittleEndian.Uint32(data[1:]))
+	pos := 5
+	if len(data) < pos+fileLen+8+8+8+1 {
+		return op, fmt.Errorf("dmt: truncated op record")
+	}
+	op.file = string(data[pos : pos+fileLen])
+	pos += fileLen
+	op.off = int64(binary.LittleEndian.Uint64(data[pos:]))
+	pos += 8
+	op.length = int64(binary.LittleEndian.Uint64(data[pos:]))
+	pos += 8
+	op.cacheOff = int64(binary.LittleEndian.Uint64(data[pos:]))
+	pos += 8
+	op.dirty = data[pos] == 1
+	return op, nil
+}

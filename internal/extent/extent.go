@@ -1,0 +1,209 @@
+// Package extent provides an interval map over byte ranges: a sorted set
+// of non-overlapping extents [Off, Off+Len) each carrying a payload.
+//
+// Both metadata tables of S4D-Cache are interval maps per original file:
+// the Critical Data Table (paper Fig. 5, left) maps file ranges to
+// criticality flags, and the Data Mapping Table (Fig. 5, right) maps file
+// ranges to cache-file locations. Inserts overwrite any overlapped parts
+// of existing extents, splitting them as needed; payloads are adjusted on
+// split through a caller-provided function (a DMT mapping split at +delta
+// bytes must advance its cache offset by delta).
+package extent
+
+import "sort"
+
+// Entry is one extent and its payload.
+type Entry[V any] struct {
+	// Off is the start of the extent.
+	Off int64
+	// Len is the extent length in bytes (always > 0 inside a Map).
+	Len int64
+	// Val is the payload.
+	Val V
+}
+
+// End returns the exclusive end offset.
+func (e Entry[V]) End() int64 { return e.Off + e.Len }
+
+// SplitFunc derives the payload of the suffix part of an extent split
+// delta bytes after its start.
+type SplitFunc[V any] func(v V, delta int64) V
+
+// Map is an interval map. Use New; the zero value is not usable.
+type Map[V any] struct {
+	split   SplitFunc[V]
+	entries []Entry[V]
+}
+
+// New returns an empty map. split may be nil if payloads are
+// position-independent (flags, counters).
+func New[V any](split SplitFunc[V]) *Map[V] {
+	if split == nil {
+		split = func(v V, _ int64) V { return v }
+	}
+	return &Map[V]{split: split}
+}
+
+// Len returns the number of extents.
+func (m *Map[V]) Len() int { return len(m.entries) }
+
+// Bytes returns the total covered byte count.
+func (m *Map[V]) Bytes() int64 {
+	var n int64
+	for _, e := range m.entries {
+		n += e.Len
+	}
+	return n
+}
+
+// Insert sets [off, off+length) to val, overwriting overlapped parts of
+// existing extents. Zero or negative lengths are ignored.
+func (m *Map[V]) Insert(off, length int64, val V) {
+	if length <= 0 {
+		return
+	}
+	m.Delete(off, length)
+	i := m.lowerBound(off)
+	m.entries = append(m.entries, Entry[V]{})
+	copy(m.entries[i+1:], m.entries[i:])
+	m.entries[i] = Entry[V]{Off: off, Len: length, Val: val}
+}
+
+// Delete removes coverage of [off, off+length), splitting boundary extents.
+func (m *Map[V]) Delete(off, length int64) {
+	if length <= 0 || len(m.entries) == 0 {
+		return
+	}
+	end := off + length
+	out := m.entries[:0]
+	var tail []Entry[V]
+	for _, e := range m.entries {
+		switch {
+		case e.End() <= off || e.Off >= end:
+			out = append(out, e)
+		case e.Off < off && e.End() > end:
+			// Covered strictly inside: keep head, synthesize tail.
+			tail = append(tail, Entry[V]{Off: end, Len: e.End() - end, Val: m.split(e.Val, end-e.Off)})
+			e.Len = off - e.Off
+			out = append(out, e)
+		case e.Off < off:
+			// Overlap at the entry's tail: trim.
+			e.Len = off - e.Off
+			out = append(out, e)
+		case e.End() > end:
+			// Overlap at the entry's head: advance.
+			delta := end - e.Off
+			out = append(out, Entry[V]{Off: end, Len: e.End() - end, Val: m.split(e.Val, delta)})
+		default:
+			// Fully covered: drop.
+		}
+	}
+	m.entries = append(out, tail...)
+	sort.Slice(m.entries, func(i, j int) bool { return m.entries[i].Off < m.entries[j].Off })
+}
+
+// Overlaps returns the entries intersecting [off, off+length), in offset
+// order. Entries are returned whole (not clipped).
+func (m *Map[V]) Overlaps(off, length int64) []Entry[V] {
+	if length <= 0 {
+		return nil
+	}
+	end := off + length
+	var out []Entry[V]
+	for i := m.firstIntersecting(off); i < len(m.entries); i++ {
+		e := m.entries[i]
+		if e.Off >= end {
+			break
+		}
+		if e.End() > off {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Covered reports whether [off, off+length) is fully covered by extents.
+func (m *Map[V]) Covered(off, length int64) bool {
+	if length <= 0 {
+		return true
+	}
+	pos := off
+	end := off + length
+	for i := m.firstIntersecting(off); i < len(m.entries); i++ {
+		e := m.entries[i]
+		if e.Off > pos {
+			return false
+		}
+		if e.End() >= end {
+			return true
+		}
+		pos = e.End()
+	}
+	return pos >= end
+}
+
+// Gap is an uncovered subrange.
+type Gap struct {
+	Off, Len int64
+}
+
+// Gaps returns the uncovered subranges of [off, off+length), in order.
+func (m *Map[V]) Gaps(off, length int64) []Gap {
+	if length <= 0 {
+		return nil
+	}
+	end := off + length
+	pos := off
+	var out []Gap
+	for i := m.firstIntersecting(off); i < len(m.entries); i++ {
+		e := m.entries[i]
+		if e.Off >= end {
+			break
+		}
+		if e.Off > pos {
+			out = append(out, Gap{Off: pos, Len: e.Off - pos})
+		}
+		if e.End() > pos {
+			pos = e.End()
+		}
+	}
+	if pos < end {
+		out = append(out, Gap{Off: pos, Len: end - pos})
+	}
+	return out
+}
+
+// Find returns the entry containing off.
+func (m *Map[V]) Find(off int64) (Entry[V], bool) {
+	i := m.firstIntersecting(off)
+	if i < len(m.entries) {
+		e := m.entries[i]
+		if e.Off <= off && off < e.End() {
+			return e, true
+		}
+	}
+	var zero Entry[V]
+	return zero, false
+}
+
+// Walk calls fn for every extent in offset order; returning false stops.
+func (m *Map[V]) Walk(fn func(Entry[V]) bool) {
+	for _, e := range m.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Clear removes all extents.
+func (m *Map[V]) Clear() { m.entries = m.entries[:0] }
+
+// lowerBound returns the index of the first entry with Off >= off.
+func (m *Map[V]) lowerBound(off int64) int {
+	return sort.Search(len(m.entries), func(i int) bool { return m.entries[i].Off >= off })
+}
+
+// firstIntersecting returns the index of the first entry whose End > off.
+func (m *Map[V]) firstIntersecting(off int64) int {
+	return sort.Search(len(m.entries), func(i int) bool { return m.entries[i].End() > off })
+}

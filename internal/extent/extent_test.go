@@ -1,0 +1,270 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndFind(t *testing.T) {
+	m := New[string](nil)
+	m.Insert(100, 50, "a")
+	e, ok := m.Find(120)
+	if !ok || e.Val != "a" || e.Off != 100 || e.Len != 50 {
+		t.Fatalf("Find(120) = %+v, %v", e, ok)
+	}
+	if _, ok := m.Find(99); ok {
+		t.Fatal("Find before extent succeeded")
+	}
+	if _, ok := m.Find(150); ok {
+		t.Fatal("Find at exclusive end succeeded")
+	}
+}
+
+func TestInsertOverwritesOverlap(t *testing.T) {
+	m := New[string](nil)
+	m.Insert(0, 100, "old")
+	m.Insert(40, 20, "new")
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (head, new, tail)", m.Len())
+	}
+	checks := []struct {
+		off  int64
+		want string
+	}{{0, "old"}, {39, "old"}, {40, "new"}, {59, "new"}, {60, "old"}, {99, "old"}}
+	for _, c := range checks {
+		e, ok := m.Find(c.off)
+		if !ok || e.Val != c.want {
+			t.Fatalf("Find(%d) = %+v,%v want %q", c.off, e, ok, c.want)
+		}
+	}
+}
+
+func TestSplitAdjustsPayload(t *testing.T) {
+	// Payload models a cache offset: splitting at +delta advances it.
+	type mapping struct{ cacheOff int64 }
+	m := New[mapping](func(v mapping, delta int64) mapping {
+		return mapping{cacheOff: v.cacheOff + delta}
+	})
+	m.Insert(1000, 100, mapping{cacheOff: 5000})
+	m.Delete(1030, 10)
+	head, ok := m.Find(1000)
+	if !ok || head.Len != 30 || head.Val.cacheOff != 5000 {
+		t.Fatalf("head = %+v", head)
+	}
+	tail, ok := m.Find(1040)
+	if !ok || tail.Off != 1040 || tail.Len != 60 || tail.Val.cacheOff != 5040 {
+		t.Fatalf("tail = %+v, want cacheOff 5040", tail)
+	}
+}
+
+func TestDeleteVariants(t *testing.T) {
+	build := func() *Map[int] {
+		m := New[int](nil)
+		m.Insert(10, 10, 1)
+		m.Insert(30, 10, 2)
+		m.Insert(50, 10, 3)
+		return m
+	}
+	m := build()
+	m.Delete(0, 100) // everything
+	if m.Len() != 0 || m.Bytes() != 0 {
+		t.Fatal("full delete left extents")
+	}
+	m = build()
+	m.Delete(35, 100) // tail of 2nd, all of 3rd
+	if m.Len() != 2 || m.Bytes() != 15 {
+		t.Fatalf("Len=%d Bytes=%d, want 2/15", m.Len(), m.Bytes())
+	}
+	m = build()
+	m.Delete(0, 15) // head of 1st
+	if e, ok := m.Find(15); !ok || e.Len != 5 {
+		t.Fatalf("head-trim result = %+v,%v", e, ok)
+	}
+	m = build()
+	m.Delete(5, 1) // no intersection with any extent body
+	if m.Bytes() != 30 {
+		t.Fatal("non-overlapping delete changed coverage")
+	}
+	m = build()
+	m.Delete(10, -5) // ignored
+	if m.Bytes() != 30 {
+		t.Fatal("negative-length delete changed coverage")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	m := New[int](nil)
+	m.Insert(10, 10, 1)
+	m.Insert(30, 10, 2)
+	m.Insert(50, 10, 3)
+	got := m.Overlaps(15, 30) // hits 1 and 2, not 3 (45..50 gap, 50 excluded? 15+30=45)
+	if len(got) != 2 || got[0].Val != 1 || got[1].Val != 2 {
+		t.Fatalf("Overlaps = %+v", got)
+	}
+	if got := m.Overlaps(20, 10); got != nil {
+		t.Fatalf("gap query returned %+v", got)
+	}
+	if got := m.Overlaps(0, -1); got != nil {
+		t.Fatal("negative length returned entries")
+	}
+	// Touching boundaries are exclusive.
+	if got := m.Overlaps(0, 10); got != nil {
+		t.Fatalf("adjacent-before query returned %+v", got)
+	}
+	if got := m.Overlaps(60, 10); got != nil {
+		t.Fatalf("adjacent-after query returned %+v", got)
+	}
+}
+
+func TestCoveredAndGaps(t *testing.T) {
+	m := New[int](nil)
+	m.Insert(10, 10, 1)
+	m.Insert(20, 10, 2) // adjacent: 10..30 covered
+	if !m.Covered(10, 20) {
+		t.Fatal("adjacent extents should cover 10..30")
+	}
+	if m.Covered(5, 10) {
+		t.Fatal("5..15 reported covered")
+	}
+	if !m.Covered(0, 0) {
+		t.Fatal("empty range should be trivially covered")
+	}
+	gaps := m.Gaps(0, 40)
+	if len(gaps) != 2 || gaps[0] != (Gap{0, 10}) || gaps[1] != (Gap{30, 10}) {
+		t.Fatalf("Gaps = %+v", gaps)
+	}
+	if gaps := m.Gaps(12, 5); gaps != nil {
+		t.Fatalf("covered range has gaps %+v", gaps)
+	}
+	// Entirely uncovered.
+	gaps = m.Gaps(100, 50)
+	if len(gaps) != 1 || gaps[0] != (Gap{100, 50}) {
+		t.Fatalf("uncovered Gaps = %+v", gaps)
+	}
+}
+
+func TestWalkOrderAndStop(t *testing.T) {
+	m := New[int](nil)
+	m.Insert(30, 5, 3)
+	m.Insert(10, 5, 1)
+	m.Insert(20, 5, 2)
+	var seen []int
+	m.Walk(func(e Entry[int]) bool {
+		seen = append(seen, e.Val)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 2 || seen[2] != 3 {
+		t.Fatalf("Walk order = %v", seen)
+	}
+	count := 0
+	m.Walk(func(e Entry[int]) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Walk early stop visited %d", count)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestZeroLengthInsertIgnored(t *testing.T) {
+	m := New[int](nil)
+	m.Insert(10, 0, 1)
+	m.Insert(10, -5, 1)
+	if m.Len() != 0 {
+		t.Fatal("degenerate insert created extents")
+	}
+}
+
+// Property: the map behaves exactly like a byte→value reference model under
+// random inserts and deletes, and its extents never overlap.
+func TestMatchesReferenceModelProperty(t *testing.T) {
+	const space = 400
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%40) + 1
+		// Payload carries its own origin so splits can be validated:
+		// value at byte x must equal origin-value + (x - origin-off).
+		type val struct{ base int64 }
+		m := New[val](func(v val, delta int64) val { return val{base: v.base + delta} })
+		ref := make([]int64, space) // 0 = uncovered, else expected base+delta+1
+		for i := 0; i < ops; i++ {
+			off := rng.Int63n(space - 1)
+			length := rng.Int63n(space-off-1) + 1
+			if rng.Intn(3) == 0 {
+				m.Delete(off, length)
+				for x := off; x < off+length; x++ {
+					ref[x] = 0
+				}
+				continue
+			}
+			base := rng.Int63n(1 << 30)
+			m.Insert(off, length, val{base: base})
+			for x := off; x < off+length; x++ {
+				ref[x] = base + (x - off) + 1
+			}
+		}
+		// Validate every byte.
+		for x := int64(0); x < space; x++ {
+			e, ok := m.Find(x)
+			if (ref[x] != 0) != ok {
+				return false
+			}
+			if ok {
+				want := ref[x] - 1
+				got := e.Val.base + (x - e.Off)
+				if got != want {
+					return false
+				}
+			}
+		}
+		// Validate non-overlap and ordering.
+		prevEnd := int64(-1)
+		okOrder := true
+		m.Walk(func(e Entry[val]) bool {
+			if e.Off < prevEnd || e.Len <= 0 {
+				okOrder = false
+				return false
+			}
+			prevEnd = e.End()
+			return true
+		})
+		return okOrder
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gaps and Overlaps partition any query range.
+func TestGapsOverlapsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New[int](nil)
+		for i := 0; i < 10; i++ {
+			m.Insert(rng.Int63n(500), rng.Int63n(60)+1, i)
+		}
+		off := rng.Int63n(500)
+		length := rng.Int63n(200) + 1
+		var covered int64
+		for _, e := range m.Overlaps(off, length) {
+			lo, hi := e.Off, e.End()
+			if lo < off {
+				lo = off
+			}
+			if hi > off+length {
+				hi = off + length
+			}
+			covered += hi - lo
+		}
+		var gapped int64
+		for _, g := range m.Gaps(off, length) {
+			gapped += g.Len
+		}
+		return covered+gapped == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

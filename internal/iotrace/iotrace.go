@@ -1,0 +1,179 @@
+// Package iotrace is the reproduction's IOSIG substitute (paper reference
+// [33]): it records every sub-request served by the file servers and
+// derives the analyses the paper reports — the DServer/CServer request
+// distribution of Table III and access sequentiality.
+package iotrace
+
+import (
+	"sort"
+	"time"
+
+	"s4dcache/internal/device"
+	"s4dcache/internal/pfs"
+)
+
+// Recorder collects trace events from any number of FS instances. Install
+// it with Hook() as the pfs.Config.Trace of each instance.
+type Recorder struct {
+	events  []pfs.TraceEvent
+	enabled bool
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{enabled: true} }
+
+// Hook returns the trace function to install on a file system.
+func (r *Recorder) Hook() pfs.TraceFunc {
+	return func(ev pfs.TraceEvent) {
+		if r.enabled {
+			r.events = append(r.events, ev)
+		}
+	}
+}
+
+// Enable toggles recording.
+func (r *Recorder) Enable(on bool) { r.enabled = on }
+
+// Events returns the recorded events (do not mutate).
+func (r *Recorder) Events() []pfs.TraceEvent { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Clear drops all recorded events.
+func (r *Recorder) Clear() { r.events = r.events[:0] }
+
+// Distribution is the request split across FS instances within a window —
+// the paper's Table III.
+type Distribution struct {
+	// Requests counts sub-requests per FS label.
+	Requests map[string]uint64
+	// Bytes counts payload bytes per FS label.
+	Bytes map[string]int64
+}
+
+// Distribute tallies events completing in [from, to); a zero `to` means
+// no upper bound.
+func (r *Recorder) Distribute(from, to time.Duration) Distribution {
+	d := Distribution{Requests: make(map[string]uint64), Bytes: make(map[string]int64)}
+	for _, ev := range r.events {
+		if ev.End < from || (to > 0 && ev.End >= to) {
+			continue
+		}
+		d.Requests[ev.FS]++
+		d.Bytes[ev.FS] += ev.Size
+	}
+	return d
+}
+
+// RequestShare returns the fraction of sub-requests served by the given
+// FS label, in [0, 1].
+func (d Distribution) RequestShare(label string) float64 {
+	var total uint64
+	for _, n := range d.Requests {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Requests[label]) / float64(total)
+}
+
+// ByteShare returns the fraction of bytes served by the given FS label.
+func (d Distribution) ByteShare(label string) float64 {
+	var total int64
+	for _, n := range d.Bytes {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Bytes[label]) / float64(total)
+}
+
+// Sequentiality returns the fraction of sub-requests on the labeled FS
+// that continue the previous access on the same (server, file) — the
+// metric behind the paper's observation that "DServers mostly see
+// sequential requests" once S4D absorbs the random ones.
+func (r *Recorder) Sequentiality(label string) float64 {
+	type key struct {
+		server int
+		file   string
+	}
+	// Replay in completion order.
+	evs := make([]pfs.TraceEvent, 0, len(r.events))
+	for _, ev := range r.events {
+		if ev.FS == label {
+			evs = append(evs, ev)
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].End < evs[j].End })
+	last := make(map[key]int64)
+	var seq, total int
+	for _, ev := range evs {
+		k := key{server: ev.Server, file: ev.File}
+		if prev, ok := last[k]; ok {
+			total++
+			if ev.LocalOff == prev {
+				seq++
+			}
+		}
+		last[k] = ev.LocalOff + ev.Size
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(seq) / float64(total)
+}
+
+// OpMix returns the read/write sub-request counts for a label.
+func (r *Recorder) OpMix(label string) (reads, writes uint64) {
+	for _, ev := range r.events {
+		if ev.FS != label {
+			continue
+		}
+		if ev.Op == device.OpRead {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	return reads, writes
+}
+
+// Bin is one slot of a throughput time series.
+type Bin struct {
+	// Start is the bin's start time.
+	Start time.Duration
+	// Bytes is the payload moved in the bin.
+	Bytes int64
+	// Requests is the sub-request count in the bin.
+	Requests uint64
+}
+
+// Throughput builds a time series of per-bin bytes for the labeled FS (""
+// matches all). Events are binned by completion time.
+func (r *Recorder) Throughput(label string, width time.Duration) []Bin {
+	if width <= 0 || len(r.events) == 0 {
+		return nil
+	}
+	var maxEnd time.Duration
+	for _, ev := range r.events {
+		if ev.End > maxEnd {
+			maxEnd = ev.End
+		}
+	}
+	bins := make([]Bin, maxEnd/width+1)
+	for i := range bins {
+		bins[i].Start = time.Duration(i) * width
+	}
+	for _, ev := range r.events {
+		if label != "" && ev.FS != label {
+			continue
+		}
+		b := int(ev.End / width)
+		bins[b].Bytes += ev.Size
+		bins[b].Requests++
+	}
+	return bins
+}

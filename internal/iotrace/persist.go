@@ -1,0 +1,108 @@
+package iotrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"s4dcache/internal/device"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+// Trace files are plain text, one sub-request per line, in the spirit of
+// the IOSIG tool's trace output:
+//
+//	fs server op file localOff size priority startNs endNs
+//
+// Fields are tab-separated; file names are quoted with %q so tabs or
+// spaces in names survive the round trip.
+
+// Save writes the recorded events to w.
+func (r *Recorder) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range r.events {
+		op := "W"
+		if ev.Op == device.OpRead {
+			op = "R"
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\t%q\t%d\t%d\t%d\t%d\t%d\n",
+			ev.FS, ev.Server, op, ev.File, ev.LocalOff, ev.Size,
+			int(ev.Priority), int64(ev.Start), int64(ev.End)); err != nil {
+			return fmt.Errorf("iotrace: save: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("iotrace: save: %w", err)
+	}
+	return nil
+}
+
+// Load appends events parsed from r to the recorder. Blank lines and
+// lines starting with '#' are skipped; a malformed line aborts with an
+// error naming its position.
+func (r *Recorder) Load(src io.Reader) error {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseLine(line)
+		if err != nil {
+			return fmt.Errorf("iotrace: load line %d: %w", lineNo, err)
+		}
+		r.events = append(r.events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("iotrace: load: %w", err)
+	}
+	return nil
+}
+
+func parseLine(line string) (pfs.TraceEvent, error) {
+	var ev pfs.TraceEvent
+	fields := strings.Split(line, "\t")
+	if len(fields) != 9 {
+		return ev, fmt.Errorf("want 9 fields, got %d", len(fields))
+	}
+	ev.FS = fields[0]
+	server, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return ev, fmt.Errorf("server: %w", err)
+	}
+	ev.Server = server
+	switch fields[2] {
+	case "R":
+		ev.Op = device.OpRead
+	case "W":
+		ev.Op = device.OpWrite
+	default:
+		return ev, fmt.Errorf("bad op %q", fields[2])
+	}
+	name, err := strconv.Unquote(fields[3])
+	if err != nil {
+		return ev, fmt.Errorf("file: %w", err)
+	}
+	ev.File = name
+	ints := make([]int64, 5)
+	for i, f := range fields[4:] {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return ev, fmt.Errorf("field %d: %w", i+4, err)
+		}
+		ints[i] = v
+	}
+	ev.LocalOff = ints[0]
+	ev.Size = ints[1]
+	ev.Priority = sim.Priority(ints[2])
+	ev.Start = time.Duration(ints[3])
+	ev.End = time.Duration(ints[4])
+	return ev, nil
+}

@@ -1,0 +1,114 @@
+package iotrace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"s4dcache/internal/device"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	h := r.Hook()
+	h(ev("OPFS", 3, "file with\ttab", device.OpWrite, 100, 200, 10))
+	h(ev("CPFS", 0, "plain", device.OpRead, 0, 50, 20))
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewRecorder()
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d events", loaded.Len())
+	}
+	a, b := r.Events(), loaded.Events()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlank(t *testing.T) {
+	input := "# header comment\n\nOPFS\t0\tW\t\"f\"\t0\t10\t1\t0\t5\n"
+	r := NewRecorder()
+	if err := r.Load(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("loaded %d events", r.Len())
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"OPFS\t0\tW\t\"f\"\t0\t10\t1\t0\n",       // 8 fields
+		"OPFS\tx\tW\t\"f\"\t0\t10\t1\t0\t5\n",    // bad server
+		"OPFS\t0\tQ\t\"f\"\t0\t10\t1\t0\t5\n",    // bad op
+		"OPFS\t0\tW\tunquoted\t0\t10\t1\t0\t5\n", // bad file quoting
+		"OPFS\t0\tW\t\"f\"\tzero\t10\t1\t0\t5\n", // bad int
+	}
+	for _, c := range cases {
+		r := NewRecorder()
+		if err := r.Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("malformed line accepted: %q", c)
+		}
+	}
+}
+
+// Property: Save→Load is the identity for arbitrary event streams.
+func TestSaveLoadIdentityProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 50)
+		r := NewRecorder()
+		h := r.Hook()
+		names := []string{"a", "weird \t name", "ior-00.dat", "日本"}
+		for i := 0; i < n; i++ {
+			op := device.OpWrite
+			if rng.Intn(2) == 0 {
+				op = device.OpRead
+			}
+			h(pfs.TraceEvent{
+				FS:       []string{"OPFS", "CPFS"}[rng.Intn(2)],
+				Server:   rng.Intn(16),
+				Op:       op,
+				File:     names[rng.Intn(len(names))],
+				LocalOff: rng.Int63n(1 << 40),
+				Size:     rng.Int63n(1 << 30),
+				Priority: sim.Priority(rng.Intn(2) + 1),
+				Start:    time.Duration(rng.Int63n(1 << 50)),
+				End:      time.Duration(rng.Int63n(1 << 50)),
+			})
+		}
+		var buf bytes.Buffer
+		if r.Save(&buf) != nil {
+			return false
+		}
+		loaded := NewRecorder()
+		if loaded.Load(&buf) != nil {
+			return false
+		}
+		if loaded.Len() != r.Len() {
+			return false
+		}
+		a, b := r.Events(), loaded.Events()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package kvstore
+
+import "fmt"
+
+// Batch is an atomic group of mutations: either every operation in the
+// batch survives a crash, or none does. The batch is framed as a single
+// WAL record (opBatch) whose payload is the concatenated sub-records, so
+// a torn tail can never apply half a batch. Berkeley DB offers the same
+// through transactions; the DMT uses batches for multi-fragment mapping
+// updates.
+type Batch struct {
+	store   *Store
+	payload []byte
+	count   int
+	ops     []logRecord
+}
+
+type logRecord struct {
+	op  byte
+	key string
+	val []byte
+}
+
+// NewBatch starts an empty batch against the store.
+func (s *Store) NewBatch() *Batch {
+	return &Batch{store: s}
+}
+
+// Put queues a put.
+func (b *Batch) Put(key string, val []byte) {
+	b.payload = append(b.payload, encodeRecord(opPut, key, val)...)
+	b.ops = append(b.ops, logRecord{op: opPut, key: key, val: append([]byte(nil), val...)})
+	b.count++
+}
+
+// Delete queues a delete.
+func (b *Batch) Delete(key string) {
+	b.payload = append(b.payload, encodeRecord(opDel, key, nil)...)
+	b.ops = append(b.ops, logRecord{op: opDel, key: key})
+	b.count++
+}
+
+// Len returns the number of queued operations.
+func (b *Batch) Len() int { return b.count }
+
+// Commit atomically applies the batch. An empty batch is a no-op. The
+// batch must not be reused after Commit.
+func (b *Batch) Commit() error {
+	if b.count == 0 {
+		return nil
+	}
+	s := b.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := encodeRecord(opBatch, "", b.payload)
+	if err := s.commitLocked(rec); err != nil {
+		return fmt.Errorf("kvstore: batch commit: %w", err)
+	}
+	for _, op := range b.ops {
+		s.applyLocked(op.op, op.key, op.val)
+		switch op.op {
+		case opPut:
+			s.puts++
+		case opDel:
+			s.dels++
+		}
+	}
+	b.payload = nil
+	b.ops = nil
+	b.count = 0
+	return nil
+}

@@ -1,0 +1,68 @@
+package kvstore
+
+import "sync"
+
+// LockManager provides exclusive per-key locks, modelling the lock service
+// the paper borrows from Berkeley DB for concurrent DMT access by multiple
+// application processes (§III.D). Locks are not reentrant.
+type LockManager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	held  map[string]bool
+	waits uint64
+}
+
+// NewLockManager returns an empty lock manager.
+func NewLockManager() *LockManager {
+	lm := &LockManager{held: make(map[string]bool)}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// Lock blocks until the exclusive lock on key is acquired.
+func (lm *LockManager) Lock(key string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for lm.held[key] {
+		lm.waits++
+		lm.cond.Wait()
+	}
+	lm.held[key] = true
+}
+
+// TryLock acquires the lock on key if free and reports success.
+func (lm *LockManager) TryLock(key string) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if lm.held[key] {
+		return false
+	}
+	lm.held[key] = true
+	return true
+}
+
+// Unlock releases the lock on key. Unlocking a free key is a no-op.
+func (lm *LockManager) Unlock(key string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if !lm.held[key] {
+		return
+	}
+	delete(lm.held, key)
+	lm.cond.Broadcast()
+}
+
+// Waits returns how many times a Lock call had to wait — the contention
+// counter surfaced in overhead reports.
+func (lm *LockManager) Waits() uint64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.waits
+}
+
+// Held returns the number of currently held locks.
+func (lm *LockManager) Held() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.held)
+}

@@ -1,0 +1,255 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SyncMode selects commit durability.
+type SyncMode int
+
+const (
+	// SyncEvery makes every mutation durable before returning — the
+	// paper's choice: "changes to the mapping table are synchronously
+	// written to the storage in order to survive power failures" (§III.D).
+	SyncEvery SyncMode = iota + 1
+	// SyncBatched buffers mutations and flushes them on Flush/Compact/
+	// Close, trading durability for latency (used by ablations).
+	SyncBatched
+)
+
+// Options configures a Store.
+type Options struct {
+	// Sync selects the commit mode; the zero value means SyncEvery.
+	Sync SyncMode
+	// CommitHook, if non-nil, observes the byte size of every durable
+	// append. The S4D core uses it to charge DMT persistence I/O to the
+	// simulated CServers.
+	CommitHook func(bytes int)
+}
+
+// Store is a durable hash-table key-value store.
+type Store struct {
+	mu      sync.Mutex
+	backend Backend
+	name    string
+	opts    Options
+	data    map[string][]byte
+	pending []byte
+	locks   *LockManager
+
+	// Stats.
+	puts, gets, dels uint64
+	walBytes         int64
+	recovered        int
+}
+
+// walName and snapName derive the backend file names of a store.
+func walName(name string) string  { return name + ".wal" }
+func snapName(name string) string { return name + ".snap" }
+
+// Open loads (or creates) the named store on backend: the snapshot is read
+// first, then the write-ahead log is replayed over it.
+func Open(backend Backend, name string, opts Options) (*Store, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("kvstore: backend is required")
+	}
+	if opts.Sync == 0 {
+		opts.Sync = SyncEvery
+	}
+	s := &Store{
+		backend: backend,
+		name:    name,
+		opts:    opts,
+		data:    make(map[string][]byte),
+		locks:   NewLockManager(),
+	}
+	snap, err := backend.ReadAll(snapName(name))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: read snapshot: %w", err)
+	}
+	replay(snap, s.applyLocked)
+	wal, err := backend.ReadAll(walName(name))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: read wal: %w", err)
+	}
+	s.recovered = replay(wal, s.applyLocked)
+	return s, nil
+}
+
+func (s *Store) applyLocked(op byte, key string, val []byte) {
+	switch op {
+	case opPut:
+		s.data[key] = val
+	case opDel:
+		delete(s.data, key)
+	}
+}
+
+// Put stores val under key.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	rec := encodeRecord(opPut, key, val)
+	if err := s.commitLocked(rec); err != nil {
+		return err
+	}
+	s.data[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Get returns the value for key and whether it exists. The returned slice
+// is a copy.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Delete removes key; deleting a missing key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dels++
+	if _, ok := s.data[key]; !ok {
+		return nil
+	}
+	rec := encodeRecord(opDel, key, nil)
+	if err := s.commitLocked(rec); err != nil {
+		return err
+	}
+	delete(s.data, key)
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Keys returns all keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scan calls fn for every key/value with the given prefix, in sorted key
+// order. The value slice must not be retained.
+func (s *Store) Scan(prefix string, fn func(key string, val []byte) bool) {
+	for _, k := range s.Keys(prefix) {
+		s.mu.Lock()
+		v, ok := s.data[k]
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Flush forces buffered (SyncBatched) mutations to the backend.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+// Compact writes a full snapshot and truncates the write-ahead log.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var snap []byte
+	for _, k := range keys {
+		snap = append(snap, encodeRecord(opPut, k, s.data[k])...)
+	}
+	if err := s.backend.Replace(snapName(s.name), snap); err != nil {
+		return fmt.Errorf("kvstore: compact: %w", err)
+	}
+	if err := s.backend.Remove(walName(s.name)); err != nil {
+		return fmt.Errorf("kvstore: truncate wal: %w", err)
+	}
+	s.walBytes = 0
+	return nil
+}
+
+// Close flushes pending mutations. The store must not be used afterwards.
+func (s *Store) Close() error { return s.Flush() }
+
+// Locks returns the store's per-key lock manager (the paper leverages
+// Berkeley DB "to perform metadata operations and address lock
+// contentions", §III.D).
+func (s *Store) Locks() *LockManager { return s.locks }
+
+// StoreStats is a snapshot of store counters.
+type StoreStats struct {
+	Puts, Gets, Deletes uint64
+	Keys                int
+	WALBytes            int64
+	RecoveredRecords    int
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Puts: s.puts, Gets: s.gets, Deletes: s.dels,
+		Keys: len(s.data), WALBytes: s.walBytes, RecoveredRecords: s.recovered,
+	}
+}
+
+func (s *Store) commitLocked(rec []byte) error {
+	if s.opts.Sync == SyncBatched {
+		s.pending = append(s.pending, rec...)
+		return nil
+	}
+	return s.appendLocked(rec)
+}
+
+func (s *Store) flushLocked() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	rec := s.pending
+	s.pending = nil
+	return s.appendLocked(rec)
+}
+
+func (s *Store) appendLocked(rec []byte) error {
+	if err := s.backend.Append(walName(s.name), rec); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	s.walBytes += int64(len(rec))
+	if s.opts.CommitHook != nil {
+		s.opts.CommitHook(len(rec))
+	}
+	return nil
+}

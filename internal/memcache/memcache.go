@@ -1,0 +1,247 @@
+// Package memcache implements the paper's stated future work (§II.B):
+// "SSDs are a complement of memory cache and can be served as an
+// extension of memory cache... The integration of memory cache and
+// S4D-Cache will be an interesting topic for future study."
+//
+// It provides a client-side, page-granular, write-through LRU memory
+// cache as an mpiio.Transport wrapper, so it layers over either the stock
+// system or S4D-Cache: reads that fully hit memory complete at memory
+// latency; everything else flows to the layer below (and read completions
+// populate the cache). Writes are write-through: cached pages are updated
+// in place, and the write always proceeds below (no dirty state in
+// volatile memory — the paper's §II.B reliability argument).
+package memcache
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"s4dcache/internal/mpiio"
+	"s4dcache/internal/sim"
+)
+
+// Config sizes the cache.
+type Config struct {
+	// Engine is the shared virtual clock.
+	Engine *sim.Engine
+	// Below is the transport being cached (StockTransport or core.S4D).
+	Below mpiio.Transport
+	// CapacityBytes bounds the cached payload.
+	CapacityBytes int64
+	// PageSize is the caching granularity; the zero value means 64 KB.
+	PageSize int64
+	// HitLatency is charged per fully-hit read; the zero value means 5µs
+	// (a memcpy plus bookkeeping, vastly below any device time).
+	HitLatency time.Duration
+}
+
+// Cache is the memory-cache transport. Use New.
+type Cache struct {
+	eng        *sim.Engine
+	below      mpiio.Transport
+	pageSize   int64
+	maxPages   int
+	hitLatency time.Duration
+
+	lru   *list.List // front = most recent
+	pages map[pageKey]*list.Element
+
+	// Stats.
+	Hits, Misses, Inserts, Evictions, WriteThroughs uint64
+}
+
+type pageKey struct {
+	file string
+	page int64
+}
+
+type pageEntry struct {
+	key  pageKey
+	data []byte // nil when only presence is tracked (performance mode)
+}
+
+var _ mpiio.Transport = (*Cache)(nil)
+
+// New builds a memory cache over below.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("memcache: engine is required")
+	}
+	if cfg.Below == nil {
+		return nil, fmt.Errorf("memcache: below transport is required")
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 64 << 10
+	}
+	if cfg.CapacityBytes < cfg.PageSize {
+		return nil, fmt.Errorf("memcache: capacity %d below one page (%d)", cfg.CapacityBytes, cfg.PageSize)
+	}
+	if cfg.HitLatency <= 0 {
+		cfg.HitLatency = 5 * time.Microsecond
+	}
+	return &Cache{
+		eng:        cfg.Engine,
+		below:      cfg.Below,
+		pageSize:   cfg.PageSize,
+		maxPages:   int(cfg.CapacityBytes / cfg.PageSize),
+		hitLatency: cfg.HitLatency,
+		lru:        list.New(),
+		pages:      make(map[pageKey]*list.Element),
+	}, nil
+}
+
+// Pages returns the number of resident pages.
+func (c *Cache) Pages() int { return c.lru.Len() }
+
+// Read implements mpiio.Transport: a read whose pages are all resident is
+// served from memory; otherwise it goes below and its fully-covered pages
+// are inserted on completion.
+func (c *Cache) Read(rank int, file string, off, size int64, buf []byte, done func()) error {
+	if off < 0 || size < 0 {
+		return fmt.Errorf("memcache: invalid range off=%d size=%d", off, size)
+	}
+	if size == 0 {
+		c.eng.After(0, done)
+		return nil
+	}
+	first := off / c.pageSize
+	last := (off + size - 1) / c.pageSize
+	if c.allResident(file, first, last) {
+		c.Hits++
+		if buf != nil {
+			c.fill(file, off, buf)
+		}
+		c.touchRange(file, first, last)
+		c.eng.After(c.hitLatency, done)
+		return nil
+	}
+	c.Misses++
+	return c.below.Read(rank, file, off, size, buf, func() {
+		c.insertCovered(file, off, size, buf)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Write implements mpiio.Transport: write-through. Resident pages are
+// updated (payload mode) or invalidated (metadata-only mode); the write
+// always proceeds below.
+func (c *Cache) Write(rank int, file string, off, size int64, data []byte, done func()) error {
+	if off < 0 || size < 0 {
+		return fmt.Errorf("memcache: invalid range off=%d size=%d", off, size)
+	}
+	c.WriteThroughs++
+	if size > 0 {
+		first := off / c.pageSize
+		last := (off + size - 1) / c.pageSize
+		for p := first; p <= last; p++ {
+			el, ok := c.pages[pageKey{file: file, page: p}]
+			if !ok {
+				continue
+			}
+			entry := el.Value.(*pageEntry)
+			if data == nil || entry.data == nil {
+				// Cannot update content: invalidate to stay coherent.
+				c.removePage(el)
+				continue
+			}
+			c.overlay(entry, p, off, data)
+			c.lru.MoveToFront(el)
+		}
+	}
+	return c.below.Write(rank, file, off, size, data, done)
+}
+
+func (c *Cache) allResident(file string, first, last int64) bool {
+	for p := first; p <= last; p++ {
+		if _, ok := c.pages[pageKey{file: file, page: p}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cache) touchRange(file string, first, last int64) {
+	for p := first; p <= last; p++ {
+		if el, ok := c.pages[pageKey{file: file, page: p}]; ok {
+			c.lru.MoveToFront(el)
+		}
+	}
+}
+
+// fill copies resident page bytes into buf for [off, off+len(buf)).
+func (c *Cache) fill(file string, off int64, buf []byte) {
+	pos := off
+	out := buf
+	for len(out) > 0 {
+		p := pos / c.pageSize
+		intra := pos % c.pageSize
+		n := c.pageSize - intra
+		if n > int64(len(out)) {
+			n = int64(len(out))
+		}
+		el := c.pages[pageKey{file: file, page: p}]
+		entry := el.Value.(*pageEntry)
+		if entry.data != nil {
+			copy(out[:n], entry.data[intra:intra+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				out[i] = 0
+			}
+		}
+		out = out[n:]
+		pos += n
+	}
+}
+
+// insertCovered caches every page fully covered by the completed read.
+func (c *Cache) insertCovered(file string, off, size int64, buf []byte) {
+	end := off + size
+	first := off / c.pageSize
+	if off%c.pageSize != 0 {
+		first++ // partial head page not fully covered
+	}
+	lastExclusive := end / c.pageSize // page fully covered iff its end <= request end
+	for p := first; p < lastExclusive; p++ {
+		key := pageKey{file: file, page: p}
+		if el, ok := c.pages[key]; ok {
+			c.lru.MoveToFront(el)
+			continue
+		}
+		entry := &pageEntry{key: key}
+		if buf != nil {
+			pageStart := p*c.pageSize - off
+			entry.data = append([]byte(nil), buf[pageStart:pageStart+c.pageSize]...)
+		}
+		el := c.lru.PushFront(entry)
+		c.pages[key] = el
+		c.Inserts++
+		if c.lru.Len() > c.maxPages {
+			c.removePage(c.lru.Back())
+			c.Evictions++
+		}
+	}
+}
+
+// overlay applies the overlapping part of a write payload to a resident
+// page.
+func (c *Cache) overlay(entry *pageEntry, page, off int64, data []byte) {
+	pageStart := page * c.pageSize
+	lo := pageStart
+	if off > lo {
+		lo = off
+	}
+	hi := pageStart + c.pageSize
+	if end := off + int64(len(data)); end < hi {
+		hi = end
+	}
+	copy(entry.data[lo-pageStart:hi-pageStart], data[lo-off:hi-off])
+}
+
+func (c *Cache) removePage(el *list.Element) {
+	entry := el.Value.(*pageEntry)
+	c.lru.Remove(el)
+	delete(c.pages, entry.key)
+}

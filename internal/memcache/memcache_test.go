@@ -1,0 +1,301 @@
+package memcache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"s4dcache/internal/chunkstore"
+	"s4dcache/internal/device"
+	"s4dcache/internal/mpiio"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+func newCached(t *testing.T, capacity, page int64) (*Cache, *pfs.FS, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fs, err := pfs.New(pfs.Config{
+		Label:  "OPFS",
+		Layout: pfs.Layout{Servers: 4, StripeSize: 64 << 10},
+		Engine: eng,
+		NewDevice: func(i int) device.Device {
+			p := device.DefaultHDDParams()
+			p.Seed = int64(i + 1)
+			return device.NewHDD(p)
+		},
+		NewStore: func(int) chunkstore.Store { return chunkstore.NewSparse() },
+		Net:      netmodel.Gigabit(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Engine: eng, Below: mpiio.StockTransport{FS: fs},
+		CapacityBytes: capacity, PageSize: page,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fs, eng
+}
+
+func runOp(eng *sim.Engine, op func(done func()) error) error {
+	finished := false
+	if err := op(func() { finished = true }); err != nil {
+		return err
+	}
+	eng.RunWhile(func() bool { return !finished })
+	return nil
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(Config{Below: nil, Engine: eng, CapacityBytes: 1 << 20}); err == nil {
+		t.Fatal("nil below accepted")
+	}
+	if _, err := New(Config{Below: mpiio.StockTransport{}, CapacityBytes: 1 << 20}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := New(Config{Engine: eng, Below: mpiio.StockTransport{}, CapacityBytes: 10, PageSize: 100}); err == nil {
+		t.Fatal("capacity below one page accepted")
+	}
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	c, _, eng := newCached(t, 1<<20, 4<<10)
+	data := bytes.Repeat([]byte{7}, 8<<10)
+	if err := runOp(eng, func(done func()) error {
+		return c.Write(0, "f", 0, 8<<10, data, done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// First read: miss (write-through does not write-allocate).
+	buf := make([]byte, 8<<10)
+	if err := runOp(eng, func(done func()) error {
+		return c.Read(0, "f", 0, 8<<10, buf, done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses != 1 || c.Hits != 0 {
+		t.Fatalf("first read: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("miss read corrupted data")
+	}
+	// Second read: fully resident → hit, fast, correct.
+	start := eng.Now()
+	buf2 := make([]byte, 8<<10)
+	if err := runOp(eng, func(done func()) error {
+		return c.Read(0, "f", 0, 8<<10, buf2, done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits != 1 {
+		t.Fatalf("second read not a hit: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if !bytes.Equal(buf2, data) {
+		t.Fatal("hit read corrupted data")
+	}
+	if eng.Now()-start > time.Millisecond {
+		t.Fatalf("hit took %v, want memory latency", eng.Now()-start)
+	}
+}
+
+func TestWriteThroughUpdatesResidentPages(t *testing.T) {
+	c, fs, eng := newCached(t, 1<<20, 4<<10)
+	initial := bytes.Repeat([]byte{1}, 8<<10)
+	if err := runOp(eng, func(done func()) error {
+		return c.Write(0, "f", 0, 8<<10, initial, done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Populate the cache via a read.
+	if err := runOp(eng, func(done func()) error {
+		return c.Read(0, "f", 0, 8<<10, make([]byte, 8<<10), done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the middle through the cache.
+	patch := bytes.Repeat([]byte{9}, 2<<10)
+	if err := runOp(eng, func(done func()) error {
+		return c.Write(0, "f", 3<<10, 2<<10, patch, done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A cache-hit read must see the new bytes.
+	buf := make([]byte, 8<<10)
+	if err := runOp(eng, func(done func()) error {
+		return c.Read(0, "f", 0, 8<<10, buf, done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits == 0 {
+		t.Fatal("post-update read was not a hit")
+	}
+	want := append([]byte{}, initial...)
+	copy(want[3<<10:5<<10], patch)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("write-through did not update resident pages")
+	}
+	// And the layer below saw the write too (write-through).
+	below := make([]byte, 8<<10)
+	if err := fs.Read("f", 0, 8<<10, sim.PriorityHigh, below, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !bytes.Equal(below, want) {
+		t.Fatal("write did not reach the layer below")
+	}
+}
+
+func TestNilPayloadWriteInvalidates(t *testing.T) {
+	c, _, eng := newCached(t, 1<<20, 4<<10)
+	if err := runOp(eng, func(done func()) error {
+		return c.Read(0, "f", 0, 8<<10, make([]byte, 8<<10), done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pages() == 0 {
+		t.Fatal("setup: nothing cached")
+	}
+	// A metadata-only write overlapping the pages must invalidate them.
+	if err := runOp(eng, func(done func()) error {
+		return c.Write(0, "f", 0, 4<<10, nil, done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pages() != 1 {
+		t.Fatalf("Pages = %d, want 1 (first page invalidated)", c.Pages())
+	}
+}
+
+func TestPartialPagesNotCached(t *testing.T) {
+	c, _, eng := newCached(t, 1<<20, 4<<10)
+	// Read [1KB, 9KB): covers page 0 partially, page 1 fully, page 2
+	// partially → only page 1 is inserted.
+	if err := runOp(eng, func(done func()) error {
+		return c.Read(0, "f", 1<<10, 8<<10, make([]byte, 8<<10), done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pages() != 1 {
+		t.Fatalf("Pages = %d, want 1", c.Pages())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _, eng := newCached(t, 16<<10, 4<<10) // 4 pages
+	for i := int64(0); i < 8; i++ {
+		if err := runOp(eng, func(done func()) error {
+			return c.Read(0, "f", i*4<<10, 4<<10, nil, done)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Pages() > 4 {
+		t.Fatalf("Pages = %d exceeds capacity", c.Pages())
+	}
+	if c.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// The oldest page (0) is gone: re-reading it is a miss.
+	before := c.Misses
+	if err := runOp(eng, func(done func()) error {
+		return c.Read(0, "f", 0, 4<<10, nil, done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses != before+1 {
+		t.Fatal("evicted page still resident")
+	}
+}
+
+func TestZeroSizeAndValidation(t *testing.T) {
+	c, _, eng := newCached(t, 1<<20, 4<<10)
+	done := false
+	if err := c.Read(0, "f", 0, 0, nil, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("zero-size read never completed")
+	}
+	if err := c.Read(0, "f", -1, 10, nil, nil); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := c.Write(0, "f", 0, -1, nil, nil); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+// Property: reads through the cache always return exactly what was
+// written, under random interleavings of reads and writes.
+func TestCacheCoherenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _, eng := newCachedQuiet(seed)
+		const space = 64 << 10
+		ref := make([]byte, space)
+		for i := 0; i < 30; i++ {
+			off := rng.Int63n(space - 1)
+			size := rng.Int63n(minI64(16<<10, space-off)) + 1
+			if rng.Intn(2) == 0 {
+				data := make([]byte, size)
+				rng.Read(data)
+				if runOp(eng, func(done func()) error {
+					return c.Write(0, "f", off, size, data, done)
+				}) != nil {
+					return false
+				}
+				copy(ref[off:off+size], data)
+			} else {
+				buf := make([]byte, size)
+				if runOp(eng, func(done func()) error {
+					return c.Read(0, "f", off, size, buf, done)
+				}) != nil {
+					return false
+				}
+				if !bytes.Equal(buf, ref[off:off+size]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newCachedQuiet builds a cache without *testing.T, for property bodies.
+func newCachedQuiet(seed int64) (*Cache, *pfs.FS, *sim.Engine) {
+	eng := sim.NewEngine()
+	fs, _ := pfs.New(pfs.Config{
+		Label:  "OPFS",
+		Layout: pfs.Layout{Servers: 2, StripeSize: 8 << 10},
+		Engine: eng,
+		NewDevice: func(i int) device.Device {
+			p := device.DefaultHDDParams()
+			p.Seed = seed + int64(i)
+			return device.NewHDD(p)
+		},
+		NewStore: func(int) chunkstore.Store { return chunkstore.NewSparse() },
+		Net:      netmodel.Zero(),
+	})
+	c, _ := New(Config{
+		Engine: eng, Below: mpiio.StockTransport{FS: fs},
+		CapacityBytes: 32 << 10, PageSize: 4 << 10,
+	})
+	return c, fs, eng
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

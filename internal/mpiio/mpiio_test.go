@@ -1,0 +1,354 @@
+package mpiio
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"s4dcache/internal/chunkstore"
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+func newStockComm(t *testing.T, ranks int) (*Comm, *pfs.FS, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fs, err := pfs.New(pfs.Config{
+		Label:  "OPFS",
+		Layout: pfs.Layout{Servers: 4, StripeSize: 64 << 10},
+		Engine: eng,
+		NewDevice: func(i int) device.Device {
+			p := device.DefaultHDDParams()
+			p.Seed = int64(i + 1)
+			return device.NewHDD(p)
+		},
+		NewStore: func(int) chunkstore.Store { return chunkstore.NewSparse() },
+		Net:      netmodel.Gigabit(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := NewComm(eng, ranks, StockTransport{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comm, fs, eng
+}
+
+func TestNewCommValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewComm(nil, 4, StockTransport{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewComm(eng, 0, StockTransport{}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewComm(eng, 4, nil); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+}
+
+func TestWriteAtReadAtRoundTrip(t *testing.T) {
+	comm, _, eng := newStockComm(t, 4)
+	f := comm.Open("data")
+	payload := []byte("mpi-io layer round trip")
+	if err := f.WriteAt(2, 1000, int64(len(payload)), payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	got := make([]byte, len(payload))
+	if err := f.ReadAt(3, 1000, int64(len(payload)), got, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestFilePointerSemantics(t *testing.T) {
+	comm, _, eng := newStockComm(t, 2)
+	f := comm.Open("data")
+	// Rank 0 writes two records via the implicit pointer.
+	if err := f.Write(0, 10, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(0, 10, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tell(0) != 20 {
+		t.Fatalf("Tell(0) = %d, want 20", f.Tell(0))
+	}
+	// Rank 1's pointer is independent.
+	if f.Tell(1) != 0 {
+		t.Fatalf("Tell(1) = %d, want 0", f.Tell(1))
+	}
+	if err := f.Seek(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(0, 5, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tell(0) != 105 {
+		t.Fatalf("Tell after seek+read = %d, want 105", f.Tell(0))
+	}
+	eng.Run()
+}
+
+func TestFileValidation(t *testing.T) {
+	comm, _, _ := newStockComm(t, 2)
+	f := comm.Open("data")
+	if err := f.WriteAt(5, 0, 10, nil, nil); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if err := f.Seek(0, -1); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	f.Close()
+	if err := f.WriteAt(0, 0, 10, nil, nil); err == nil {
+		t.Fatal("I/O on closed file accepted")
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	comm, _, _ := newStockComm(t, 1)
+	f := comm.Open("data")
+	if err := f.SetView(0, View{BlockLen: 0, Stride: 10}); err == nil {
+		t.Fatal("zero block length accepted")
+	}
+	if err := f.SetView(0, View{BlockLen: 20, Stride: 10}); err == nil {
+		t.Fatal("stride < block accepted")
+	}
+	if err := f.SetView(0, View{Disp: -1, BlockLen: 5, Stride: 10}); err == nil {
+		t.Fatal("negative disp accepted")
+	}
+	if err := f.ReadStrided(0, 4, ListIO, nil); err == nil {
+		t.Fatal("strided read without view accepted")
+	}
+}
+
+func TestViewSpans(t *testing.T) {
+	v := View{Disp: 100, BlockLen: 8, Stride: 32, Count: 3}
+	spans := v.Spans(0, 5) // capped at Count
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	want := []Span{{100, 8}, {132, 8}, {164, 8}}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+	if got := v.Spans(2, 5); len(got) != 1 || got[0].Off != 164 {
+		t.Fatalf("offset spans = %+v", got)
+	}
+	if got := v.Spans(0, 0); got != nil {
+		t.Fatal("zero-count spans not nil")
+	}
+}
+
+func TestStridedListIO(t *testing.T) {
+	comm, fs, eng := newStockComm(t, 1)
+	f := comm.Open("data")
+	if err := f.SetView(0, View{Disp: 0, BlockLen: 8 << 10, Stride: 12 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := f.WriteStrided(0, 4, ListIO, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("strided write never completed")
+	}
+	st := fs.Stats()
+	if st.Requests != 4 {
+		t.Fatalf("ListIO issued %d requests, want 4", st.Requests)
+	}
+	if st.BytesWritten != 4*8<<10 {
+		t.Fatalf("ListIO wrote %d bytes, want %d", st.BytesWritten, 4*8<<10)
+	}
+	// View position advanced.
+	if f.Tell(0) != 4 {
+		t.Fatalf("view position = %d, want 4", f.Tell(0))
+	}
+}
+
+func TestStridedDataSievingRead(t *testing.T) {
+	comm, fs, eng := newStockComm(t, 1)
+	f := comm.Open("data")
+	if err := f.SetView(0, View{Disp: 0, BlockLen: 8 << 10, Stride: 12 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := f.ReadStrided(0, 4, DataSieving, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("sieving read never completed")
+	}
+	st := fs.Stats()
+	if st.Requests != 1 {
+		t.Fatalf("sieving issued %d requests, want 1", st.Requests)
+	}
+	// Span = 3 strides + final block = 3*12K + 8K = 44K, including holes.
+	if st.BytesRead != 44<<10 {
+		t.Fatalf("sieving read %d bytes, want %d (holes included)", st.BytesRead, 44<<10)
+	}
+}
+
+func TestStridedDataSievingWriteIsRMW(t *testing.T) {
+	comm, fs, eng := newStockComm(t, 1)
+	f := comm.Open("data")
+	if err := f.SetView(0, View{Disp: 0, BlockLen: 8 << 10, Stride: 12 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteStrided(0, 4, DataSieving, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	st := fs.Stats()
+	if st.BytesRead != 44<<10 || st.BytesWritten != 44<<10 {
+		t.Fatalf("RMW traffic read=%d written=%d, want 44K each", st.BytesRead, st.BytesWritten)
+	}
+}
+
+func TestStridedZeroBlocksCompletes(t *testing.T) {
+	comm, _, eng := newStockComm(t, 1)
+	f := comm.Open("data")
+	if err := f.SetView(0, View{BlockLen: 8, Stride: 16, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Consume the whole view, then request more: must complete immediately.
+	if err := f.ReadStrided(0, 2, ListIO, nil); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	if err := f.ReadStrided(0, 2, ListIO, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("exhausted-view read never completed")
+	}
+}
+
+func TestMergeSpans(t *testing.T) {
+	got := mergeSpans([]Span{{20, 10}, {0, 10}, {10, 10}, {50, 5}, {52, 3}})
+	want := []Span{{0, 30}, {50, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("mergeSpans = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeSpans = %+v, want %+v", got, want)
+		}
+	}
+	if mergeSpans(nil) != nil {
+		t.Fatal("mergeSpans(nil) != nil")
+	}
+}
+
+func TestCollectiveWriteAggregates(t *testing.T) {
+	comm, fs, eng := newStockComm(t, 4)
+	f := comm.Open("data")
+	// Four ranks write interleaved 16KB blocks covering 0..256KB — the
+	// merged result is one contiguous 256KB run.
+	perRank := make([][]Span, 4)
+	const block = 16 << 10
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 4; i++ {
+			off := int64((i*4 + r)) * block
+			perRank[r] = append(perRank[r], Span{Off: off, Len: block})
+		}
+	}
+	done := false
+	if err := f.CollectiveWrite(perRank, CollectiveConfig{Aggregators: 2}, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("collective write never completed")
+	}
+	st := fs.Stats()
+	if st.Requests != 1 {
+		t.Fatalf("collective issued %d file requests, want 1 (fully merged)", st.Requests)
+	}
+	if st.BytesWritten != 16*block {
+		t.Fatalf("collective wrote %d bytes", st.BytesWritten)
+	}
+}
+
+func TestCollectiveReadWithHoles(t *testing.T) {
+	comm, fs, eng := newStockComm(t, 2)
+	f := comm.Open("data")
+	perRank := [][]Span{
+		{{0, 100}, {300, 100}},
+		{{100, 100}, {600, 100}},
+	}
+	// Merged runs: [0,200), [300,400), [600,700) → 3 requests, 400 bytes.
+	if err := f.CollectiveRead(perRank, CollectiveConfig{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if st := fs.Stats(); st.Requests != 3 || st.BytesRead != 400 {
+		t.Fatalf("collective read stats = %+v", st)
+	}
+}
+
+func TestCollectiveEmptyCompletes(t *testing.T) {
+	comm, _, eng := newStockComm(t, 2)
+	f := comm.Open("data")
+	done := false
+	if err := f.CollectiveWrite([][]Span{nil, nil}, CollectiveConfig{}, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("empty collective never completed")
+	}
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	comm, _, _ := newStockComm(t, 2)
+	f := comm.Open("data")
+	if err := f.CollectiveWrite(make([][]Span, 5), CollectiveConfig{}, nil); err == nil {
+		t.Fatal("too many rank lists accepted")
+	}
+	f.Close()
+	if err := f.CollectiveWrite(nil, CollectiveConfig{}, nil); err == nil {
+		t.Fatal("collective on closed file accepted")
+	}
+}
+
+func TestCollectiveShuffleCostDelaysIO(t *testing.T) {
+	run := func(shuffle netmodel.Params) time.Duration {
+		comm, _, eng := newStockComm(t, 2)
+		f := comm.Open("data")
+		var end time.Duration
+		if err := f.CollectiveWrite([][]Span{{{0, 1 << 20}}, {{1 << 20, 1 << 20}}},
+			CollectiveConfig{Aggregators: 1, Shuffle: shuffle},
+			func() { end = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return end
+	}
+	free := run(netmodel.Params{})
+	paid := run(netmodel.Gigabit())
+	if paid <= free {
+		t.Fatalf("shuffle cost not charged: %v vs %v", paid, free)
+	}
+}
+
+func TestExchangeCost(t *testing.T) {
+	if exchangeCost(netmodel.Params{}, 1<<20) != 0 {
+		t.Fatal("zero network should be free")
+	}
+	if exchangeCost(netmodel.Gigabit(), 1<<20) == 0 {
+		t.Fatal("gigabit exchange should cost time")
+	}
+}

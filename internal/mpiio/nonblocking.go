@@ -1,0 +1,126 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"s4dcache/internal/sim"
+)
+
+// Request is a nonblocking-operation handle (the MPI_Request analogue).
+// Completion is observed with Done or awaited by driving the engine:
+//
+//	req, _ := f.IWriteAt(rank, off, size, nil)
+//	comm.Engine().RunWhile(func() bool { return !req.Done() })
+type Request struct {
+	done bool
+}
+
+// Done reports whether the operation has completed (MPI_Test).
+func (r *Request) Done() bool { return r.done }
+
+// AllDone reports whether every request has completed (MPI_Testall).
+func AllDone(reqs ...*Request) bool {
+	for _, r := range reqs {
+		if r != nil && !r.done {
+			return false
+		}
+	}
+	return true
+}
+
+// IReadAt starts a nonblocking read at an explicit offset
+// (MPI_File_iread_at).
+func (f *File) IReadAt(rank int, off, size int64, buf []byte) (*Request, error) {
+	req := &Request{}
+	if err := f.ReadAt(rank, off, size, buf, func() { req.done = true }); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// IWriteAt starts a nonblocking write at an explicit offset
+// (MPI_File_iwrite_at).
+func (f *File) IWriteAt(rank int, off, size int64, data []byte) (*Request, error) {
+	req := &Request{}
+	if err := f.WriteAt(rank, off, size, data, func() { req.done = true }); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// SharedOffset returns the shared file pointer (one per file, all ranks).
+func (f *File) SharedOffset() int64 { return f.shared }
+
+// WriteShared appends size bytes at the shared file pointer and advances
+// it atomically (MPI_File_write_shared): concurrent callers receive
+// disjoint regions in issue order.
+func (f *File) WriteShared(rank int, size int64, data []byte, done func()) error {
+	if err := f.check(rank); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("mpiio: negative shared write size %d", size)
+	}
+	off := f.shared
+	f.shared += size
+	return f.comm.transport.Write(rank, f.name, off, size, data, done)
+}
+
+// ReadShared reads size bytes at the shared file pointer and advances it
+// (MPI_File_read_shared).
+func (f *File) ReadShared(rank int, size int64, buf []byte, done func()) error {
+	if err := f.check(rank); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("mpiio: negative shared read size %d", size)
+	}
+	off := f.shared
+	f.shared += size
+	return f.comm.transport.Read(rank, f.name, off, size, buf, done)
+}
+
+// WriteSpans issues an indexed-datatype write: an explicit span list, as
+// List I/O (one request per span, reference [19]) or merged into minimal
+// contiguous runs first (the datatype-flattening optimization of Datatype
+// I/O, reference [7]). done runs when every span completes.
+func (f *File) WriteSpans(rank int, spans []Span, merge bool, done func()) error {
+	return f.spansOp(rank, spans, merge, done, true)
+}
+
+// ReadSpans is the read-side indexed-datatype operation.
+func (f *File) ReadSpans(rank int, spans []Span, merge bool, done func()) error {
+	return f.spansOp(rank, spans, merge, done, false)
+}
+
+func (f *File) spansOp(rank int, spans []Span, merge bool, done func(), isWrite bool) error {
+	if err := f.check(rank); err != nil {
+		return err
+	}
+	for _, sp := range spans {
+		if sp.Off < 0 || sp.Len < 0 {
+			return fmt.Errorf("mpiio: invalid span %+v", sp)
+		}
+	}
+	work := spans
+	if merge {
+		work = mergeSpans(spans)
+	}
+	if len(work) == 0 {
+		f.comm.eng.After(0, done)
+		return nil
+	}
+	join := sim.NewJoin(len(work), done)
+	for _, sp := range work {
+		var err error
+		if isWrite {
+			err = f.comm.transport.Write(rank, f.name, sp.Off, sp.Len, nil, join.Done)
+		} else {
+			err = f.comm.transport.Read(rank, f.name, sp.Off, sp.Len, nil, join.Done)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package mpiio
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNonblockingRequests(t *testing.T) {
+	comm, _, eng := newStockComm(t, 2)
+	f := comm.Open("data")
+	payload := []byte("async payload")
+	w, err := f.IWriteAt(0, 100, int64(len(payload)), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Done() {
+		t.Fatal("request done before the engine ran")
+	}
+	eng.RunWhile(func() bool { return !w.Done() })
+	if !w.Done() {
+		t.Fatal("write request never completed")
+	}
+	buf := make([]byte, len(payload))
+	r, err := f.IReadAt(1, 100, int64(len(buf)), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunWhile(func() bool { return !AllDone(r) })
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("nonblocking round trip corrupted data")
+	}
+}
+
+func TestAllDone(t *testing.T) {
+	a, b := &Request{}, &Request{}
+	if AllDone(a, b) {
+		t.Fatal("pending requests reported done")
+	}
+	a.done = true
+	if AllDone(a, b) {
+		t.Fatal("one pending request reported done")
+	}
+	b.done = true
+	if !AllDone(a, b, nil) {
+		t.Fatal("completed requests (with nil) not done")
+	}
+	if !AllDone() {
+		t.Fatal("empty request set not done")
+	}
+}
+
+func TestNonblockingValidation(t *testing.T) {
+	comm, _, _ := newStockComm(t, 1)
+	f := comm.Open("data")
+	if _, err := f.IWriteAt(5, 0, 10, nil); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+	f.Close()
+	if _, err := f.IReadAt(0, 0, 10, nil); err == nil {
+		t.Fatal("closed file accepted")
+	}
+}
+
+func TestSharedPointerDisjointRegions(t *testing.T) {
+	comm, fs, eng := newStockComm(t, 4)
+	f := comm.Open("log")
+	// Four ranks append records through the shared pointer; regions must
+	// be disjoint and in issue order.
+	for r := 0; r < 4; r++ {
+		if err := f.WriteShared(r, 100, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if f.SharedOffset() != 400 {
+		t.Fatalf("shared offset = %d, want 400", f.SharedOffset())
+	}
+	if fs.FileSize("log") != 400 {
+		t.Fatalf("log size = %d, want 400 (overlapping appends?)", fs.FileSize("log"))
+	}
+	// Shared reads continue from the pointer.
+	if err := f.ReadShared(0, 50, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.SharedOffset() != 450 {
+		t.Fatalf("shared offset after read = %d", f.SharedOffset())
+	}
+	if err := f.WriteShared(0, -1, nil, nil); err == nil {
+		t.Fatal("negative shared size accepted")
+	}
+	if err := f.ReadShared(0, -1, nil, nil); err == nil {
+		t.Fatal("negative shared read accepted")
+	}
+}
+
+func TestSpansListIO(t *testing.T) {
+	comm, fs, eng := newStockComm(t, 1)
+	f := comm.Open("data")
+	spans := []Span{{0, 100}, {500, 100}, {100, 100}}
+	done := false
+	if err := f.WriteSpans(0, spans, false, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("span write never completed")
+	}
+	if st := fs.Stats(); st.Requests != 3 || st.BytesWritten != 300 {
+		t.Fatalf("list I/O stats = %+v", st)
+	}
+}
+
+func TestSpansMerged(t *testing.T) {
+	comm, fs, eng := newStockComm(t, 1)
+	f := comm.Open("data")
+	// Adjacent spans merge into one request.
+	spans := []Span{{0, 100}, {100, 100}, {500, 50}}
+	if err := f.ReadSpans(0, spans, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if st := fs.Stats(); st.Requests != 2 || st.BytesRead != 250 {
+		t.Fatalf("merged I/O stats = %+v", st)
+	}
+}
+
+func TestSpansValidationAndEmpty(t *testing.T) {
+	comm, _, eng := newStockComm(t, 1)
+	f := comm.Open("data")
+	if err := f.WriteSpans(0, []Span{{-1, 10}}, false, nil); err == nil {
+		t.Fatal("negative span offset accepted")
+	}
+	if err := f.WriteSpans(0, []Span{{0, -10}}, false, nil); err == nil {
+		t.Fatal("negative span length accepted")
+	}
+	done := false
+	if err := f.WriteSpans(0, nil, true, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("empty span list never completed")
+	}
+}

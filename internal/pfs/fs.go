@@ -1,0 +1,249 @@
+package pfs
+
+import (
+	"fmt"
+	"time"
+
+	"s4dcache/internal/chunkstore"
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/sim"
+)
+
+// TraceEvent describes one completed sub-request at a file server. The
+// iotrace package aggregates these into the paper's IOSIG-style analyses
+// (request distribution, sequentiality).
+type TraceEvent struct {
+	// FS is the label of the file system instance ("OPFS" / "CPFS").
+	FS string
+	// Server is the serving server's index.
+	Server int
+	// Op is the access direction.
+	Op device.Op
+	// File is the file name within the FS.
+	File string
+	// LocalOff and Size locate the sub-request in server-local file space.
+	LocalOff int64
+	Size     int64
+	// Priority is the service class the sub-request ran at.
+	Priority sim.Priority
+	// Start and End are the service interval in virtual time.
+	Start, End time.Duration
+}
+
+// TraceFunc receives sub-request completions.
+type TraceFunc func(TraceEvent)
+
+// Config assembles a file system instance.
+type Config struct {
+	// Label names the instance in traces and stats ("OPFS", "CPFS").
+	Label string
+	// Layout is the striping function.
+	Layout Layout
+	// Engine is the virtual clock shared by the whole testbed.
+	Engine *sim.Engine
+	// NewDevice constructs the storage device of server i.
+	NewDevice func(i int) device.Device
+	// NewStore constructs the payload store of server i. Nil defaults to
+	// metadata-only Null stores.
+	NewStore func(i int) chunkstore.Store
+	// Net is the per-server network link model.
+	Net netmodel.Params
+	// Trace, if non-nil, observes every sub-request completion.
+	Trace TraceFunc
+}
+
+// FS is the client view of one parallel file system instance.
+type FS struct {
+	label   string
+	eng     *sim.Engine
+	layout  Layout
+	servers []*Server
+	files   map[string]int64
+	trace   TraceFunc
+
+	requests     uint64
+	bytesRead    int64
+	bytesWritten int64
+}
+
+// New builds a file system with cfg.Layout.Servers servers.
+func New(cfg Config) (*FS, error) {
+	if err := cfg.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("pfs: %s: engine is required", cfg.Label)
+	}
+	if cfg.NewDevice == nil {
+		return nil, fmt.Errorf("pfs: %s: NewDevice is required", cfg.Label)
+	}
+	newStore := cfg.NewStore
+	if newStore == nil {
+		newStore = func(int) chunkstore.Store { return chunkstore.NewNull() }
+	}
+	fs := &FS{
+		label:  cfg.Label,
+		eng:    cfg.Engine,
+		layout: cfg.Layout,
+		files:  make(map[string]int64),
+		trace:  cfg.Trace,
+	}
+	fs.servers = make([]*Server, cfg.Layout.Servers)
+	for i := range fs.servers {
+		fs.servers[i] = NewServer(i, cfg.Engine, cfg.NewDevice(i), newStore(i), cfg.Net)
+	}
+	return fs, nil
+}
+
+// Label returns the instance label.
+func (fs *FS) Label() string { return fs.label }
+
+// Layout returns the striping function.
+func (fs *FS) Layout() Layout { return fs.layout }
+
+// Servers returns the server list (do not mutate).
+func (fs *FS) Servers() []*Server { return fs.servers }
+
+// Engine returns the shared virtual clock.
+func (fs *FS) Engine() *sim.Engine { return fs.eng }
+
+// FileSize returns the current logical size of a file (0 if absent).
+func (fs *FS) FileSize(name string) int64 { return fs.files[name] }
+
+// Files returns the number of known files.
+func (fs *FS) Files() int { return len(fs.files) }
+
+// Write schedules a parallel write of [off, off+size) of file. data may be
+// nil (performance mode); if non-nil it must hold exactly size bytes. done
+// (optional) runs in virtual time when the slowest sub-request completes.
+func (fs *FS) Write(file string, off, size int64, pri sim.Priority, data []byte, done func()) error {
+	if err := fs.checkRange(off, size, data); err != nil {
+		return err
+	}
+	if end := off + size; end > fs.files[file] {
+		fs.files[file] = end
+	}
+	fs.requests++
+	fs.bytesWritten += size
+	fs.issue(device.OpWrite, file, off, size, pri, data, done)
+	return nil
+}
+
+// Read schedules a parallel read of [off, off+size) of file. buf may be nil
+// (performance mode); if non-nil it must hold exactly size bytes and is
+// filled by completion time. Reading past EOF yields zeros, like a sparse
+// file.
+func (fs *FS) Read(file string, off, size int64, pri sim.Priority, buf []byte, done func()) error {
+	if err := fs.checkRange(off, size, buf); err != nil {
+		return err
+	}
+	fs.requests++
+	fs.bytesRead += size
+	fs.issue(device.OpRead, file, off, size, pri, buf, done)
+	return nil
+}
+
+func (fs *FS) checkRange(off, size int64, payload []byte) error {
+	if off < 0 {
+		return fmt.Errorf("pfs: %s: negative offset %d", fs.label, off)
+	}
+	if size < 0 {
+		return fmt.Errorf("pfs: %s: negative size %d", fs.label, size)
+	}
+	if payload != nil && int64(len(payload)) != size {
+		return fmt.Errorf("pfs: %s: payload length %d != size %d", fs.label, len(payload), size)
+	}
+	return nil
+}
+
+func (fs *FS) issue(op device.Op, file string, off, size int64, pri sim.Priority, payload []byte, done func()) {
+	subs := fs.layout.Split(off, size)
+	if len(subs) == 0 {
+		// Zero-size request: complete immediately in virtual time.
+		if done != nil {
+			fs.eng.After(0, done)
+		}
+		return
+	}
+	join := sim.NewJoin(len(subs), func() {
+		if done != nil {
+			done()
+		}
+	})
+	var pieces []Piece
+	if payload != nil {
+		pieces = fs.layout.Pieces(off, size)
+	}
+	for _, sub := range subs {
+		sub := sub
+		srv := fs.servers[sub.Server]
+		var serverPayload []byte
+		if payload != nil {
+			serverPayload = make([]byte, sub.Size)
+			if op == device.OpWrite {
+				gatherPayload(serverPayload, sub, pieces, payload, off)
+			}
+		}
+		srv.serve(op, file, sub.LocalOff, sub.Size, pri, serverPayload, func(start, end time.Duration) {
+			if op == device.OpRead && payload != nil {
+				scatterPayload(payload, sub, pieces, serverPayload, off)
+			}
+			if fs.trace != nil {
+				fs.trace(TraceEvent{
+					FS: fs.label, Server: sub.Server, Op: op, File: file,
+					LocalOff: sub.LocalOff, Size: sub.Size, Priority: pri,
+					Start: start, End: end,
+				})
+			}
+			join.Done()
+		})
+	}
+}
+
+// gatherPayload assembles the contiguous server-local payload of sub from
+// the request payload using the stripe pieces.
+func gatherPayload(dst []byte, sub SubRequest, pieces []Piece, payload []byte, reqOff int64) {
+	for _, p := range pieces {
+		if p.Server != sub.Server {
+			continue
+		}
+		copy(dst[p.LocalOff-sub.LocalOff:p.LocalOff-sub.LocalOff+p.Size], payload[p.FileOff-reqOff:p.FileOff-reqOff+p.Size])
+	}
+}
+
+// scatterPayload distributes a server-local read buffer back into the
+// request payload.
+func scatterPayload(payload []byte, sub SubRequest, pieces []Piece, src []byte, reqOff int64) {
+	for _, p := range pieces {
+		if p.Server != sub.Server {
+			continue
+		}
+		copy(payload[p.FileOff-reqOff:p.FileOff-reqOff+p.Size], src[p.LocalOff-sub.LocalOff:p.LocalOff-sub.LocalOff+p.Size])
+	}
+}
+
+// Stats is a point-in-time snapshot of FS activity.
+type Stats struct {
+	Label        string
+	Requests     uint64
+	SubRequests  uint64
+	BytesRead    int64
+	BytesWritten int64
+	Files        int
+}
+
+// Stats returns a snapshot of the instance's counters.
+func (fs *FS) Stats() Stats {
+	st := Stats{
+		Label:        fs.label,
+		Requests:     fs.requests,
+		BytesRead:    fs.bytesRead,
+		BytesWritten: fs.bytesWritten,
+		Files:        len(fs.files),
+	}
+	for _, s := range fs.servers {
+		st.SubRequests += s.SubRequests()
+	}
+	return st
+}

@@ -1,0 +1,183 @@
+package pfs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"s4dcache/internal/chunkstore"
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/sim"
+)
+
+// TestServerServiceIntervalsNeverOverlap asserts the fundamental queueing
+// invariant: each server is a single non-preemptive resource, so the
+// service intervals of its sub-requests must not overlap, under any
+// interleaving of concurrent requests from many clients.
+func TestServerServiceIntervalsNeverOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		type interval struct {
+			server     int
+			start, end time.Duration
+		}
+		var intervals []interval
+		fs, err := New(Config{
+			Label:  "OPFS",
+			Layout: Layout{Servers: rng.Intn(4) + 1, StripeSize: int64(rng.Intn(2000) + 64)},
+			Engine: eng,
+			NewDevice: func(i int) device.Device {
+				p := device.DefaultHDDParams()
+				p.Seed = seed + int64(i)
+				return device.NewHDD(p)
+			},
+			Net: netmodel.Gigabit(),
+			Trace: func(ev TraceEvent) {
+				intervals = append(intervals, interval{server: ev.Server, start: ev.Start, end: ev.End})
+			},
+		})
+		if err != nil {
+			return false
+		}
+		// Concurrent closed-loop clients at mixed priorities.
+		for c := 0; c < 6; c++ {
+			c := c
+			var issue func(i int)
+			issue = func(i int) {
+				if i == 8 {
+					return
+				}
+				off := rng.Int63n(1 << 20)
+				size := rng.Int63n(64<<10) + 1
+				pri := sim.PriorityHigh
+				if c%3 == 0 {
+					pri = sim.PriorityLow
+				}
+				if err := fs.Write("f", off, size, pri, nil, func() { issue(i + 1) }); err != nil {
+					return
+				}
+			}
+			issue(0)
+		}
+		eng.Run()
+		// Per server, sort by start and check no overlap.
+		byServer := make(map[int][]interval)
+		for _, iv := range intervals {
+			byServer[iv.server] = append(byServer[iv.server], iv)
+		}
+		for _, list := range byServer {
+			sort.Slice(list, func(i, j int) bool { return list[i].start < list[j].start })
+			for i := 1; i < len(list); i++ {
+				if list[i].start < list[i-1].end {
+					return false
+				}
+			}
+		}
+		return len(intervals) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThroughputConservation asserts that traced bytes equal issued bytes:
+// nothing is lost or duplicated between the client and the servers.
+func TestThroughputConservation(t *testing.T) {
+	eng := sim.NewEngine()
+	var traced int64
+	fs, err := New(Config{
+		Label:  "OPFS",
+		Layout: Layout{Servers: 8, StripeSize: 64 << 10},
+		Engine: eng,
+		NewDevice: func(i int) device.Device {
+			return device.NewHDD(device.DefaultHDDParams())
+		},
+		NewStore: func(int) chunkstore.Store { return chunkstore.NewNull() },
+		Net:      netmodel.Gigabit(),
+		Trace:    func(ev TraceEvent) { traced += ev.Size },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var issued int64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		size := rng.Int63n(512<<10) + 1
+		issued += size
+		if err := fs.Write("f", rng.Int63n(1<<30), size, sim.PriorityHigh, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if traced != issued {
+		t.Fatalf("traced %d bytes, issued %d", traced, issued)
+	}
+	var perServer int64
+	for _, s := range fs.Servers() {
+		perServer += s.BytesWritten()
+	}
+	if perServer != issued {
+		t.Fatalf("server counters sum to %d, issued %d", perServer, issued)
+	}
+}
+
+// TestDegradedServerSlowsButStaysCorrect injects a throttled device into
+// one server: the system keeps returning correct data, and the makespan
+// reflects the straggler (max-of-servers semantics).
+func TestDegradedServerSlowsButStaysCorrect(t *testing.T) {
+	build := func(throttle float64) (*FS, *sim.Engine) {
+		eng := sim.NewEngine()
+		fs, err := New(Config{
+			Label:  "OPFS",
+			Layout: Layout{Servers: 4, StripeSize: 16 << 10},
+			Engine: eng,
+			NewDevice: func(i int) device.Device {
+				p := device.DefaultHDDParams()
+				p.Seed = int64(i + 1)
+				if i == 2 && throttle > 1 {
+					p.Bandwidth /= throttle
+					p.MaxSeek = time.Duration(float64(p.MaxSeek) * throttle)
+				}
+				return device.NewHDD(p)
+			},
+			NewStore: func(int) chunkstore.Store { return chunkstore.NewSparse() },
+			Net:      netmodel.Gigabit(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs, eng
+	}
+	measure := func(throttle float64) time.Duration {
+		fs, eng := build(throttle)
+		data := make([]byte, 1<<20)
+		for i := range data {
+			data[i] = byte(i * 17)
+		}
+		var end time.Duration
+		if err := fs.Write("f", 0, 1<<20, sim.PriorityHigh, data, func() { end = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		got := make([]byte, 1<<20)
+		if err := fs.Read("f", 0, 1<<20, sim.PriorityHigh, got, nil); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		for i := range got {
+			if got[i] != data[i] {
+				t.Fatalf("byte %d corrupted with throttle %.0f", i, throttle)
+			}
+		}
+		return end
+	}
+	healthy := measure(1)
+	degraded := measure(10)
+	if degraded <= healthy {
+		t.Fatalf("degraded server did not slow the request: %v vs %v", degraded, healthy)
+	}
+}

@@ -1,0 +1,153 @@
+package pfs
+
+import (
+	"time"
+
+	"s4dcache/internal/chunkstore"
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/sim"
+)
+
+// slabSize is the contiguous on-device allocation unit for server-local
+// file data. Local file offsets map linearly to device addresses within a
+// slab, so logically sequential access is physically sequential — the
+// behaviour of an extent-based local file system.
+const slabSize = int64(256 << 20)
+
+// Server is one simulated file server: a storage device, a payload store,
+// a FCFS service queue with two priority levels, and a network link.
+type Server struct {
+	id    int
+	eng   *sim.Engine
+	dev   device.Device
+	store chunkstore.Store
+	net   netmodel.Params
+	res   *sim.Resource
+
+	// Local file allocation: file → ordered slab base addresses.
+	slabs     map[string][]int64
+	allocNext int64
+
+	// Stats.
+	bytesRead    int64
+	bytesWritten int64
+	subRequests  uint64
+}
+
+// NewServer builds a file server.
+func NewServer(id int, eng *sim.Engine, dev device.Device, store chunkstore.Store, net netmodel.Params) *Server {
+	return &Server{
+		id:    id,
+		eng:   eng,
+		dev:   dev,
+		store: store,
+		net:   net,
+		res:   sim.NewResource(eng),
+		slabs: make(map[string][]int64),
+	}
+}
+
+// ID returns the server index within its FS.
+func (s *Server) ID() int { return s.id }
+
+// Device returns the underlying device model.
+func (s *Server) Device() device.Device { return s.dev }
+
+// Resource exposes the service queue, for utilization reporting.
+func (s *Server) Resource() *sim.Resource { return s.res }
+
+// BytesRead returns the total payload bytes read from this server.
+func (s *Server) BytesRead() int64 { return s.bytesRead }
+
+// BytesWritten returns the total payload bytes written to this server.
+func (s *Server) BytesWritten() int64 { return s.bytesWritten }
+
+// SubRequests returns the number of sub-requests served.
+func (s *Server) SubRequests() uint64 { return s.subRequests }
+
+// deviceAddr maps a server-local file offset to a device byte address,
+// allocating slabs on demand.
+func (s *Server) deviceAddr(file string, localOff int64) int64 {
+	slabIdx := localOff / slabSize
+	intra := localOff % slabSize
+	slabs := s.slabs[file]
+	for int64(len(slabs)) <= slabIdx {
+		slabs = append(slabs, s.allocNext)
+		s.allocNext += slabSize
+	}
+	s.slabs[file] = slabs
+	return slabs[slabIdx] + intra
+}
+
+// serve enqueues a sub-request on the server. The service time is computed
+// at grant time (device head state reflects the actual schedule) and
+// includes the network transfer of the payload. done runs at completion in
+// virtual time; payload movement also happens at completion.
+func (s *Server) serve(op device.Op, file string, localOff, size int64, pri sim.Priority, payload []byte, done func(start, end time.Duration)) {
+	var start time.Duration
+	s.res.Use(pri,
+		func() time.Duration {
+			start = s.eng.Now()
+			t := s.net.TransferTime(size)
+			// A sub-request may span slab boundaries; charge the device per
+			// contiguous slab extent.
+			off, remaining := localOff, size
+			for remaining > 0 {
+				n := slabSize - off%slabSize
+				if n > remaining {
+					n = remaining
+				}
+				t += s.dev.Access(op, s.deviceAddr(file, off), n)
+				off += n
+				remaining -= n
+			}
+			if size == 0 {
+				t += s.dev.Access(op, s.deviceAddr(file, localOff), 0)
+			}
+			return t
+		},
+		func() {
+			s.subRequests++
+			if op == device.OpRead {
+				s.bytesRead += size
+				if payload != nil {
+					s.readPayload(file, localOff, payload)
+				}
+			} else {
+				s.bytesWritten += size
+				if payload != nil {
+					s.writePayload(file, localOff, payload)
+				}
+			}
+			if done != nil {
+				done(start, s.eng.Now())
+			}
+		})
+}
+
+func (s *Server) writePayload(file string, localOff int64, p []byte) {
+	off, data := localOff, p
+	for len(data) > 0 {
+		n := slabSize - off%slabSize
+		if n > int64(len(data)) {
+			n = int64(len(data))
+		}
+		s.store.WriteAt(data[:n], s.deviceAddr(file, off))
+		off += n
+		data = data[n:]
+	}
+}
+
+func (s *Server) readPayload(file string, localOff int64, p []byte) {
+	off, buf := localOff, p
+	for len(buf) > 0 {
+		n := slabSize - off%slabSize
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		s.store.ReadAt(buf[:n], s.deviceAddr(file, off))
+		off += n
+		buf = buf[n:]
+	}
+}

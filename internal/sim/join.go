@@ -1,0 +1,47 @@
+package sim
+
+// Join is a countdown latch: fn runs (once) when Done has been called n
+// times. It joins the scatter/gather sub-requests of a striped parallel
+// request — the request completes when its slowest sub-request completes,
+// matching the max-of-servers semantics of the paper's cost model (Eq. 4–5).
+type Join struct {
+	n  int
+	fn func()
+}
+
+// NewJoin returns a latch that fires fn after n calls to Done. If n <= 0,
+// fn runs immediately.
+func NewJoin(n int, fn func()) *Join {
+	j := &Join{n: n, fn: fn}
+	if n <= 0 {
+		j.fire()
+	}
+	return j
+}
+
+// Done decrements the latch. Calls beyond the initial count are ignored.
+func (j *Join) Done() {
+	if j.n <= 0 {
+		return
+	}
+	j.n--
+	if j.n == 0 {
+		j.fire()
+	}
+}
+
+// Remaining returns how many Done calls are still outstanding.
+func (j *Join) Remaining() int {
+	if j.n < 0 {
+		return 0
+	}
+	return j.n
+}
+
+func (j *Join) fire() {
+	if j.fn != nil {
+		fn := j.fn
+		j.fn = nil
+		fn()
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Priority classifies work competing for a Resource. The Rebuilder's
+// background reorganization I/O runs at PriorityLow so that it yields to
+// foreground application requests (paper §III.F).
+type Priority int
+
+const (
+	// PriorityHigh is foreground application I/O.
+	PriorityHigh Priority = iota + 1
+	// PriorityLow is background reorganization I/O.
+	PriorityLow
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityLow:
+		return "low"
+	default:
+		return "unknown"
+	}
+}
+
+// Resource models a non-preemptive single-server queue with two priority
+// classes: among waiters, higher priority (lower numeric value) is granted
+// first; within a class, grants are FIFO. A disk, an SSD, or a network link
+// is one Resource.
+type Resource struct {
+	eng     *Engine
+	busy    bool
+	seq     uint64
+	waiters waiterHeap
+
+	// Busy accumulates total granted hold time, for utilization reports.
+	Busy time.Duration
+	// Grants counts completed holds.
+	Grants uint64
+}
+
+// NewResource returns an idle resource bound to eng.
+func NewResource(eng *Engine) *Resource {
+	return &Resource{eng: eng}
+}
+
+// Use enqueues a unit of work. When the resource is granted, service() is
+// invoked to compute the hold time (computed at grant time so that
+// state-dependent costs, e.g. disk head position, reflect the actual
+// schedule); the resource is held for that long, then released, and done
+// (if non-nil) runs at completion time.
+func (r *Resource) Use(p Priority, service func() time.Duration, done func()) {
+	r.seq++
+	w := &waiter{pri: p, seq: r.seq, service: service, done: done}
+	if r.busy {
+		heap.Push(&r.waiters, w)
+		return
+	}
+	r.grant(w)
+}
+
+// QueueLen returns the number of waiters not yet granted.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Utilization returns the fraction of virtual time the resource has been
+// busy, over the elapsed engine time. Returns 0 before time advances.
+func (r *Resource) Utilization() float64 {
+	if r.eng.Now() == 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(r.eng.Now())
+}
+
+func (r *Resource) grant(w *waiter) {
+	r.busy = true
+	hold := w.service()
+	if hold < 0 {
+		hold = 0
+	}
+	r.Busy += hold
+	r.eng.After(hold, func() {
+		r.Grants++
+		r.release()
+		if w.done != nil {
+			w.done()
+		}
+	})
+}
+
+func (r *Resource) release() {
+	r.busy = false
+	if len(r.waiters) == 0 {
+		return
+	}
+	next := heap.Pop(&r.waiters).(*waiter)
+	r.grant(next)
+}
+
+type waiter struct {
+	pri     Priority
+	seq     uint64
+	service func() time.Duration
+	done    func()
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *waiterHeap) Push(x any) { *h = append(*h, x.(*waiter)) }
+
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}

@@ -1,0 +1,160 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every latency in the S4D-Cache reproduction is virtual: devices, networks
+// and file servers report service times as time.Duration values and the
+// engine advances a virtual clock from event to event. The engine is
+// single-threaded and fully deterministic — two runs with the same inputs
+// produce identical schedules — which makes experiments reproducible
+// bit-for-bit and race-free by construction.
+//
+// The core abstractions are:
+//
+//   - Engine: the virtual clock and event queue.
+//   - Resource: a non-preemptive FCFS server with two priority classes,
+//     used to model disk/SSD service queues and network links.
+//   - Join: a countdown latch used to join scatter/gather sub-requests.
+//   - Ticker: a recurring timer, used by the Rebuilder.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	stepped uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.stepped }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Times in the past are
+// clamped to the current time, preserving scheduling order among equal
+// timestamps (FIFO by scheduling sequence).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if fn == nil {
+		return
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative delays are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	e.stepped++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the number of
+// events processed by this call.
+func (e *Engine) Run() uint64 {
+	start := e.stepped
+	for e.Step() {
+	}
+	return e.stepped - start
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t time.Duration) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunWhile executes events while cond() returns true and the queue is
+// non-empty. It is the right driver when recurring timers (tickers) keep
+// the queue permanently non-empty: pass a condition that flips when the
+// awaited work completes.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}
+
+// RunMax executes at most max events and returns an error if the queue is
+// still non-empty afterwards. It guards experiment drivers against
+// accidental non-termination (e.g. a ticker that is never stopped).
+func (e *Engine) RunMax(max uint64) error {
+	var n uint64
+	for n < max && e.Step() {
+		n++
+	}
+	if len(e.queue) > 0 {
+		return fmt.Errorf("sim: event budget %d exhausted at t=%v with %d events pending", max, e.now, len(e.queue))
+	}
+	return nil
+}
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = time.Duration(math.MaxInt64)
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

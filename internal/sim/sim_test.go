@@ -1,0 +1,443 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 5, 25} {
+		d := d
+		e.At(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []time.Duration{5, 10, 20, 25, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestEnginePastEventClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration = -1
+	e.At(50, func() {
+		e.At(10, func() { at = e.Now() }) // 10 < now=50
+	})
+	e.Run()
+	if at != 50 {
+		t.Fatalf("past-scheduled event ran at %v, want clamp to 50", at)
+	}
+}
+
+func TestEngineAfterNegativeDelayClamps(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v, want 0", e.Now())
+	}
+}
+
+func TestEngineNilFuncIgnored(t *testing.T) {
+	e := NewEngine()
+	e.At(10, nil)
+	if e.Pending() != 0 {
+		t.Fatal("nil event was queued")
+	}
+}
+
+func TestEngineRunReturnsCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i), func() {})
+	}
+	if n := e.Run(); n != 7 {
+		t.Fatalf("Run() = %d, want 7", n)
+	}
+	if e.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7", e.Processed())
+	}
+}
+
+func TestEngineRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	var ran []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		e.At(d, func() { ran = append(ran, e.Now()) })
+	}
+	e.RunUntil(25)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events, want 2", len(ran))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("after Run, ran %d events, want 4", len(ran))
+	}
+}
+
+func TestEngineRunWhile(t *testing.T) {
+	e := NewEngine()
+	// A self-rescheduling ticker-like event keeps the queue non-empty
+	// forever; RunWhile must still return when the condition flips.
+	var tick func()
+	count := 0
+	tick = func() {
+		count++
+		e.After(10, tick)
+	}
+	e.After(10, tick)
+	done := false
+	e.At(55, func() { done = true })
+	e.RunWhile(func() bool { return !done })
+	if !done {
+		t.Fatal("RunWhile returned before the condition flipped")
+	}
+	if count < 4 || count > 6 {
+		t.Fatalf("ticker fired %d times before t=55, want ~5", count)
+	}
+	// RunWhile with an immediately-false condition executes nothing.
+	before := e.Processed()
+	e.RunWhile(func() bool { return false })
+	if e.Processed() != before {
+		t.Fatal("RunWhile(false) executed events")
+	}
+}
+
+func TestEngineRunMaxDetectsRunaway(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.After(1, tick)
+	if err := e.RunMax(100); err == nil {
+		t.Fatal("RunMax did not report exhaustion on a self-rescheduling event")
+	}
+}
+
+func TestEngineCascadedEvents(t *testing.T) {
+	e := NewEngine()
+	var trace []time.Duration
+	e.At(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() {
+			trace = append(trace, e.Now())
+		})
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+// Property: for any random set of event times, the engine executes them in
+// non-decreasing time order and the clock never moves backwards.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		e := NewEngine()
+		var ran []time.Duration
+		for _, d := range delaysRaw {
+			e.At(time.Duration(d), func() { ran = append(ran, e.Now()) })
+		}
+		e.Run()
+		if len(ran) != len(delaysRaw) {
+			return false
+		}
+		if !sort.SliceIsSorted(ran, func(i, j int) bool { return ran[i] < ran[j] }) {
+			return false
+		}
+		want := make([]time.Duration, len(delaysRaw))
+		for i, d := range delaysRaw {
+			want[i] = time.Duration(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if ran[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceSerializesWork(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var completions []time.Duration
+	for i := 0; i < 3; i++ {
+		r.Use(PriorityHigh,
+			func() time.Duration { return 10 },
+			func() { completions = append(completions, e.Now()) })
+	}
+	e.Run()
+	want := []time.Duration{10, 20, 30}
+	if len(completions) != 3 {
+		t.Fatalf("got %d completions, want 3", len(completions))
+	}
+	for i := range want {
+		if completions[i] != want[i] {
+			t.Errorf("completion %d at %v, want %v", i, completions[i], want[i])
+		}
+	}
+}
+
+func TestResourceHighPriorityFirst(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var order []string
+	// Occupy the resource, then enqueue low before high; high must win.
+	r.Use(PriorityHigh, func() time.Duration { return 10 }, func() { order = append(order, "first") })
+	r.Use(PriorityLow, func() time.Duration { return 10 }, func() { order = append(order, "low") })
+	r.Use(PriorityHigh, func() time.Duration { return 10 }, func() { order = append(order, "high") })
+	e.Run()
+	if len(order) != 3 || order[1] != "high" || order[2] != "low" {
+		t.Fatalf("order = %v, want [first high low]", order)
+	}
+}
+
+func TestResourceNonPreemptive(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var order []string
+	r.Use(PriorityLow, func() time.Duration { return 100 }, func() { order = append(order, "low") })
+	e.At(5, func() {
+		r.Use(PriorityHigh, func() time.Duration { return 1 }, func() { order = append(order, "high") })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "low" {
+		t.Fatalf("order = %v; low-priority holder must not be preempted", order)
+	}
+	if e.Now() != 101 {
+		t.Fatalf("final time %v, want 101", e.Now())
+	}
+}
+
+func TestResourceServiceComputedAtGrantTime(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var grantTimes []time.Duration
+	svc := func() time.Duration {
+		grantTimes = append(grantTimes, e.Now())
+		return 10
+	}
+	r.Use(PriorityHigh, svc, nil)
+	r.Use(PriorityHigh, svc, nil)
+	e.Run()
+	if len(grantTimes) != 2 || grantTimes[0] != 0 || grantTimes[1] != 10 {
+		t.Fatalf("grant times = %v, want [0 10]", grantTimes)
+	}
+}
+
+func TestResourceNegativeServiceClamped(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	done := false
+	r.Use(PriorityHigh, func() time.Duration { return -5 }, func() { done = true })
+	e.Run()
+	if !done || e.Now() != 0 {
+		t.Fatalf("done=%v now=%v, want completion at t=0", done, e.Now())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	r.Use(PriorityHigh, func() time.Duration { return 30 }, nil)
+	e.At(100, func() {}) // stretch the horizon
+	e.Run()
+	if u := r.Utilization(); u < 0.29 || u > 0.31 {
+		t.Fatalf("Utilization() = %v, want ~0.3", u)
+	}
+	if r.Grants != 1 {
+		t.Fatalf("Grants = %d, want 1", r.Grants)
+	}
+}
+
+func TestResourceFIFOWithinClass(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Use(PriorityHigh, func() time.Duration { return 1 }, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+// Property: total busy time of a resource equals the sum of all service
+// times, and the last completion equals that sum (work conservation for a
+// backlogged FCFS queue).
+func TestResourceWorkConservationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 1
+		e := NewEngine()
+		r := NewResource(e)
+		var total time.Duration
+		var last time.Duration
+		for i := 0; i < n; i++ {
+			d := time.Duration(rng.Intn(1000))
+			total += d
+			r.Use(PriorityHigh, func() time.Duration { return d }, func() { last = e.Now() })
+		}
+		e.Run()
+		return last == total && r.Busy == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinFires(t *testing.T) {
+	fired := false
+	j := NewJoin(3, func() { fired = true })
+	j.Done()
+	j.Done()
+	if fired {
+		t.Fatal("join fired early")
+	}
+	j.Done()
+	if !fired {
+		t.Fatal("join did not fire after n Done calls")
+	}
+}
+
+func TestJoinZeroFiresImmediately(t *testing.T) {
+	fired := false
+	NewJoin(0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero-count join did not fire immediately")
+	}
+}
+
+func TestJoinExtraDoneIgnored(t *testing.T) {
+	count := 0
+	j := NewJoin(1, func() { count++ })
+	j.Done()
+	j.Done()
+	j.Done()
+	if count != 1 {
+		t.Fatalf("join fired %d times, want 1", count)
+	}
+}
+
+func TestJoinRemaining(t *testing.T) {
+	j := NewJoin(2, nil)
+	if j.Remaining() != 2 {
+		t.Fatalf("Remaining() = %d, want 2", j.Remaining())
+	}
+	j.Done()
+	if j.Remaining() != 1 {
+		t.Fatalf("Remaining() = %d, want 1", j.Remaining())
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := NewEngine()
+	var fires []time.Duration
+	tk := e.Every(10, func() {
+		fires = append(fires, e.Now())
+	})
+	e.RunUntil(35)
+	tk.Stop()
+	e.Run()
+	want := []time.Duration{10, 20, 30}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(10, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run() // must terminate because ticker stops itself
+	if count != 2 {
+		t.Fatalf("ticker fired %d times, want 2", count)
+	}
+}
+
+func TestTickerNonPositivePeriod(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(0, func() {
+		count++
+		tk.Stop()
+	})
+	e.Run()
+	if count != 1 {
+		t.Fatalf("ticker with clamped period fired %d times, want 1", count)
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	if PriorityHigh.String() != "high" || PriorityLow.String() != "low" {
+		t.Fatal("Priority.String mismatch")
+	}
+	if Priority(99).String() != "unknown" {
+		t.Fatal("unknown priority should stringify as unknown")
+	}
+}

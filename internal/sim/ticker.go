@@ -1,0 +1,40 @@
+package sim
+
+import "time"
+
+// Ticker runs a function at a fixed virtual-time period until stopped. The
+// Rebuilder uses one for its periodic flush/fetch cycle (paper §III.F).
+type Ticker struct {
+	eng     *Engine
+	period  time.Duration
+	fn      func()
+	stopped bool
+}
+
+// Every schedules fn to run every period, with the first firing one period
+// from now. It returns the ticker so the caller can Stop it; an unstopped
+// ticker keeps the event queue non-empty forever, so drivers that use
+// Engine.Run must stop their tickers (or use RunUntil / RunMax).
+func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		period = 1
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Stop cancels future firings. A firing already dispatched still runs.
+func (t *Ticker) Stop() { t.stopped = true }
+
+func (t *Ticker) arm() {
+	t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}

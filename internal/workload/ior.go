@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+
+	"s4dcache/internal/mpiio"
+)
+
+// IORConfig parameterizes the IOR benchmark (paper reference [5]): n
+// processes share one file, each owning its 1/n segment, and continuously
+// issue fixed-size requests at sequential or random offsets within the
+// segment (§I and §V.B).
+type IORConfig struct {
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// FileSize is the shared file size; each rank owns FileSize/Ranks.
+	FileSize int64
+	// RequestSize is the transfer size per request.
+	RequestSize int64
+	// Random selects random (vs sequential) offsets within each segment.
+	Random bool
+	// Seed drives the random offset streams.
+	Seed int64
+	// File names the shared file.
+	File string
+}
+
+// Validate reports whether the configuration is usable.
+func (c IORConfig) Validate() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("workload: IOR ranks must be positive, got %d", c.Ranks)
+	}
+	if err := validatePositive("IOR file size", c.FileSize); err != nil {
+		return err
+	}
+	if err := validatePositive("IOR request size", c.RequestSize); err != nil {
+		return err
+	}
+	if c.FileSize/int64(c.Ranks) < c.RequestSize {
+		return fmt.Errorf("workload: IOR segment %d smaller than request size %d",
+			c.FileSize/int64(c.Ranks), c.RequestSize)
+	}
+	return nil
+}
+
+// Spans generates the per-rank request streams.
+func (c IORConfig) Spans() ([][]mpiio.Span, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	segment := alignDown(c.FileSize/int64(c.Ranks), c.RequestSize)
+	perSeg := segment / c.RequestSize
+	out := make([][]mpiio.Span, c.Ranks)
+	for r := 0; r < c.Ranks; r++ {
+		base := int64(r) * segment
+		spans := make([]mpiio.Span, 0, perSeg)
+		if c.Random {
+			rng := rngFor(c.Seed, r)
+			for i := int64(0); i < perSeg; i++ {
+				off := base + rng.Int63n(perSeg)*c.RequestSize
+				spans = append(spans, mpiio.Span{Off: off, Len: c.RequestSize})
+			}
+		} else {
+			for i := int64(0); i < perSeg; i++ {
+				spans = append(spans, mpiio.Span{Off: base + i*c.RequestSize, Len: c.RequestSize})
+			}
+		}
+		out[r] = spans
+	}
+	return out, nil
+}
+
+// RunIOR runs one IOR phase (write or read) on the communicator.
+func RunIOR(comm *mpiio.Comm, cfg IORConfig, write bool, done func(Result)) error {
+	spans, err := cfg.Spans()
+	if err != nil {
+		return err
+	}
+	name := cfg.File
+	if name == "" {
+		name = "ior.dat"
+	}
+	f := comm.Open(name)
+	return Run(f, spans, write, done)
+}

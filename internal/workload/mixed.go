@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+
+	"s4dcache/internal/mpiio"
+)
+
+// MixedIORConfig is the paper's main evaluation scenario (§V.B): ten IOR
+// instances created one by one with different parameters — six issue
+// sequential requests, four random — each writing and reading a shared
+// file with a fixed request size.
+type MixedIORConfig struct {
+	// Instances is the total instance count (paper: 10).
+	Instances int
+	// RandomInstances of them issue random offsets (paper: 4).
+	RandomInstances int
+	// Ranks is the process count per instance (paper: 32).
+	Ranks int
+	// FileSize is each instance's shared file size (paper: 2 GB).
+	FileSize int64
+	// RequestSize is the transfer size (paper: 16 KB default).
+	RequestSize int64
+	// Seed drives the random instances.
+	Seed int64
+}
+
+// PaperMixedIOR returns the §V.B scenario scaled by the given factor
+// (factor 1 = the paper's absolute sizes; smaller factors shrink the
+// per-instance file while preserving all ratios).
+func PaperMixedIOR(ranks int, requestSize int64, scale float64) MixedIORConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	fileSize := int64(float64(2<<30) * scale)
+	return MixedIORConfig{
+		Instances:       10,
+		RandomInstances: 4,
+		Ranks:           ranks,
+		FileSize:        fileSize,
+		RequestSize:     requestSize,
+		Seed:            42,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c MixedIORConfig) Validate() error {
+	if c.Instances <= 0 {
+		return fmt.Errorf("workload: mixed instances must be positive, got %d", c.Instances)
+	}
+	if c.RandomInstances < 0 || c.RandomInstances > c.Instances {
+		return fmt.Errorf("workload: %d random of %d instances", c.RandomInstances, c.Instances)
+	}
+	probe := c.Instance(0)
+	return probe.Validate()
+}
+
+// DataSize returns the total bytes written by one full pass.
+func (c MixedIORConfig) DataSize() int64 {
+	return int64(c.Instances) * c.FileSize
+}
+
+// Instance derives instance i's IOR configuration. Exactly
+// RandomInstances positions are random, spread evenly through the
+// sequence (Bresenham distribution).
+func (c MixedIORConfig) Instance(i int) IORConfig {
+	random := ((i+1)*c.RandomInstances)/c.Instances > (i*c.RandomInstances)/c.Instances
+	return IORConfig{
+		Ranks:       c.Ranks,
+		FileSize:    c.FileSize,
+		RequestSize: c.RequestSize,
+		Random:      random,
+		Seed:        c.Seed + int64(i),
+		File:        fmt.Sprintf("ior-%02d.dat", i),
+	}
+}
+
+// RunMixed runs the scenario's instances one by one in a single direction
+// (write pass or read pass) and reports the merged result.
+func RunMixed(comm *mpiio.Comm, cfg MixedIORConfig, write bool, done func(Result)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var total Result
+	first := true
+	var runInstance func(i int)
+	var launchErr error
+	runInstance = func(i int) {
+		if i == cfg.Instances {
+			done(total)
+			return
+		}
+		err := RunIOR(comm, cfg.Instance(i), write, func(r Result) {
+			if first {
+				total = r
+				first = false
+			} else {
+				total = total.Merge(r)
+			}
+			runInstance(i + 1)
+		})
+		if err != nil {
+			launchErr = err
+			done(total)
+		}
+	}
+	runInstance(0)
+	return launchErr
+}

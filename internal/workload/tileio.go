@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"s4dcache/internal/mpiio"
+)
+
+// TileIOConfig parameterizes MPI-Tile-IO (paper reference [32]): the file
+// is a dense 2-D dataset; each process owns one tile of
+// ElementsX × ElementsY elements of ElementSize bytes, and accesses it row
+// by row — a nested-strided pattern (§V.D: 10×10 elements of 32 KB,
+// 100–400 processes).
+type TileIOConfig struct {
+	// Ranks is the number of MPI processes (= number of tiles).
+	Ranks int
+	// ElementsX and ElementsY are the per-tile element grid (paper: 10×10).
+	ElementsX, ElementsY int
+	// ElementSize is bytes per element (paper: 32 KB).
+	ElementSize int64
+	// File names the dataset file.
+	File string
+}
+
+// Validate reports whether the configuration is usable.
+func (c TileIOConfig) Validate() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("workload: TileIO ranks must be positive, got %d", c.Ranks)
+	}
+	if c.ElementsX <= 0 || c.ElementsY <= 0 {
+		return fmt.Errorf("workload: TileIO elements grid %dx%d invalid", c.ElementsX, c.ElementsY)
+	}
+	return validatePositive("TileIO element size", c.ElementSize)
+}
+
+// Grid returns the process tile grid (tilesX × tilesY >= Ranks, near
+// square).
+func (c TileIOConfig) Grid() (tilesX, tilesY int) {
+	tilesX = int(math.Sqrt(float64(c.Ranks)))
+	if tilesX < 1 {
+		tilesX = 1
+	}
+	tilesY = (c.Ranks + tilesX - 1) / tilesX
+	return tilesX, tilesY
+}
+
+// Spans generates the per-rank nested-strided row accesses.
+func (c TileIOConfig) Spans() ([][]mpiio.Span, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	tilesX, _ := c.Grid()
+	rowWidth := int64(tilesX) * int64(c.ElementsX) * c.ElementSize // dataset row bytes
+	rowLen := int64(c.ElementsX) * c.ElementSize                   // one tile-row access
+	out := make([][]mpiio.Span, c.Ranks)
+	for p := 0; p < c.Ranks; p++ {
+		tx := p % tilesX
+		ty := p / tilesX
+		spans := make([]mpiio.Span, 0, c.ElementsY)
+		for row := 0; row < c.ElementsY; row++ {
+			datasetRow := int64(ty)*int64(c.ElementsY) + int64(row)
+			off := datasetRow*rowWidth + int64(tx)*rowLen
+			spans = append(spans, mpiio.Span{Off: off, Len: rowLen})
+		}
+		out[p] = spans
+	}
+	return out, nil
+}
+
+// View returns rank p's nested-strided view of its tile.
+func (c TileIOConfig) View(rank int) mpiio.View {
+	tilesX, _ := c.Grid()
+	rowWidth := int64(tilesX) * int64(c.ElementsX) * c.ElementSize
+	rowLen := int64(c.ElementsX) * c.ElementSize
+	tx := rank % tilesX
+	ty := rank / tilesX
+	return mpiio.View{
+		Disp:     int64(ty)*int64(c.ElementsY)*rowWidth + int64(tx)*rowLen,
+		BlockLen: rowLen,
+		Stride:   rowWidth,
+		Count:    int64(c.ElementsY),
+	}
+}
+
+// RunTileIO runs one MPI-Tile-IO phase (write or read).
+func RunTileIO(comm *mpiio.Comm, cfg TileIOConfig, write bool, done func(Result)) error {
+	spans, err := cfg.Spans()
+	if err != nil {
+		return err
+	}
+	name := cfg.File
+	if name == "" {
+		name = "tile.dat"
+	}
+	f := comm.Open(name)
+	return Run(f, spans, write, done)
+}

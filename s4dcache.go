@@ -1,0 +1,227 @@
+// Package s4dcache is the public facade of the S4D-Cache reproduction: a
+// smart selective SSD cache for parallel I/O systems (He, Sun, Feng —
+// ICDCS 2014), rebuilt in Go over a deterministic discrete-event
+// simulation of the paper's testbed.
+//
+// A System bundles the whole deployment: HDD-backed DServers behind the
+// original parallel file system, SSD-backed CServers behind the cache
+// parallel file system, and the S4D middleware (Data Identifier,
+// Redirector, Rebuilder) intercepting every request. Time is virtual:
+// the system advances a simulated clock as requests are served, so
+// results are reproducible bit-for-bit.
+//
+//	sys, err := s4dcache.New(s4dcache.PaperTestbed())
+//	...
+//	f := sys.Open("dataset")
+//	err = f.WriteAt(0, payload, offset)     // rank 0 writes
+//	err = f.ReadAt(1, buf, offset)          // rank 1 reads
+//	fmt.Println(sys.Stats().CacheWriteShare)
+package s4dcache
+
+import (
+	"fmt"
+	"time"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/core"
+	"s4dcache/internal/mpiio"
+	"s4dcache/internal/workload"
+)
+
+// Options configures a System. The zero value is not usable; start from
+// PaperTestbed or SmallTestbed.
+type Options struct {
+	// DServers is the number of HDD file servers.
+	DServers int
+	// CServers is the number of SSD cache servers.
+	CServers int
+	// StripeSize is the parallel file system stripe unit in bytes.
+	StripeSize int64
+	// CacheCapacity is the usable SSD cache space in bytes.
+	CacheCapacity int64
+	// Ranks is the number of MPI-style application processes.
+	Ranks int
+	// RebuildPeriod triggers the background Rebuilder every period of
+	// virtual time; 0 disables it (Rebuild can still be called).
+	RebuildPeriod time.Duration
+	// DisableCache builds the stock baseline (DServers only).
+	DisableCache bool
+	// CacheEverything switches admission from the paper's selective
+	// policy to cache-all (for comparisons).
+	CacheEverything bool
+	// EagerReadCaching disables the paper's lazy fetch (reads populate
+	// the cache in the request path instead of via the Rebuilder).
+	EagerReadCaching bool
+	// Functional stores real payload bytes so reads return written data;
+	// disable it for large performance studies where only timing matters.
+	Functional bool
+	// Trace records every sub-request for distribution analysis.
+	Trace bool
+	// MemoryCacheBytes layers a client-side memory cache of this capacity
+	// over the I/O stack — the paper's stated future work (§II.B):
+	// re-references are served at DRAM latency, capacity misses fall
+	// through to the SSD cache, and the bulk stays on the HDD servers.
+	// 0 disables it.
+	MemoryCacheBytes int64
+	// MemoryCachePageBytes is the memory cache page size; 0 means 16 KB.
+	MemoryCachePageBytes int64
+}
+
+// PaperTestbed returns the paper's evaluation configuration (§V.A):
+// 8 DServers, 4 CServers, 64 KB stripes, 32 processes, 2 GB cache.
+func PaperTestbed() Options {
+	return Options{
+		DServers:      8,
+		CServers:      4,
+		StripeSize:    64 << 10,
+		CacheCapacity: 2 << 30,
+		Ranks:         32,
+		RebuildPeriod: 250 * time.Millisecond,
+		Functional:    true,
+		Trace:         true,
+	}
+}
+
+// SmallTestbed returns a compact functional configuration for examples
+// and experimentation: 4 DServers, 2 CServers, 4 ranks, 64 MB cache.
+func SmallTestbed() Options {
+	return Options{
+		DServers:      4,
+		CServers:      2,
+		StripeSize:    64 << 10,
+		CacheCapacity: 64 << 20,
+		Ranks:         4,
+		RebuildPeriod: 100 * time.Millisecond,
+		Functional:    true,
+		Trace:         true,
+	}
+}
+
+// System is one assembled deployment with a virtual clock.
+type System struct {
+	tb    *cluster.Testbed
+	comm  *mpiio.Comm
+	ranks int
+}
+
+// New assembles a System.
+func New(opts Options) (*System, error) {
+	if opts.Ranks <= 0 {
+		return nil, fmt.Errorf("s4dcache: ranks must be positive, got %d", opts.Ranks)
+	}
+	p := cluster.Default()
+	p.DServers = opts.DServers
+	p.CServers = opts.CServers
+	if opts.StripeSize > 0 {
+		p.Stripe = opts.StripeSize
+	}
+	p.CacheCapacity = opts.CacheCapacity
+	p.RebuildPeriod = opts.RebuildPeriod
+	p.Functional = opts.Functional
+	p.Trace = opts.Trace
+	p.EagerFetch = opts.EagerReadCaching
+	p.MemCacheBytes = opts.MemoryCacheBytes
+	p.MemCachePageBytes = opts.MemoryCachePageBytes
+	if opts.CacheEverything {
+		p.Policy = core.PolicyAll
+	}
+	var tb *cluster.Testbed
+	var err error
+	if opts.DisableCache {
+		tb, err = cluster.NewStock(p)
+	} else {
+		tb, err = cluster.NewS4D(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	comm, err := tb.Comm(opts.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	return &System{tb: tb, comm: comm, ranks: opts.Ranks}, nil
+}
+
+// Ranks returns the number of application processes.
+func (s *System) Ranks() int { return s.ranks }
+
+// VirtualTime returns the current simulated time.
+func (s *System) VirtualTime() time.Duration { return s.tb.Eng.Now() }
+
+// Close stops background activity. The system must not be used afterwards.
+func (s *System) Close() { s.tb.Close() }
+
+// Open returns a handle to the named shared file.
+func (s *System) Open(name string) *File {
+	return &File{sys: s, f: s.comm.Open(name)}
+}
+
+// Rebuild runs one synchronous Rebuilder cycle (flush dirty cache data to
+// the DServers, fetch pending critical reads into the CServers).
+func (s *System) Rebuild() {
+	if s.tb.S4D == nil {
+		return
+	}
+	done := false
+	s.tb.S4D.RebuildNow(func() { done = true })
+	s.tb.Eng.RunWhile(func() bool { return !done })
+}
+
+// DrainRebuild runs Rebuilder cycles until no dirty data or pending
+// fetches remain.
+func (s *System) DrainRebuild() {
+	if s.tb.S4D == nil {
+		return
+	}
+	done := false
+	s.tb.S4D.DrainRebuild(func() { done = true })
+	s.tb.Eng.RunWhile(func() bool { return !done })
+}
+
+// Wait drives the virtual clock until every given pending operation has
+// completed.
+func (s *System) Wait(ps ...*Pending) {
+	s.tb.Eng.RunWhile(func() bool {
+		for _, p := range ps {
+			if p != nil && !p.done {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// RunIOR executes an IOR-style workload phase (see the paper §V.B): each
+// of the system's ranks owns 1/ranks of a shared file of the given size
+// and issues requestSize requests at sequential or random offsets. It
+// returns the aggregate throughput result.
+func (s *System) RunIOR(file string, fileSize, requestSize int64, random, write bool) (WorkloadResult, error) {
+	cfg := workload.IORConfig{
+		Ranks: s.ranks, FileSize: fileSize, RequestSize: requestSize,
+		Random: random, Seed: 1, File: file,
+	}
+	var res workload.Result
+	finished := false
+	if err := workload.RunIOR(s.comm, cfg, write, func(r workload.Result) { res = r; finished = true }); err != nil {
+		return WorkloadResult{}, err
+	}
+	s.tb.Eng.RunWhile(func() bool { return !finished })
+	return WorkloadResult{
+		Bytes:          res.Bytes,
+		Requests:       res.Requests,
+		Elapsed:        res.Elapsed(),
+		ThroughputMBps: res.ThroughputMBps(),
+	}, nil
+}
+
+// WorkloadResult summarizes one workload phase.
+type WorkloadResult struct {
+	// Bytes is the payload volume moved.
+	Bytes int64
+	// Requests is the application request count.
+	Requests int
+	// Elapsed is the phase duration in virtual time.
+	Elapsed time.Duration
+	// ThroughputMBps is the aggregate bandwidth in MB/s.
+	ThroughputMBps float64
+}

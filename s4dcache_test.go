@@ -1,0 +1,301 @@
+package s4dcache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newSmall(t *testing.T, mutate func(*Options)) *System {
+	t.Helper()
+	opts := SmallTestbed()
+	if mutate != nil {
+		mutate(&opts)
+	}
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestNewValidation(t *testing.T) {
+	opts := SmallTestbed()
+	opts.Ranks = 0
+	if _, err := New(opts); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	opts = SmallTestbed()
+	opts.DServers = 0
+	if _, err := New(opts); err == nil {
+		t.Fatal("zero DServers accepted")
+	}
+	opts = SmallTestbed()
+	opts.CacheCapacity = 0
+	if _, err := New(opts); err == nil {
+		t.Fatal("zero cache capacity accepted on a cached system")
+	}
+}
+
+func TestPaperTestbedConstructs(t *testing.T) {
+	sys, err := New(PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Ranks() != 32 {
+		t.Fatalf("Ranks = %d, want 32", sys.Ranks())
+	}
+}
+
+func TestSyncRoundTrip(t *testing.T) {
+	sys := newSmall(t, nil)
+	f := sys.Open("data")
+	payload := []byte("the cache is selective")
+	if err := f.WriteAt(0, payload, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := f.ReadAt(1, got, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = %q", got)
+	}
+	if sys.VirtualTime() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestAsyncOverlap(t *testing.T) {
+	sys := newSmall(t, nil)
+	f := sys.Open("data")
+	var pendings []*Pending
+	for rank := 0; rank < sys.Ranks(); rank++ {
+		p, err := f.WriteAtAsync(rank, bytes.Repeat([]byte{byte(rank)}, 64<<10), int64(rank)<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	for _, p := range pendings {
+		if p.Done() {
+			t.Fatal("async write completed before Wait")
+		}
+	}
+	sys.Wait(pendings...)
+	for _, p := range pendings {
+		if !p.Done() {
+			t.Fatal("Wait returned with pending work")
+		}
+	}
+	// Verify one rank's data.
+	got := make([]byte, 64<<10)
+	if err := f.ReadAt(2, got, 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[len(got)-1] != 2 {
+		t.Fatal("async write payload lost")
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	sys := newSmall(t, nil)
+	f := sys.Open("data")
+	if _, err := f.WriteAtAsync(0, nil, 0); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+	if _, err := f.ReadAtAsync(0, nil, 0); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	if _, err := f.WriteAtAsync(99, []byte("x"), 0); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := f.WriteAtAsync(0, []byte("x"), -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestWriteZeroes(t *testing.T) {
+	sys := newSmall(t, nil)
+	f := sys.Open("perf")
+	p, err := f.WriteZeroes(0, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Wait(p)
+	if !p.Done() {
+		t.Fatal("timing-only write never completed")
+	}
+	if f.Size() == 0 && sys.Stats().CacheUsedBytes == 0 {
+		t.Fatal("write left no trace on either tier")
+	}
+}
+
+func TestStatsRouting(t *testing.T) {
+	sys := newSmall(t, nil)
+	f := sys.Open("data")
+	// Random small writes at far offsets: critical, cached.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		off := rng.Int63n(1<<30) / (16 << 10) * (16 << 10)
+		if err := f.WriteAt(i%sys.Ranks(), bytes.Repeat([]byte{1}, 16<<10), off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.Stats()
+	if st.Writes != 40 {
+		t.Fatalf("Writes = %d", st.Writes)
+	}
+	if st.CacheWriteShare < 0.5 {
+		t.Fatalf("CacheWriteShare = %.2f, want most random writes cached", st.CacheWriteShare)
+	}
+	if st.Admissions == 0 || st.DMTEntries == 0 || st.CacheUsedBytes == 0 {
+		t.Fatalf("cache accounting empty: %+v", st)
+	}
+	if st.CServerShare == 0 {
+		t.Fatal("trace distribution empty despite Trace option")
+	}
+}
+
+func TestRebuildFlushesDirtyData(t *testing.T) {
+	sys := newSmall(t, nil)
+	f := sys.Open("data")
+	if err := f.WriteAt(0, bytes.Repeat([]byte{7}, 16<<10), 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().CacheDirtyBytes == 0 {
+		t.Fatal("critical write not dirty in cache")
+	}
+	sys.DrainRebuild()
+	if sys.Stats().CacheDirtyBytes != 0 {
+		t.Fatal("drain left dirty bytes")
+	}
+	if sys.Stats().Flushes == 0 {
+		t.Fatal("no flushes recorded")
+	}
+	// Data is now on the DServers too.
+	if f.Size() < 1<<30+16<<10 {
+		t.Fatalf("flushed file size = %d", f.Size())
+	}
+}
+
+func TestDisableCacheBaseline(t *testing.T) {
+	sys := newSmall(t, func(o *Options) { o.DisableCache = true })
+	f := sys.Open("data")
+	if err := f.WriteAt(0, bytes.Repeat([]byte{1}, 16<<10), 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.CacheWriteShare != 0 || st.Admissions != 0 {
+		t.Fatalf("stock system cached: %+v", st)
+	}
+	sys.Rebuild()      // must be a no-op
+	sys.DrainRebuild() // must be a no-op
+	got := make([]byte, 16<<10)
+	if err := f.ReadAt(0, got, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("stock round trip failed")
+	}
+}
+
+func TestCacheEverythingOption(t *testing.T) {
+	sys := newSmall(t, func(o *Options) { o.CacheEverything = true })
+	f := sys.Open("data")
+	// Sequential write from 0: not critical, but cached under PolicyAll.
+	if err := f.WriteAt(0, bytes.Repeat([]byte{1}, 16<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().Admissions != 1 {
+		t.Fatalf("CacheEverything did not cache: %+v", sys.Stats())
+	}
+}
+
+func TestRunIORHelper(t *testing.T) {
+	sys := newSmall(t, nil)
+	res, err := sys.RunIOR("ior.dat", 8<<20, 64<<10, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 8<<20 || res.Requests != 128 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.ThroughputMBps <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	// Random read on the second run is faster (cache-assisted).
+	first, err := sys.RunIOR("ior.dat", 8<<20, 16<<10, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.DrainRebuild()
+	second, err := sys.RunIOR("ior.dat", 8<<20, 16<<10, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ThroughputMBps <= first.ThroughputMBps {
+		t.Fatalf("second run (%.1f) not faster than first (%.1f)",
+			second.ThroughputMBps, first.ThroughputMBps)
+	}
+}
+
+// Property: the public API preserves data across random write/read/rebuild
+// interleavings, against a flat reference model.
+func TestPublicAPIConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opts := SmallTestbed()
+		opts.CacheCapacity = 256 << 10
+		sys, err := New(opts)
+		if err != nil {
+			return false
+		}
+		defer sys.Close()
+		file := sys.Open("f")
+		const space = 128 << 10
+		ref := make([]byte, space)
+		for i := 0; i < 20; i++ {
+			off := rng.Int63n(space - 1)
+			size := rng.Int63n(minI64(16<<10, space-off)) + 1
+			switch rng.Intn(4) {
+			case 0:
+				got := make([]byte, size)
+				if file.ReadAt(rng.Intn(4), got, off) != nil {
+					return false
+				}
+				if !bytes.Equal(got, ref[off:off+size]) {
+					return false
+				}
+			case 1:
+				sys.Rebuild()
+			default:
+				data := make([]byte, size)
+				rng.Read(data)
+				if file.WriteAt(rng.Intn(4), data, off) != nil {
+					return false
+				}
+				copy(ref[off:off+size], data)
+			}
+		}
+		sys.DrainRebuild()
+		got := make([]byte, space)
+		if file.ReadAt(0, got, 0) != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
