@@ -1,0 +1,25 @@
+# Development targets. `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every microbenchmark — compile + smoke, not a measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+check: vet build race bench

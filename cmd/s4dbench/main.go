@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	s4dbench [-exp id[,id...]] [-scale f] [-ranks n] [-full] [-list]
+//	s4dbench [-exp id[,id...]] [-scale f] [-ranks n] [-parallel n] [-full] [-list]
 //
 // By default every experiment runs at the quick scale (~1/250 of the
 // paper's data volume, all ratios preserved). -full uses the published
@@ -29,6 +29,7 @@ func run() int {
 		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		scale    = flag.Float64("scale", 0, "file-size scale factor (0 = quick default)")
 		ranks    = flag.Int("ranks", 0, "base process count (0 = scale default)")
+		parallel = flag.Int("parallel", 0, "experiment cells simulated concurrently (0 = GOMAXPROCS)")
 		full     = flag.Bool("full", false, "use the paper's published sizes (slow)")
 		listOnly = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -51,6 +52,7 @@ func run() int {
 	if *ranks > 0 {
 		cfg.Ranks = *ranks
 	}
+	cfg.Parallel = *parallel
 
 	var selected []bench.Experiment
 	if *expFlag == "all" {

@@ -59,37 +59,57 @@ func runAblationAdmission(cfg Config) (*Table, error) {
 		Title:   "Mixed IOR 16KB write throughput by admission policy",
 		Columns: []string{"policy", "MB/s", "vs stock"},
 	}
-	stock, err := cluster.NewStock(cluster.Default())
-	if err != nil {
-		return nil, err
-	}
-	res, err := runPhases(stock, cfg.Ranks, mixedWrite(mix))
-	if err != nil {
-		return nil, err
-	}
-	base := res[0].ThroughputMBps()
-	t.AddRow("stock (no cache)", mbps(base), "+0.0%")
-
-	for _, pol := range []struct {
+	policies := []struct {
 		name   string
 		policy core.AdmissionPolicy
 	}{
 		{"selective (paper)", core.PolicyBenefit},
 		{"cache everything", core.PolicyAll},
-	} {
-		params := cluster.Default()
-		params.CacheCapacity = mix.DataSize() / 5
-		params.Policy = pol.policy
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
-		if err != nil {
-			return nil, err
-		}
-		got := res[0].ThroughputMBps()
-		t.AddRow(pol.name, mbps(got), pct(got, base))
+	}
+	// Cell 0 is the stock baseline; the "vs stock" column needs it, so
+	// rows are assembled after all cells return.
+	cells := []Cell[float64]{{
+		Label: "ablation-admission/stock",
+		Run: func() (float64, error) {
+			stock, err := cluster.NewStock(cluster.Default())
+			if err != nil {
+				return 0, err
+			}
+			res, err := runPhases(stock, cfg.Ranks, mixedWrite(mix))
+			if err != nil {
+				return 0, err
+			}
+			return res[0].ThroughputMBps(), nil
+		},
+	}}
+	for _, pol := range policies {
+		pol := pol
+		cells = append(cells, Cell[float64]{
+			Label: "ablation-admission/" + pol.name,
+			Run: func() (float64, error) {
+				params := cluster.Default()
+				params.CacheCapacity = mix.DataSize() / 5
+				params.Policy = pol.policy
+				tb, err := cluster.NewS4D(params)
+				if err != nil {
+					return 0, err
+				}
+				res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
+				if err != nil {
+					return 0, err
+				}
+				return res[0].ThroughputMBps(), nil
+			},
+		})
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	base := res[0]
+	t.AddRow("stock (no cache)", mbps(base), "+0.0%")
+	for i, pol := range policies {
+		t.AddRow(pol.name, mbps(res[i+1]), pct(res[i+1], base))
 	}
 	t.AddNote("selectivity is the paper's core claim: cache-everything saturates the small CServer set")
 	return t, nil
@@ -107,38 +127,63 @@ func runAblationPolicy(cfg Config) (*Table, error) {
 		Title:   "Mixed IOR 16KB write throughput by admission criterion",
 		Columns: []string{"criterion", "MB/s", "vs stock", "cache write share"},
 	}
-	stock, err := cluster.NewStock(cluster.Default())
-	if err != nil {
-		return nil, err
+	type polResult struct {
+		mbs   float64
+		share float64
 	}
-	res, err := runPhases(stock, cfg.Ranks, mixedWrite(mix))
-	if err != nil {
-		return nil, err
-	}
-	base := res[0].ThroughputMBps()
-	t.AddRow("stock (no cache)", mbps(base), "+0.0%", "0.00")
-
-	for _, pol := range []struct {
+	policies := []struct {
 		name   string
 		policy core.AdmissionPolicy
 	}{
 		{"randomness/benefit (paper)", core.PolicyBenefit},
 		{"temporal locality (Hystor-style)", core.PolicyLocality},
-	} {
-		params := cluster.Default()
-		params.CacheCapacity = mix.DataSize() / 5
-		params.Policy = pol.policy
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
-		if err != nil {
-			return nil, err
-		}
-		got := res[0].ThroughputMBps()
-		t.AddRow(pol.name, mbps(got), pct(got, base),
-			fmt.Sprintf("%.2f", tb.S4D.Stats().CacheWriteShare()))
+	}
+	cells := []Cell[polResult]{{
+		Label: "ablation-policy/stock",
+		Run: func() (polResult, error) {
+			stock, err := cluster.NewStock(cluster.Default())
+			if err != nil {
+				return polResult{}, err
+			}
+			res, err := runPhases(stock, cfg.Ranks, mixedWrite(mix))
+			if err != nil {
+				return polResult{}, err
+			}
+			return polResult{mbs: res[0].ThroughputMBps()}, nil
+		},
+	}}
+	for _, pol := range policies {
+		pol := pol
+		cells = append(cells, Cell[polResult]{
+			Label: "ablation-policy/" + pol.name,
+			Run: func() (polResult, error) {
+				params := cluster.Default()
+				params.CacheCapacity = mix.DataSize() / 5
+				params.Policy = pol.policy
+				tb, err := cluster.NewS4D(params)
+				if err != nil {
+					return polResult{}, err
+				}
+				res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
+				if err != nil {
+					return polResult{}, err
+				}
+				return polResult{
+					mbs:   res[0].ThroughputMBps(),
+					share: tb.S4D.Stats().CacheWriteShare(),
+				}, nil
+			},
+		})
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	base := res[0].mbs
+	t.AddRow("stock (no cache)", mbps(base), "+0.0%", "0.00")
+	for i, pol := range policies {
+		r := res[i+1]
+		t.AddRow(pol.name, mbps(r.mbs), pct(r.mbs, base), fmt.Sprintf("%.2f", r.share))
 	}
 	t.AddNote("one-touch random requests have no temporal locality; only the benefit model catches them (paper §I)")
 	return t, nil
@@ -159,30 +204,45 @@ func runAblationLazy(cfg Config) (*Table, error) {
 		Title:   "Random 16KB reads: first and second run by fetch mode",
 		Columns: []string{"mode", "run1 MB/s", "run2 MB/s"},
 	}
-	for _, mode := range []struct {
+	modes := []struct {
 		name  string
 		eager bool
-	}{{"lazy (paper)", false}, {"eager", true}} {
-		params := cluster.Default()
-		// The cache holds the whole read working set, isolating the
-		// fetch-mode contrast from capacity thrashing.
-		params.CacheCapacity = fileSize * 2
-		params.EagerFetch = mode.eager
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		seedPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
-			return workload.RunIOR(comm, seed, true, done)
-		}
-		readPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
-			return workload.RunIOR(comm, ior, false, done)
-		}
-		res, err := runPhases(tb, cfg.Ranks, seedPhase, nil, readPhase, nil, readPhase)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(mode.name, mbps(res[2].ThroughputMBps()), mbps(res[4].ThroughputMBps()))
+	}{{"lazy (paper)", false}, {"eager", true}}
+	cells := make([]Cell[[]string], 0, len(modes))
+	for _, mode := range modes {
+		mode := mode
+		cells = append(cells, Cell[[]string]{
+			Label: "ablation-lazy/" + mode.name,
+			Run: func() ([]string, error) {
+				params := cluster.Default()
+				// The cache holds the whole read working set, isolating the
+				// fetch-mode contrast from capacity thrashing.
+				params.CacheCapacity = fileSize * 2
+				params.EagerFetch = mode.eager
+				tb, err := cluster.NewS4D(params)
+				if err != nil {
+					return nil, err
+				}
+				seedPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
+					return workload.RunIOR(comm, seed, true, done)
+				}
+				readPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
+					return workload.RunIOR(comm, ior, false, done)
+				}
+				res, err := runPhases(tb, cfg.Ranks, seedPhase, nil, readPhase, nil, readPhase)
+				if err != nil {
+					return nil, err
+				}
+				return []string{mode.name, mbps(res[2].ThroughputMBps()), mbps(res[4].ThroughputMBps())}, nil
+			},
+		})
+	}
+	rows, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("lazy defers population to the Rebuilder (paper §III.E: reduces read response time)")
 	return t, nil
@@ -198,23 +258,38 @@ func runAblationDMTSync(cfg Config) (*Table, error) {
 		Title:   "Mixed IOR 16KB write throughput vs DMT persistence charging",
 		Columns: []string{"dmt persistence", "MB/s"},
 	}
-	for _, mode := range []struct {
+	modes := []struct {
 		name   string
 		charge bool
-	}{{"uncharged (memory only)", false}, {"synchronous to CServers", true}} {
-		params := cluster.Default()
-		params.CacheCapacity = mix.DataSize() / 5
-		params.PersistMeta = true
-		params.ChargeMetaIO = mode.charge
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(mode.name, mbps(res[0].ThroughputMBps()))
+	}{{"uncharged (memory only)", false}, {"synchronous to CServers", true}}
+	cells := make([]Cell[[]string], 0, len(modes))
+	for _, mode := range modes {
+		mode := mode
+		cells = append(cells, Cell[[]string]{
+			Label: "ablation-dmtsync/" + mode.name,
+			Run: func() ([]string, error) {
+				params := cluster.Default()
+				params.CacheCapacity = mix.DataSize() / 5
+				params.PersistMeta = true
+				params.ChargeMetaIO = mode.charge
+				tb, err := cluster.NewS4D(params)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
+				if err != nil {
+					return nil, err
+				}
+				return []string{mode.name, mbps(res[0].ThroughputMBps())}, nil
+			},
+		})
+	}
+	rows, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("metadata writes are %d bytes per mapping change; the cost stays small", 24)
 	return t, nil
@@ -230,22 +305,37 @@ func runAblationRebuild(cfg Config) (*Table, error) {
 		Title:   "Mixed IOR 16KB write throughput vs Rebuilder period",
 		Columns: []string{"period", "MB/s", "admit failures"},
 	}
-	for _, period := range []time.Duration{
+	periods := []time.Duration{
 		50 * time.Millisecond, 250 * time.Millisecond, time.Second, 4 * time.Second,
-	} {
-		params := cluster.Default()
-		params.CacheCapacity = mix.DataSize() / 10 // tighter cache stresses reclaim
-		params.RebuildPeriod = period
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(period.String(), mbps(res[0].ThroughputMBps()),
-			fmt.Sprintf("%d", tb.S4D.Stats().AdmitFailures))
+	}
+	cells := make([]Cell[[]string], 0, len(periods))
+	for _, period := range periods {
+		period := period
+		cells = append(cells, Cell[[]string]{
+			Label: "ablation-rebuild/" + period.String(),
+			Run: func() ([]string, error) {
+				params := cluster.Default()
+				params.CacheCapacity = mix.DataSize() / 10 // tighter cache stresses reclaim
+				params.RebuildPeriod = period
+				tb, err := cluster.NewS4D(params)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
+				if err != nil {
+					return nil, err
+				}
+				return []string{period.String(), mbps(res[0].ThroughputMBps()),
+					fmt.Sprintf("%d", tb.S4D.Stats().AdmitFailures)}, nil
+			},
+		})
+	}
+	rows, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("a stalled Rebuilder starves admission; paper §III.F triggers it periodically")
 	return t, nil
@@ -327,30 +417,47 @@ func runAblationCollective(cfg Config) (*Table, error) {
 			return workload.Result{Bytes: dataSize, Start: start, End: tb.Eng.Now()}, nil
 		}},
 	}
+	var cells []Cell[float64]
 	for _, m := range methods {
-		stockTB, err := cluster.NewStock(cluster.Default())
-		if err != nil {
-			return nil, err
+		m := m
+		for _, s4d := range []bool{false, true} {
+			s4d := s4d
+			sys := "stock"
+			if s4d {
+				sys = "s4d"
+			}
+			cells = append(cells, Cell[float64]{
+				Label: fmt.Sprintf("ablation-collective/%s/%s", m.name, sys),
+				Run: func() (float64, error) {
+					var tb *cluster.Testbed
+					var err error
+					if s4d {
+						params := cluster.Default()
+						params.CacheCapacity = dataSize / 5
+						tb, err = cluster.NewS4D(params)
+					} else {
+						tb, err = cluster.NewStock(cluster.Default())
+					}
+					if err != nil {
+						return 0, err
+					}
+					res, err := m.run(tb)
+					if err != nil {
+						return 0, err
+					}
+					tb.Close()
+					return res.ThroughputMBps(), nil
+				},
+			})
 		}
-		stockRes, err := m.run(stockTB)
-		if err != nil {
-			return nil, err
-		}
-		stockTB.Close()
-
-		params := cluster.Default()
-		params.CacheCapacity = dataSize / 5
-		s4dTB, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		s4dRes, err := m.run(s4dTB)
-		if err != nil {
-			return nil, err
-		}
-		s4dTB.Close()
-		t.AddRow(m.name, mbps(stockRes.ThroughputMBps()), mbps(s4dRes.ThroughputMBps()),
-			pct(s4dRes.ThroughputMBps(), stockRes.ThroughputMBps()))
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range methods {
+		stock, s4d := res[2*i], res[2*i+1]
+		t.AddRow(m.name, mbps(stock), mbps(s4d), pct(s4d, stock))
 	}
 	t.AddNote("S4D complements the middleware: the less the method merges, the more the cache helps (§II.A)")
 	return t, nil
@@ -366,23 +473,38 @@ func runAblationTableII(cfg Config) (*Table, error) {
 		Title:   "Mixed IOR 64KB (stripe-aligned) by s_m formula",
 		Columns: []string{"formula", "MB/s", "cache write share"},
 	}
-	for _, mode := range []struct {
+	modes := []struct {
 		name  string
 		paper bool
-	}{{"exact stripe walk", false}, {"paper Table II", true}} {
-		params := cluster.Default()
-		params.CacheCapacity = mix.DataSize() / 5
-		params.PaperTableII = mode.paper
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(mode.name, mbps(res[0].ThroughputMBps()),
-			fmt.Sprintf("%.2f", tb.S4D.Stats().CacheWriteShare()))
+	}{{"exact stripe walk", false}, {"paper Table II", true}}
+	cells := make([]Cell[[]string], 0, len(modes))
+	for _, mode := range modes {
+		mode := mode
+		cells = append(cells, Cell[[]string]{
+			Label: "ablation-tableii/" + mode.name,
+			Run: func() ([]string, error) {
+				params := cluster.Default()
+				params.CacheCapacity = mix.DataSize() / 5
+				params.PaperTableII = mode.paper
+				tb, err := cluster.NewS4D(params)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
+				if err != nil {
+					return nil, err
+				}
+				return []string{mode.name, mbps(res[0].ThroughputMBps()),
+					fmt.Sprintf("%.2f", tb.S4D.Stats().CacheWriteShare())}, nil
+			},
+		})
+	}
+	rows, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("the formulas differ only when requests end exactly on stripe boundaries")
 	return t, nil

@@ -25,6 +25,11 @@ type Config struct {
 	Scale float64
 	// Ranks is the base process count (the paper's default is 32).
 	Ranks int
+	// Parallel bounds how many experiment cells (independent
+	// testbed+workload units) simulate concurrently; <= 0 means
+	// GOMAXPROCS. Tables come out identical for any setting — cells are
+	// reassembled in deterministic order.
+	Parallel int
 }
 
 // Quick returns the fast configuration used by default: ~1/250 of the

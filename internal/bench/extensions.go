@@ -54,38 +54,62 @@ func runExtMemcache(cfg Config) (*Table, error) {
 		{"S4D only", false, 0},
 		{"memory cache + S4D", false, working / 2},
 	}
+	// Each deployment is one cell; a deployment with a memory cache also
+	// reports its hit statistics as a table note.
+	type memResult struct {
+		row  []string
+		note string
+	}
+	cells := make([]Cell[memResult], 0, len(deployments))
 	for _, d := range deployments {
-		params := cluster.Default()
-		params.CacheCapacity = fileSize
-		params.MemCacheBytes = d.memcache
-		var tb *cluster.Testbed
-		var err error
-		if d.stock {
-			tb, err = cluster.NewStock(params)
-		} else {
-			tb, err = cluster.NewS4D(params)
-		}
-		if err != nil {
-			return nil, err
-		}
-		seedPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
-			return workload.RunIOR(comm, seed, true, done)
-		}
-		probePhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
-			return workload.RunIOR(comm, probe, false, done)
-		}
-		res, err := runPhases(tb, cfg.Ranks,
-			seedPhase, nil, probePhase, nil, probePhase, nil, probePhase)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(d.name,
-			mbps(res[2].ThroughputMBps()),
-			mbps(res[4].ThroughputMBps()),
-			mbps(res[6].ThroughputMBps()))
-		if tb.MemCache != nil {
-			t.AddNote("memcache: %d hits, %d misses, %d pages resident",
-				tb.MemCache.Hits, tb.MemCache.Misses, tb.MemCache.Pages())
+		d := d
+		cells = append(cells, Cell[memResult]{
+			Label: "ext-memcache/" + d.name,
+			Run: func() (memResult, error) {
+				params := cluster.Default()
+				params.CacheCapacity = fileSize
+				params.MemCacheBytes = d.memcache
+				var tb *cluster.Testbed
+				var err error
+				if d.stock {
+					tb, err = cluster.NewStock(params)
+				} else {
+					tb, err = cluster.NewS4D(params)
+				}
+				if err != nil {
+					return memResult{}, err
+				}
+				seedPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
+					return workload.RunIOR(comm, seed, true, done)
+				}
+				probePhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
+					return workload.RunIOR(comm, probe, false, done)
+				}
+				res, err := runPhases(tb, cfg.Ranks,
+					seedPhase, nil, probePhase, nil, probePhase, nil, probePhase)
+				if err != nil {
+					return memResult{}, err
+				}
+				out := memResult{row: []string{d.name,
+					mbps(res[2].ThroughputMBps()),
+					mbps(res[4].ThroughputMBps()),
+					mbps(res[6].ThroughputMBps())}}
+				if tb.MemCache != nil {
+					out.note = fmt.Sprintf("memcache: %d hits, %d misses, %d pages resident",
+						tb.MemCache.Hits, tb.MemCache.Misses, tb.MemCache.Pages())
+				}
+				return out, nil
+			},
+		})
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res {
+		t.AddRow(r.row...)
+		if r.note != "" {
+			t.AddNote("%s", r.note)
 		}
 	}
 	t.AddNote(fmt.Sprintf("memory cache sized at half the probe working set (%d MB)", working/2>>20))

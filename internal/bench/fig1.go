@@ -35,34 +35,58 @@ func runFig1(cfg Config) (*Table, error) {
 		Title:   "IOR read bandwidth, stock I/O system (8 DServers)",
 		Columns: []string{"req", "seq MB/s", "rand MB/s", "rand/seq"},
 	}
+	// The sweep truncates at this scale's maximum request size; every
+	// surviving (size, pattern) pair is one independent cell.
+	truncated := false
+	var reqs []int64
 	for _, req := range sizes {
 		if req > maxReq {
-			t.AddNote("request sizes above %s skipped at this scale", kb(maxReq))
+			truncated = true
 			break
 		}
-		var bw [2]float64
-		for i, random := range []bool{false, true} {
-			tb, err := cluster.NewStock(cluster.Default())
-			if err != nil {
-				return nil, err
-			}
-			ior := workload.IORConfig{
-				Ranks: ranks, FileSize: fileSize, RequestSize: req,
-				Random: random, Seed: 11,
-			}
-			res, err := runPhases(tb, ranks, func(comm *mpiio.Comm, done func(workload.Result)) error {
-				return workload.RunIOR(comm, ior, false, done)
+		reqs = append(reqs, req)
+	}
+
+	var cells []Cell[float64]
+	for _, req := range reqs {
+		for _, random := range []bool{false, true} {
+			req, random := req, random
+			cells = append(cells, Cell[float64]{
+				Label: fmt.Sprintf("fig1/%s/random=%v", kb(req), random),
+				Run: func() (float64, error) {
+					tb, err := cluster.NewStock(cluster.Default())
+					if err != nil {
+						return 0, err
+					}
+					ior := workload.IORConfig{
+						Ranks: ranks, FileSize: fileSize, RequestSize: req,
+						Random: random, Seed: 11,
+					}
+					res, err := runPhases(tb, ranks, func(comm *mpiio.Comm, done func(workload.Result)) error {
+						return workload.RunIOR(comm, ior, false, done)
+					})
+					if err != nil {
+						return 0, err
+					}
+					return res[0].ThroughputMBps(), nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			bw[i] = res[0].ThroughputMBps()
 		}
+	}
+	bw, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, req := range reqs {
+		seq, rand := bw[2*i], bw[2*i+1]
 		ratio := 0.0
-		if bw[0] > 0 {
-			ratio = bw[1] / bw[0]
+		if seq > 0 {
+			ratio = rand / seq
 		}
-		t.AddRow(kb(req), mbps(bw[0]), mbps(bw[1]), fmt.Sprintf("%.2f", ratio))
+		t.AddRow(kb(req), mbps(seq), mbps(rand), fmt.Sprintf("%.2f", ratio))
+	}
+	if truncated {
+		t.AddNote("request sizes above %s skipped at this scale", kb(maxReq))
 	}
 	t.AddNote("paper: random < 50%% of sequential at 4–32KB; comparable above 4MB")
 	return t, nil

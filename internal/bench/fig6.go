@@ -22,6 +22,9 @@ func init() {
 	})
 }
 
+// wr is one cell's write/read throughput measurement.
+type wr struct{ w, r float64 }
+
 // scaledMixed builds the §V.B mixed scenario at the configured scale. The
 // per-rank segment is kept at least 2 MB (and at least four requests), so
 // that varying the process count does not shrink segments into the HDD's
@@ -73,10 +76,11 @@ func secondRunRead(comm *mpiio.Comm, tb *cluster.Testbed, mix workload.MixedIORC
 	return total, nil
 }
 
-// mixedPair runs the §V.B mixed IOR scenario once on a stock testbed and
-// once on an S4D testbed, returning (stockW, stockR, s4dW, s4dR)
-// throughputs. Reads follow the second-run protocol on both systems.
-func mixedPair(cfg Config, reqSize int64, mutate func(*cluster.Params)) (sw, sr, cw, cr float64, tbS4D *cluster.Testbed, err error) {
+// mixedRun runs the §V.B mixed IOR scenario on one freshly built testbed
+// (stock or S4D) and returns its write and second-run read throughputs.
+// Each invocation is self-contained — one Engine, one cluster — so the
+// stock and S4D halves of a sweep point are independent runner cells.
+func mixedRun(cfg Config, reqSize int64, mutate func(*cluster.Params), s4d bool) (wr, error) {
 	mix := scaledMixed(cfg, reqSize)
 
 	params := cluster.Default()
@@ -85,45 +89,55 @@ func mixedPair(cfg Config, reqSize int64, mutate func(*cluster.Params)) (sw, sr,
 		mutate(&params)
 	}
 
-	runOne := func(tb *cluster.Testbed) (w, r float64, err error) {
-		comm, err := tb.Comm(cfg.Ranks)
-		if err != nil {
-			return 0, 0, err
-		}
-		finished := false
-		var wres workload.Result
-		if err := workload.RunMixed(comm, mix, true, func(res workload.Result) { wres = res; finished = true }); err != nil {
-			return 0, 0, err
-		}
-		tb.Eng.RunWhile(func() bool { return !finished })
-		if tb.S4D != nil {
-			drained := false
-			tb.S4D.DrainRebuild(func() { drained = true })
-			tb.Eng.RunWhile(func() bool { return !drained })
-		}
-		rres, err := secondRunRead(comm, tb, mix)
-		if err != nil {
-			return 0, 0, err
-		}
-		tb.Close()
-		return wres.ThroughputMBps(), rres.ThroughputMBps(), nil
+	var tb *cluster.Testbed
+	var err error
+	if s4d {
+		tb, err = cluster.NewS4D(params)
+	} else {
+		tb, err = cluster.NewStock(params)
 	}
+	if err != nil {
+		return wr{}, err
+	}
+	comm, err := tb.Comm(cfg.Ranks)
+	if err != nil {
+		return wr{}, err
+	}
+	finished := false
+	var wres workload.Result
+	if err := workload.RunMixed(comm, mix, true, func(res workload.Result) { wres = res; finished = true }); err != nil {
+		return wr{}, err
+	}
+	tb.Eng.RunWhile(func() bool { return !finished })
+	if tb.S4D != nil {
+		drained := false
+		tb.S4D.DrainRebuild(func() { drained = true })
+		tb.Eng.RunWhile(func() bool { return !drained })
+	}
+	rres, err := secondRunRead(comm, tb, mix)
+	if err != nil {
+		return wr{}, err
+	}
+	tb.Close()
+	return wr{w: wres.ThroughputMBps(), r: rres.ThroughputMBps()}, nil
+}
 
-	stock, err := cluster.NewStock(params)
-	if err != nil {
-		return 0, 0, 0, 0, nil, err
+// mixedPairCells returns the stock and S4D cells for one sweep point of
+// the mixed scenario, in that order.
+func mixedPairCells(cfg Config, label string, reqSize int64, mutate func(*cluster.Params)) []Cell[wr] {
+	cells := make([]Cell[wr], 0, 2)
+	for _, s4d := range []bool{false, true} {
+		s4d := s4d
+		sys := "stock"
+		if s4d {
+			sys = "s4d"
+		}
+		cells = append(cells, Cell[wr]{
+			Label: fmt.Sprintf("%s/%s", label, sys),
+			Run:   func() (wr, error) { return mixedRun(cfg, reqSize, mutate, s4d) },
+		})
 	}
-	if sw, sr, err = runOne(stock); err != nil {
-		return 0, 0, 0, 0, nil, err
-	}
-	s4d, err := cluster.NewS4D(params)
-	if err != nil {
-		return 0, 0, 0, 0, nil, err
-	}
-	if cw, cr, err = runOne(s4d); err != nil {
-		return 0, 0, 0, 0, nil, err
-	}
-	return sw, sr, cw, cr, s4d, nil
+	return cells
 }
 
 // runFig6 reproduces Figure 6(a)/(b): mixed IOR with request sizes 8 KB to
@@ -136,12 +150,19 @@ func runFig6(cfg Config) (*Table, error) {
 		Columns: []string{"req", "stock-w", "s4d-w", "write-gain",
 			"stock-r", "s4d-r", "read-gain"},
 	}
-	for _, req := range []int64{8 << 10, 16 << 10, 32 << 10, 64 << 10, 4 << 20} {
-		sw, sr, cw, cr, _, err := mixedPair(cfg, req, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(kb(req), mbps(sw), mbps(cw), pct(cw, sw), mbps(sr), mbps(cr), pct(cr, sr))
+	reqs := []int64{8 << 10, 16 << 10, 32 << 10, 64 << 10, 4 << 20}
+	var cells []Cell[wr]
+	for _, req := range reqs {
+		cells = append(cells, mixedPairCells(cfg, "fig6/"+kb(req), req, nil)...)
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, req := range reqs {
+		stock, s4d := res[2*i], res[2*i+1]
+		t.AddRow(kb(req), mbps(stock.w), mbps(s4d.w), pct(s4d.w, stock.w),
+			mbps(stock.r), mbps(s4d.r), pct(s4d.r, stock.r))
 	}
 	t.AddNote("paper write gains: +51.3%% (8KB), +49.1%% (16KB), +39.2%% (32KB), +32.5%% (64KB), ~0%% (4MB)")
 	t.AddNote("paper read gains: up to +184.1%% (8KB); reads measured on the second run")
@@ -161,46 +182,61 @@ func runTable3(cfg Config) (*Table, error) {
 		Title:   "Request distribution during a random IOR instance (IOSIG trace)",
 		Columns: []string{"req", "DServers %", "CServers %", "DServer seq"},
 	}
-	for _, req := range []int64{16 << 10, 4 << 20} {
-		mix := scaledMixed(cfg, req)
-		params := cluster.Default()
-		params.CacheCapacity = mix.DataSize() / 5
-		params.Trace = true
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		comm, err := tb.Comm(cfg.Ranks)
-		if err != nil {
-			return nil, err
-		}
-		// Run the instances one by one, noting the window of the second
-		// random instance (the cache is warm by then, like the paper's
-		// mid-run sample).
-		var winFrom, winTo int64
-		randomSeen := 0
-		for i := 0; i < mix.Instances; i++ {
-			inst := mix.Instance(i)
-			start := tb.Eng.Now()
-			finished := false
-			if err := workload.RunIOR(comm, inst, true, func(workload.Result) { finished = true }); err != nil {
-				return nil, err
-			}
-			tb.Eng.RunWhile(func() bool { return !finished })
-			if inst.Random {
-				randomSeen++
-				if randomSeen == 2 {
-					winFrom, winTo = int64(start), int64(tb.Eng.Now())
+	reqs := []int64{16 << 10, 4 << 20}
+	cells := make([]Cell[[]string], 0, len(reqs))
+	for _, req := range reqs {
+		req := req
+		cells = append(cells, Cell[[]string]{
+			Label: "table3/" + kb(req),
+			Run: func() ([]string, error) {
+				mix := scaledMixed(cfg, req)
+				params := cluster.Default()
+				params.CacheCapacity = mix.DataSize() / 5
+				params.Trace = true
+				tb, err := cluster.NewS4D(params)
+				if err != nil {
+					return nil, err
 				}
-			}
-		}
-		tb.Close()
-		d := tb.Recorder.Distribute(time.Duration(winFrom), time.Duration(winTo))
-		dShare := d.ByteShare("OPFS") * 100
-		cShare := d.ByteShare("CPFS") * 100
-		seq := tb.Recorder.Sequentiality("OPFS")
-		t.AddRow(kb(req), fmt.Sprintf("%.1f", dShare), fmt.Sprintf("%.1f", cShare),
-			fmt.Sprintf("%.2f", seq))
+				comm, err := tb.Comm(cfg.Ranks)
+				if err != nil {
+					return nil, err
+				}
+				// Run the instances one by one, noting the window of the second
+				// random instance (the cache is warm by then, like the paper's
+				// mid-run sample).
+				var winFrom, winTo int64
+				randomSeen := 0
+				for i := 0; i < mix.Instances; i++ {
+					inst := mix.Instance(i)
+					start := tb.Eng.Now()
+					finished := false
+					if err := workload.RunIOR(comm, inst, true, func(workload.Result) { finished = true }); err != nil {
+						return nil, err
+					}
+					tb.Eng.RunWhile(func() bool { return !finished })
+					if inst.Random {
+						randomSeen++
+						if randomSeen == 2 {
+							winFrom, winTo = int64(start), int64(tb.Eng.Now())
+						}
+					}
+				}
+				tb.Close()
+				d := tb.Recorder.Distribute(time.Duration(winFrom), time.Duration(winTo))
+				dShare := d.ByteShare("OPFS") * 100
+				cShare := d.ByteShare("CPFS") * 100
+				seq := tb.Recorder.Sequentiality("OPFS")
+				return []string{kb(req), fmt.Sprintf("%.1f", dShare),
+					fmt.Sprintf("%.1f", cShare), fmt.Sprintf("%.2f", seq)}, nil
+			},
+		})
+	}
+	rows, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: 16KB → 16.3%%/83.7%%; 4MB → 100.0%%/0.0%%; DServers mostly see sequential requests")
 	return t, nil

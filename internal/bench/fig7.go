@@ -41,15 +41,20 @@ func runFig7(cfg Config) (*Table, error) {
 	if cfg.Scale < 1 {
 		counts = []int{4, 8, 16, 32}
 	}
+	var cells []Cell[wr]
 	for _, procs := range counts {
 		sub := cfg
 		sub.Ranks = procs
-		sw, sr, cw, cr, _, err := mixedPair(sub, 16<<10, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d", procs), mbps(sw), mbps(cw), pct(cw, sw),
-			mbps(sr), mbps(cr), pct(cr, sr))
+		cells = append(cells, mixedPairCells(sub, fmt.Sprintf("fig7/%dp", procs), 16<<10, nil)...)
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, procs := range counts {
+		stock, s4d := res[2*i], res[2*i+1]
+		t.AddRow(fmt.Sprintf("%d", procs), mbps(stock.w), mbps(s4d.w), pct(s4d.w, stock.w),
+			mbps(stock.r), mbps(s4d.r), pct(s4d.r, stock.r))
 	}
 	t.AddNote("paper: +35.4%% to +49.5%% writes; bandwidth decreases with process count (contention)")
 	return t, nil
@@ -66,32 +71,51 @@ func runTable4(cfg Config) (*Table, error) {
 		Title:   "Mixed IOR write throughput vs cache capacity",
 		Columns: []string{"capacity", "MB/s", "speedup"},
 	}
-	stockParams := cluster.Default()
-	stock, err := cluster.NewStock(stockParams)
+	fractions := []float64{0.10, 0.20, 0.30}
+	// Cell 0 is the stock baseline; cells 1..n are the capacity sweep.
+	// Speedup columns need the baseline, so they are computed at assembly.
+	cells := []Cell[float64]{{
+		Label: "table4/stock",
+		Run: func() (float64, error) {
+			stock, err := cluster.NewStock(cluster.Default())
+			if err != nil {
+				return 0, err
+			}
+			res, err := runPhases(stock, cfg.Ranks, mixedWrite(mix))
+			if err != nil {
+				return 0, err
+			}
+			return res[0].ThroughputMBps(), nil
+		},
+	}}
+	for _, fraction := range fractions {
+		fraction := fraction
+		cells = append(cells, Cell[float64]{
+			Label: fmt.Sprintf("table4/%.0f%%", fraction*100),
+			Run: func() (float64, error) {
+				params := cluster.Default()
+				params.CacheCapacity = int64(float64(mix.DataSize()) * fraction)
+				tb, err := cluster.NewS4D(params)
+				if err != nil {
+					return 0, err
+				}
+				res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
+				if err != nil {
+					return 0, err
+				}
+				return res[0].ThroughputMBps(), nil
+			},
+		})
+	}
+	res, err := RunCells(cfg.Parallel, cells)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runPhases(stock, cfg.Ranks, mixedWrite(mix))
-	if err != nil {
-		return nil, err
-	}
-	base := res[0].ThroughputMBps()
+	base := res[0]
 	t.AddRow("0 (stock)", mbps(base), "+0.0%")
-
-	for _, fraction := range []float64{0.10, 0.20, 0.30} {
-		params := cluster.Default()
-		params.CacheCapacity = int64(float64(mix.DataSize()) * fraction)
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPhases(tb, cfg.Ranks, mixedWrite(mix))
-		if err != nil {
-			return nil, err
-		}
-		got := res[0].ThroughputMBps()
-		label := fmt.Sprintf("%.0f%% of data", fraction*100)
-		t.AddRow(label, mbps(got), pct(got, base))
+	for i, fraction := range fractions {
+		got := res[i+1]
+		t.AddRow(fmt.Sprintf("%.0f%% of data", fraction*100), mbps(got), pct(got, base))
 	}
 	t.AddNote("paper (20GB data): 0GB→58.0, 2GB→69.3 (+19.5%%), 4GB→86.2 (+48.4%%), 6GB→90.9 (+56.6%%) MB/s; plateau above 4GB")
 	return t, nil
@@ -107,20 +131,34 @@ func runFig8(cfg Config) (*Table, error) {
 		Columns: []string{"cservers", "write MB/s", "write-gain",
 			"read MB/s", "read-gain"},
 	}
-	var baseW, baseR float64
-	for i, n := range []int{1, 2, 4, 6} {
+	counts := []int{1, 2, 4, 6}
+	// The stock testbed has no CServers at all, so the baseline is the
+	// same for every sweep point: run it once (cell 0), then one S4D cell
+	// per CServer count.
+	cells := []Cell[wr]{{
+		Label: "fig8/stock",
+		Run: func() (wr, error) {
+			return mixedRun(cfg, 16<<10, func(p *cluster.Params) { p.CServers = 1 }, false)
+		},
+	}}
+	for _, n := range counts {
 		n := n
-		sw, sr, cw, cr, _, err := mixedPair(cfg, 16<<10, func(p *cluster.Params) {
-			p.CServers = n
+		cells = append(cells, Cell[wr]{
+			Label: fmt.Sprintf("fig8/%dc", n),
+			Run: func() (wr, error) {
+				return mixedRun(cfg, 16<<10, func(p *cluster.Params) { p.CServers = n }, true)
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			baseW, baseR = sw, sr
-			t.AddRow("0 (stock)", mbps(baseW), "+0.0%", mbps(baseR), "+0.0%")
-		}
-		t.AddRow(fmt.Sprintf("%d", n), mbps(cw), pct(cw, baseW), mbps(cr), pct(cr, baseR))
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	base := res[0]
+	t.AddRow("0 (stock)", mbps(base.w), "+0.0%", mbps(base.r), "+0.0%")
+	for i, n := range counts {
+		s4d := res[i+1]
+		t.AddRow(fmt.Sprintf("%d", n), mbps(s4d.w), pct(s4d.w, base.w), mbps(s4d.r), pct(s4d.r, base.r))
 	}
 	t.AddNote("paper: +20.7%% to +60.1%% writes; improvement plateaus above 4 CServers")
 	return t, nil

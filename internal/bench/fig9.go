@@ -32,6 +32,46 @@ func init() {
 	})
 }
 
+// wrPairCells builds the (stock, s4d) cell pair for one write+read phase
+// sweep point: the stock testbed runs write then read; the S4D testbed
+// drains the Rebuilder between them (phases w, nil, r) so reads hit the
+// reorganized cache.
+func wrPairCells(label string, ranks int, cacheCapacity int64,
+	wPhase, rPhase phase) []Cell[wr] {
+	return []Cell[wr]{
+		{
+			Label: label + "/stock",
+			Run: func() (wr, error) {
+				stock, err := cluster.NewStock(cluster.Default())
+				if err != nil {
+					return wr{}, err
+				}
+				res, err := runPhases(stock, ranks, wPhase, rPhase)
+				if err != nil {
+					return wr{}, err
+				}
+				return wr{w: res[0].ThroughputMBps(), r: res[1].ThroughputMBps()}, nil
+			},
+		},
+		{
+			Label: label + "/s4d",
+			Run: func() (wr, error) {
+				params := cluster.Default()
+				params.CacheCapacity = cacheCapacity
+				s4d, err := cluster.NewS4D(params)
+				if err != nil {
+					return wr{}, err
+				}
+				res, err := runPhases(s4d, ranks, wPhase, nil, rPhase)
+				if err != nil {
+					return wr{}, err
+				}
+				return wr{w: res[0].ThroughputMBps(), r: res[2].ThroughputMBps()}, nil
+			},
+		},
+	}
+}
+
 // runFig9 reproduces Figure 9: HPIO with 16 processes, 4096 regions of
 // 8 KB, region spacing 0–4 KB. The paper reports gains of +18/28/30/33%
 // growing with spacing.
@@ -48,42 +88,30 @@ func runFig9(cfg Config) (*Table, error) {
 		Columns: []string{"spacing", "stock-w", "s4d-w", "write-gain",
 			"stock-r", "s4d-r", "read-gain"},
 	}
-	for _, spacing := range []int64{0, 1 << 10, 2 << 10, 4 << 10} {
+	spacings := []int64{0, 1 << 10, 2 << 10, 4 << 10}
+	var cells []Cell[wr]
+	for _, spacing := range spacings {
 		hp := workload.HPIOConfig{
 			Ranks: ranks, RegionCount: regions, RegionSize: 8 << 10,
 			RegionSpacing: spacing,
 		}
 		dataSize := int64(ranks) * int64(regions) * hp.RegionSize
-
 		wPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
 			return workload.RunHPIO(comm, hp, true, done)
 		}
 		rPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
 			return workload.RunHPIO(comm, hp, false, done)
 		}
-
-		stock, err := cluster.NewStock(cluster.Default())
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPhases(stock, ranks, wPhase, rPhase)
-		if err != nil {
-			return nil, err
-		}
-		sw, sr := res[0].ThroughputMBps(), res[1].ThroughputMBps()
-
-		params := cluster.Default()
-		params.CacheCapacity = dataSize / 5
-		s4d, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err = runPhases(s4d, ranks, wPhase, nil, rPhase)
-		if err != nil {
-			return nil, err
-		}
-		cw, cr := res[0].ThroughputMBps(), res[2].ThroughputMBps()
-		t.AddRow(kb(spacing), mbps(sw), mbps(cw), pct(cw, sw), mbps(sr), mbps(cr), pct(cr, sr))
+		cells = append(cells, wrPairCells("fig9/"+kb(spacing), ranks, dataSize/5, wPhase, rPhase)...)
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, spacing := range spacings {
+		stock, s4d := res[2*i], res[2*i+1]
+		t.AddRow(kb(spacing), mbps(stock.w), mbps(s4d.w), pct(s4d.w, stock.w),
+			mbps(stock.r), mbps(s4d.r), pct(s4d.r, stock.r))
 	}
 	t.AddNote("paper: +18%%, +28%%, +30%%, +33%% — gains grow with spacing (poorer stock locality)")
 	return t, nil
@@ -105,6 +133,7 @@ func runFig10(cfg Config) (*Table, error) {
 		Columns: []string{"procs", "stock-w", "s4d-w", "write-gain",
 			"stock-r", "s4d-r", "read-gain"},
 	}
+	var cells []Cell[wr]
 	for _, procs := range counts {
 		tile := workload.TileIOConfig{
 			Ranks: procs, ElementsX: 10, ElementsY: 10, ElementSize: elemSize,
@@ -116,30 +145,16 @@ func runFig10(cfg Config) (*Table, error) {
 		rPhase := func(comm *mpiio.Comm, done func(workload.Result)) error {
 			return workload.RunTileIO(comm, tile, false, done)
 		}
-
-		stock, err := cluster.NewStock(cluster.Default())
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPhases(stock, procs, wPhase, rPhase)
-		if err != nil {
-			return nil, err
-		}
-		sw, sr := res[0].ThroughputMBps(), res[1].ThroughputMBps()
-
-		params := cluster.Default()
-		params.CacheCapacity = dataSize / 5
-		s4d, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err = runPhases(s4d, procs, wPhase, nil, rPhase)
-		if err != nil {
-			return nil, err
-		}
-		cw, cr := res[0].ThroughputMBps(), res[2].ThroughputMBps()
-		t.AddRow(fmt.Sprintf("%d", procs), mbps(sw), mbps(cw), pct(cw, sw),
-			mbps(sr), mbps(cr), pct(cr, sr))
+		cells = append(cells, wrPairCells(fmt.Sprintf("fig10/%dp", procs), procs, dataSize/5, wPhase, rPhase)...)
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, procs := range counts {
+		stock, s4d := res[2*i], res[2*i+1]
+		t.AddRow(fmt.Sprintf("%d", procs), mbps(stock.w), mbps(s4d.w), pct(s4d.w, stock.w),
+			mbps(stock.r), mbps(s4d.r), pct(s4d.r, stock.r))
 	}
 	t.AddNote("paper: +21%%–33%% writes, +18%%–31%% reads (nested-stride locality between IOR and HPIO)")
 	return t, nil
@@ -160,7 +175,9 @@ func runFig11(cfg Config) (*Table, error) {
 		Title:   "All-miss overhead (random shared-file writes)",
 		Columns: []string{"req", "stock MB/s", "s4d-off MB/s", "overhead"},
 	}
-	for _, req := range []int64{8 << 10, 16 << 10, 32 << 10} {
+	reqs := []int64{8 << 10, 16 << 10, 32 << 10}
+	var cells []Cell[float64]
+	for _, req := range reqs {
 		ior := workload.IORConfig{
 			Ranks: cfg.Ranks, FileSize: fileSize, RequestSize: req,
 			Random: true, Seed: 5,
@@ -168,30 +185,45 @@ func runFig11(cfg Config) (*Table, error) {
 		phaseW := func(comm *mpiio.Comm, done func(workload.Result)) error {
 			return workload.RunIOR(comm, ior, true, done)
 		}
-		stock, err := cluster.NewStock(cluster.Default())
-		if err != nil {
-			return nil, err
+		for _, s4dOff := range []bool{false, true} {
+			s4dOff := s4dOff
+			sys := "stock"
+			if s4dOff {
+				sys = "s4d-off"
+			}
+			cells = append(cells, Cell[float64]{
+				Label: fmt.Sprintf("fig11/%s/%s", kb(req), sys),
+				Run: func() (float64, error) {
+					var tb *cluster.Testbed
+					var err error
+					if s4dOff {
+						params := cluster.Default()
+						params.CacheCapacity = fileSize / 5
+						params.Policy = core.PolicyNone
+						params.PersistMeta = true
+						params.ChargeMetaIO = true
+						tb, err = cluster.NewS4D(params)
+					} else {
+						tb, err = cluster.NewStock(cluster.Default())
+					}
+					if err != nil {
+						return 0, err
+					}
+					res, err := runPhases(tb, cfg.Ranks, phaseW)
+					if err != nil {
+						return 0, err
+					}
+					return res[0].ThroughputMBps(), nil
+				},
+			})
 		}
-		res, err := runPhases(stock, cfg.Ranks, phaseW)
-		if err != nil {
-			return nil, err
-		}
-		base := res[0].ThroughputMBps()
-
-		params := cluster.Default()
-		params.CacheCapacity = fileSize / 5
-		params.Policy = core.PolicyNone
-		params.PersistMeta = true
-		params.ChargeMetaIO = true
-		tb, err := cluster.NewS4D(params)
-		if err != nil {
-			return nil, err
-		}
-		res, err = runPhases(tb, cfg.Ranks, phaseW)
-		if err != nil {
-			return nil, err
-		}
-		got := res[0].ThroughputMBps()
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, req := range reqs {
+		base, got := res[2*i], res[2*i+1]
 		overhead := "0.0%"
 		if base > 0 {
 			overhead = fmt.Sprintf("%.1f%%", (1-got/base)*100)
@@ -205,7 +237,7 @@ func runFig11(cfg Config) (*Table, error) {
 // runMeta reproduces §V.E.1: the DMT space overhead. The worst case is
 // all-4KB requests: one 24-byte entry per 4 KB of cache, 0.6%. The
 // measured column populates a cache with 4 KB critical writes and reports
-// entries*24B / cache capacity.
+// entries*24B / cache capacity. A single testbed — nothing to parallelize.
 func runMeta(cfg Config) (*Table, error) {
 	capacity := int64(64 << 20)
 	params := cluster.Default()

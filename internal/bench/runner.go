@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell is one independently runnable unit of an experiment: one testbed
+// plus one workload, producing one result. Cells share nothing — each
+// builds its own Engine and cluster, and every random source in the tree
+// is per-instance seeded — so a pool can run them concurrently while each
+// cell's simulation stays bit-for-bit identical to a sequential run.
+type Cell[T any] struct {
+	// Label identifies the cell in error messages ("fig6/16KB/s4d").
+	Label string
+	// Run builds the cell's testbed, drives the workload, and returns
+	// the measurement.
+	Run func() (T, error)
+}
+
+// RunCells executes cells on a bounded worker pool and returns their
+// results indexed by cell position — deterministic regardless of
+// completion order, so assembled tables are identical for any pool size.
+// parallel <= 0 means GOMAXPROCS. The first error in cell order is
+// returned (cells not yet started when an error surfaces are skipped).
+func RunCells[T any](parallel int, cells []Cell[T]) ([]T, error) {
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]T, len(cells))
+	errs := make([]error, len(cells))
+
+	if workers <= 1 {
+		for i, c := range cells {
+			results[i], errs[i] = c.Run()
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cells) || failed.Load() {
+						return
+					}
+					results[i], errs[i] = cells[i].Run()
+					if errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", cells[i].Label, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCellsOrdersResults(t *testing.T) {
+	// Results must land at their cell's index regardless of completion
+	// order or pool size.
+	const n = 37
+	cells := make([]Cell[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		cells[i] = Cell[int]{
+			Label: fmt.Sprintf("cell-%d", i),
+			Run:   func() (int, error) { return i * i, nil },
+		}
+	}
+	for _, parallel := range []int{1, 2, 8, n + 5} {
+		res, err := RunCells(parallel, cells)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("parallel=%d: res[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunCellsEmpty(t *testing.T) {
+	res, err := RunCells[int](4, nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("RunCells(nil) = %v, %v", res, err)
+	}
+}
+
+func TestRunCellsFirstErrorInCellOrder(t *testing.T) {
+	// With several failing cells, the reported error is the earliest by
+	// cell index (the sequential semantics), not by completion time.
+	errA := errors.New("cell 1 failed")
+	errB := errors.New("cell 3 failed")
+	cells := []Cell[int]{
+		{Label: "ok-0", Run: func() (int, error) { return 0, nil }},
+		{Label: "bad-1", Run: func() (int, error) { return 0, errA }},
+		{Label: "ok-2", Run: func() (int, error) { return 0, nil }},
+		{Label: "bad-3", Run: func() (int, error) { return 0, errB }},
+	}
+	for _, parallel := range []int{1, 4} {
+		_, err := RunCells(parallel, cells)
+		if !errors.Is(err, errA) {
+			t.Fatalf("parallel=%d: err = %v, want wrapped %v", parallel, err, errA)
+		}
+	}
+}
+
+func TestRunCellsStopsAfterError(t *testing.T) {
+	// Sequential mode must not start cells after a failure.
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	cells := []Cell[int]{
+		{Label: "a", Run: func() (int, error) { ran.Add(1); return 0, nil }},
+		{Label: "b", Run: func() (int, error) { ran.Add(1); return 0, boom }},
+		{Label: "c", Run: func() (int, error) { ran.Add(1); return 0, nil }},
+	}
+	if _, err := RunCells(1, cells); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("sequential run started %d cells after error, want 2", got)
+	}
+}
+
+// TestParallelDeterminism is the regression gate for the parallel runner:
+// a representative experiment (fig6: five sweep points, stock and S4D
+// testbeds, write and second-run read protocols) must emit a bit-for-bit
+// identical table whether its cells run sequentially or on a 4-worker
+// pool, and repeated parallel runs must agree with each other.
+func TestParallelDeterminism(t *testing.T) {
+	e, ok := ByID("fig6")
+	if !ok {
+		t.Fatal("fig6 not registered")
+	}
+	run := func(parallel int) *Table {
+		cfg := tiny()
+		cfg.Parallel = parallel
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("fig6 parallel=%d: %v", parallel, err)
+		}
+		return tbl
+	}
+	seq := run(1)
+	par := run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sequential and parallel tables differ:\n--- parallel=1 ---\n%s\n--- parallel=4 ---\n%s",
+			seq.String(), par.String())
+	}
+	if par2 := run(4); !reflect.DeepEqual(par, par2) {
+		t.Fatalf("two parallel runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			par.String(), par2.String())
+	}
+}

@@ -14,7 +14,6 @@ package cachespace
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"s4dcache/internal/extent"
 )
@@ -59,6 +58,20 @@ type Manager struct {
 	usedB    int64
 	dirtyB   int64
 	seq      uint64
+
+	// cleanQ is the LRU queue of reclaimable space: a lazily-invalidated
+	// min-heap of candidates ordered by (seq, off). Every transition that
+	// creates or refreshes clean space (allocate-clean, MarkClean, Touch)
+	// pushes a candidate carrying the unit's then-current seq; reclaim
+	// pops candidates and validates them against the live map (same seq,
+	// still clean), silently dropping entries made stale by re-dirtying,
+	// touching, freeing or overwriting. Evictions therefore cost
+	// O(log n) amortized instead of re-walking and re-sorting every clean
+	// extent per reclaimed fragment.
+	cleanQ cleanQueue
+
+	ov   []extent.Entry[unit] // scratch for overlap scans
+	gaps []extent.Gap         // scratch for free-gap scans
 
 	evictions uint64
 	failures  uint64
@@ -133,7 +146,8 @@ func (m *Manager) FreeRange(cacheOff, length int64) {
 // MarkClean clears the dirty state of allocated fragments overlapping
 // [cacheOff, cacheOff+length), making them reclaimable (flush completed).
 func (m *Manager) MarkClean(cacheOff, length int64) {
-	for _, e := range m.used.Overlaps(cacheOff, length) {
+	m.ov = m.used.AppendOverlaps(m.ov[:0], cacheOff, length)
+	for _, e := range m.ov {
 		if !e.Val.dirty {
 			continue
 		}
@@ -145,13 +159,15 @@ func (m *Manager) MarkClean(cacheOff, length int64) {
 		u.owner.FileOff += delta
 		m.dirtyB -= hi - lo
 		m.used.Insert(lo, hi-lo, unit{owner: u.owner, dirty: false, seq: u.seq})
+		m.cleanQ.push(cleanCand{seq: u.seq, off: lo, len: hi - lo})
 	}
 }
 
 // MarkDirty sets the dirty state of allocated fragments overlapping
 // [cacheOff, cacheOff+length) (a cached range was re-written).
 func (m *Manager) MarkDirty(cacheOff, length int64) {
-	for _, e := range m.used.Overlaps(cacheOff, length) {
+	m.ov = m.used.AppendOverlaps(m.ov[:0], cacheOff, length)
+	for _, e := range m.ov {
 		if e.Val.dirty {
 			continue
 		}
@@ -167,10 +183,14 @@ func (m *Manager) MarkDirty(cacheOff, length int64) {
 // Touch refreshes the LRU recency of fragments overlapping the range (a
 // cache hit).
 func (m *Manager) Touch(cacheOff, length int64) {
-	for _, e := range m.used.Overlaps(cacheOff, length) {
+	m.ov = m.used.AppendOverlaps(m.ov[:0], cacheOff, length)
+	for _, e := range m.ov {
 		u := e.Val
 		u.seq = m.nextSeq()
 		m.used.Insert(e.Off, e.Len, u)
+		if !u.dirty {
+			m.cleanQ.push(cleanCand{seq: u.seq, off: e.Off, len: e.Len})
+		}
 	}
 }
 
@@ -189,43 +209,118 @@ func (m *Manager) nextSeq() uint64 {
 // reclaim frees at least need bytes of clean space in LRU order and
 // returns what was evicted. Callers have already verified feasibility.
 func (m *Manager) reclaim(need int64) []Evicted {
-	type candidate struct {
-		off, length int64
-		owner       Owner
-		seq         uint64
-	}
-	var clean []candidate
-	m.used.Walk(func(e extent.Entry[unit]) bool {
-		if !e.Val.dirty {
-			clean = append(clean, candidate{off: e.Off, length: e.Len, owner: e.Val.owner, seq: e.Val.seq})
-		}
-		return true
-	})
-	sort.Slice(clean, func(i, j int) bool { return clean[i].seq < clean[j].seq })
 	var out []Evicted
 	var reclaimed int64
-	for _, c := range clean {
-		if reclaimed >= need {
-			break
+	for reclaimed < need && len(m.cleanQ.cs) > 0 {
+		c := m.cleanQ.pop()
+		cEnd := c.off + c.len
+		// Validate against the live map: only subranges that are still
+		// clean and still carry the candidate's seq belong to this LRU
+		// entry; everything else was refreshed or overwritten since.
+		m.ov = m.used.AppendOverlaps(m.ov[:0], c.off, c.len)
+		start := len(out)
+		for _, e := range m.ov {
+			if e.Val.dirty || e.Val.seq != c.seq {
+				continue
+			}
+			lo, hi := clip(e.Off, e.End(), c.off, cEnd)
+			if lo >= hi {
+				continue
+			}
+			take := hi - lo
+			cut := int64(-1)
+			if rem := need - reclaimed; take > rem {
+				// Partial eviction of the LRU fragment: take the head.
+				take = rem
+				cut = lo + take
+			}
+			owner := e.Val.owner
+			owner.FileOff += lo - e.Off
+			out = append(out, Evicted{Owner: owner, CacheOff: lo, Len: take})
+			reclaimed += take
+			if reclaimed >= need {
+				// Requeue the candidate's unreclaimed remainder so the
+				// every-clean-byte-has-a-candidate invariant holds.
+				if cut < 0 {
+					cut = hi
+				}
+				if cut < cEnd {
+					m.cleanQ.push(cleanCand{seq: c.seq, off: cut, len: cEnd - cut})
+				}
+				break
+			}
 		}
-		take := c.length
-		if remaining := need - reclaimed; take > remaining {
-			// Partial eviction of the LRU fragment: take the head.
-			take = remaining
+		// Free after the scan: FreeRange reuses the m.ov scratch.
+		for _, ev := range out[start:] {
+			m.FreeRange(ev.CacheOff, ev.Len)
+			m.evictions++
 		}
-		out = append(out, Evicted{Owner: c.owner, CacheOff: c.off, Len: take})
-		m.FreeRange(c.off, take)
-		m.evictions++
-		reclaimed += take
 	}
 	return out
+}
+
+// cleanCand is one LRU-queue entry: at push time, [off, off+len) was clean
+// space whose unit carried seq.
+type cleanCand struct {
+	seq      uint64
+	off, len int64
+}
+
+// cleanQueue is a binary min-heap of cleanCand ordered by (seq, off) —
+// LRU first, ties (fragments split from one unit) in offset order.
+type cleanQueue struct {
+	cs []cleanCand
+}
+
+func (q *cleanQueue) less(a, b *cleanCand) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.off < b.off
+}
+
+func (q *cleanQueue) push(c cleanCand) {
+	q.cs = append(q.cs, c)
+	i := len(q.cs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(&q.cs[i], &q.cs[p]) {
+			break
+		}
+		q.cs[i], q.cs[p] = q.cs[p], q.cs[i]
+		i = p
+	}
+}
+
+func (q *cleanQueue) pop() cleanCand {
+	top := q.cs[0]
+	n := len(q.cs) - 1
+	q.cs[0] = q.cs[n]
+	q.cs = q.cs[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && q.less(&q.cs[c+1], &q.cs[c]) {
+			c++
+		}
+		if !q.less(&q.cs[c], &q.cs[i]) {
+			break
+		}
+		q.cs[i], q.cs[c] = q.cs[c], q.cs[i]
+		i = c
+	}
+	return top
 }
 
 // takeFree allocates size bytes from the free gaps (first fit, scattered).
 func (m *Manager) takeFree(size int64, owner Owner, dirty bool) []Fragment {
 	var frags []Fragment
 	var taken int64
-	for _, g := range m.used.Gaps(0, m.capacity) {
+	m.gaps = m.used.AppendGaps(m.gaps[:0], 0, m.capacity)
+	for _, g := range m.gaps {
 		if taken >= size {
 			break
 		}
@@ -234,7 +329,11 @@ func (m *Manager) takeFree(size int64, owner Owner, dirty bool) []Fragment {
 			n = remaining
 		}
 		fragOwner := Owner{File: owner.File, FileOff: owner.FileOff + taken}
-		m.used.Insert(g.Off, n, unit{owner: fragOwner, dirty: dirty, seq: m.nextSeq()})
+		seq := m.nextSeq()
+		m.used.Insert(g.Off, n, unit{owner: fragOwner, dirty: dirty, seq: seq})
+		if !dirty {
+			m.cleanQ.push(cleanCand{seq: seq, off: g.Off, len: n})
+		}
 		m.usedB += n
 		if dirty {
 			m.dirtyB += n
@@ -246,7 +345,8 @@ func (m *Manager) takeFree(size int64, owner Owner, dirty bool) []Fragment {
 }
 
 func (m *Manager) accountRemoval(cacheOff, length int64) {
-	for _, e := range m.used.Overlaps(cacheOff, length) {
+	m.ov = m.used.AppendOverlaps(m.ov[:0], cacheOff, length)
+	for _, e := range m.ov {
 		lo, hi := clip(e.Off, e.End(), cacheOff, cacheOff+length)
 		m.usedB -= hi - lo
 		if e.Val.dirty {

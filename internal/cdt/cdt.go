@@ -33,7 +33,11 @@ type Fetch struct {
 
 // Table is the Critical Data Table. Use New.
 type Table struct {
-	files    map[string]*extent.Map[Info]
+	files map[string]*extent.Map[Info]
+	// names lists the files in first-added order; PendingFetches follows
+	// it instead of the map so the Rebuilder's fetch order is
+	// deterministic across runs.
+	names    []string
 	order    []fifoRef // insertion order, for bounded eviction
 	maxBytes int64
 	bytes    int64
@@ -122,7 +126,8 @@ func (t *Table) ClearCFlag(file string, off, length int64) {
 // PendingFetches returns up to max C_flag-marked ranges (all if max <= 0).
 func (t *Table) PendingFetches(max int) []Fetch {
 	var out []Fetch
-	for file, m := range t.files {
+	for _, file := range t.names {
+		m := t.files[file]
 		m.Walk(func(e extent.Entry[Info]) bool {
 			if e.Val.CFlag {
 				out = append(out, Fetch{File: file, Off: e.Off, Len: e.Len, Benefit: e.Val.Benefit})
@@ -169,6 +174,7 @@ func (t *Table) fileMap(file string) *extent.Map[Info] {
 	if !ok {
 		m = extent.New[Info](nil)
 		t.files[file] = m
+		t.names = append(t.names, file)
 	}
 	return m
 }

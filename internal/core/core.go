@@ -29,6 +29,7 @@ import (
 	"s4dcache/internal/cdt"
 	"s4dcache/internal/costmodel"
 	"s4dcache/internal/dmt"
+	"s4dcache/internal/extent"
 	"s4dcache/internal/kvstore"
 	"s4dcache/internal/pfs"
 	"s4dcache/internal/sim"
@@ -122,6 +123,12 @@ type S4D struct {
 	metaOff        int64
 	chargeMeta     bool
 	inFlightFetch  map[string]bool
+
+	// hitsBuf/gapsBuf are the serve path's reusable DMT lookup buffers.
+	// Serve calls never nest (completions run from engine events), so one
+	// pair per instance is safe.
+	hitsBuf []dmt.Hit
+	gapsBuf []extent.Gap
 
 	stats Stats
 }
@@ -219,7 +226,8 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 
 	benefit := s.identify(rank, file, off, size)
 
-	hits, gaps := s.dmt.Lookup(file, off, size)
+	s.hitsBuf, s.gapsBuf = s.dmt.AppendLookup(s.hitsBuf[:0], s.gapsBuf[:0], file, off, size)
+	hits, gaps := s.hitsBuf, s.gapsBuf
 	join := sim.NewJoin(len(hits)+len(gaps), func() { s.complete(done) })
 
 	// DMT hits: the cache holds the range — write there and re-dirty
@@ -270,7 +278,8 @@ func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func
 
 	benefit := s.identify(rank, file, off, size)
 
-	hits, gaps := s.dmt.Lookup(file, off, size)
+	s.hitsBuf, s.gapsBuf = s.dmt.AppendLookup(s.hitsBuf[:0], s.gapsBuf[:0], file, off, size)
+	hits, gaps := s.hitsBuf, s.gapsBuf
 	join := sim.NewJoin(len(hits)+len(gaps), func() { s.complete(done) })
 
 	for _, h := range hits {

@@ -10,6 +10,8 @@ package dmt
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"s4dcache/internal/extent"
 	"s4dcache/internal/kvstore"
@@ -43,8 +45,19 @@ type Hit struct {
 // Table is the Data Mapping Table. Use New or Open.
 type Table struct {
 	files map[string]*extent.Map[Mapping]
+	// names lists the files in first-mapped order. Cross-file scans
+	// (DirtyExtents, CleanExtents, Compact) follow it instead of the map,
+	// so the Rebuilder's flush order — and with it the whole simulated
+	// I/O schedule — is deterministic across runs.
+	names []string
 	store *kvstore.Store
 	seq   uint64
+
+	// ov and sdHits are reusable scratch buffers for the lookup and
+	// set-dirty hot paths. Neither is live across any call that could
+	// re-enter the table, so single buffers suffice.
+	ov     []extent.Entry[Mapping]
+	sdHits []Hit
 
 	inserts, deletes uint64
 }
@@ -63,8 +76,18 @@ func Open(store *kvstore.Store) (*Table, error) {
 	}
 	t := New()
 	t.store = store
-	keys := store.Keys(opPrefix)
-	for _, k := range keys {
+	for _, k := range store.Keys(opPrefix) {
+		// Continue the sequence after the highest listed op. The max is
+		// taken explicitly over every key rather than trusting store key
+		// order: resuming below an existing sequence number would silently
+		// overwrite live log records on the next persist.
+		seq, err := strconv.ParseUint(strings.TrimPrefix(k, opPrefix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dmt: malformed log key %q: %w", k, err)
+		}
+		if seq > t.seq {
+			t.seq = seq
+		}
 		v, ok := store.Get(k)
 		if !ok {
 			continue
@@ -74,13 +97,6 @@ func Open(store *kvstore.Store) (*Table, error) {
 			return nil, fmt.Errorf("dmt: replay %s: %w", k, err)
 		}
 		t.apply(op)
-	}
-	if n := len(keys); n > 0 {
-		// Continue the sequence after the highest replayed op.
-		var last uint64
-		if _, err := fmt.Sscanf(keys[n-1], opPrefix+"%020d", &last); err == nil {
-			t.seq = last
-		}
 	}
 	return t, nil
 }
@@ -178,7 +194,8 @@ func (t *Table) setDirty(file string, off, length int64, dirty bool) error {
 	if !ok {
 		return nil
 	}
-	hits := clipOverlaps(m, off, length)
+	t.sdHits = t.appendClipped(t.sdHits[:0], m, off, length)
+	hits := t.sdHits
 	for _, h := range hits {
 		if h.Dirty == dirty {
 			continue
@@ -193,14 +210,21 @@ func (t *Table) setDirty(file string, off, length int64, dirty bool) error {
 // Lookup splits [off, off+length) of file into mapped subranges (clipped,
 // in order) and unmapped gaps.
 func (t *Table) Lookup(file string, off, length int64) (hits []Hit, gaps []extent.Gap) {
+	return t.AppendLookup(nil, nil, file, off, length)
+}
+
+// AppendLookup is Lookup appending into caller-supplied buffers, returning
+// the extended slices. The serve path in internal/core reuses one pair of
+// buffers per request, eliminating two allocations per intercepted I/O.
+func (t *Table) AppendLookup(hits []Hit, gaps []extent.Gap, file string, off, length int64) ([]Hit, []extent.Gap) {
 	m, ok := t.files[file]
 	if !ok {
 		if length > 0 {
-			return nil, []extent.Gap{{Off: off, Len: length}}
+			gaps = append(gaps, extent.Gap{Off: off, Len: length})
 		}
-		return nil, nil
+		return hits, gaps
 	}
-	return clipOverlaps(m, off, length), m.Gaps(off, length)
+	return t.appendClipped(hits, m, off, length), m.AppendGaps(gaps, off, length)
 }
 
 // Contains reports whether the full range is mapped.
@@ -216,7 +240,8 @@ func (t *Table) Contains(file string, off, length int64) bool {
 // (all if max <= 0), each with File set.
 func (t *Table) DirtyExtents(max int) []Hit {
 	var out []Hit
-	for file, m := range t.files {
+	for _, file := range t.names {
+		m := t.files[file]
 		m.Walk(func(e extent.Entry[Mapping]) bool {
 			if e.Val.Dirty {
 				out = append(out, Hit{File: file, Off: e.Off, Len: e.Len, CacheOff: e.Val.CacheOff, Dirty: true})
@@ -237,7 +262,8 @@ func (t *Table) DirtyExtents(max int) []Hit {
 // candidates for space reclamation.
 func (t *Table) CleanExtents(max int) []Hit {
 	var out []Hit
-	for file, m := range t.files {
+	for _, file := range t.names {
+		m := t.files[file]
 		m.Walk(func(e extent.Entry[Mapping]) bool {
 			if !e.Val.Dirty {
 				out = append(out, Hit{File: file, Off: e.Off, Len: e.Len, CacheOff: e.Val.CacheOff})
@@ -288,7 +314,8 @@ func (t *Table) Compact() error {
 		}
 	}
 	t.seq = 0
-	for file, m := range t.files {
+	for _, file := range t.names {
+		m := t.files[file]
 		var walkErr error
 		m.Walk(func(e extent.Entry[Mapping]) bool {
 			op := logOp{kind: kindInsert, file: file, off: e.Off, length: e.Len, cacheOff: e.Val.CacheOff, dirty: e.Val.Dirty}
@@ -324,6 +351,7 @@ func (t *Table) apply(op logOp) {
 			return Mapping{CacheOff: v.CacheOff + delta, Dirty: v.Dirty}
 		})
 		t.files[op.file] = m
+		t.names = append(t.names, op.file)
 	}
 	switch op.kind {
 	case kindInsert:
@@ -347,10 +375,13 @@ func (t *Table) persist(op logOp) error {
 	return nil
 }
 
-func clipOverlaps(m *extent.Map[Mapping], off, length int64) []Hit {
+// appendClipped appends the mapped subranges of [off, off+length) to dst,
+// clipped to the query range. The overlap scan reuses t.ov, which is free
+// again by return (the loop makes no calls back into the table).
+func (t *Table) appendClipped(dst []Hit, m *extent.Map[Mapping], off, length int64) []Hit {
 	end := off + length
-	var out []Hit
-	for _, e := range m.Overlaps(off, length) {
+	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
+	for _, e := range t.ov {
 		lo, hi := e.Off, e.End()
 		cacheOff := e.Val.CacheOff
 		if lo < off {
@@ -360,9 +391,9 @@ func clipOverlaps(m *extent.Map[Mapping], off, length int64) []Hit {
 		if hi > end {
 			hi = end
 		}
-		out = append(out, Hit{Off: lo, Len: hi - lo, CacheOff: cacheOff, Dirty: e.Val.Dirty})
+		dst = append(dst, Hit{Off: lo, Len: hi - lo, CacheOff: cacheOff, Dirty: e.Val.Dirty})
 	}
-	return out
+	return dst
 }
 
 const opPrefix = "dmtop|"

@@ -211,6 +211,50 @@ func TestPersistenceSurvivesReopen(t *testing.T) {
 	}
 }
 
+func TestOpenResumesAfterHighestSeq(t *testing.T) {
+	// The recovered sequence counter must be the max over every log key,
+	// not whatever the backend lists last: resuming low would overwrite
+	// live records on the next persist.
+	b := kvstore.NewMemBackend()
+	d := openPersistent(t, b)
+	for i := int64(0); i < 12; i++ {
+		if err := d.Insert("f", i*100, 100, i*100, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2 := openPersistent(t, b)
+	if d2.seq != d.seq {
+		t.Fatalf("recovered seq %d, want %d", d2.seq, d.seq)
+	}
+	// New ops after reopen must extend the log, not clobber it.
+	if err := d2.Insert("g", 0, 10, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if d3 := openPersistent(t, b); d3.Entries() != d2.Entries() {
+		t.Fatalf("post-reopen insert lost: %d entries, want %d", d3.Entries(), d2.Entries())
+	}
+}
+
+func TestOpenRejectsMalformedLogKey(t *testing.T) {
+	b := kvstore.NewMemBackend()
+	d := openPersistent(t, b)
+	if err := d.Insert("f", 0, 100, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt key in the op namespace must fail recovery loudly instead
+	// of being silently skipped with the counter left at zero.
+	store, err := kvstore.Open(b, "dmt", kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("dmtop|not-a-number", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(store); err == nil {
+		t.Fatal("Open accepted a malformed log key")
+	}
+}
+
 func TestPersistenceCompact(t *testing.T) {
 	b := kvstore.NewMemBackend()
 	d := openPersistent(t, b)

@@ -70,56 +70,81 @@ func (m *Map[V]) Insert(off, length int64, val V) {
 }
 
 // Delete removes coverage of [off, off+length), splitting boundary extents.
+// Only the intersecting window [i, j) is touched: the boundary entries are
+// trimmed (at most two survivors) and the window is replaced with a single
+// in-place splice, so cost is O(log n + moved), not a full rebuild.
 func (m *Map[V]) Delete(off, length int64) {
 	if length <= 0 || len(m.entries) == 0 {
 		return
 	}
 	end := off + length
-	out := m.entries[:0]
-	var tail []Entry[V]
-	for _, e := range m.entries {
-		switch {
-		case e.End() <= off || e.Off >= end:
-			out = append(out, e)
-		case e.Off < off && e.End() > end:
-			// Covered strictly inside: keep head, synthesize tail.
-			tail = append(tail, Entry[V]{Off: end, Len: e.End() - end, Val: m.split(e.Val, end-e.Off)})
-			e.Len = off - e.Off
-			out = append(out, e)
-		case e.Off < off:
-			// Overlap at the entry's tail: trim.
-			e.Len = off - e.Off
-			out = append(out, e)
-		case e.End() > end:
-			// Overlap at the entry's head: advance.
-			delta := end - e.Off
-			out = append(out, Entry[V]{Off: end, Len: e.End() - end, Val: m.split(e.Val, delta)})
-		default:
-			// Fully covered: drop.
-		}
+	i := m.firstIntersecting(off)
+	if i == len(m.entries) || m.entries[i].Off >= end {
+		return
 	}
-	m.entries = append(out, tail...)
-	sort.Slice(m.entries, func(i, j int) bool { return m.entries[i].Off < m.entries[j].Off })
+	// j is the end of the intersecting window: the first entry at or after
+	// i whose Off is past the deleted range.
+	j := i + sort.Search(len(m.entries)-i, func(k int) bool { return m.entries[i+k].Off >= end })
+	var keep [2]Entry[V]
+	nk := 0
+	if first := m.entries[i]; first.Off < off {
+		// Overlap at the first entry's tail: keep the head.
+		first.Len = off - first.Off
+		keep[nk] = first
+		nk++
+	}
+	if last := m.entries[j-1]; last.End() > end {
+		// Overlap at the last entry's head: keep the advanced tail.
+		keep[nk] = Entry[V]{Off: end, Len: last.End() - end, Val: m.split(last.Val, end-last.Off)}
+		nk++
+	}
+	m.splice(i, j, keep[:nk])
+}
+
+// splice replaces entries[i:j) with repl (at most two entries).
+func (m *Map[V]) splice(i, j int, repl []Entry[V]) {
+	switch d := len(repl) - (j - i); {
+	case d < 0:
+		copy(m.entries[i:], repl)
+		n := i + len(repl) + copy(m.entries[i+len(repl):], m.entries[j:])
+		for k := n; k < len(m.entries); k++ {
+			m.entries[k] = Entry[V]{} // release payloads for GC
+		}
+		m.entries = m.entries[:n]
+	case d == 0:
+		copy(m.entries[i:j], repl)
+	default: // d == 1: one entry split into head + tail
+		m.entries = append(m.entries, Entry[V]{})
+		copy(m.entries[j+1:], m.entries[j:])
+		copy(m.entries[i:], repl)
+	}
 }
 
 // Overlaps returns the entries intersecting [off, off+length), in offset
 // order. Entries are returned whole (not clipped).
 func (m *Map[V]) Overlaps(off, length int64) []Entry[V] {
+	return m.AppendOverlaps(nil, off, length)
+}
+
+// AppendOverlaps appends the entries intersecting [off, off+length) to dst
+// and returns the extended slice. Hot callers (the serve path in
+// internal/core, cachespace bookkeeping) pass a reused scratch buffer to
+// avoid a per-lookup allocation.
+func (m *Map[V]) AppendOverlaps(dst []Entry[V], off, length int64) []Entry[V] {
 	if length <= 0 {
-		return nil
+		return dst
 	}
 	end := off + length
-	var out []Entry[V]
 	for i := m.firstIntersecting(off); i < len(m.entries); i++ {
 		e := m.entries[i]
 		if e.Off >= end {
 			break
 		}
 		if e.End() > off {
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
-	return out
+	return dst
 }
 
 // Covered reports whether [off, off+length) is fully covered by extents.
@@ -149,28 +174,34 @@ type Gap struct {
 
 // Gaps returns the uncovered subranges of [off, off+length), in order.
 func (m *Map[V]) Gaps(off, length int64) []Gap {
+	return m.AppendGaps(nil, off, length)
+}
+
+// AppendGaps appends the uncovered subranges of [off, off+length) to dst
+// and returns the extended slice. See AppendOverlaps for the scratch-buffer
+// contract.
+func (m *Map[V]) AppendGaps(dst []Gap, off, length int64) []Gap {
 	if length <= 0 {
-		return nil
+		return dst
 	}
 	end := off + length
 	pos := off
-	var out []Gap
 	for i := m.firstIntersecting(off); i < len(m.entries); i++ {
 		e := m.entries[i]
 		if e.Off >= end {
 			break
 		}
 		if e.Off > pos {
-			out = append(out, Gap{Off: pos, Len: e.Off - pos})
+			dst = append(dst, Gap{Off: pos, Len: e.Off - pos})
 		}
 		if e.End() > pos {
 			pos = e.End()
 		}
 	}
 	if pos < end {
-		out = append(out, Gap{Off: pos, Len: end - pos})
+		dst = append(dst, Gap{Off: pos, Len: end - pos})
 	}
-	return out
+	return dst
 }
 
 // Find returns the entry containing off.

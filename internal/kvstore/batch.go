@@ -28,14 +28,14 @@ func (s *Store) NewBatch() *Batch {
 
 // Put queues a put.
 func (b *Batch) Put(key string, val []byte) {
-	b.payload = append(b.payload, encodeRecord(opPut, key, val)...)
+	b.payload = appendRecord(b.payload, opPut, key, val)
 	b.ops = append(b.ops, logRecord{op: opPut, key: key, val: append([]byte(nil), val...)})
 	b.count++
 }
 
 // Delete queues a delete.
 func (b *Batch) Delete(key string) {
-	b.payload = append(b.payload, encodeRecord(opDel, key, nil)...)
+	b.payload = appendRecord(b.payload, opDel, key, nil)
 	b.ops = append(b.ops, logRecord{op: opDel, key: key})
 	b.count++
 }
@@ -52,8 +52,8 @@ func (b *Batch) Commit() error {
 	s := b.store
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec := encodeRecord(opBatch, "", b.payload)
-	if err := s.commitLocked(rec); err != nil {
+	s.enc = appendRecord(s.enc[:0], opBatch, "", b.payload)
+	if err := s.commitLocked(s.enc); err != nil {
 		return fmt.Errorf("kvstore: batch commit: %w", err)
 	}
 	for _, op := range b.ops {

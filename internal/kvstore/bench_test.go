@@ -1,0 +1,45 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCommit measures the synchronous (SyncEvery) WAL commit path:
+// one durable Put per iteration, the DMT's per-mapping-change pattern.
+func BenchmarkCommit(b *testing.B) {
+	s, err := Open(NewMemBackend(), "bench", Options{Sync: SyncEvery})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 38) // one encoded DMT op record
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("dmtop|%020d", i)
+		if err := s.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommitBatch measures the atomic multi-fragment commit path used
+// by dmt.InsertBatch (4 puts per batch).
+func BenchmarkCommitBatch(b *testing.B) {
+	s, err := Open(NewMemBackend(), "bench", Options{Sync: SyncEvery})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 38)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := s.NewBatch()
+		for j := 0; j < 4; j++ {
+			batch.Put(fmt.Sprintf("dmtop|%020d", i*4+j), val)
+		}
+		if err := batch.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,9 @@ type Store struct {
 	data    map[string][]byte
 	pending []byte
 	locks   *LockManager
+	// enc is the reusable record-encode scratch for the commit path; both
+	// backends copy on Append, so the buffer never escapes the lock.
+	enc []byte
 
 	// Stats.
 	puts, gets, dels uint64
@@ -93,8 +96,8 @@ func (s *Store) Put(key string, val []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.puts++
-	rec := encodeRecord(opPut, key, val)
-	if err := s.commitLocked(rec); err != nil {
+	s.enc = appendRecord(s.enc[:0], opPut, key, val)
+	if err := s.commitLocked(s.enc); err != nil {
 		return err
 	}
 	s.data[key] = append([]byte(nil), val...)
@@ -122,8 +125,8 @@ func (s *Store) Delete(key string) error {
 	if _, ok := s.data[key]; !ok {
 		return nil
 	}
-	rec := encodeRecord(opDel, key, nil)
-	if err := s.commitLocked(rec); err != nil {
+	s.enc = appendRecord(s.enc[:0], opDel, key, nil)
+	if err := s.commitLocked(s.enc); err != nil {
 		return err
 	}
 	delete(s.data, key)
@@ -186,9 +189,13 @@ func (s *Store) Compact() error {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var snap []byte
+	total := 0
 	for _, k := range keys {
-		snap = append(snap, encodeRecord(opPut, k, s.data[k])...)
+		total += recordSize(k, s.data[k])
+	}
+	snap := make([]byte, 0, total)
+	for _, k := range keys {
+		snap = appendRecord(snap, opPut, k, s.data[k])
 	}
 	if err := s.backend.Replace(snapName(s.name), snap); err != nil {
 		return fmt.Errorf("kvstore: compact: %w", err)

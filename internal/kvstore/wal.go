@@ -22,17 +22,27 @@ const (
 	opBatch byte = 3
 )
 
+// recordSize returns the encoded length of one record.
+func recordSize(key string, val []byte) int {
+	return 1 + 4 + len(key) + 4 + len(val) + 4
+}
+
+// appendRecord appends one encoded record to dst and returns the extended
+// slice. It allocates only when dst lacks capacity, so callers on the
+// commit hot path can reuse a scratch buffer across records.
+func appendRecord(dst []byte, op byte, key string, val []byte) []byte {
+	start := len(dst)
+	dst = append(dst, op)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(key)))
+	dst = append(dst, key...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(val)))
+	dst = append(dst, val...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
 func encodeRecord(op byte, key string, val []byte) []byte {
-	n := 1 + 4 + len(key) + 4 + len(val) + 4
-	buf := make([]byte, 0, n)
-	buf = append(buf, op)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
-	buf = append(buf, key...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
-	buf = append(buf, val...)
-	crc := crc32.ChecksumIEEE(buf)
-	buf = binary.LittleEndian.AppendUint32(buf, crc)
-	return buf
+	return appendRecord(make([]byte, 0, recordSize(key, val)), op, key, val)
 }
 
 // decodeRecord parses one record at the front of data. It returns the

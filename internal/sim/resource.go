@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Priority classifies work competing for a Resource. The Rebuilder's
 // background reorganization I/O runs at PriorityLow so that it yields to
@@ -37,7 +34,13 @@ type Resource struct {
 	eng     *Engine
 	busy    bool
 	seq     uint64
-	waiters waiterHeap
+	waiters waiterQueue
+	// cur is the waiter currently holding the resource; completeFn is the
+	// single completion closure allocated at construction, so a grant
+	// schedules no per-use closure (the zero-hold reschedule then rides
+	// the engine's immediate ring, never touching the heap).
+	cur        waiter
+	completeFn func()
 
 	// Busy accumulates total granted hold time, for utilization reports.
 	Busy time.Duration
@@ -47,7 +50,9 @@ type Resource struct {
 
 // NewResource returns an idle resource bound to eng.
 func NewResource(eng *Engine) *Resource {
-	return &Resource{eng: eng}
+	r := &Resource{eng: eng}
+	r.completeFn = r.complete
+	return r
 }
 
 // Use enqueues a unit of work. When the resource is granted, service() is
@@ -57,16 +62,16 @@ func NewResource(eng *Engine) *Resource {
 // (if non-nil) runs at completion time.
 func (r *Resource) Use(p Priority, service func() time.Duration, done func()) {
 	r.seq++
-	w := &waiter{pri: p, seq: r.seq, service: service, done: done}
+	w := waiter{pri: p, seq: r.seq, service: service, done: done}
 	if r.busy {
-		heap.Push(&r.waiters, w)
+		r.waiters.push(w)
 		return
 	}
 	r.grant(w)
 }
 
 // QueueLen returns the number of waiters not yet granted.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters.ws) }
 
 // Utilization returns the fraction of virtual time the resource has been
 // busy, over the elapsed engine time. Returns 0 before time advances.
@@ -77,29 +82,31 @@ func (r *Resource) Utilization() float64 {
 	return float64(r.Busy) / float64(r.eng.Now())
 }
 
-func (r *Resource) grant(w *waiter) {
+func (r *Resource) grant(w waiter) {
 	r.busy = true
 	hold := w.service()
 	if hold < 0 {
 		hold = 0
 	}
 	r.Busy += hold
-	r.eng.After(hold, func() {
-		r.Grants++
-		r.release()
-		if w.done != nil {
-			w.done()
-		}
-	})
+	r.cur = w
+	r.eng.After(hold, r.completeFn)
 }
 
-func (r *Resource) release() {
+// complete releases the resource, grants the next waiter (so back-to-back
+// holds stay contiguous in virtual time) and then runs the finished
+// waiter's completion callback.
+func (r *Resource) complete() {
+	r.Grants++
+	done := r.cur.done
+	r.cur = waiter{}
 	r.busy = false
-	if len(r.waiters) == 0 {
-		return
+	if len(r.waiters.ws) > 0 {
+		r.grant(r.waiters.pop())
 	}
-	next := heap.Pop(&r.waiters).(*waiter)
-	r.grant(next)
+	if done != nil {
+		done()
+	}
 }
 
 type waiter struct {
@@ -109,26 +116,53 @@ type waiter struct {
 	done    func()
 }
 
-type waiterHeap []*waiter
-
-func (h waiterHeap) Len() int { return len(h) }
-
-func (h waiterHeap) Less(i, j int) bool {
-	if h[i].pri != h[j].pri {
-		return h[i].pri < h[j].pri
-	}
-	return h[i].seq < h[j].seq
+// waiterQueue is a binary min-heap of waiter values ordered by (pri, seq):
+// value storage for the same reason as the engine's eventQueue — no
+// per-waiter allocation, no interface boxing.
+type waiterQueue struct {
+	ws []waiter
 }
 
-func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (q *waiterQueue) less(a, b *waiter) bool {
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
 
-func (h *waiterHeap) Push(x any) { *h = append(*h, x.(*waiter)) }
+func (q *waiterQueue) push(w waiter) {
+	q.ws = append(q.ws, w)
+	i := len(q.ws) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(&q.ws[i], &q.ws[p]) {
+			break
+		}
+		q.ws[i], q.ws[p] = q.ws[p], q.ws[i]
+		i = p
+	}
+}
 
-func (h *waiterHeap) Pop() any {
-	old := *h
-	n := len(old)
-	w := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return w
+func (q *waiterQueue) pop() waiter {
+	top := q.ws[0]
+	n := len(q.ws) - 1
+	q.ws[0] = q.ws[n]
+	q.ws[n] = waiter{} // release the closures for GC
+	q.ws = q.ws[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && q.less(&q.ws[c+1], &q.ws[c]) {
+			c++
+		}
+		if !q.less(&q.ws[c], &q.ws[i]) {
+			break
+		}
+		q.ws[i], q.ws[c] = q.ws[c], q.ws[i]
+		i = c
+	}
+	return top
 }

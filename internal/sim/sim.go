@@ -14,10 +14,18 @@
 //     used to model disk/SSD service queues and network links.
 //   - Join: a countdown latch used to join scatter/gather sub-requests.
 //   - Ticker: a recurring timer, used by the Rebuilder.
+//
+// Events are dispatched in (timestamp, scheduling sequence) order: FIFO
+// among equal timestamps. Internally the engine keeps two structures with
+// identical ordering semantics: a 4-ary heap of event values for future
+// timestamps, and a FIFO ring for events scheduled at the current time
+// (the zero-delay completions that dominate request fan-in), which skips
+// the heap entirely. Events are stored by value — the queue's backing
+// array is the free list, slots recycled on Step — so steady-state
+// scheduling performs no per-event allocation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -27,7 +35,9 @@ import (
 // NewEngine.
 type Engine struct {
 	now     time.Duration
-	queue   eventHeap
+	queue   eventQueue
+	imm     []event // events due exactly now, in seq (FIFO) order
+	immHead int
 	seq     uint64
 	stepped uint64
 }
@@ -44,7 +54,7 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Processed() uint64 { return e.stepped }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue.ev) + len(e.imm) - e.immHead }
 
 // At schedules fn to run at absolute virtual time t. Times in the past are
 // clamped to the current time, preserving scheduling order among equal
@@ -53,11 +63,14 @@ func (e *Engine) At(t time.Duration, fn func()) {
 	if fn == nil {
 		return
 	}
-	if t < e.now {
-		t = e.now
-	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	if t <= e.now {
+		// Fast path: due immediately. The ring is FIFO and seq is
+		// monotonic, so ring order equals seq order by construction.
+		e.imm = append(e.imm, event{at: e.now, seq: e.seq, fn: fn})
+		return
+	}
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d from now. Negative delays are clamped to zero.
@@ -68,13 +81,50 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// next removes and returns the pending event with the smallest
+// (timestamp, seq), merging the immediate ring with the heap. All ring
+// events carry at == now, and all heap events carry at >= now, so the heap
+// wins only with an equal timestamp and a smaller seq.
+func (e *Engine) next() (event, bool) {
+	hasImm := e.immHead < len(e.imm)
+	hasHeap := len(e.queue.ev) > 0
+	if hasHeap && (!hasImm || (e.queue.ev[0].at == e.now && e.queue.ev[0].seq < e.imm[e.immHead].seq)) {
+		return e.queue.pop(), true
+	}
+	if !hasImm {
+		return event{}, false
+	}
+	ev := e.imm[e.immHead]
+	e.imm[e.immHead] = event{} // release the fn for GC
+	e.immHead++
+	if e.immHead == len(e.imm) {
+		e.imm = e.imm[:0]
+		e.immHead = 0
+	}
+	return ev, true
+}
+
+// peekAt returns the timestamp of the next pending event.
+func (e *Engine) peekAt() (time.Duration, bool) {
+	hasImm := e.immHead < len(e.imm)
+	if len(e.queue.ev) > 0 {
+		if at := e.queue.ev[0].at; !hasImm || at <= e.now {
+			return at, true
+		}
+	}
+	if hasImm {
+		return e.now, true
+	}
+	return 0, false
+}
+
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev, ok := e.next()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
 	if ev.at > e.now {
 		e.now = ev.at
 	}
@@ -95,7 +145,11 @@ func (e *Engine) Run() uint64 {
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t. Events scheduled beyond t remain queued.
 func (e *Engine) RunUntil(t time.Duration) {
-	for len(e.queue) > 0 && e.queue[0].at <= t {
+	for {
+		at, ok := e.peekAt()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if t > e.now {
@@ -120,8 +174,8 @@ func (e *Engine) RunMax(max uint64) error {
 	for n < max && e.Step() {
 		n++
 	}
-	if len(e.queue) > 0 {
-		return fmt.Errorf("sim: event budget %d exhausted at t=%v with %d events pending", max, e.now, len(e.queue))
+	if pending := e.Pending(); pending > 0 {
+		return fmt.Errorf("sim: event budget %d exhausted at t=%v with %d events pending", max, e.now, pending)
 	}
 	return nil
 }
@@ -135,26 +189,65 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a 4-ary min-heap of event values ordered by (at, seq).
+// Compared to container/heap over a slice of pointers it avoids both the
+// interface-boxing call overhead and the per-event heap allocation; the
+// wider fan-out halves the tree depth, trading cheap in-node comparisons
+// for expensive cache-missing level descents.
+type eventQueue struct {
+	ev []event
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (q *eventQueue) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (q *eventQueue) push(ev event) {
+	q.ev = append(q.ev, ev)
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.less(&q.ev[i], &q.ev[p]) {
+			break
+		}
+		q.ev[i], q.ev[p] = q.ev[p], q.ev[i]
+		i = p
+	}
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // release the fn for GC; the slot itself is recycled
+	q.ev = q.ev[:n]
+	if n > 1 {
+		q.down(0)
+	}
+	return top
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.ev)
+	for {
+		min := i
+		base := 4*i + 1
+		limit := base + 4
+		if limit > n {
+			limit = n
+		}
+		for c := base; c < limit; c++ {
+			if q.less(&q.ev[c], &q.ev[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			return
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
 }

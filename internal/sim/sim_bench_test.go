@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleStep measures the raw schedule+dispatch cost of the
+// event loop: each iteration pushes one event and executes one, keeping a
+// constant queue depth so heap operations run at realistic fan-out.
+func BenchmarkScheduleStep(b *testing.B) {
+	eng := NewEngine()
+	const depth = 1024
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		eng.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(time.Duration(depth)*time.Microsecond, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkScheduleZeroDelay measures the common After(0, fn) reschedule
+// used by request completion paths (core.complete, Join fan-in).
+func BenchmarkScheduleZeroDelay(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(0, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkRunChain measures a self-perpetuating event chain: every event
+// schedules its successor, the dominant pattern in device service loops.
+func BenchmarkRunChain(b *testing.B) {
+	eng := NewEngine()
+	remaining := b.N
+	var next func()
+	next = func() {
+		remaining--
+		if remaining > 0 {
+			eng.After(time.Microsecond, next)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.After(time.Microsecond, next)
+	eng.Run()
+}
+
+// BenchmarkResourceUse measures the full grant/hold/release cycle of a
+// contended Resource, the inner loop of every simulated device queue.
+func BenchmarkResourceUse(b *testing.B) {
+	eng := NewEngine()
+	res := NewResource(eng)
+	service := func() time.Duration { return time.Microsecond }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Use(PriorityHigh, service, nil)
+		eng.Run()
+	}
+}
+
+// BenchmarkResourceContended measures queue behaviour with many waiters
+// outstanding: 64 requests are enqueued, then drained.
+func BenchmarkResourceContended(b *testing.B) {
+	eng := NewEngine()
+	res := NewResource(eng)
+	service := func() time.Duration { return time.Microsecond }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			pri := PriorityHigh
+			if j%4 == 0 {
+				pri = PriorityLow
+			}
+			res.Use(pri, service, nil)
+		}
+		eng.Run()
+	}
+}
