@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench bench-json alloc-check check
 
 all: build
 
@@ -21,5 +21,17 @@ race:
 # One pass over every microbenchmark — compile + smoke, not a measurement.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Regenerate the committed machine-readable perf report (micro ns/op +
+# allocs/op plus quick-suite wall-clock). Numbers are machine-dependent;
+# regenerate when the serve path changes.
+BENCH_JSON ?= BENCH_pr2.json
+bench-json:
+	$(GO) run ./cmd/s4dbench -bench-json $(BENCH_JSON)
+
+# Just the allocation-regression tests: pins the performance-mode serve
+# and identify paths at 0 allocs/op.
+alloc-check:
+	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ -v
 
 check: vet build race bench

@@ -4,10 +4,16 @@
 // Usage:
 //
 //	s4dbench [-exp id[,id...]] [-scale f] [-ranks n] [-parallel n] [-full] [-list]
+//	         [-bench-json file] [-cpuprofile file] [-memprofile file] [-trace file]
 //
 // By default every experiment runs at the quick scale (~1/250 of the
 // paper's data volume, all ratios preserved). -full uses the published
 // sizes and process counts; expect a long runtime.
+//
+// -bench-json runs the hot-path micro-benchmarks plus the experiment
+// suite and writes a machine-readable BENCH_*.json perf report instead of
+// the tables. The profiling flags capture pprof CPU/heap profiles and a
+// runtime trace of whatever the invocation runs.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"s4dcache/internal/bench"
+	"s4dcache/internal/profiling"
 )
 
 func main() {
@@ -30,8 +37,12 @@ func run() int {
 		scale    = flag.Float64("scale", 0, "file-size scale factor (0 = quick default)")
 		ranks    = flag.Int("ranks", 0, "base process count (0 = scale default)")
 		parallel = flag.Int("parallel", 0, "experiment cells simulated concurrently (0 = GOMAXPROCS)")
-		full     = flag.Bool("full", false, "use the paper's published sizes (slow)")
-		listOnly = flag.Bool("list", false, "list experiment ids and exit")
+		full      = flag.Bool("full", false, "use the paper's published sizes (slow)")
+		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
+		benchJSON = flag.String("bench-json", "", "write a machine-readable perf report to this file and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		tracePath = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +52,17 @@ func run() int {
 		}
 		return 0
 	}
+
+	stopProf, err := profiling.Config{CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *tracePath}.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+		}
+	}()
 
 	cfg := bench.Quick()
 	if *full {
@@ -53,6 +75,25 @@ func run() int {
 		cfg.Ranks = *ranks
 	}
 	cfg.Parallel = *parallel
+
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := bench.EmitJSON(f, cfg, os.Stderr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("s4dbench: wrote %s\n", *benchJSON)
+		return 0
+	}
 
 	var selected []bench.Experiment
 	if *expFlag == "all" {

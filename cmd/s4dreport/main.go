@@ -4,6 +4,7 @@
 // Usage:
 //
 //	s4dreport [-o EXPERIMENTS.md] [-scale f] [-ranks n] [-parallel n] [-full]
+//	          [-cpuprofile file] [-memprofile file] [-trace file]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"s4dcache/internal/bench"
+	"s4dcache/internal/profiling"
 )
 
 // paperBaseline records, per experiment, what the paper reports and how
@@ -104,9 +106,23 @@ func run() int {
 		scale    = flag.Float64("scale", 0, "file-size scale factor (0 = quick default)")
 		ranks    = flag.Int("ranks", 0, "base process count")
 		parallel = flag.Int("parallel", 0, "experiment cells simulated concurrently (0 = GOMAXPROCS)")
-		full     = flag.Bool("full", false, "use the paper's published sizes (slow)")
+		full      = flag.Bool("full", false, "use the paper's published sizes (slow)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		tracePath = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Config{CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *tracePath}.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "s4dreport: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dreport: %v\n", err)
+		}
+	}()
 
 	cfg := bench.Quick()
 	if *full {

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/device"
+	"s4dcache/internal/extent"
+	"s4dcache/internal/kvstore"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+// MicroResult is one micro-benchmark measurement in the perf report.
+type MicroResult struct {
+	// Name identifies the benchmark as "package/path".
+	Name string `json:"name"`
+	// NsPerOp is the measured wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the heap allocation counts per
+	// operation — the regression target of the zero-allocation serve path.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// SuiteResult is the experiment-suite wall-clock measurement.
+type SuiteResult struct {
+	Experiments int   `json:"experiments"`
+	WallClockMs int64 `json:"wall_clock_ms"`
+}
+
+// PerfReport is the schema of BENCH_*.json: machine-readable performance
+// numbers for cross-PR regression tracking.
+type PerfReport struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale     float64       `json:"scale"`
+	Ranks     int           `json:"ranks"`
+	Micro     []MicroResult `json:"micro"`
+	Suite     SuiteResult   `json:"suite"`
+}
+
+type microBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// microBenchmarks lists the hot-path measurements: one per subsystem the
+// serve path crosses (event engine, extent index, WAL store, PFS fan-out,
+// full S4D interception).
+func microBenchmarks() []microBench {
+	return []microBench{
+		{"sim/schedule-step", benchSimScheduleStep},
+		{"sim/zero-delay", benchSimZeroDelay},
+		{"extent/append-overlaps", benchExtentAppendOverlaps},
+		{"kvstore/commit", benchKVCommit},
+		{"pfs/write-perf", benchPFSWrite},
+		{"pfs/read-perf", benchPFSRead},
+		{"core/write-perf", benchCoreWrite},
+	}
+}
+
+// EmitJSON runs the micro-benchmarks and the full experiment suite at cfg,
+// writing a PerfReport to w. s4dbench's -bench-json flag drives it; `make
+// bench-json` regenerates the committed BENCH_*.json.
+func EmitJSON(w io.Writer, cfg Config, progress io.Writer) error {
+	rep := PerfReport{
+		Schema:     "s4d-bench/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale,
+		Ranks:      cfg.Ranks,
+	}
+	for _, m := range microBenchmarks() {
+		if progress != nil {
+			fmt.Fprintf(progress, "bench-json: %s\n", m.name)
+		}
+		r := testing.Benchmark(m.fn)
+		rep.Micro = append(rep.Micro, MicroResult{
+			Name:        m.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "bench-json: experiment suite (scale=%.4g ranks=%d)\n", cfg.Scale, cfg.Ranks)
+	}
+	start := time.Now()
+	for _, e := range All() {
+		if _, err := e.Run(cfg); err != nil {
+			return fmt.Errorf("bench: emit json: %s: %w", e.ID, err)
+		}
+		rep.Suite.Experiments++
+	}
+	rep.Suite.WallClockMs = time.Since(start).Milliseconds()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+func benchSimScheduleStep(b *testing.B) {
+	eng := sim.NewEngine()
+	const depth = 1024
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		eng.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(time.Duration(depth)*time.Microsecond, fn)
+		eng.Step()
+	}
+}
+
+func benchSimZeroDelay(b *testing.B) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(0, fn)
+		eng.Step()
+	}
+}
+
+func benchExtentAppendOverlaps(b *testing.B) {
+	m := extent.New[int64](nil)
+	for i := 0; i < 10_000; i++ {
+		m.Insert(int64(i)*100, 60, int64(i))
+	}
+	var scratch []extent.Entry[int64]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%9_000) * 100
+		scratch = m.AppendOverlaps(scratch[:0], off, 500)
+	}
+}
+
+func benchKVCommit(b *testing.B) {
+	s, err := kvstore.Open(kvstore.NewMemBackend(), "bench", kvstore.Options{Sync: kvstore.SyncEvery})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 38)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("dmtop|%020d", i)
+		if err := s.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchFS builds a performance-mode (metadata-only) 8-server HDD FS.
+func newBenchFS(b *testing.B) (*sim.Engine, *pfs.FS) {
+	eng := sim.NewEngine()
+	fs, err := pfs.New(pfs.Config{
+		Label:  "OPFS",
+		Layout: pfs.Layout{Servers: 8, StripeSize: 64 << 10},
+		Engine: eng,
+		NewDevice: func(i int) device.Device {
+			hp := device.DefaultHDDParams()
+			hp.Seed = int64(i + 1)
+			return device.NewHDD(hp)
+		},
+		Net: netmodel.Gigabit(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, fs
+}
+
+func benchPFSWrite(b *testing.B) {
+	eng, fs := newBenchFS(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%1024) * (256 << 10)
+		if err := fs.Write("f", off, 256<<10, sim.PriorityHigh, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}
+
+func benchPFSRead(b *testing.B) {
+	eng, fs := newBenchFS(b)
+	if err := fs.Write("f", 0, 256<<20, sim.PriorityHigh, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%1024) * (256 << 10)
+		if err := fs.Read("f", off, 256<<10, sim.PriorityHigh, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}
+
+func benchCoreWrite(b *testing.B) {
+	p := cluster.Default()
+	p.CacheCapacity = 64 << 20
+	p.RebuildPeriod = 0 // measure the request path, not the Rebuilder
+	tb, err := cluster.NewS4D(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%256) * (16 << 10)
+		if err := tb.S4D.Write(i%4, "f", off, 16<<10, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		tb.Eng.Run()
+	}
+}

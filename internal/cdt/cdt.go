@@ -43,6 +43,10 @@ type Table struct {
 	bytes    int64
 	seq      uint64
 	evicted  uint64
+	// ov is the reusable overlap-scan scratch of Add/SetCFlag/ClearCFlag;
+	// callers are single-threaded and each scan completes before the next
+	// starts, so one buffer per table is safe.
+	ov []extent.Entry[Info]
 }
 
 type fifoRef struct {
@@ -67,18 +71,23 @@ func (t *Table) Add(file string, off, length int64, benefit time.Duration) {
 	m := t.fileMap(file)
 	// Preserve an existing C_flag if the new range overlaps flagged data.
 	flag := false
-	for _, e := range m.Overlaps(off, length) {
+	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
+	for _, e := range t.ov {
 		if e.Val.CFlag {
 			flag = true
 			break
 		}
 	}
-	t.bytes -= overlapBytes(m, off, length)
+	t.bytes -= t.overlapBytes(m, off, length)
 	t.seq++
 	m.Insert(off, length, Info{CFlag: flag, Benefit: benefit, seq: t.seq})
 	t.bytes += length
-	t.order = append(t.order, fifoRef{file: file, off: off, len: length, seq: t.seq})
-	t.evict()
+	if t.maxBytes > 0 {
+		// The FIFO log only feeds evict(); an unbounded table would grow it
+		// forever without ever consuming it.
+		t.order = append(t.order, fifoRef{file: file, off: off, len: length, seq: t.seq})
+		t.evict()
+	}
 }
 
 // Contains reports whether [off, off+length) is fully covered by critical
@@ -98,7 +107,8 @@ func (t *Table) SetCFlag(file string, off, length int64) {
 	if !ok {
 		return
 	}
-	for _, e := range m.Overlaps(off, length) {
+	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
+	for _, e := range t.ov {
 		if !e.Val.CFlag {
 			v := e.Val
 			v.CFlag = true
@@ -114,7 +124,8 @@ func (t *Table) ClearCFlag(file string, off, length int64) {
 	if !ok {
 		return
 	}
-	for _, e := range m.Overlaps(off, length) {
+	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
+	for _, e := range t.ov {
 		if e.Val.CFlag {
 			v := e.Val
 			v.CFlag = false
@@ -150,8 +161,15 @@ func (t *Table) Remove(file string, off, length int64) {
 	if !ok {
 		return
 	}
-	t.bytes -= overlapBytes(m, off, length)
+	t.bytes -= t.overlapBytes(m, off, length)
 	m.Delete(off, length)
+}
+
+// FileTracked reports whether any critical extent of file remains. Core
+// uses it to prune per-file bookkeeping once a file drops out of the table.
+func (t *Table) FileTracked(file string) bool {
+	m, ok := t.files[file]
+	return ok && m.Len() > 0
 }
 
 // Bytes returns the total tracked critical bytes.
@@ -202,10 +220,11 @@ func (t *Table) evict() {
 	}
 }
 
-func overlapBytes(m *extent.Map[Info], off, length int64) int64 {
+func (t *Table) overlapBytes(m *extent.Map[Info], off, length int64) int64 {
 	var n int64
 	end := off + length
-	for _, e := range m.Overlaps(off, length) {
+	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
+	for _, e := range t.ov {
 		lo, hi := e.Off, e.End()
 		if lo < off {
 			lo = off

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"s4dcache/internal/costmodel"
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+// newPerfTestbed builds a performance-mode (metadata-only stores, no DMT
+// persistence) S4D deployment for allocation measurement.
+func newPerfTestbed(t *testing.T) *testbed {
+	t.Helper()
+	eng := sim.NewEngine()
+	mk := func(label string, servers int, dev func(i int) device.Device) *pfs.FS {
+		fs, err := pfs.New(pfs.Config{
+			Label:     label,
+			Layout:    pfs.Layout{Servers: servers, StripeSize: 64 << 10},
+			Engine:    eng,
+			NewDevice: dev,
+			Net:       netmodel.Gigabit(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	opfs := mk("OPFS", 8, func(i int) device.Device {
+		p := device.DefaultHDDParams()
+		p.Seed = int64(i + 1)
+		return device.NewHDD(p)
+	})
+	cpfs := mk("CPFS", 4, func(i int) device.Device {
+		return device.NewSSD(device.DefaultSSDParams())
+	})
+	curve, err := device.ProfileSeekCurve(device.NewHDD(device.DefaultHDDParams()), device.DefaultProfileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.Calibrate(device.DefaultHDDParams(), device.DefaultSSDParams(), netmodel.Gigabit(), curve)
+	model.M = 8
+	model.N = 4
+	model.Stripe = 64 << 10
+	s4d, err := New(Config{
+		Engine:        eng,
+		OPFS:          opfs,
+		CPFS:          cpfs,
+		Model:         model,
+		CacheCapacity: 64 << 20,
+		LazyFetch:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testbed{eng: eng, opfs: opfs, cpfs: cpfs, s4d: s4d}
+}
+
+// TestIdentifyZeroAllocs pins the Data Identifier at zero heap allocations
+// per evaluated request: the struct-keyed stream tracker and the
+// stack-scratch cost model must hold for both sequential (non-critical)
+// and random (critical, CDT-updating) requests.
+func TestIdentifyZeroAllocs(t *testing.T) {
+	tb := newPerfTestbed(t)
+	// Sequential large request: benefit <= 0, pure model path.
+	seq := func() { tb.s4d.identify(0, "seq", 0, 4<<20) }
+	seq()
+	if got := testing.AllocsPerRun(100, seq); got != 0 {
+		t.Fatalf("identify (sequential) allocates %v per op, want 0", got)
+	}
+	// Random small request, same range every time: critical path with a
+	// steady-state CDT re-add.
+	rnd := func() { tb.s4d.identify(1, "rnd", 1<<30, 16<<10) }
+	rnd()
+	if got := testing.AllocsPerRun(100, rnd); got != 0 {
+		t.Fatalf("identify (critical) allocates %v per op, want 0", got)
+	}
+}
+
+// TestWriteCacheHitZeroAllocs pins the steady-state performance-mode write
+// path — identify, DMT lookup, cache-hit re-dirty, CPFS fan-out — at zero
+// heap allocations per request.
+func TestWriteCacheHitZeroAllocs(t *testing.T) {
+	tb := newPerfTestbed(t)
+	issue := func() {
+		if err := tb.s4d.Write(0, "f", 1<<30, 16<<10, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		tb.eng.Run()
+	}
+	// First call admits the segment (allocates cache space and mappings);
+	// every later call is a pure DMT hit.
+	issue()
+	issue()
+	if got := testing.AllocsPerRun(100, issue); got != 0 {
+		t.Fatalf("steady-state Write allocates %v per op, want 0", got)
+	}
+}
+
+// TestReadCacheHitZeroAllocs pins the steady-state performance-mode read
+// path (cache hit) at zero heap allocations per request.
+func TestReadCacheHitZeroAllocs(t *testing.T) {
+	tb := newPerfTestbed(t)
+	if err := tb.s4d.Write(0, "f", 1<<30, 16<<10, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Run()
+	issue := func() {
+		if err := tb.s4d.Read(0, "f", 1<<30, 16<<10, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		tb.eng.Run()
+	}
+	issue()
+	if got := testing.AllocsPerRun(100, issue); got != 0 {
+		t.Fatalf("steady-state Read allocates %v per op, want 0", got)
+	}
+}
+
+// TestEpochPruning verifies the fileEpoch satellite: epochs of files whose
+// DMT and CDT footprints are gone are dropped at Rebuilder cycle
+// boundaries, so the map no longer grows with every file ever written.
+func TestEpochPruning(t *testing.T) {
+	tb := newPerfTestbed(t)
+	s := tb.s4d
+	// A large sequential write: not critical, never cached, but it still
+	// bumps the file's epoch.
+	for i := 0; i < 8; i++ {
+		file := "cold-" + string(rune('a'+i))
+		if err := s.Write(0, file, 0, 4<<20, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A critical random write that stays cached.
+	if err := s.Write(0, "hot", 1<<30, 16<<10, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Run()
+	if got := s.TrackedEpochs(); got != 9 {
+		t.Fatalf("TrackedEpochs = %d before prune, want 9", got)
+	}
+	done := false
+	s.RebuildNow(func() { done = true })
+	tb.eng.Run()
+	if !done {
+		t.Fatal("rebuild cycle did not complete")
+	}
+	// The cold files have no DMT mappings or CDT extents: pruned. The hot
+	// file keeps its epoch (it is mapped, and its dirty flush retains it in
+	// the CDT/DMT until written back and evicted).
+	if got := s.TrackedEpochs(); got >= 9 {
+		t.Fatalf("TrackedEpochs = %d after prune, want < 9", got)
+	}
+	if s.Stats().EpochsPruned == 0 {
+		t.Fatal("EpochsPruned stat not incremented")
+	}
+	if !s.dmt.FileMapped("hot") {
+		t.Fatal("hot file unexpectedly unmapped")
+	}
+	if s.TrackedEpochs() < 1 {
+		t.Fatal("hot file epoch pruned while still mapped")
+	}
+}

@@ -22,7 +22,6 @@ package core
 
 import (
 	"fmt"
-	"strconv"
 	"time"
 
 	"s4dcache/internal/cachespace"
@@ -129,8 +128,51 @@ type S4D struct {
 	// pair per instance is safe.
 	hitsBuf []dmt.Hit
 	gapsBuf []extent.Gap
+	// insertsBuf is absorbWrite's reusable fragment-mapping scratch
+	// (InsertBatch does not retain it).
+	insertsBuf []dmt.FragmentInsert
+	// joinPool recycles per-request segment countdowns; in-flight joins are
+	// simply absent from the pool until their last segment completes.
+	joinPool []*reqJoin
 
 	stats Stats
+}
+
+// reqJoin is the pooled per-request countdown of the serve path: it joins
+// the cache/disk segments of one intercepted request. doneFn is bound once
+// at allocation, so issuing a segment passes a reused closure instead of
+// allocating a `join.Done` method value per segment.
+type reqJoin struct {
+	s      *S4D
+	n      int
+	done   func()
+	doneFn func()
+}
+
+// segDone counts one segment completion; the last one recycles the join
+// and notifies the application in virtual time.
+func (j *reqJoin) segDone() {
+	j.n--
+	if j.n > 0 {
+		return
+	}
+	s, done := j.s, j.done
+	j.done = nil
+	s.joinPool = append(s.joinPool, j)
+	s.complete(done)
+}
+
+func (s *S4D) getJoin(n int, done func()) *reqJoin {
+	var j *reqJoin
+	if k := len(s.joinPool); k > 0 {
+		j = s.joinPool[k-1]
+		s.joinPool = s.joinPool[:k-1]
+	} else {
+		j = &reqJoin{s: s}
+		j.doneFn = j.segDone
+	}
+	j.n, j.done = n, done
+	return j
 }
 
 // New builds an S4D instance.
@@ -228,7 +270,7 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 
 	s.hitsBuf, s.gapsBuf = s.dmt.AppendLookup(s.hitsBuf[:0], s.gapsBuf[:0], file, off, size)
 	hits, gaps := s.hitsBuf, s.gapsBuf
-	join := sim.NewJoin(len(hits)+len(gaps), func() { s.complete(done) })
+	join := s.getJoin(len(hits)+len(gaps), done)
 
 	// DMT hits: the cache holds the range — write there and re-dirty
 	// (Algorithm 1, line 22).
@@ -241,7 +283,7 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 		s.space.MarkDirty(h.CacheOff, h.Len)
 		s.space.Touch(h.CacheOff, h.Len)
 		s.chargeMetaIO()
-		if err := s.cpfs.Write(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, slice(data, off, h.Off, h.Len), join.Done); err != nil {
+		if err := s.cpfs.Write(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, slice(data, off, h.Off, h.Len), join.doneFn); err != nil {
 			return err
 		}
 	}
@@ -256,7 +298,7 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 		}
 		s.stats.SegWritesDisk++
 		s.stats.BytesWriteDisk += g.Len
-		if err := s.opfs.Write(file, g.Off, g.Len, sim.PriorityHigh, slice(data, off, g.Off, g.Len), join.Done); err != nil {
+		if err := s.opfs.Write(file, g.Off, g.Len, sim.PriorityHigh, slice(data, off, g.Off, g.Len), join.doneFn); err != nil {
 			return err
 		}
 	}
@@ -280,18 +322,17 @@ func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func
 
 	s.hitsBuf, s.gapsBuf = s.dmt.AppendLookup(s.hitsBuf[:0], s.gapsBuf[:0], file, off, size)
 	hits, gaps := s.hitsBuf, s.gapsBuf
-	join := sim.NewJoin(len(hits)+len(gaps), func() { s.complete(done) })
+	join := s.getJoin(len(hits)+len(gaps), done)
 
 	for _, h := range hits {
 		s.stats.SegReadsCache++
 		s.stats.BytesReadCache += h.Len
 		s.space.Touch(h.CacheOff, h.Len)
-		if err := s.cpfs.Read(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, slice(buf, off, h.Off, h.Len), join.Done); err != nil {
+		if err := s.cpfs.Read(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, slice(buf, off, h.Off, h.Len), join.doneFn); err != nil {
 			return err
 		}
 	}
 	for _, g := range gaps {
-		g := g
 		critical := benefit > 0 || s.cdt.Contains(file, g.Off, g.Len)
 		if critical && s.lazy {
 			// Lazy caching: mark for the Rebuilder (line 18).
@@ -300,14 +341,18 @@ func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func
 		}
 		s.stats.SegReadsDisk++
 		s.stats.BytesReadDisk += g.Len
-		eager := critical && !s.lazy
 		payload := slice(buf, off, g.Off, g.Len)
-		if err := s.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, payload, func() {
-			if eager {
+		cb := join.doneFn
+		if critical && !s.lazy {
+			// Eager caching (ablation): only this path needs a per-segment
+			// closure; the paper's lazy mode passes the pooled countdown.
+			g := g
+			cb = func() {
 				s.eagerFetch(file, g.Off, g.Len, payload)
+				join.doneFn()
 			}
-			join.Done()
-		}); err != nil {
+		}
+		if err := s.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, payload, cb); err != nil {
 			return err
 		}
 	}
@@ -328,8 +373,7 @@ func (s *S4D) identify(rank int, file string, off, size int64) time.Duration {
 		}
 		return 0
 	}
-	stream := file + "|" + strconv.Itoa(rank)
-	dist := s.tracker.Observe(stream, off, size)
+	dist := s.tracker.Observe(costmodel.StreamKey{File: file, Rank: rank}, off, size)
 	benefit := s.model.Benefit(costmodel.Request{Offset: off, Size: size, Distance: dist})
 	if benefit > 0 {
 		s.stats.Critical++
@@ -358,14 +402,14 @@ func (s *S4D) admitWrite(file string, off, length int64, benefit time.Duration) 
 // absorbWrite allocates cache space for a critical write miss and writes
 // the segment to the CServers (Algorithm 1, lines 4–13). On allocation
 // failure the segment falls back to the DServers.
-func (s *S4D) absorbWrite(file string, off, length int64, data []byte, join *sim.Join) error {
+func (s *S4D) absorbWrite(file string, off, length int64, data []byte, join *reqJoin) error {
 	frags, evicted, err := s.space.Allocate(length, cachespace.Owner{File: file, FileOff: off}, true)
 	if err != nil {
 		// No free or clean space: the request goes to the DServers.
 		s.stats.AdmitFailures++
 		s.stats.SegWritesDisk++
 		s.stats.BytesWriteDisk += length
-		return s.opfs.Write(file, off, length, sim.PriorityHigh, data, join.Done)
+		return s.opfs.Write(file, off, length, sim.PriorityHigh, data, join.doneFn)
 	}
 	for _, ev := range evicted {
 		if err := s.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len); err != nil {
@@ -378,20 +422,20 @@ func (s *S4D) absorbWrite(file string, off, length int64, data []byte, join *sim
 	s.stats.BytesWriteCache += length
 	// Map every fragment atomically (one DMT transaction per admitted
 	// segment), then issue the cache writes.
-	inserts := make([]dmt.FragmentInsert, 0, len(frags))
+	s.insertsBuf = s.insertsBuf[:0]
 	pos := off
 	for _, fr := range frags {
-		inserts = append(inserts, dmt.FragmentInsert{
+		s.insertsBuf = append(s.insertsBuf, dmt.FragmentInsert{
 			Off: pos, Length: fr.Len, CacheOff: fr.CacheOff, Dirty: true,
 		})
 		pos += fr.Len
 	}
-	if err := s.dmt.InsertBatch(file, inserts); err != nil {
+	if err := s.dmt.InsertBatch(file, s.insertsBuf); err != nil {
 		return fmt.Errorf("core: map fragments: %w", err)
 	}
 	s.chargeMetaIO()
 	// join expects a single completion for this miss segment.
-	sub := sim.NewJoin(len(frags), join.Done)
+	sub := sim.NewJoin(len(frags), join.doneFn)
 	pos = off
 	for _, fr := range frags {
 		if err := s.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityHigh, slice(data, off, pos, fr.Len), sub.Done); err != nil {
@@ -430,6 +474,26 @@ func (s *S4D) eagerFetch(file string, off, length int64, data []byte) {
 		pos += fr.Len
 	}
 }
+
+// pruneEpochs drops write-epoch counters for files no longer referenced by
+// the DMT or the CDT. Without this the fileEpoch map grows with every file
+// ever written, even after its cache residency is long gone. It runs at
+// Rebuilder cycle boundaries, when no flush or fetch holds a captured
+// epoch; a pruned file that is written again simply restarts at epoch 1,
+// which at worst makes a later data movement retry conservatively.
+func (s *S4D) pruneEpochs() {
+	for file := range s.fileEpoch {
+		if s.dmt.FileMapped(file) || s.cdt.FileTracked(file) {
+			continue
+		}
+		delete(s.fileEpoch, file)
+		s.stats.EpochsPruned++
+	}
+}
+
+// TrackedEpochs returns the number of files with a live write-epoch
+// counter (tests and reports).
+func (s *S4D) TrackedEpochs() int { return len(s.fileEpoch) }
 
 // chargeMetaIO issues a CPFS write for the synchronous DMT commit, so
 // metadata persistence consumes simulated CServer time (§III.D).

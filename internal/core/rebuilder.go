@@ -30,6 +30,7 @@ func (s *S4D) RebuildNow(done func()) {
 
 	join := sim.NewJoin(len(flushes)+len(fetches), func() {
 		s.rebuildBusy = false
+		s.pruneEpochs()
 		waiters := s.rebuildWaiters
 		s.rebuildWaiters = nil
 		for _, w := range waiters {

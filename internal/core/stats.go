@@ -34,6 +34,10 @@ type Stats struct {
 
 	// MetaWrites counts charged DMT persistence writes.
 	MetaWrites uint64
+
+	// EpochsPruned counts file write-epoch counters dropped once a file's
+	// cache residency (DMT mappings and CDT extents) was fully gone.
+	EpochsPruned uint64
 }
 
 // Stats returns a snapshot of the instance counters.

@@ -39,29 +39,38 @@ func Calibrate(hdd device.HDDParams, ssd device.SSDParams, net netmodel.Params, 
 	}
 }
 
+// StreamKey identifies one access stream: the per-process view of one file
+// that the MPI-IO layer observes (Table I's d is per process, per file).
+// A struct key makes stream lookup allocation-free on the identify path —
+// the previous "file|rank" string concatenation allocated per request.
+type StreamKey struct {
+	// File is the accessed file's name.
+	File string
+	// Rank is the accessing process.
+	Rank int
+}
+
 // Tracker derives the request distance d (Table I): the logical address
 // distance between a request and the previous request of the same stream.
-// Streams are identified by an opaque key — the S4D core uses
-// "file|rank", matching the per-process view the MPI-IO layer observes.
 type Tracker struct {
-	last map[string]int64
+	last map[StreamKey]int64
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{last: make(map[string]int64)}
+	return &Tracker{last: make(map[StreamKey]int64)}
 }
 
 // Observe returns the distance from the previous request's end to this
 // request's offset, and records this request as the new predecessor. The
 // first request of a stream is treated as seeking from the file start, so
 // its distance is the request offset itself.
-func (t *Tracker) Observe(stream string, off, size int64) int64 {
+func (t *Tracker) Observe(key StreamKey, off, size int64) int64 {
 	if t.last == nil {
-		t.last = make(map[string]int64)
+		t.last = make(map[StreamKey]int64)
 	}
-	prev, ok := t.last[stream]
-	t.last[stream] = off + size
+	prev, ok := t.last[key]
+	t.last[key] = off + size
 	if !ok {
 		return off
 	}
@@ -76,7 +85,7 @@ func (t *Tracker) Observe(stream string, off, size int64) int64 {
 func (t *Tracker) Streams() int { return len(t.last) }
 
 // Reset forgets all streams.
-func (t *Tracker) Reset() { t.last = make(map[string]int64) }
+func (t *Tracker) Reset() { t.last = make(map[StreamKey]int64) }
 
 // ExpectedMaxUniform is the closed-form expectation of the maximum of m
 // i.i.d. uniforms on [a,b] (Eq. 4), exported for verification against

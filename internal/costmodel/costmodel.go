@@ -186,8 +186,16 @@ func maxSubRequestExact(f, r, str, m int64) int64 {
 		}
 		return max64(max64(headB, tail), mid)
 	}
-	// General case: per-server accumulation over ≤ m groups.
-	totals := make([]int64, m)
+	// General case: per-server accumulation over ≤ m groups. The scratch
+	// lives on the stack for realistic server counts, keeping the identify
+	// path allocation-free.
+	var scratch [64]int64
+	var totals []int64
+	if m <= int64(len(scratch)) {
+		totals = scratch[:m]
+	} else {
+		totals = make([]int64, m)
+	}
 	for k := first; k <= last; k++ {
 		size := str
 		if k == first {

@@ -332,21 +332,22 @@ func TestStartupDispersionDefaultsToR(t *testing.T) {
 
 func TestTrackerDistances(t *testing.T) {
 	tr := NewTracker()
-	if d := tr.Observe("f|0", 1000, 100); d != 1000 {
+	s0 := StreamKey{File: "f", Rank: 0}
+	if d := tr.Observe(s0, 1000, 100); d != 1000 {
 		t.Fatalf("first observation distance = %d, want offset 1000 (seek from file start)", d)
 	}
-	if d := tr.Observe("f|0", 1100, 100); d != 0 {
+	if d := tr.Observe(s0, 1100, 100); d != 0 {
 		t.Fatalf("sequential distance = %d, want 0", d)
 	}
-	if d := tr.Observe("f|0", 5000, 100); d != 3800 {
+	if d := tr.Observe(s0, 5000, 100); d != 3800 {
 		t.Fatalf("forward jump distance = %d, want 3800", d)
 	}
-	if d := tr.Observe("f|0", 100, 100); d != 5000 {
+	if d := tr.Observe(s0, 100, 100); d != 5000 {
 		t.Fatalf("backward jump distance = %d, want 5000", d)
 	}
 	// Independent streams do not interfere: a fresh stream starting at 0
-	// reads as sequential-from-start, not as a jump from f|0's cursor.
-	if d := tr.Observe("f|1", 0, 100); d != 0 {
+	// reads as sequential-from-start, not as a jump from rank 0's cursor.
+	if d := tr.Observe(StreamKey{File: "f", Rank: 1}, 0, 100); d != 0 {
 		t.Fatal("streams not independent")
 	}
 	if tr.Streams() != 2 {
@@ -360,7 +361,7 @@ func TestTrackerDistances(t *testing.T) {
 
 func TestTrackerZeroValueUsable(t *testing.T) {
 	var tr Tracker
-	if d := tr.Observe("s", 500, 10); d != 500 {
+	if d := tr.Observe(StreamKey{File: "s"}, 500, 10); d != 500 {
 		t.Fatal("zero-value Tracker broken")
 	}
 }

@@ -236,6 +236,14 @@ func (t *Table) Contains(file string, off, length int64) bool {
 	return m.Covered(off, length)
 }
 
+// FileMapped reports whether any range of file is currently mapped. Core
+// uses it to prune per-file bookkeeping (write epochs) once a file's cache
+// residency is fully gone.
+func (t *Table) FileMapped(file string) bool {
+	m, ok := t.files[file]
+	return ok && m.Len() > 0
+}
+
 // DirtyExtents returns up to max dirty mapped ranges across all files
 // (all if max <= 0), each with File set.
 func (t *Table) DirtyExtents(max int) []Hit {

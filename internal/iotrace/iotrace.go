@@ -2,6 +2,13 @@
 // [33]): it records every sub-request served by the file servers and
 // derives the analyses the paper reports — the DServer/CServer request
 // distribution of Table III and access sequentiality.
+//
+// The recorder stores events in columnar (struct-of-arrays) form: fixed
+// size chunks of per-field arrays, with FS and file names interned to
+// integer IDs. Recording an event therefore copies a handful of scalars
+// instead of an 80-byte struct with two string headers, analyses touch
+// only the columns they need, and a live trace costs two map lookups per
+// event with no per-event allocation.
 package iotrace
 
 import (
@@ -10,38 +17,186 @@ import (
 
 	"s4dcache/internal/device"
 	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
 )
+
+// Chunk geometry: 1<<chunkShift events per chunk. Chunks are allocated
+// whole and kept across Clear, so steady-state recording only allocates
+// when the trace grows past its previous high-water mark.
+const (
+	chunkShift = 12
+	chunkLen   = 1 << chunkShift
+	chunkMask  = chunkLen - 1
+)
+
+// chunk is one fixed-size block of the struct-of-arrays event log.
+type chunk struct {
+	fsID     [chunkLen]uint32
+	fileID   [chunkLen]uint32
+	server   [chunkLen]int32
+	op       [chunkLen]uint8
+	pri      [chunkLen]int32
+	localOff [chunkLen]int64
+	size     [chunkLen]int64
+	start    [chunkLen]int64
+	end      [chunkLen]int64
+}
 
 // Recorder collects trace events from any number of FS instances. Install
 // it with Hook() as the pfs.Config.Trace of each instance.
 type Recorder struct {
-	events  []pfs.TraceEvent
 	enabled bool
+
+	// Interning tables: label/file strings to dense IDs and back.
+	labels  []string
+	labelID map[string]uint32
+	files   []string
+	fileID  map[string]uint32
+
+	chunks []*chunk
+	n      int
+
+	// sorted tracks whether End times are nondecreasing in record order.
+	// Live traces always are — events are recorded at completion on one
+	// shared virtual clock — which turns windowed queries into binary
+	// searches. Load'ed traces may not be; they fall back to full scans
+	// and a lazily built End-order permutation.
+	sorted  bool
+	lastEnd time.Duration
+	byEnd   []int32 // cached End-order permutation (valid when len == n)
 }
 
 // NewRecorder returns an enabled recorder.
-func NewRecorder() *Recorder { return &Recorder{enabled: true} }
+func NewRecorder() *Recorder {
+	return &Recorder{
+		enabled: true,
+		sorted:  true,
+		labelID: make(map[string]uint32),
+		fileID:  make(map[string]uint32),
+	}
+}
 
 // Hook returns the trace function to install on a file system.
-func (r *Recorder) Hook() pfs.TraceFunc {
-	return func(ev pfs.TraceEvent) {
-		if r.enabled {
-			r.events = append(r.events, ev)
-		}
+func (r *Recorder) Hook() pfs.TraceFunc { return r.record }
+
+func (r *Recorder) record(ev pfs.TraceEvent) {
+	if !r.enabled {
+		return
+	}
+	r.append(ev)
+}
+
+// append stores one event, bypassing the enabled gate (Load uses it too).
+func (r *Recorder) append(ev pfs.TraceEvent) {
+	ci, slot := r.n>>chunkShift, r.n&chunkMask
+	if ci == len(r.chunks) {
+		r.chunks = append(r.chunks, &chunk{})
+	}
+	c := r.chunks[ci]
+	c.fsID[slot] = intern(r.labelID, &r.labels, ev.FS)
+	c.fileID[slot] = intern(r.fileID, &r.files, ev.File)
+	c.server[slot] = int32(ev.Server)
+	c.op[slot] = uint8(ev.Op)
+	c.pri[slot] = int32(ev.Priority)
+	c.localOff[slot] = ev.LocalOff
+	c.size[slot] = ev.Size
+	c.start[slot] = int64(ev.Start)
+	c.end[slot] = int64(ev.End)
+	if ev.End < r.lastEnd {
+		r.sorted = false
+	} else {
+		r.lastEnd = ev.End
+	}
+	r.byEnd = r.byEnd[:0] // invalidate the cached permutation
+	r.n++
+}
+
+func intern(tab map[string]uint32, names *[]string, s string) uint32 {
+	if id, ok := tab[s]; ok {
+		return id
+	}
+	id := uint32(len(*names))
+	*names = append(*names, s)
+	tab[s] = id
+	return id
+}
+
+// at locates event i in its chunk.
+func (r *Recorder) at(i int) (*chunk, int) {
+	return r.chunks[i>>chunkShift], i & chunkMask
+}
+
+// event reconstructs the i-th event in record order.
+func (r *Recorder) event(i int) pfs.TraceEvent {
+	c, s := r.at(i)
+	return pfs.TraceEvent{
+		FS:       r.labels[c.fsID[s]],
+		Server:   int(c.server[s]),
+		Op:       device.Op(c.op[s]),
+		File:     r.files[c.fileID[s]],
+		LocalOff: c.localOff[s],
+		Size:     c.size[s],
+		Priority: sim.Priority(c.pri[s]),
+		Start:    time.Duration(c.start[s]),
+		End:      time.Duration(c.end[s]),
 	}
 }
 
 // Enable toggles recording.
 func (r *Recorder) Enable(on bool) { r.enabled = on }
 
-// Events returns the recorded events (do not mutate).
-func (r *Recorder) Events() []pfs.TraceEvent { return r.events }
+// Events materializes the recorded events in record order. It copies out
+// of the columnar log; use the query methods for anything hot.
+func (r *Recorder) Events() []pfs.TraceEvent {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]pfs.TraceEvent, r.n)
+	for i := range out {
+		out[i] = r.event(i)
+	}
+	return out
+}
 
 // Len returns the number of recorded events.
-func (r *Recorder) Len() int { return len(r.events) }
+func (r *Recorder) Len() int { return r.n }
 
-// Clear drops all recorded events.
-func (r *Recorder) Clear() { r.events = r.events[:0] }
+// Clear drops all recorded events. Chunks and interning tables are kept,
+// so a cleared recorder records without reallocating.
+func (r *Recorder) Clear() {
+	r.n = 0
+	r.sorted = true
+	r.lastEnd = 0
+	r.byEnd = r.byEnd[:0]
+}
+
+// searchEnd returns the first index whose End is >= t. Valid only when the
+// log is sorted by End.
+func (r *Recorder) searchEnd(t time.Duration) int {
+	return sort.Search(r.n, func(i int) bool {
+		c, s := r.at(i)
+		return time.Duration(c.end[s]) >= t
+	})
+}
+
+// endOrder returns event indices sorted (stably) by End time, caching the
+// permutation until the next append.
+func (r *Recorder) endOrder() []int32 {
+	if len(r.byEnd) == r.n {
+		return r.byEnd
+	}
+	idx := r.byEnd[:0]
+	for i := 0; i < r.n; i++ {
+		idx = append(idx, int32(i))
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ca, sa := r.at(int(idx[a]))
+		cb, sb := r.at(int(idx[b]))
+		return ca.end[sa] < cb.end[sb]
+	})
+	r.byEnd = idx
+	return idx
+}
 
 // Distribution is the request split across FS instances within a window —
 // the paper's Table III.
@@ -53,15 +208,37 @@ type Distribution struct {
 }
 
 // Distribute tallies events completing in [from, to); a zero `to` means
-// no upper bound.
+// no upper bound. On a live (End-sorted) trace the window is located by
+// binary search instead of scanning every event.
 func (r *Recorder) Distribute(from, to time.Duration) Distribution {
 	d := Distribution{Requests: make(map[string]uint64), Bytes: make(map[string]int64)}
-	for _, ev := range r.events {
-		if ev.End < from || (to > 0 && ev.End >= to) {
-			continue
+	lo, hi := 0, r.n
+	filter := true
+	if r.sorted {
+		lo = r.searchEnd(from)
+		if to > 0 {
+			hi = r.searchEnd(to)
 		}
-		d.Requests[ev.FS]++
-		d.Bytes[ev.FS] += ev.Size
+		filter = false
+	}
+	reqs := make([]uint64, len(r.labels))
+	bytes := make([]int64, len(r.labels))
+	for i := lo; i < hi; i++ {
+		c, s := r.at(i)
+		if filter {
+			end := time.Duration(c.end[s])
+			if end < from || (to > 0 && end >= to) {
+				continue
+			}
+		}
+		reqs[c.fsID[s]]++
+		bytes[c.fsID[s]] += c.size[s]
+	}
+	for id, label := range r.labels {
+		if reqs[id] != 0 {
+			d.Requests[label] = reqs[id]
+			d.Bytes[label] = bytes[id]
+		}
 	}
 	return d
 }
@@ -96,29 +273,39 @@ func (d Distribution) ByteShare(label string) float64 {
 // metric behind the paper's observation that "DServers mostly see
 // sequential requests" once S4D absorbs the random ones.
 func (r *Recorder) Sequentiality(label string) float64 {
+	id, ok := r.labelID[label]
+	if !ok {
+		return 0
+	}
 	type key struct {
-		server int
-		file   string
+		server int32
+		file   uint32
 	}
-	// Replay in completion order.
-	evs := make([]pfs.TraceEvent, 0, len(r.events))
-	for _, ev := range r.events {
-		if ev.FS == label {
-			evs = append(evs, ev)
-		}
-	}
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].End < evs[j].End })
 	last := make(map[key]int64)
 	var seq, total int
-	for _, ev := range evs {
-		k := key{server: ev.Server, file: ev.File}
+	scan := func(i int) {
+		c, s := r.at(i)
+		if c.fsID[s] != id {
+			return
+		}
+		k := key{server: c.server[s], file: c.fileID[s]}
 		if prev, ok := last[k]; ok {
 			total++
-			if ev.LocalOff == prev {
+			if c.localOff[s] == prev {
 				seq++
 			}
 		}
-		last[k] = ev.LocalOff + ev.Size
+		last[k] = c.localOff[s] + c.size[s]
+	}
+	if r.sorted {
+		// Record order is completion order: replay directly.
+		for i := 0; i < r.n; i++ {
+			scan(i)
+		}
+	} else {
+		for _, i := range r.endOrder() {
+			scan(int(i))
+		}
 	}
 	if total == 0 {
 		return 0
@@ -128,11 +315,16 @@ func (r *Recorder) Sequentiality(label string) float64 {
 
 // OpMix returns the read/write sub-request counts for a label.
 func (r *Recorder) OpMix(label string) (reads, writes uint64) {
-	for _, ev := range r.events {
-		if ev.FS != label {
+	id, ok := r.labelID[label]
+	if !ok {
+		return 0, 0
+	}
+	for i := 0; i < r.n; i++ {
+		c, s := r.at(i)
+		if c.fsID[s] != id {
 			continue
 		}
-		if ev.Op == device.OpRead {
+		if device.Op(c.op[s]) == device.OpRead {
 			reads++
 		} else {
 			writes++
@@ -154,25 +346,39 @@ type Bin struct {
 // Throughput builds a time series of per-bin bytes for the labeled FS (""
 // matches all). Events are binned by completion time.
 func (r *Recorder) Throughput(label string, width time.Duration) []Bin {
-	if width <= 0 || len(r.events) == 0 {
+	if width <= 0 || r.n == 0 {
 		return nil
 	}
-	var maxEnd time.Duration
-	for _, ev := range r.events {
-		if ev.End > maxEnd {
-			maxEnd = ev.End
+	maxEnd := r.lastEnd
+	if !r.sorted {
+		maxEnd = 0
+		for i := 0; i < r.n; i++ {
+			c, s := r.at(i)
+			if e := time.Duration(c.end[s]); e > maxEnd {
+				maxEnd = e
+			}
+		}
+	}
+	id := uint32(0)
+	matchAll := label == ""
+	if !matchAll {
+		var ok bool
+		if id, ok = r.labelID[label]; !ok {
+			// Unknown label: all bins stay empty.
+			id = ^uint32(0)
 		}
 	}
 	bins := make([]Bin, maxEnd/width+1)
 	for i := range bins {
 		bins[i].Start = time.Duration(i) * width
 	}
-	for _, ev := range r.events {
-		if label != "" && ev.FS != label {
+	for i := 0; i < r.n; i++ {
+		c, s := r.at(i)
+		if !matchAll && c.fsID[s] != id {
 			continue
 		}
-		b := int(ev.End / width)
-		bins[b].Bytes += ev.Size
+		b := int(time.Duration(c.end[s]) / width)
+		bins[b].Bytes += c.size[s]
 		bins[b].Requests++
 	}
 	return bins

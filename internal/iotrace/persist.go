@@ -24,7 +24,8 @@ import (
 // Save writes the recorded events to w.
 func (r *Recorder) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, ev := range r.events {
+	for i := 0; i < r.n; i++ {
+		ev := r.event(i)
 		op := "W"
 		if ev.Op == device.OpRead {
 			op = "R"
@@ -58,7 +59,7 @@ func (r *Recorder) Load(src io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("iotrace: load line %d: %w", lineNo, err)
 		}
-		r.events = append(r.events, ev)
+		r.append(ev)
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("iotrace: load: %w", err)

@@ -62,9 +62,101 @@ type FS struct {
 	files   map[string]int64
 	trace   TraceFunc
 
+	// subsBuf is the reusable fan-out buffer of issue(). Serve calls never
+	// nest (sub-request completions run from engine events, never from
+	// inside issue's loop), so one buffer per instance is safe.
+	subsBuf []SubRequest
+	// reqPool and subPool are free lists of per-request and per-sub-request
+	// contexts. Contexts live until their completions run in virtual time,
+	// so in-flight entries are simply absent from the pool; steady-state
+	// traffic recycles instead of allocating.
+	reqPool []*request
+	subPool []*subCall
+
 	requests     uint64
 	bytesRead    int64
 	bytesWritten int64
+}
+
+// request is the pooled context of one parallel request in flight: the
+// fields every sub-request completion needs, plus the join latch counting
+// them down. The completion closure is bound once per pooled object, so
+// steady-state requests allocate nothing.
+type request struct {
+	fs       *FS
+	op       device.Op
+	file     string
+	pri      sim.Priority
+	reqOff   int64
+	payload  []byte
+	done     func()
+	pieces   []Piece // reused stripe-fragment scratch (functional mode)
+	join     sim.Join
+	finishFn func() // bound to finish once, at first allocation
+}
+
+// finish runs when the slowest sub-request completes: recycle the context,
+// then notify the caller.
+func (r *request) finish() {
+	fs, done := r.fs, r.done
+	r.done, r.payload, r.file = nil, nil, ""
+	fs.reqPool = append(fs.reqPool, r)
+	if done != nil {
+		done()
+	}
+}
+
+// subCall is the pooled context of one sub-request in flight. Its server
+// payload buffer is recycled with it, so functional-mode scatter/gather
+// reuses buffers instead of allocating one per sub-request.
+type subCall struct {
+	req        *request
+	sub        SubRequest
+	server     []byte
+	completeFn func(start, end time.Duration) // bound to complete once
+}
+
+// complete is the sub-request completion: scatter read payloads, emit the
+// trace event, recycle, and count down the request join.
+func (sc *subCall) complete(start, end time.Duration) {
+	req := sc.req
+	fs := req.fs
+	if req.op == device.OpRead && req.payload != nil {
+		scatterPayload(req.payload, sc.sub, req.pieces, sc.server[:sc.sub.Size], req.reqOff)
+	}
+	if fs.trace != nil {
+		fs.trace(TraceEvent{
+			FS: fs.label, Server: sc.sub.Server, Op: req.op, File: req.file,
+			LocalOff: sc.sub.LocalOff, Size: sc.sub.Size, Priority: req.pri,
+			Start: start, End: end,
+		})
+	}
+	join := &req.join
+	sc.req = nil
+	fs.subPool = append(fs.subPool, sc)
+	join.Done() // may recycle req via finish; sc no longer references it
+}
+
+func (fs *FS) getRequest() *request {
+	if n := len(fs.reqPool); n > 0 {
+		r := fs.reqPool[n-1]
+		fs.reqPool = fs.reqPool[:n-1]
+		return r
+	}
+	r := &request{fs: fs}
+	r.finishFn = r.finish
+	return r
+}
+
+func (fs *FS) getSub() *subCall {
+	if n := len(fs.subPool); n > 0 {
+		sc := fs.subPool[n-1]
+		fs.subPool = fs.subPool[:n-1]
+		return sc
+	}
+	sc := &subCall{}
+	sc.completeFn = sc.complete
+	return sc
 }
 
 // New builds a file system with cfg.Layout.Servers servers.
@@ -158,7 +250,8 @@ func (fs *FS) checkRange(off, size int64, payload []byte) error {
 }
 
 func (fs *FS) issue(op device.Op, file string, off, size int64, pri sim.Priority, payload []byte, done func()) {
-	subs := fs.layout.Split(off, size)
+	fs.subsBuf = fs.layout.AppendSplit(fs.subsBuf[:0], off, size)
+	subs := fs.subsBuf
 	if len(subs) == 0 {
 		// Zero-size request: complete immediately in virtual time.
 		if done != nil {
@@ -166,39 +259,44 @@ func (fs *FS) issue(op device.Op, file string, off, size int64, pri sim.Priority
 		}
 		return
 	}
-	join := sim.NewJoin(len(subs), func() {
-		if done != nil {
-			done()
+	if done == nil && payload == nil && fs.trace == nil {
+		// Nothing observes completion: no context, no join, no closures.
+		for _, sub := range subs {
+			fs.servers[sub.Server].serve(op, file, sub.LocalOff, sub.Size, pri, nil, nil)
 		}
-	})
-	var pieces []Piece
-	if payload != nil {
-		pieces = fs.layout.Pieces(off, size)
+		return
 	}
+	req := fs.getRequest()
+	req.op, req.file, req.pri, req.reqOff = op, file, pri, off
+	req.payload, req.done = payload, done
+	if payload != nil {
+		req.pieces = fs.layout.AppendPieces(req.pieces[:0], off, size)
+	}
+	req.join.Reset(len(subs), req.finishFn)
 	for _, sub := range subs {
-		sub := sub
-		srv := fs.servers[sub.Server]
+		sc := fs.getSub()
+		sc.req = req
+		sc.sub = sub
 		var serverPayload []byte
 		if payload != nil {
-			serverPayload = make([]byte, sub.Size)
+			sc.server = growPayload(sc.server, sub.Size)
+			serverPayload = sc.server
 			if op == device.OpWrite {
-				gatherPayload(serverPayload, sub, pieces, payload, off)
+				gatherPayload(serverPayload, sub, req.pieces, payload, off)
 			}
 		}
-		srv.serve(op, file, sub.LocalOff, sub.Size, pri, serverPayload, func(start, end time.Duration) {
-			if op == device.OpRead && payload != nil {
-				scatterPayload(payload, sub, pieces, serverPayload, off)
-			}
-			if fs.trace != nil {
-				fs.trace(TraceEvent{
-					FS: fs.label, Server: sub.Server, Op: op, File: file,
-					LocalOff: sub.LocalOff, Size: sub.Size, Priority: pri,
-					Start: start, End: end,
-				})
-			}
-			join.Done()
-		})
+		fs.servers[sub.Server].serve(op, file, sub.LocalOff, sub.Size, pri, serverPayload, sc.completeFn)
 	}
+}
+
+// growPayload returns buf resliced to n bytes, reallocating only when the
+// pooled capacity is insufficient. Callers (the serve path) fully overwrite
+// the buffer: writes gather every piece, reads are zero-filled by the store.
+func growPayload(buf []byte, n int64) []byte {
+	if int64(cap(buf)) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
 }
 
 // gatherPayload assembles the contiguous server-local payload of sub from

@@ -55,14 +55,21 @@ type Piece struct {
 // The returned slice is ordered by server index and contains only involved
 // servers. A zero or negative size yields no sub-requests.
 func (l Layout) Split(off, size int64) []SubRequest {
+	return l.AppendSplit(nil, off, size)
+}
+
+// AppendSplit is Split appending into a caller-supplied buffer, returning
+// the extended slice. The serve path in FS.issue reuses one buffer per
+// instance, so steady-state request fan-out performs no allocation.
+func (l Layout) AppendSplit(dst []SubRequest, off, size int64) []SubRequest {
 	if size <= 0 || off < 0 {
-		return nil
+		return dst
 	}
 	m := int64(l.Servers)
 	str := l.StripeSize
 	first := off / str             // paper's B
 	last := (off + size - 1) / str // paper's E, on the last byte actually accessed
-	out := make([]SubRequest, 0, min64(m, last-first+1))
+	out := dst
 	for s := int64(0); s < m; s++ {
 		// First and last global stripes owned by server s in [first,last].
 		k0 := first + ((s-first%m)+m)%m
@@ -95,12 +102,18 @@ func (l Layout) Split(off, size int64) []SubRequest {
 // order, for payload scatter/gather. It walks every stripe, so callers
 // should only use it when a payload actually needs copying.
 func (l Layout) Pieces(off, size int64) []Piece {
+	return l.AppendPieces(nil, off, size)
+}
+
+// AppendPieces is Pieces appending into a caller-supplied buffer, returning
+// the extended slice. See AppendSplit for the scratch-buffer contract.
+func (l Layout) AppendPieces(dst []Piece, off, size int64) []Piece {
 	if size <= 0 || off < 0 {
-		return nil
+		return dst
 	}
 	m := int64(l.Servers)
 	str := l.StripeSize
-	out := make([]Piece, 0, (size/str)+2)
+	out := dst
 	pos := off
 	end := off + size
 	for pos < end {
@@ -158,11 +171,4 @@ func (l Layout) LocalSize(server int, fileSize int64) int64 {
 		}
 	}
 	return total
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

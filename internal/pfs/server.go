@@ -29,10 +29,92 @@ type Server struct {
 	slabs     map[string][]int64
 	allocNext int64
 
+	// callPool recycles per-sub-request service contexts. Entries are in
+	// the pool only between completion and the next serve, so in-flight
+	// sub-requests each hold a private context.
+	callPool []*servCall
+
 	// Stats.
 	bytesRead    int64
 	bytesWritten int64
 	subRequests  uint64
+}
+
+// servCall is the pooled context of one sub-request in service: the
+// parameters the grant-time service function and the completion need, with
+// both closures bound once at allocation so steady-state serving does not
+// allocate.
+type servCall struct {
+	s          *Server
+	op         device.Op
+	file       string
+	localOff   int64
+	size       int64
+	payload    []byte
+	done       func(start, end time.Duration)
+	start      time.Duration
+	serviceFn  func() time.Duration
+	completeFn func()
+}
+
+// service computes the grant-time service duration: network transfer plus
+// per-slab device access with the head state of the actual schedule.
+func (c *servCall) service() time.Duration {
+	s := c.s
+	c.start = s.eng.Now()
+	t := s.net.TransferTime(c.size)
+	// A sub-request may span slab boundaries; charge the device per
+	// contiguous slab extent.
+	off, remaining := c.localOff, c.size
+	for remaining > 0 {
+		n := slabSize - off%slabSize
+		if n > remaining {
+			n = remaining
+		}
+		t += s.dev.Access(c.op, s.deviceAddr(c.file, off), n)
+		off += n
+		remaining -= n
+	}
+	if c.size == 0 {
+		t += s.dev.Access(c.op, s.deviceAddr(c.file, c.localOff), 0)
+	}
+	return t
+}
+
+// complete runs at service completion: account, move payload, recycle the
+// context, then notify.
+func (c *servCall) complete() {
+	s := c.s
+	s.subRequests++
+	if c.op == device.OpRead {
+		s.bytesRead += c.size
+		if c.payload != nil {
+			s.readPayload(c.file, c.localOff, c.payload)
+		}
+	} else {
+		s.bytesWritten += c.size
+		if c.payload != nil {
+			s.writePayload(c.file, c.localOff, c.payload)
+		}
+	}
+	done, start := c.done, c.start
+	c.done, c.payload, c.file = nil, nil, ""
+	s.callPool = append(s.callPool, c)
+	if done != nil {
+		done(start, s.eng.Now())
+	}
+}
+
+func (s *Server) getCall() *servCall {
+	if n := len(s.callPool); n > 0 {
+		c := s.callPool[n-1]
+		s.callPool = s.callPool[:n-1]
+		return c
+	}
+	c := &servCall{s: s}
+	c.serviceFn = c.service
+	c.completeFn = c.complete
+	return c
 }
 
 // NewServer builds a file server.
@@ -85,45 +167,10 @@ func (s *Server) deviceAddr(file string, localOff int64) int64 {
 // includes the network transfer of the payload. done runs at completion in
 // virtual time; payload movement also happens at completion.
 func (s *Server) serve(op device.Op, file string, localOff, size int64, pri sim.Priority, payload []byte, done func(start, end time.Duration)) {
-	var start time.Duration
-	s.res.Use(pri,
-		func() time.Duration {
-			start = s.eng.Now()
-			t := s.net.TransferTime(size)
-			// A sub-request may span slab boundaries; charge the device per
-			// contiguous slab extent.
-			off, remaining := localOff, size
-			for remaining > 0 {
-				n := slabSize - off%slabSize
-				if n > remaining {
-					n = remaining
-				}
-				t += s.dev.Access(op, s.deviceAddr(file, off), n)
-				off += n
-				remaining -= n
-			}
-			if size == 0 {
-				t += s.dev.Access(op, s.deviceAddr(file, localOff), 0)
-			}
-			return t
-		},
-		func() {
-			s.subRequests++
-			if op == device.OpRead {
-				s.bytesRead += size
-				if payload != nil {
-					s.readPayload(file, localOff, payload)
-				}
-			} else {
-				s.bytesWritten += size
-				if payload != nil {
-					s.writePayload(file, localOff, payload)
-				}
-			}
-			if done != nil {
-				done(start, s.eng.Now())
-			}
-		})
+	c := s.getCall()
+	c.op, c.file, c.localOff, c.size = op, file, localOff, size
+	c.payload, c.done = payload, done
+	s.res.Use(pri, c.serviceFn, c.completeFn)
 }
 
 func (s *Server) writePayload(file string, localOff int64, p []byte) {

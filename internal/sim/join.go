@@ -12,11 +12,22 @@ type Join struct {
 // NewJoin returns a latch that fires fn after n calls to Done. If n <= 0,
 // fn runs immediately.
 func NewJoin(n int, fn func()) *Join {
-	j := &Join{n: n, fn: fn}
+	j := &Join{}
+	j.Reset(n, fn)
+	return j
+}
+
+// Reset re-arms the latch with a new count and callback, so hot callers
+// (the pfs serve path) can pool Join values instead of allocating one per
+// request. If n <= 0, fn runs immediately. Resetting a latch that has not
+// fired yet abandons its previous callback; fire-time Resets are safe —
+// the firing callback is detached before it runs.
+func (j *Join) Reset(n int, fn func()) {
+	j.n = n
+	j.fn = fn
 	if n <= 0 {
 		j.fire()
 	}
-	return j
 }
 
 // Done decrements the latch. Calls beyond the initial count are ignored.
