@@ -4,11 +4,19 @@
 // Usage:
 //
 //	s4dbench [-exp id[,id...]] [-scale f] [-ranks n] [-parallel n] [-full] [-list]
+//	         [-faults plan] [-fault-seed n]
 //	         [-bench-json file] [-cpuprofile file] [-memprofile file] [-trace file]
 //
 // By default every experiment runs at the quick scale (~1/250 of the
 // paper's data volume, all ratios preserved). -full uses the published
 // sizes and process counts; expect a long runtime.
+//
+// -faults injects a deterministic failure schedule (transient I/O
+// errors, CServer crash/restart, see internal/faults for the plan
+// syntax) and emits the availability/degradation table; with no explicit
+// -exp it runs just that experiment. -fault-seed varies the random
+// streams the plan draws from. The table is byte-identical for a given
+// (plan, seed) at every -parallel setting.
 //
 // -bench-json runs the hot-path micro-benchmarks plus the experiment
 // suite and writes a machine-readable BENCH_*.json perf report instead of
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"s4dcache/internal/bench"
+	"s4dcache/internal/faults"
 	"s4dcache/internal/profiling"
 )
 
@@ -39,6 +48,8 @@ func run() int {
 		parallel = flag.Int("parallel", 0, "experiment cells simulated concurrently (0 = GOMAXPROCS)")
 		full      = flag.Bool("full", false, "use the paper's published sizes (slow)")
 		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
+		faultPlan = flag.String("faults", "", "fault-injection plan for the 'faults' experiment (see internal/faults)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's random streams")
 		benchJSON = flag.String("bench-json", "", "write a machine-readable perf report to this file and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -75,6 +86,20 @@ func run() int {
 		cfg.Ranks = *ranks
 	}
 	cfg.Parallel = *parallel
+	cfg.FaultSeed = *faultSeed
+	if *faultPlan != "" {
+		plan, err := faults.Parse(*faultPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: -faults: %v\n", err)
+			return 2
+		}
+		cfg.FaultPlan = plan
+		if *expFlag == "all" {
+			// A plan was given but no experiment selection: run the fault
+			// experiment it parameterizes.
+			*expFlag = "faults"
+		}
+	}
 
 	if *benchJSON != "" {
 		f, err := os.Create(*benchJSON)

@@ -90,6 +90,10 @@ var paperBaseline = map[string][2]string{
 		"(beyond the paper) §II.A: 'S4D-Cache can use not only these techniques [List I/O, data sieving, collective I/O] for its underlying parallel file systems but also utilize SSDs' characteristics.'",
 		"S4D helps most under List I/O (small noncontiguous requests), adds nothing once two-phase collective I/O has merged the pattern into large sequential runs (none of which are critical), and leaves data sieving's read-modify-write overhead unchanged — the cache composes with, rather than replaces, the classic middleware optimizations.",
 	},
+	"faults": {
+		"(beyond the paper) §III.D stores the DMT synchronously 'to tolerate such failures as power failure'; the paper does not evaluate server failures.",
+		"Under injected CServer faults the system keeps serving: transient I/O errors are absorbed by capped-backoff retries, crashed-CServer traffic fails over to the DServers (clean mappings are read around, dirty ones deferred to the restart or written off as dirty-lost), and throughput degrades rather than collapses. The fault-free row is byte-identical to a testbed built without fault state. All counters are zero on fault-free runs, so fault-free reports are unchanged.",
+	},
 	"ablation-tableii": {
 		"(beyond the paper) Table II's E = ⌊(f+r)/str⌋ over-counts one stripe when a request ends exactly on a stripe boundary.",
 		"Exact and verbatim formulas produce near-identical throughput and admission shares even on stripe-aligned traffic — the published approximation is harmless.",

@@ -16,14 +16,15 @@ type File struct {
 }
 
 // WriteAt writes p at offset off on behalf of rank, synchronously in
-// virtual time.
+// virtual time. On fault-injecting testbeds the returned error reports an
+// I/O failure that survived all retries.
 func (f *File) WriteAt(rank int, p []byte, off int64) error {
 	pending, err := f.WriteAtAsync(rank, p, off)
 	if err != nil {
 		return err
 	}
 	f.sys.Wait(pending)
-	return nil
+	return pending.err
 }
 
 // ReadAt fills p from offset off on behalf of rank, synchronously in
@@ -34,16 +35,21 @@ func (f *File) ReadAt(rank int, p []byte, off int64) error {
 		return err
 	}
 	f.sys.Wait(pending)
-	return nil
+	return pending.err
 }
 
 // Pending tracks an in-flight asynchronous operation.
 type Pending struct {
 	done bool
+	err  error
 }
 
 // Done reports whether the operation has completed.
 func (p *Pending) Done() bool { return p.done }
+
+// Err returns the I/O error of a completed operation (nil while in flight
+// or on success).
+func (p *Pending) Err() error { return p.err }
 
 // WriteAtAsync schedules a write and returns immediately; await it with
 // System.Wait.
@@ -52,7 +58,7 @@ func (f *File) WriteAtAsync(rank int, p []byte, off int64) (*Pending, error) {
 		return nil, fmt.Errorf("s4dcache: nil payload (use WriteZeroes for timing-only I/O)")
 	}
 	pending := &Pending{}
-	err := f.f.WriteAt(rank, off, int64(len(p)), p, func() { pending.done = true })
+	err := f.f.WriteAt(rank, off, int64(len(p)), p, func(err error) { pending.done, pending.err = true, err })
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +72,7 @@ func (f *File) ReadAtAsync(rank int, p []byte, off int64) (*Pending, error) {
 		return nil, fmt.Errorf("s4dcache: nil buffer")
 	}
 	pending := &Pending{}
-	err := f.f.ReadAt(rank, off, int64(len(p)), p, func() { pending.done = true })
+	err := f.f.ReadAt(rank, off, int64(len(p)), p, func(err error) { pending.done, pending.err = true, err })
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +83,7 @@ func (f *File) ReadAtAsync(rank int, p []byte, off int64) (*Pending, error) {
 // performance mode) and returns its Pending.
 func (f *File) WriteZeroes(rank int, off, size int64) (*Pending, error) {
 	pending := &Pending{}
-	err := f.f.WriteAt(rank, off, size, nil, func() { pending.done = true })
+	err := f.f.WriteAt(rank, off, size, nil, func(err error) { pending.done, pending.err = true, err })
 	if err != nil {
 		return nil, err
 	}

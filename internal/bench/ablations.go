@@ -388,7 +388,7 @@ func runAblationCollective(cfg Config) (*Table, error) {
 				if err := f.SetView(r, tile.View(r)); err != nil {
 					return workload.Result{}, err
 				}
-				if err := f.WriteStrided(r, int64(tile.ElementsY), mpiio.DataSieving, func() { remaining-- }); err != nil {
+				if err := f.WriteStrided(r, int64(tile.ElementsY), mpiio.DataSieving, func(error) { remaining-- }); err != nil {
 					return workload.Result{}, err
 				}
 			}
@@ -409,7 +409,7 @@ func runAblationCollective(cfg Config) (*Table, error) {
 			finished := false
 			err = f.CollectiveWrite(perRank, mpiio.CollectiveConfig{
 				Aggregators: tile.Ranks / 4, Shuffle: tb.Params.Net,
-			}, func() { finished = true })
+			}, func(error) { finished = true })
 			if err != nil {
 				return workload.Result{}, err
 			}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"s4dcache/internal/cluster"
+	"s4dcache/internal/faults"
 	"s4dcache/internal/mpiio"
 	"s4dcache/internal/workload"
 )
@@ -30,6 +31,12 @@ type Config struct {
 	// GOMAXPROCS. Tables come out identical for any setting — cells are
 	// reassembled in deterministic order.
 	Parallel int
+	// FaultPlan overrides the "faults" experiment's injected-failure
+	// schedule (see internal/faults); the zero value uses
+	// DefaultFaultPlan. Other experiments always run fault-free.
+	FaultPlan faults.Plan
+	// FaultSeed derives the fault plan's random streams; 0 means 1.
+	FaultSeed int64
 }
 
 // Quick returns the fast configuration used by default: ~1/250 of the
@@ -121,7 +128,7 @@ var canonicalOrder = []string{
 	"fig11", "meta",
 	"ablation-admission", "ablation-policy", "ablation-lazy", "ablation-dmtsync",
 	"ablation-rebuild", "ablation-tableii", "ablation-collective",
-	"ext-memcache",
+	"ext-memcache", "faults",
 }
 
 func register(e Experiment) { registry = append(registry, e) }

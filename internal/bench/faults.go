@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/core"
+	"s4dcache/internal/faults"
+	"s4dcache/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "faults",
+		Title: "Availability and degradation under injected faults",
+		Run:   runFaults,
+	})
+}
+
+// DefaultFaultPlan is the plan used when none is given on the command
+// line: a low rate of transient CServer I/O errors plus two CServer
+// crash/restart cycles — one spanning the write-to-read transition (its
+// dirty extents are retained and reads defer until the restart), one
+// mid-read (its clean extents are invalidated and read around).
+const DefaultFaultPlan = "io:cpfs:0.01;crash:cpfs1@3s+8s;crash:cpfs2@13s+2s;retry:3"
+
+// faultCell is one testbed's measurement under (or without) the plan.
+type faultCell struct {
+	w, r    float64
+	errors  int
+	elapsed time.Duration
+	stats   core.Stats
+	s4d     bool
+}
+
+// runFaultCell drives the §V.B mixed 16 KB scenario on one fresh testbed
+// and collects the fault counters. Mirrors mixedRun, with stats capture.
+func runFaultCell(cfg Config, plan faults.Plan, seed int64, s4d bool) (faultCell, error) {
+	mix := scaledMixed(cfg, 16<<10)
+	params := cluster.Default()
+	params.CacheCapacity = mix.DataSize() / 5
+	params.FaultPlan = plan
+	params.FaultSeed = seed
+
+	var tb *cluster.Testbed
+	var err error
+	if s4d {
+		tb, err = cluster.NewS4D(params)
+	} else {
+		tb, err = cluster.NewStock(params)
+	}
+	if err != nil {
+		return faultCell{}, err
+	}
+	comm, err := tb.Comm(cfg.Ranks)
+	if err != nil {
+		return faultCell{}, err
+	}
+	start := tb.Eng.Now()
+	finished := false
+	var wres workload.Result
+	if err := workload.RunMixed(comm, mix, true, func(res workload.Result) { wres = res; finished = true }); err != nil {
+		return faultCell{}, err
+	}
+	tb.Eng.RunWhile(func() bool { return !finished })
+	if tb.S4D != nil {
+		drained := false
+		tb.S4D.DrainRebuild(func() { drained = true })
+		tb.Eng.RunWhile(func() bool { return !drained })
+	}
+	rres, err := secondRunRead(comm, tb, mix)
+	if err != nil {
+		return faultCell{}, err
+	}
+	tb.Close()
+	out := faultCell{
+		w:       wres.ThroughputMBps(),
+		r:       rres.ThroughputMBps(),
+		errors:  wres.Errors + rres.Errors,
+		elapsed: tb.Eng.Now() - start,
+		s4d:     s4d,
+	}
+	if tb.S4D != nil {
+		out.stats = tb.S4D.Stats()
+	}
+	return out, nil
+}
+
+// runFaults reproduces the robustness scenario: the same mixed IOR
+// workload on a fault-free S4D testbed, a fault-injecting S4D testbed,
+// and a fault-injecting stock testbed, with the availability counters.
+// The whole table is deterministic for a given (plan, seed) at every
+// -parallel setting: each cell owns its testbed, injector and random
+// streams.
+func runFaults(cfg Config) (*Table, error) {
+	plan := cfg.FaultPlan
+	if plan.Empty() {
+		var err error
+		plan, err = faults.Parse(DefaultFaultPlan)
+		if err != nil {
+			return nil, fmt.Errorf("default fault plan: %w", err)
+		}
+	}
+	seed := cfg.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	t := &Table{
+		ID:    "faults",
+		Title: "Mixed IOR (16KB) under injected faults, stock vs S4D",
+		Columns: []string{"series", "write", "read", "errors", "retries",
+			"failovers", "deferred", "degraded", "dirty-lost"},
+	}
+	type spec struct {
+		label   string
+		s4d     bool
+		faulted bool
+	}
+	specs := []spec{
+		{"s4d/clean", true, false},
+		{"s4d/faulted", true, true},
+		{"stock/faulted", false, true},
+	}
+	cells := make([]Cell[faultCell], 0, len(specs))
+	for _, sp := range specs {
+		sp := sp
+		cellPlan := faults.Plan{}
+		if sp.faulted {
+			cellPlan = plan
+		}
+		cells = append(cells, Cell[faultCell]{
+			Label: "faults/" + sp.label,
+			Run:   func() (faultCell, error) { return runFaultCell(cfg, cellPlan, seed, sp.s4d) },
+		})
+	}
+	res, err := RunCells(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		c := res[i]
+		if !c.s4d {
+			t.AddRow(sp.label, mbps(c.w), mbps(c.r), fmt.Sprintf("%d", c.errors),
+				"-", "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(sp.label, mbps(c.w), mbps(c.r), fmt.Sprintf("%d", c.errors),
+			fmt.Sprintf("%d", c.stats.Retries),
+			fmt.Sprintf("%d", c.stats.Failovers),
+			fmt.Sprintf("%d", c.stats.DeferredReads),
+			fmt.Sprintf("%.1fms", c.stats.DegradedTime.Seconds()*1e3),
+			kb(c.stats.DirtyLost))
+	}
+	t.AddNote("plan: %s (seed %d)", plan.String(), seed)
+	if f := res[1]; f.elapsed > 0 {
+		avail := 1 - f.stats.DegradedTime.Seconds()/f.elapsed.Seconds()
+		t.AddNote("s4d/faulted availability: %.1f%% of the run had all CServers up", avail*100)
+	}
+	t.AddNote("degraded mode: crashed-CServer mappings are invalidated (clean → read-around, unrecoverable dirty → dirty-lost); new critical traffic fails over to the DServers")
+	return t, nil
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"testing"
+
+	"s4dcache/internal/faults"
+)
+
+// faultyTiny is a harness-test configuration whose fault plan is scaled
+// to the tiny workload (the default plan's seconds-scale crashes would
+// land after a tiny run finishes).
+func faultyTiny(t *testing.T, parallel int) Config {
+	t.Helper()
+	plan, err := faults.Parse("io:cpfs:0.2;crash:cpfs1@10ms+20ms;retry:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiny()
+	cfg.FaultPlan = plan
+	cfg.FaultSeed = 7
+	cfg.Parallel = parallel
+	return cfg
+}
+
+// TestFaultTableDeterministic pins the acceptance criterion of the fault
+// experiment: the same (plan, seed) produces a byte-identical table at
+// every -parallel setting. Each cell owns its testbed and random streams,
+// so scheduling of cells across goroutines must not leak into results.
+func TestFaultTableDeterministic(t *testing.T) {
+	e, ok := ByID("faults")
+	if !ok {
+		t.Fatal("faults experiment not registered")
+	}
+	var outs []string
+	for _, parallel := range []int{1, 4, 3} {
+		tbl, err := e.Run(faultyTiny(t, parallel))
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		outs = append(outs, tbl.String())
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("table differs between parallel settings:\n--- parallel=1 ---\n%s--- run %d ---\n%s", outs[0], i, outs[i])
+		}
+	}
+}
+
+// TestFaultTableExercisesFaults guards the determinism test against
+// vacuity: under the scaled plan the faulted run must actually record
+// retries and failovers, and the clean baseline must record none.
+func TestFaultTableExercisesFaults(t *testing.T) {
+	plan, _ := faults.Parse("io:cpfs:0.2;crash:cpfs1@10ms+20ms;retry:3")
+	clean, err := runFaultCell(tiny(), faults.Plan{}, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.errors != 0 || clean.stats.Retries != 0 || clean.stats.Failovers != 0 {
+		t.Fatalf("clean cell recorded fault activity: %+v", clean.stats)
+	}
+	faulted, err := runFaultCell(tiny(), plan, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.errors != 0 {
+		t.Fatalf("faulted cell surfaced %d client errors; degraded mode must absorb them", faulted.errors)
+	}
+	if faulted.stats.Retries == 0 && faulted.stats.Failovers == 0 {
+		t.Fatal("faulted cell recorded no retries or failovers; the plan never fired")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"s4dcache/internal/core"
 	"s4dcache/internal/costmodel"
 	"s4dcache/internal/device"
+	"s4dcache/internal/faults"
 	"s4dcache/internal/iotrace"
 	"s4dcache/internal/kvstore"
 	"s4dcache/internal/memcache"
@@ -67,6 +68,12 @@ type Params struct {
 	// value means 16 KB (pages must be no larger than the requests they
 	// should capture).
 	MemCachePageBytes int64
+	// FaultPlan injects deterministic failures (see internal/faults). The
+	// zero value disables injection entirely — no fault state is built and
+	// the testbed behaves bit-for-bit like a fault-free one.
+	FaultPlan faults.Plan
+	// FaultSeed derives the per-server random streams of FaultPlan.
+	FaultSeed int64
 }
 
 // Default returns the paper's testbed configuration.
@@ -99,6 +106,8 @@ type Testbed struct {
 	Model costmodel.Params
 	// Params echoes the configuration.
 	Params Params
+
+	closed bool
 }
 
 // NewStock builds the baseline testbed: DServers only, no cache.
@@ -150,8 +159,12 @@ func (tb *Testbed) Comm(ranks int) (*mpiio.Comm, error) {
 }
 
 // Close stops background activity (the Rebuilder ticker), letting
-// Engine.Run terminate.
+// Engine.Run terminate. Closing an already-closed testbed is a no-op.
 func (tb *Testbed) Close() {
+	if tb.closed {
+		return
+	}
+	tb.closed = true
 	if tb.S4D != nil {
 		tb.S4D.Close()
 	}
@@ -176,6 +189,10 @@ func build(p Params, withCache bool) (*Testbed, error) {
 		tb.Recorder = iotrace.NewRecorder()
 		trace = tb.Recorder.Hook()
 	}
+	var injector *faults.Injector
+	if !p.FaultPlan.Empty() {
+		injector = faults.NewInjector(p.FaultPlan, p.FaultSeed)
+	}
 
 	opfs, err := pfs.New(pfs.Config{
 		Label:  "OPFS",
@@ -189,6 +206,7 @@ func build(p Params, withCache bool) (*Testbed, error) {
 		NewStore: newStore,
 		Net:      p.Net,
 		Trace:    trace,
+		Faults:   injector,
 	})
 	if err != nil {
 		return nil, err
@@ -208,6 +226,7 @@ func build(p Params, withCache bool) (*Testbed, error) {
 		NewStore: newStore,
 		Net:      p.Net,
 		Trace:    trace,
+		Faults:   injector,
 	})
 	if err != nil {
 		return nil, err
@@ -250,5 +269,10 @@ func build(p Params, withCache bool) (*Testbed, error) {
 		return nil, err
 	}
 	tb.S4D = s4d
+	if injector != nil {
+		// CServer crash/restart events drive the S4D's degraded-mode
+		// transitions (mapping invalidation, failover, deferred reads).
+		cpfs.SetStateHook(s4d.OnCServerState)
+	}
 	return tb, nil
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"testing"
+	"time"
 
 	"s4dcache/internal/core"
 	"s4dcache/internal/workload"
@@ -65,6 +66,30 @@ func TestValidationErrors(t *testing.T) {
 	}
 	if _, err := NewStock(Default()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTestbedCloseIdempotent pins the teardown contract: Close stops the
+// Rebuilder ticker so Engine.Run terminates, and closing again (defer
+// plus explicit call is a common pattern in the experiment runners) is a
+// no-op rather than a double-stop.
+func TestTestbedCloseIdempotent(t *testing.T) {
+	p := Default()
+	p.RebuildPeriod = time.Millisecond
+	tb, err := NewS4D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tb.Close()
+	}
+	// With the ticker stopped the event queue must drain: Run returning
+	// is the assertion (a live ticker would re-arm forever and hang the
+	// test). The tick already scheduled before Close may still fire once,
+	// but nothing past it.
+	tb.Eng.Run()
+	if got := tb.Eng.Now(); got > p.RebuildPeriod {
+		t.Fatalf("ticker re-armed after Close: engine advanced to %v", got)
 	}
 }
 

@@ -44,14 +44,14 @@ func TestCostModelPredictsSimulatedHardware(t *testing.T) {
 		pre := cursor
 		target := pre + pr.dist
 		done := false
-		if err := tb.OPFS.Write("probe", pre, 4096, sim.PriorityHigh, nil, func() { done = true }); err != nil {
+		if err := tb.OPFS.Write("probe", pre, 4096, sim.PriorityHigh, nil, func(error) { done = true }); err != nil {
 			t.Fatal(err)
 		}
 		tb.Eng.RunWhile(func() bool { return !done })
 
 		start := tb.Eng.Now()
 		done = false
-		if err := tb.OPFS.Write("probe", target, pr.size, sim.PriorityHigh, nil, func() { done = true }); err != nil {
+		if err := tb.OPFS.Write("probe", target, pr.size, sim.PriorityHigh, nil, func(error) { done = true }); err != nil {
 			t.Fatal(err)
 		}
 		tb.Eng.RunWhile(func() bool { return !done })
@@ -104,13 +104,13 @@ func TestCostModelRanksRequestsLikeHardware(t *testing.T) {
 	// And the measured system agrees on the headline pair: a small random
 	// request is served much faster by the CServers than the DServers.
 	measure := func(useCache bool) time.Duration {
-		var fsWrite func(off int64, done func()) error
+		var fsWrite func(off int64, done func(error)) error
 		if useCache {
-			fsWrite = func(off int64, done func()) error {
+			fsWrite = func(off int64, done func(error)) error {
 				return tb.CPFS.Write("x", off, 16<<10, sim.PriorityHigh, nil, done)
 			}
 		} else {
-			fsWrite = func(off int64, done func()) error {
+			fsWrite = func(off int64, done func(error)) error {
 				return tb.OPFS.Write("x", off, 16<<10, sim.PriorityHigh, nil, done)
 			}
 		}
@@ -123,7 +123,7 @@ func TestCostModelRanksRequestsLikeHardware(t *testing.T) {
 				finished = true
 				return
 			}
-			if err := fsWrite(rng.Int63n(4<<30), func() { run(i + 1) }); err != nil {
+			if err := fsWrite(rng.Int63n(4<<30), func(error) { run(i + 1) }); err != nil {
 				t.Error(err)
 				finished = true
 			}

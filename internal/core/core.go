@@ -122,6 +122,16 @@ type S4D struct {
 	metaOff        int64
 	chargeMeta     bool
 	inFlightFetch  map[string]bool
+	metaStore      *kvstore.Store
+
+	// Fault state (see faulty.go). faulty is set at construction when
+	// either pfs instance carries a fault plan (sub-requests issued before
+	// the first failure must already route through the failover wrappers);
+	// healthy testbeds pay one false bool check on the serve path.
+	faulty        bool
+	downC         map[int]bool
+	degradedSince time.Duration
+	deferred      []deferredRead
 
 	// hitsBuf/gapsBuf are the serve path's reusable DMT lookup buffers.
 	// Serve calls never nest (completions run from engine events), so one
@@ -139,30 +149,45 @@ type S4D struct {
 }
 
 // reqJoin is the pooled per-request countdown of the serve path: it joins
-// the cache/disk segments of one intercepted request. doneFn is bound once
-// at allocation, so issuing a segment passes a reused closure instead of
-// allocating a `join.Done` method value per segment.
+// the cache/disk segments of one intercepted request, retaining the first
+// segment error. doneFn and fireFn are bound once at allocation, so
+// issuing a segment and firing the completion pass reused closures instead
+// of allocating per segment.
 type reqJoin struct {
 	s      *S4D
 	n      int
-	done   func()
-	doneFn func()
+	err    error
+	done   func(error)
+	doneFn func(error)
+	fireFn func()
 }
 
-// segDone counts one segment completion; the last one recycles the join
-// and notifies the application in virtual time.
-func (j *reqJoin) segDone() {
+// segDone counts one segment completion; the last one schedules fire,
+// which notifies the application in virtual time and recycles the join.
+func (j *reqJoin) segDone(err error) {
+	if err != nil && j.err == nil {
+		j.err = err
+	}
 	j.n--
 	if j.n > 0 {
 		return
 	}
-	s, done := j.s, j.done
-	j.done = nil
-	s.joinPool = append(s.joinPool, j)
-	s.complete(done)
+	if j.done == nil {
+		j.err = nil
+		j.s.joinPool = append(j.s.joinPool, j)
+		return
+	}
+	j.s.eng.After(0, j.fireFn)
 }
 
-func (s *S4D) getJoin(n int, done func()) *reqJoin {
+func (j *reqJoin) fire() {
+	done, err := j.done, j.err
+	j.done, j.err = nil, nil
+	j.s.joinPool = append(j.s.joinPool, j)
+	done(err)
+}
+
+func (s *S4D) getJoin(n int, done func(error)) *reqJoin {
 	var j *reqJoin
 	if k := len(s.joinPool); k > 0 {
 		j = s.joinPool[k-1]
@@ -170,8 +195,9 @@ func (s *S4D) getJoin(n int, done func()) *reqJoin {
 	} else {
 		j = &reqJoin{s: s}
 		j.doneFn = j.segDone
+		j.fireFn = j.fire
 	}
-	j.n, j.done = n, done
+	j.n, j.done, j.err = n, done, nil
 	return j
 }
 
@@ -221,6 +247,9 @@ func New(cfg Config) (*S4D, error) {
 		fileEpoch:     make(map[string]uint64),
 		chargeMeta:    cfg.ChargeMetaIO && cfg.MetaStore != nil,
 		inFlightFetch: make(map[string]bool),
+		metaStore:     cfg.MetaStore,
+		faulty:        cfg.OPFS.Faulty() || cfg.CPFS.Faulty(),
+		downC:         make(map[int]bool),
 	}
 	if cfg.Policy == PolicyLocality {
 		s.locality = newLocalityTracker(0, 0)
@@ -253,13 +282,13 @@ func (s *S4D) Model() costmodel.Params { return s.model }
 
 // Write intercepts an application write of file[off, off+size) by rank.
 // data may be nil in performance mode. done runs in virtual time when all
-// segments complete.
-func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done func()) error {
+// segments complete, with the first segment error (nil on success).
+func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done func(error)) error {
 	if err := checkRange(off, size, data); err != nil {
 		return err
 	}
 	if size == 0 {
-		s.complete(done)
+		s.completeErr(done)
 		return nil
 	}
 	s.stats.Writes++
@@ -275,6 +304,23 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 	// DMT hits: the cache holds the range — write there and re-dirty
 	// (Algorithm 1, line 22).
 	for _, h := range hits {
+		if s.faulty && s.cacheRangeDown(h.CacheOff, h.Len) {
+			// The cached copy sits on a crashed CServer. The write
+			// supersedes it: drop the mapping and fail the segment over to
+			// the DServers.
+			s.stats.Failovers++
+			if err := s.dmt.Delete(file, h.Off, h.Len); err != nil {
+				return fmt.Errorf("core: failover unmap: %w", err)
+			}
+			s.space.FreeRange(h.CacheOff, h.Len)
+			s.chargeMetaIO()
+			s.stats.SegWritesDisk++
+			s.stats.BytesWriteDisk += h.Len
+			if err := s.opfs.Write(file, h.Off, h.Len, sim.PriorityHigh, slice(data, off, h.Off, h.Len), join.doneFn); err != nil {
+				return err
+			}
+			continue
+		}
 		s.stats.SegWritesCache++
 		s.stats.BytesWriteCache += h.Len
 		if err := s.dmt.SetDirty(file, h.Off, h.Len); err != nil {
@@ -283,18 +329,38 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 		s.space.MarkDirty(h.CacheOff, h.Len)
 		s.space.Touch(h.CacheOff, h.Len)
 		s.chargeMetaIO()
-		if err := s.cpfs.Write(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, slice(data, off, h.Off, h.Len), join.doneFn); err != nil {
+		seg := slice(data, off, h.Off, h.Len)
+		cb := join.doneFn
+		if s.faulty {
+			// An aborted cache write leaves a mapping whose bytes never
+			// landed; fail the segment over (fault path — allocation fine).
+			h := h
+			cb = func(err error) {
+				if err == nil {
+					join.doneFn(nil)
+					return
+				}
+				s.absorbFailed(file, h.Off, h.Len, h.CacheOff, seg, join.doneFn)
+			}
+		}
+		if err := s.cpfs.Write(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, seg, cb); err != nil {
 			return err
 		}
 	}
 
 	// Misses: admit critical segments if space allows, else DServers.
+	// While degraded (any CServer down) nothing new is admitted — critical
+	// traffic fails over to the DServers.
 	for _, g := range gaps {
 		if s.admitWrite(file, g.Off, g.Len, benefit) {
-			if err := s.absorbWrite(file, g.Off, g.Len, slice(data, off, g.Off, g.Len), join); err != nil {
-				return err
+			if s.faulty && s.degraded() {
+				s.stats.Failovers++
+			} else {
+				if err := s.absorbWrite(file, g.Off, g.Len, slice(data, off, g.Off, g.Len), join); err != nil {
+					return err
+				}
+				continue
 			}
-			continue
 		}
 		s.stats.SegWritesDisk++
 		s.stats.BytesWriteDisk += g.Len
@@ -307,12 +373,12 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 
 // Read intercepts an application read of file[off, off+size) by rank. buf
 // may be nil in performance mode; otherwise it is filled by completion.
-func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func()) error {
+func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func(error)) error {
 	if err := checkRange(off, size, buf); err != nil {
 		return err
 	}
 	if size == 0 {
-		s.complete(done)
+		s.completeErr(done)
 		return nil
 	}
 	s.stats.Reads++
@@ -325,10 +391,30 @@ func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func
 	join := s.getJoin(len(hits)+len(gaps), done)
 
 	for _, h := range hits {
+		if s.faulty && s.cacheRangeDown(h.CacheOff, h.Len) {
+			// The only up-to-date copy is dirty cache data on a crashed
+			// CServer that will restart: park the segment until then.
+			s.deferRead(file, h.Off, h.Len, slice(buf, off, h.Off, h.Len), join.doneFn)
+			continue
+		}
 		s.stats.SegReadsCache++
 		s.stats.BytesReadCache += h.Len
 		s.space.Touch(h.CacheOff, h.Len)
-		if err := s.cpfs.Read(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, slice(buf, off, h.Off, h.Len), join.doneFn); err != nil {
+		seg := slice(buf, off, h.Off, h.Len)
+		cb := join.doneFn
+		if s.faulty {
+			// A crash mid-read aborts the sub-request; re-resolve through
+			// the post-crash mapping (fault path — allocation fine).
+			h := h
+			cb = func(err error) {
+				if err == nil {
+					join.doneFn(nil)
+					return
+				}
+				s.readFailed(err, file, h.Off, h.Len, seg, join.doneFn)
+			}
+		}
+		if err := s.cpfs.Read(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, seg, cb); err != nil {
 			return err
 		}
 	}
@@ -347,9 +433,11 @@ func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func
 			// Eager caching (ablation): only this path needs a per-segment
 			// closure; the paper's lazy mode passes the pooled countdown.
 			g := g
-			cb = func() {
-				s.eagerFetch(file, g.Off, g.Len, payload)
-				join.doneFn()
+			cb = func(err error) {
+				if err == nil {
+					s.eagerFetch(file, g.Off, g.Len, payload)
+				}
+				join.doneFn(err)
 			}
 		}
 		if err := s.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, payload, cb); err != nil {
@@ -435,10 +523,24 @@ func (s *S4D) absorbWrite(file string, off, length int64, data []byte, join *req
 	}
 	s.chargeMetaIO()
 	// join expects a single completion for this miss segment.
-	sub := sim.NewJoin(len(frags), join.doneFn)
+	sub := sim.NewErrJoin(len(frags), join.doneFn)
 	pos = off
 	for _, fr := range frags {
-		if err := s.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityHigh, slice(data, off, pos, fr.Len), sub.Done); err != nil {
+		seg := slice(data, off, pos, fr.Len)
+		cb := sub.Done
+		if s.faulty {
+			// Aborted absorb: the fragment's mapping is bogus — fail it
+			// over to the DServers (fault path — allocation fine).
+			fr, pos := fr, pos
+			cb = func(err error) {
+				if err == nil {
+					sub.Done(nil)
+					return
+				}
+				s.absorbFailed(file, pos, fr.Len, fr.CacheOff, seg, sub.Done)
+			}
+		}
+		if err := s.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityHigh, seg, cb); err != nil {
 			return err
 		}
 		pos += fr.Len
@@ -509,6 +611,13 @@ func (s *S4D) chargeMetaIO() {
 func (s *S4D) complete(done func()) {
 	if done != nil {
 		s.eng.After(0, done)
+	}
+}
+
+// completeErr reports a zero-work request done in virtual time.
+func (s *S4D) completeErr(done func(error)) {
+	if done != nil {
+		s.eng.After(0, func() { done(nil) })
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"s4dcache/internal/chunkstore"
 	"s4dcache/internal/costmodel"
 	"s4dcache/internal/device"
+	"s4dcache/internal/faults"
 	"s4dcache/internal/kvstore"
 	"s4dcache/internal/netmodel"
 	"s4dcache/internal/pfs"
@@ -27,6 +28,21 @@ type testbed struct {
 
 func newTestbed(t *testing.T, mutate func(*Config)) *testbed {
 	t.Helper()
+	return newFaultyTestbed(t, "", 1, mutate)
+}
+
+// newFaultyTestbed builds the same deployment with a fault plan injected
+// on the CServers (empty plan = healthy testbed).
+func newFaultyTestbed(t *testing.T, plan string, seed int64, mutate func(*Config)) *testbed {
+	t.Helper()
+	var injector *faults.Injector
+	if plan != "" {
+		p, err := faults.Parse(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		injector = faults.NewInjector(p, seed)
+	}
 	eng := sim.NewEngine()
 	opfs, err := pfs.New(pfs.Config{
 		Label:  "OPFS",
@@ -52,6 +68,7 @@ func newTestbed(t *testing.T, mutate func(*Config)) *testbed {
 		},
 		NewStore: func(int) chunkstore.Store { return chunkstore.NewSparse() },
 		Net:      netmodel.Gigabit(),
+		Faults:   injector,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,6 +96,9 @@ func newTestbed(t *testing.T, mutate func(*Config)) *testbed {
 	s4d, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if injector != nil {
+		cpfs.SetStateHook(s4d.OnCServerState)
 	}
 	return &testbed{eng: eng, opfs: opfs, cpfs: cpfs, s4d: s4d}
 }
@@ -151,7 +171,7 @@ func TestRequestValidation(t *testing.T) {
 		t.Fatal("payload mismatch accepted")
 	}
 	done := false
-	if err := tb.s4d.Write(0, "f", 0, 0, nil, func() { done = true }); err != nil {
+	if err := tb.s4d.Write(0, "f", 0, 0, nil, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	tb.eng.Run()

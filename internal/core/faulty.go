@@ -1,0 +1,242 @@
+package core
+
+import (
+	"s4dcache/internal/dmt"
+	"s4dcache/internal/sim"
+)
+
+// This file holds the degraded-mode machinery of the Redirector: what
+// happens when a CServer crashes (paper §III.D requires the mapping state
+// to survive failures; Algorithm 1's routing must then keep the system
+// serving through the DServers).
+//
+// Fail-stop model. A crashed CServer refuses new sub-requests and loses
+// in-flight responses; the bytes on its SSD survive (device contents
+// persist across a node crash). Consequences per extent mapped onto the
+// dead server:
+//
+//   - clean extents: the DServers hold the same bytes — the mapping is
+//     deleted and the space freed, so reads go around the crash.
+//   - dirty extents, server will restart: the only up-to-date copy is on
+//     the crashed SSD and comes back with it — the mapping is kept, reads
+//     of it are deferred until the restart, writes supersede it (failover
+//     to the DServers, mapping deleted).
+//   - dirty extents, server is gone for good: the bytes are lost; the
+//     mapping is deleted and the loss recorded as DirtyLost.
+//
+// While any CServer is down the S4D is "degraded": new critical traffic
+// is not admitted to the cache (it routes to the DServers, counted as
+// Failovers), and the Rebuilder pauses fetches. DegradedTime accumulates
+// over the union of outage intervals.
+
+// deferredRead is one read segment parked until a crashed CServer
+// restarts. Flushing re-looks the range up (the mapping may have changed
+// while parked), so the segment is stored in file space, not cache space.
+type deferredRead struct {
+	file string
+	off  int64
+	lng  int64
+	buf  []byte
+	cb   func(error)
+}
+
+// OnCServerState is the pfs crash/restart hook (pfs.StateFunc for the
+// CPFS). It runs at the crash or restart instant, before any aborted
+// completion is delivered, so the serve paths always observe
+// post-transition mapping state.
+func (s *S4D) OnCServerState(server int, down, restarts bool) {
+	s.faulty = true
+	if down {
+		s.cserverCrashed(server, restarts)
+	} else {
+		s.cserverRestarted(server)
+	}
+}
+
+func (s *S4D) cserverCrashed(server int, restarts bool) {
+	if !s.degraded() {
+		s.degradedSince = s.eng.Now()
+	}
+	s.downC[server] = true
+	s.invalidateServer(server, restarts)
+}
+
+func (s *S4D) cserverRestarted(server int) {
+	delete(s.downC, server)
+	if !s.degraded() {
+		s.stats.DegradedTime += s.eng.Now() - s.degradedSince
+	}
+	s.flushDeferredReads()
+}
+
+// degraded reports whether at least one CServer is down.
+func (s *S4D) degraded() bool { return len(s.downC) > 0 }
+
+// cacheRangeDown reports whether the cache-file range backing a DMT hit
+// touches a crashed CServer. Only called on faulty testbeds.
+func (s *S4D) cacheRangeDown(cacheOff, length int64) bool {
+	return s.cpfs.RangeDown(cacheOff, length)
+}
+
+// invalidateServer walks the DMT and resolves every mapping that touches
+// the crashed server per the fail-stop policy above.
+func (s *S4D) invalidateServer(server int, restarts bool) {
+	resolve := func(extents []dmt.Hit, dirty bool) {
+		for _, h := range extents {
+			if !s.extentOnServer(h.CacheOff, h.Len, server) {
+				continue
+			}
+			if dirty && restarts {
+				// The dirty bytes come back with the server; keep the
+				// mapping and let reads defer / writes fail over.
+				continue
+			}
+			if s.dmt.Delete(h.File, h.Off, h.Len) != nil {
+				continue
+			}
+			s.space.FreeRange(h.CacheOff, h.Len)
+			s.chargeMetaIO()
+			if dirty {
+				s.stats.DirtyLost += h.Len
+			}
+		}
+	}
+	resolve(s.dmt.CleanExtents(0), false)
+	resolve(s.dmt.DirtyExtents(0), true)
+}
+
+// extentOnServer reports whether the cache-file extent touches the given
+// CServer under the CPFS striping.
+func (s *S4D) extentOnServer(cacheOff, length int64, server int) bool {
+	if length <= 0 {
+		return false
+	}
+	l := s.cpfs.Layout()
+	m := int64(l.Servers)
+	first := cacheOff / l.StripeSize
+	last := (cacheOff + length - 1) / l.StripeSize
+	if last-first+1 >= m {
+		return true
+	}
+	for k := first; k <= last; k++ {
+		if int(k%m) == server {
+			return true
+		}
+	}
+	return false
+}
+
+// deferRead parks a read segment until the crashed server holding its
+// (dirty) cache bytes restarts. Only reached for mappings retained by
+// invalidateServer, i.e. dirty extents with a scheduled restart — so every
+// parked read is eventually flushed.
+func (s *S4D) deferRead(file string, off, length int64, buf []byte, cb func(error)) {
+	s.stats.DeferredReads++
+	s.deferred = append(s.deferred, deferredRead{file: file, off: off, lng: length, buf: buf, cb: cb})
+}
+
+// flushDeferredReads re-issues every parked read after a restart. Each is
+// re-looked-up from scratch: the mapping may have been superseded by a
+// write (failover) or still hit the cache — and may even defer again if a
+// different CServer is down.
+func (s *S4D) flushDeferredReads() {
+	if len(s.deferred) == 0 {
+		return
+	}
+	parked := s.deferred
+	s.deferred = nil
+	for _, d := range parked {
+		s.readSegment(d.file, d.off, d.lng, d.buf, d.cb)
+	}
+}
+
+// absorbFailed runs when a cache write aborts — the server crashed while
+// the write was in flight, or a transient error outlived the retry
+// budget. The fresh mapping references bytes that never landed on the
+// SSD, so it must go: drop it, free the space, and re-issue the segment
+// to the DServers with the data still in hand. The client never sees the
+// failure.
+func (s *S4D) absorbFailed(file string, off, length, cacheOff int64, data []byte, cb func(error)) {
+	s.stats.Failovers++
+	if s.dmt.Delete(file, off, length) == nil {
+		s.space.FreeRange(cacheOff, length)
+		s.chargeMetaIO()
+	}
+	s.stats.SegWritesDisk++
+	s.stats.BytesWriteDisk += length
+	if err := s.opfs.Write(file, off, length, sim.PriorityHigh, data, cb); err != nil {
+		cb(err)
+	}
+}
+
+// readFailed reroutes a cache-read segment that completed with an error.
+// The crash hook runs before aborted completions are delivered, so a
+// fresh lookup reflects the post-crash policy: invalidated clean extents
+// read around from the DServers, retained dirty extents defer to the
+// restart. A transient error on a live server falls back to the DServers
+// for clean bytes; for dirty bytes the cache holds the only up-to-date
+// copy, so the original error surfaces.
+func (s *S4D) readFailed(orig error, file string, off, length int64, buf []byte, cb func(error)) {
+	s.stats.Failovers++
+	hits, gaps := s.dmt.Lookup(file, off, length)
+	join := s.getJoin(len(hits)+len(gaps), cb)
+	for _, h := range hits {
+		seg := slice(buf, off, h.Off, h.Len)
+		switch {
+		case s.cacheRangeDown(h.CacheOff, h.Len):
+			s.deferRead(file, h.Off, h.Len, seg, join.doneFn)
+		case h.Dirty:
+			join.doneFn(orig)
+		default:
+			s.stats.SegReadsDisk++
+			s.stats.BytesReadDisk += h.Len
+			if err := s.opfs.Read(file, h.Off, h.Len, sim.PriorityHigh, seg, join.doneFn); err != nil {
+				join.doneFn(err)
+			}
+		}
+	}
+	for _, g := range gaps {
+		s.stats.SegReadsDisk++
+		s.stats.BytesReadDisk += g.Len
+		if err := s.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, slice(buf, off, g.Off, g.Len), join.doneFn); err != nil {
+			join.doneFn(err)
+		}
+	}
+}
+
+// readSegment routes one file-space read segment through the DMT, exactly
+// like the hit/gap fan-out of Read but with a private lookup (it runs from
+// restart events, outside the serve path, so the shared lookup buffers may
+// be in use conceptually; allocation here is fine — it is a fault path).
+func (s *S4D) readSegment(file string, off, length int64, buf []byte, cb func(error)) {
+	hits, gaps := s.dmt.Lookup(file, off, length)
+	join := s.getJoin(len(hits)+len(gaps), cb)
+	for _, h := range hits {
+		if s.cacheRangeDown(h.CacheOff, h.Len) {
+			s.deferRead(file, h.Off, h.Len, slice(buf, off, h.Off, h.Len), join.doneFn)
+			continue
+		}
+		s.stats.SegReadsCache++
+		s.stats.BytesReadCache += h.Len
+		s.space.Touch(h.CacheOff, h.Len)
+		h := h
+		seg := slice(buf, off, h.Off, h.Len)
+		cb := func(err error) {
+			if err == nil {
+				join.doneFn(nil)
+				return
+			}
+			s.readFailed(err, file, h.Off, h.Len, seg, join.doneFn)
+		}
+		if err := s.cpfs.Read(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, seg, cb); err != nil {
+			cb(err)
+		}
+	}
+	for _, g := range gaps {
+		s.stats.SegReadsDisk++
+		s.stats.BytesReadDisk += g.Len
+		if err := s.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, slice(buf, off, g.Off, g.Len), join.doneFn); err != nil {
+			join.doneFn(err)
+		}
+	}
+}

@@ -27,6 +27,11 @@ func (s *S4D) RebuildNow(done func()) {
 
 	flushes := s.dmt.DirtyExtents(s.rebuildBatch)
 	fetches := s.cdt.PendingFetches(s.rebuildBatch)
+	if s.faulty && s.degraded() {
+		// While a CServer is down the Rebuilder does not populate the
+		// cache; pending fetches retry once the outage ends.
+		fetches = nil
+	}
 
 	join := sim.NewJoin(len(flushes)+len(fetches), func() {
 		s.rebuildBusy = false
@@ -79,11 +84,25 @@ func (s *S4D) DrainRebuild(done func()) {
 // again while the flush was in flight (epoch check), in which case the
 // extent stays dirty and is retried next cycle.
 func (s *S4D) flushExtent(file string, off, length, cacheOff int64, join *sim.Join) {
+	if s.faulty && s.cacheRangeDown(cacheOff, length) {
+		// The extent's stripes touch a crashed CServer; it stays dirty and
+		// retries after the restart.
+		s.stats.FlushRetries++
+		join.Done()
+		return
+	}
 	epoch := s.fileEpoch[file]
 	buf := s.flushBuffer(length)
-	if err := s.cpfs.Read(CacheFileName, cacheOff, length, sim.PriorityLow, buf, func() {
-		if err := s.opfs.Write(file, off, length, sim.PriorityLow, buf, func() {
-			if s.fileEpoch[file] == epoch {
+	if err := s.cpfs.Read(CacheFileName, cacheOff, length, sim.PriorityLow, buf, func(rerr error) {
+		if rerr != nil {
+			// Cache read failed (I/O error or a crash during the read); the
+			// extent stays dirty and retries next cycle.
+			s.stats.FlushRetries++
+			join.Done()
+			return
+		}
+		if err := s.opfs.Write(file, off, length, sim.PriorityLow, buf, func(werr error) {
+			if werr == nil && s.fileEpoch[file] == epoch {
 				if err := s.dmt.SetClean(file, off, length); err == nil {
 					s.space.MarkClean(cacheOff, length)
 					s.stats.Flushes++
@@ -175,10 +194,11 @@ func (s *S4D) fetchGap(file string, off, length int64, join *sim.Join) {
 		}
 		join.Done()
 	}
-	if err := s.opfs.Read(file, off, length, sim.PriorityLow, buf, func() {
-		if s.fileEpoch[file] != epoch {
-			// The file was written during the fetch; the disk bytes may be
-			// stale relative to new cache mappings. Drop this fetch.
+	if err := s.opfs.Read(file, off, length, sim.PriorityLow, buf, func(rerr error) {
+		if rerr != nil || s.fileEpoch[file] != epoch {
+			// The read failed, or the file was written during the fetch (so
+			// the disk bytes may be stale relative to new cache mappings).
+			// Drop this fetch; the C_flag retries it next cycle.
 			s.stats.FetchRetries++
 			abort()
 			return
@@ -192,10 +212,10 @@ func (s *S4D) fetchGap(file string, off, length int64, join *sim.Join) {
 		for _, fr := range frags {
 			fr := fr
 			segPos := pos
-			if err := s.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityLow, slice(buf, off, segPos, fr.Len), func() {
+			if err := s.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityLow, slice(buf, off, segPos, fr.Len), func(werr error) {
 				// Map clean and unpin only once the data is in place, and
-				// only if no write raced the population I/O.
-				if s.fileEpoch[file] == epoch {
+				// only if the population write landed and no write raced it.
+				if werr == nil && s.fileEpoch[file] == epoch {
 					if err := s.dmt.Insert(file, segPos, fr.Len, fr.CacheOff, false); err == nil {
 						s.space.MarkClean(fr.CacheOff, fr.Len)
 						s.chargeMetaIO()

@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // Stats counts S4D activity. Segment counters (Seg*) count DMT-split
 // segments, so one application request may contribute several; the
 // request distribution of the paper's Table III is the cache/disk split
@@ -38,10 +40,40 @@ type Stats struct {
 	// EpochsPruned counts file write-epoch counters dropped once a file's
 	// cache residency (DMT mappings and CDT extents) was fully gone.
 	EpochsPruned uint64
+
+	// Fault and degraded-mode counters. All stay zero on fault-free runs.
+	//
+	// Retries counts transient-I/O-error retries across both PFS layers
+	// (pulled from them at snapshot time). Failovers counts write segments
+	// routed to the DServers because their cache home was down (hits on
+	// crashed ranges plus admissions denied while degraded). DeferredReads
+	// counts read segments parked until a crashed CServer restarted.
+	// DirtyLost is the dirty cache bytes whose only copy died with a
+	// CServer that never restarts. DegradedTime is virtual time with at
+	// least one CServer down. WALReplays is the number of DMT op-log
+	// records replayed when the metadata store last opened.
+	Retries       uint64
+	Failovers     uint64
+	DeferredReads uint64
+	DirtyLost     int64
+	DegradedTime  time.Duration
+	WALReplays    uint64
 }
 
-// Stats returns a snapshot of the instance counters.
-func (s *S4D) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the instance counters, folding in the
+// PFS-layer retry counts, the metadata store's replay count, and any
+// still-open degraded interval.
+func (s *S4D) Stats() Stats {
+	st := s.stats
+	st.Retries = s.opfs.Stats().Retries + s.cpfs.Stats().Retries
+	if s.metaStore != nil {
+		st.WALReplays = uint64(s.metaStore.Stats().RecoveredRecords)
+	}
+	if s.degraded() {
+		st.DegradedTime += s.eng.Now() - s.degradedSince
+	}
+	return st
+}
 
 // CacheWriteShare returns the fraction of written bytes absorbed by the
 // CServers — the paper's Table III "CServers %" for writes.

@@ -1,0 +1,323 @@
+// Package faults provides seeded, deterministic fault injection for the
+// simulated I/O stack. A Plan describes what goes wrong — transient device
+// I/O errors, server crash/restart schedules, and the retry policy — and an
+// Injector instantiates the plan for one testbed with per-(fs,server)
+// random streams, so two runs with the same plan and seed inject byte-for-
+// byte identical failures regardless of how many experiment cells run
+// concurrently (each cell owns a private Injector).
+//
+// The plan is expressed as a compact clause string (the `-faults` flag of
+// cmd/s4dbench):
+//
+//	io:<fs>[<server>]:<prob>      transient sub-request error probability
+//	crash:<fs><server>@<at>[+<down>]  crash at <at>; restart after <down>
+//	retry:<n>                     max transient retries per sub-request
+//
+// Clauses are separated by ';'. <fs> is "opfs" or "cpfs" (case-insensitive,
+// matched against the pfs instance label); omitting <server> on an io
+// clause applies the rule to every server of the instance. Durations use
+// Go syntax ("50ms", "1.5s"). A crash without "+<down>" is permanent.
+//
+// Example:
+//
+//	io:cpfs:0.02;crash:cpfs0@50ms+150ms;retry:3
+//
+// injects a 2% transient error probability on every CServer sub-request,
+// crashes CServer 0 at t=50ms of virtual time for 150ms, and retries
+// transient errors up to 3 times with capped exponential backoff.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Default retry policy: capped exponential backoff in virtual time.
+const (
+	// DefaultMaxRetries is the number of re-submissions after the first
+	// failed attempt of a sub-request.
+	DefaultMaxRetries = 3
+	// DefaultRetryBase is the first backoff delay; attempt i waits
+	// base << i, capped at DefaultRetryCap.
+	DefaultRetryBase = 500 * time.Microsecond
+	// DefaultRetryCap bounds a single backoff delay.
+	DefaultRetryCap = 8 * time.Millisecond
+)
+
+// IORule is one transient-error clause: sub-requests of the matched
+// servers fail with probability Prob (decided at service time by the
+// server's seeded stream).
+type IORule struct {
+	// FS matches the pfs instance label, case-insensitively ("OPFS",
+	// "CPFS"). Empty matches every instance.
+	FS string
+	// Server is the server index; -1 matches every server of the instance.
+	Server int
+	// Prob is the per-sub-request failure probability in [0,1].
+	Prob float64
+}
+
+// Crash is one crash/restart clause for a single server.
+type Crash struct {
+	// FS is the pfs instance label the server belongs to.
+	FS string
+	// Server is the server index.
+	Server int
+	// At is the crash instant in virtual time.
+	At time.Duration
+	// Down is how long the server stays down; 0 means it never restarts.
+	Down time.Duration
+}
+
+// Restarts reports whether the crashed server comes back.
+func (c Crash) Restarts() bool { return c.Down > 0 }
+
+// Plan is a parsed fault schedule. The zero value injects nothing.
+type Plan struct {
+	// IO lists the transient-error rules; for a given server the most
+	// specific matching rule (exact server over instance-wide) wins.
+	IO []IORule
+	// Crashes lists the crash/restart schedule.
+	Crashes []Crash
+	// MaxRetries caps transient retries per sub-request; 0 means
+	// DefaultMaxRetries.
+	MaxRetries int
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.IO) == 0 && len(p.Crashes) == 0 }
+
+// String renders the plan in canonical clause form (parseable by Parse).
+func (p Plan) String() string {
+	var parts []string
+	for _, r := range p.IO {
+		fs := strings.ToLower(r.FS)
+		if r.Server >= 0 {
+			parts = append(parts, fmt.Sprintf("io:%s%d:%g", fs, r.Server, r.Prob))
+		} else {
+			parts = append(parts, fmt.Sprintf("io:%s:%g", fs, r.Prob))
+		}
+	}
+	for _, c := range p.Crashes {
+		s := fmt.Sprintf("crash:%s%d@%v", strings.ToLower(c.FS), c.Server, c.At)
+		if c.Restarts() {
+			s += "+" + c.Down.String()
+		}
+		parts = append(parts, s)
+	}
+	if p.MaxRetries > 0 {
+		parts = append(parts, fmt.Sprintf("retry:%d", p.MaxRetries))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse parses a clause string into a Plan. An empty string yields the
+// empty plan.
+func Parse(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: clause %q lacks a kind prefix", clause)
+		}
+		switch strings.ToLower(kind) {
+		case "io":
+			rule, err := parseIO(rest)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.IO = append(p.IO, rule)
+		case "crash":
+			c, err := parseCrash(rest)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Crashes = append(p.Crashes, c)
+		case "retry":
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("faults: bad retry count %q", rest)
+			}
+			p.MaxRetries = n
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown clause kind %q", kind)
+		}
+	}
+	return p, nil
+}
+
+// parseIO parses "<fs>[<server>]:<prob>".
+func parseIO(s string) (IORule, error) {
+	target, probStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return IORule{}, fmt.Errorf("faults: io clause %q needs <fs>[<server>]:<prob>", s)
+	}
+	fs, server, err := parseTarget(target)
+	if err != nil {
+		return IORule{}, err
+	}
+	prob, err := strconv.ParseFloat(strings.TrimSpace(probStr), 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return IORule{}, fmt.Errorf("faults: io probability %q not in [0,1]", probStr)
+	}
+	return IORule{FS: fs, Server: server, Prob: prob}, nil
+}
+
+// parseCrash parses "<fs><server>@<at>[+<down>]".
+func parseCrash(s string) (Crash, error) {
+	target, when, ok := strings.Cut(s, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("faults: crash clause %q needs <fs><server>@<at>", s)
+	}
+	fs, server, err := parseTarget(target)
+	if err != nil {
+		return Crash{}, err
+	}
+	if server < 0 {
+		return Crash{}, fmt.Errorf("faults: crash clause %q needs an explicit server index", s)
+	}
+	atStr, downStr, hasDown := strings.Cut(when, "+")
+	at, err := time.ParseDuration(strings.TrimSpace(atStr))
+	if err != nil || at < 0 {
+		return Crash{}, fmt.Errorf("faults: bad crash time %q", atStr)
+	}
+	c := Crash{FS: fs, Server: server, At: at}
+	if hasDown {
+		down, err := time.ParseDuration(strings.TrimSpace(downStr))
+		if err != nil || down <= 0 {
+			return Crash{}, fmt.Errorf("faults: bad downtime %q", downStr)
+		}
+		c.Down = down
+	}
+	return c, nil
+}
+
+// parseTarget parses "<fs>" or "<fs><index>", e.g. "cpfs" or "cpfs2".
+func parseTarget(s string) (fs string, server int, err error) {
+	s = strings.TrimSpace(s)
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	fs, digits := s[:i], s[i:]
+	if fs == "" {
+		return "", 0, fmt.Errorf("faults: target %q lacks an fs label", s)
+	}
+	if digits == "" {
+		return fs, -1, nil
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil {
+		return "", 0, fmt.Errorf("faults: bad server index in %q", s)
+	}
+	return fs, n, nil
+}
+
+// Injector instantiates a Plan for one testbed. It is bound to a single
+// simulation engine and is not safe for concurrent use — exactly like the
+// engine it feeds. Each experiment cell builds its own Injector.
+type Injector struct {
+	plan Plan
+	seed int64
+}
+
+// NewInjector binds a plan to a seed.
+func NewInjector(plan Plan, seed int64) *Injector {
+	return &Injector{plan: plan, seed: seed}
+}
+
+// Plan returns the bound plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// MaxRetries returns the transient retry budget per sub-request.
+func (in *Injector) MaxRetries() int {
+	if in.plan.MaxRetries > 0 {
+		return in.plan.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// Backoff returns the virtual-time delay before retry attempt i (0-based):
+// capped exponential.
+func Backoff(attempt int) time.Duration {
+	d := DefaultRetryBase << uint(attempt)
+	if d > DefaultRetryCap || d <= 0 {
+		return DefaultRetryCap
+	}
+	return d
+}
+
+// ForServer returns the per-server fault source for server id of the
+// labeled pfs instance, or nil when no io rule applies (crash schedules
+// are delivered separately via CrashesFor). A ServerFaults draws from its
+// own seeded stream, so servers fail independently and deterministically.
+func (in *Injector) ForServer(fsLabel string, id int) *ServerFaults {
+	prob := 0.0
+	specific := false
+	for _, r := range in.plan.IO {
+		if r.FS != "" && !strings.EqualFold(r.FS, fsLabel) {
+			continue
+		}
+		switch {
+		case r.Server == id:
+			prob, specific = r.Prob, true
+		case r.Server < 0 && !specific:
+			prob = r.Prob
+		}
+	}
+	if prob <= 0 {
+		return nil
+	}
+	return &ServerFaults{
+		prob: prob,
+		rng:  rand.New(rand.NewSource(subSeed(in.seed, fsLabel, id))),
+	}
+}
+
+// CrashesFor returns the crash schedule of one server, in time order.
+func (in *Injector) CrashesFor(fsLabel string, id int) []Crash {
+	var out []Crash
+	for _, c := range in.plan.Crashes {
+		if strings.EqualFold(c.FS, fsLabel) && c.Server == id {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// ServerFaults is one server's transient-error stream.
+type ServerFaults struct {
+	prob float64
+	rng  *rand.Rand
+}
+
+// Fails draws the next sub-request verdict. Calls happen in simulation
+// order (the engine is single-threaded), so the stream is deterministic.
+func (sf *ServerFaults) Fails() bool {
+	return sf.rng.Float64() < sf.prob
+}
+
+// subSeed derives a per-(seed, fs, server) stream seed.
+func subSeed(seed int64, fs string, id int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, strings.ToLower(fs), id)
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"io:cpfs:0.02",
+		"io:cpfs1:0.5",
+		"crash:cpfs0@50ms",
+		"crash:cpfs0@50ms+150ms",
+		"io:cpfs:0.02;crash:cpfs0@50ms+150ms;retry:3",
+		"io:opfs:0.01;io:cpfs2:0.2;crash:opfs3@1s;retry:5",
+	}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		got := p.String()
+		p2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("Parse(String(%q)=%q): %v", s, got, err)
+		}
+		if p2.String() != got {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", s, got, p2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"io:cpfs",          // missing prob
+		"io:cpfs:1.5",      // prob out of range
+		"io::0.1",          // no fs label
+		"crash:cpfs@50ms",  // no server index
+		"crash:cpfs0",      // no @time
+		"crash:cpfs0@-5ms", // negative time
+		"crash:cpfs0@5ms+0s", // zero downtime
+		"retry:-1",
+		"retry:x",
+		"boom:cpfs0",
+		"justtext",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestCrashSchedule(t *testing.T) {
+	p, err := Parse("crash:cpfs1@90ms+10ms;crash:cpfs1@20ms+5ms;crash:cpfs0@50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p, 1)
+	cs := in.CrashesFor("CPFS", 1)
+	if len(cs) != 2 || cs[0].At != 20*time.Millisecond || cs[1].At != 90*time.Millisecond {
+		t.Fatalf("CrashesFor(CPFS,1) = %+v, want sorted pair at 20ms,90ms", cs)
+	}
+	if !cs[0].Restarts() || !cs[1].Restarts() {
+		t.Fatal("restarting crashes misreported as permanent")
+	}
+	c0 := in.CrashesFor("CPFS", 0)
+	if len(c0) != 1 || c0[0].Restarts() {
+		t.Fatalf("CrashesFor(CPFS,0) = %+v, want one permanent crash", c0)
+	}
+	if got := in.CrashesFor("OPFS", 0); len(got) != 0 {
+		t.Fatalf("CrashesFor(OPFS,0) = %+v, want none", got)
+	}
+}
+
+func TestServerStreamsDeterministic(t *testing.T) {
+	p, err := Parse("io:cpfs:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func(seed int64, id int) []bool {
+		sf := NewInjector(p, seed).ForServer("CPFS", id)
+		if sf == nil {
+			t.Fatalf("ForServer(CPFS,%d) = nil with io rule present", id)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = sf.Fails()
+		}
+		return out
+	}
+	a, b := draw(42, 0), draw(42, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	// Different servers (and different seeds) should give distinct streams.
+	differs := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !differs(a, draw(42, 1)) {
+		t.Fatal("server streams identical across ids")
+	}
+	if !differs(a, draw(43, 0)) {
+		t.Fatal("streams identical across seeds")
+	}
+}
+
+func TestForServerRuleSelection(t *testing.T) {
+	p, err := Parse("io:cpfs:0.1;io:cpfs2:0;io:opfs1:0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p, 7)
+	if in.ForServer("CPFS", 0) == nil {
+		t.Fatal("instance-wide rule not applied to cpfs0")
+	}
+	// Exact-server rule with prob 0 overrides the instance-wide rule.
+	if in.ForServer("CPFS", 2) != nil {
+		t.Fatal("exact-server zero-prob rule did not override instance rule")
+	}
+	if in.ForServer("OPFS", 0) != nil {
+		t.Fatal("opfs0 has no matching rule but got a fault source")
+	}
+	if in.ForServer("OPFS", 1) == nil {
+		t.Fatal("opfs1 exact rule not applied")
+	}
+}
+
+func TestBackoffCapped(t *testing.T) {
+	if Backoff(0) != DefaultRetryBase {
+		t.Fatalf("Backoff(0) = %v, want %v", Backoff(0), DefaultRetryBase)
+	}
+	if Backoff(1) != 2*DefaultRetryBase {
+		t.Fatalf("Backoff(1) = %v, want %v", Backoff(1), 2*DefaultRetryBase)
+	}
+	for i := 2; i < 70; i++ {
+		d := Backoff(i)
+		if d <= 0 || d > DefaultRetryCap {
+			t.Fatalf("Backoff(%d) = %v, outside (0,%v]", i, d, DefaultRetryCap)
+		}
+	}
+}
+
+func TestMaxRetriesDefault(t *testing.T) {
+	if got := NewInjector(Plan{}, 0).MaxRetries(); got != DefaultMaxRetries {
+		t.Fatalf("MaxRetries = %d, want default %d", got, DefaultMaxRetries)
+	}
+	if got := NewInjector(Plan{MaxRetries: 7}, 0).MaxRetries(); got != 7 {
+		t.Fatalf("MaxRetries = %d, want 7", got)
+	}
+}

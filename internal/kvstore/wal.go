@@ -78,11 +78,21 @@ func decodeRecord(data []byte) (op byte, key string, val []byte, n int, ok bool)
 	return op, key, val, pos, true
 }
 
+// maxBatchDepth bounds opBatch nesting during replay. The writer only ever
+// frames put/del records inside a batch (depth 1), so anything deeper is a
+// corrupt or adversarial log; the cap keeps replay from recursing down an
+// unbounded chain of nested batch frames.
+const maxBatchDepth = 8
+
 // replay applies every intact record in data to apply, stopping silently at
 // the first torn or corrupt record. Batch records are unpacked and their
 // sub-records applied (the batch CRC already guaranteed integrity). It
 // returns the number of applied leaf records.
 func replay(data []byte, apply func(op byte, key string, val []byte)) int {
+	return replayDepth(data, apply, 0)
+}
+
+func replayDepth(data []byte, apply func(op byte, key string, val []byte), depth int) int {
 	count := 0
 	for len(data) > 0 {
 		op, key, val, n, ok := decodeRecord(data)
@@ -90,7 +100,12 @@ func replay(data []byte, apply func(op byte, key string, val []byte)) int {
 			break
 		}
 		if op == opBatch {
-			count += replay(val, apply)
+			if depth >= maxBatchDepth {
+				// Deeper nesting than the writer can produce: treat it like a
+				// corrupt record and stop replaying this frame.
+				break
+			}
+			count += replayDepth(val, apply, depth+1)
 		} else {
 			apply(op, key, val)
 			count++

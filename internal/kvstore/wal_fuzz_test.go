@@ -1,0 +1,134 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzRec is one decoded leaf record, for comparing replayed sequences.
+type fuzzRec struct {
+	op  byte
+	key string
+	val string
+}
+
+// fuzzBaseLog builds a known-good WAL covering every record kind — puts,
+// an overwrite, a delete, and an atomic batch — and returns the encoded
+// log with the leaf records replay must produce from it.
+func fuzzBaseLog() ([]byte, []fuzzRec) {
+	var log []byte
+	log = appendRecord(log, opPut, "alpha", []byte("1"))
+	log = appendRecord(log, opPut, "beta", []byte("22"))
+	log = appendRecord(log, opPut, "alpha", []byte("333"))
+	log = appendRecord(log, opDel, "beta", nil)
+	var batch []byte
+	batch = appendRecord(batch, opPut, "gamma", []byte("4444"))
+	batch = appendRecord(batch, opDel, "alpha", nil)
+	log = appendRecord(log, opBatch, "", batch)
+	recs := []fuzzRec{
+		{opPut, "alpha", "1"},
+		{opPut, "beta", "22"},
+		{opPut, "alpha", "333"},
+		{opDel, "beta", ""},
+		{opPut, "gamma", "4444"},
+		{opDel, "alpha", ""},
+	}
+	return log, recs
+}
+
+// FuzzReplay checks the WAL parser's crash-safety contract on arbitrary
+// input: replay never panics and reports exactly the records it applied;
+// an arbitrary suffix after a valid log never disturbs the valid records;
+// and corrupting a single byte of a valid log yields a strict prefix of
+// the original record sequence — a mangled record must never apply.
+func FuzzReplay(f *testing.F) {
+	base, _ := fuzzBaseLog()
+	f.Add([]byte{}, uint16(0), byte(0))
+	f.Add([]byte{opPut, 0xff, 0xff, 0xff, 0xff}, uint16(3), byte(1))
+	f.Add(base[:len(base)/2], uint16(7), byte(0x80))
+	f.Add(append([]byte(nil), base...), uint16(uint16(len(base)-1)), byte(0x40))
+	f.Fuzz(func(t *testing.T, suffix []byte, pos uint16, xor byte) {
+		base, want := fuzzBaseLog()
+		collect := func(dst *[]fuzzRec) func(op byte, key string, val []byte) {
+			return func(op byte, key string, val []byte) {
+				*dst = append(*dst, fuzzRec{op, key, string(val)})
+			}
+		}
+
+		// Arbitrary bytes: clean termination, count matches applied records.
+		var raw []fuzzRec
+		if n := replay(suffix, collect(&raw)); n != len(raw) {
+			t.Fatalf("replay reported %d records, applied %d", n, len(raw))
+		}
+
+		// Valid log + arbitrary suffix: the valid records replay first,
+		// verbatim; a torn suffix adds nothing, a valid one only appends.
+		var got []fuzzRec
+		replay(append(append([]byte(nil), base...), suffix...), collect(&got))
+		if len(got) < len(want) {
+			t.Fatalf("suffix %x dropped valid records: got %d, want >= %d", suffix, len(got), len(want))
+		}
+		for i, w := range want {
+			if got[i] != w {
+				t.Fatalf("suffix %x corrupted record %d: got %+v, want %+v", suffix, i, got[i], w)
+			}
+		}
+
+		// One corrupted byte: replay stops before the damaged record, so the
+		// applied sequence is a strict prefix of the original. A record with
+		// a flipped byte must never apply.
+		if xor == 0 {
+			return
+		}
+		corrupt := append([]byte(nil), base...)
+		corrupt[int(pos)%len(corrupt)] ^= xor
+		if bytes.Equal(corrupt, base) {
+			t.Fatal("corruption was a no-op")
+		}
+		var after []fuzzRec
+		replay(corrupt, collect(&after))
+		if len(after) >= len(want) {
+			t.Fatalf("corrupt byte at %d (xor %#x) still applied all %d records", int(pos)%len(base), xor, len(after))
+		}
+		for i, r := range after {
+			if r != want[i] {
+				t.Fatalf("corrupt byte at %d (xor %#x) applied mangled record %d: got %+v, want %+v",
+					int(pos)%len(base), xor, i, r, want[i])
+			}
+		}
+	})
+}
+
+// TestReplayBatchDepthCap proves a log of nested batch frames — which the
+// writer never produces — cannot recurse past maxBatchDepth: replay stops
+// cleanly instead of walking an unbounded nesting chain.
+func TestReplayBatchDepthCap(t *testing.T) {
+	leaf := encodeRecord(opPut, "k", []byte("v"))
+
+	nest := func(depth int) []byte {
+		frame := leaf
+		for i := 0; i < depth; i++ {
+			frame = encodeRecord(opBatch, "", frame)
+		}
+		return frame
+	}
+
+	applied := 0
+	count := func(byte, string, []byte) { applied++ }
+
+	// Within the cap the leaf applies.
+	applied = 0
+	if n := replay(nest(maxBatchDepth), count); n != 1 || applied != 1 {
+		t.Fatalf("depth %d: replayed %d (applied %d), want 1", maxBatchDepth, n, applied)
+	}
+	// One past the cap, the innermost frame is abandoned.
+	applied = 0
+	if n := replay(nest(maxBatchDepth+1), count); n != 0 || applied != 0 {
+		t.Fatalf("depth %d: replayed %d (applied %d), want 0", maxBatchDepth+1, n, applied)
+	}
+	// Extreme nesting terminates without exhausting the stack.
+	applied = 0
+	if n := replay(nest(10_000), count); n != 0 || applied != 0 {
+		t.Fatalf("depth 10000: replayed %d (applied %d), want 0", n, applied)
+	}
+}

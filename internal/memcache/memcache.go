@@ -96,13 +96,14 @@ func (c *Cache) Pages() int { return c.lru.Len() }
 
 // Read implements mpiio.Transport: a read whose pages are all resident is
 // served from memory; otherwise it goes below and its fully-covered pages
-// are inserted on completion.
-func (c *Cache) Read(rank int, file string, off, size int64, buf []byte, done func()) error {
+// are inserted on completion. Failed below-reads insert nothing — the
+// buffer contents are undefined and must not become cache pages.
+func (c *Cache) Read(rank int, file string, off, size int64, buf []byte, done func(error)) error {
 	if off < 0 || size < 0 {
 		return fmt.Errorf("memcache: invalid range off=%d size=%d", off, size)
 	}
 	if size == 0 {
-		c.eng.After(0, done)
+		c.complete(done)
 		return nil
 	}
 	first := off / c.pageSize
@@ -113,22 +114,35 @@ func (c *Cache) Read(rank int, file string, off, size int64, buf []byte, done fu
 			c.fill(file, off, buf)
 		}
 		c.touchRange(file, first, last)
-		c.eng.After(c.hitLatency, done)
+		c.eng.After(c.hitLatency, func() {
+			if done != nil {
+				done(nil)
+			}
+		})
 		return nil
 	}
 	c.Misses++
-	return c.below.Read(rank, file, off, size, buf, func() {
-		c.insertCovered(file, off, size, buf)
+	return c.below.Read(rank, file, off, size, buf, func(err error) {
+		if err == nil {
+			c.insertCovered(file, off, size, buf)
+		}
 		if done != nil {
-			done()
+			done(err)
 		}
 	})
+}
+
+// complete reports a zero-work operation done in virtual time.
+func (c *Cache) complete(done func(error)) {
+	if done != nil {
+		c.eng.After(0, func() { done(nil) })
+	}
 }
 
 // Write implements mpiio.Transport: write-through. Resident pages are
 // updated (payload mode) or invalidated (metadata-only mode); the write
 // always proceeds below.
-func (c *Cache) Write(rank int, file string, off, size int64, data []byte, done func()) error {
+func (c *Cache) Write(rank int, file string, off, size int64, data []byte, done func(error)) error {
 	if off < 0 || size < 0 {
 		return fmt.Errorf("memcache: invalid range off=%d size=%d", off, size)
 	}

@@ -43,9 +43,9 @@ func newCached(t *testing.T, capacity, page int64) (*Cache, *pfs.FS, *sim.Engine
 	return c, fs, eng
 }
 
-func runOp(eng *sim.Engine, op func(done func()) error) error {
+func runOp(eng *sim.Engine, op func(done func(error)) error) error {
 	finished := false
-	if err := op(func() { finished = true }); err != nil {
+	if err := op(func(error) { finished = true }); err != nil {
 		return err
 	}
 	eng.RunWhile(func() bool { return !finished })
@@ -68,14 +68,14 @@ func TestConfigValidation(t *testing.T) {
 func TestReadMissThenHit(t *testing.T) {
 	c, _, eng := newCached(t, 1<<20, 4<<10)
 	data := bytes.Repeat([]byte{7}, 8<<10)
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Write(0, "f", 0, 8<<10, data, done)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// First read: miss (write-through does not write-allocate).
 	buf := make([]byte, 8<<10)
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Read(0, "f", 0, 8<<10, buf, done)
 	}); err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestReadMissThenHit(t *testing.T) {
 	// Second read: fully resident → hit, fast, correct.
 	start := eng.Now()
 	buf2 := make([]byte, 8<<10)
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Read(0, "f", 0, 8<<10, buf2, done)
 	}); err != nil {
 		t.Fatal(err)
@@ -108,27 +108,27 @@ func TestReadMissThenHit(t *testing.T) {
 func TestWriteThroughUpdatesResidentPages(t *testing.T) {
 	c, fs, eng := newCached(t, 1<<20, 4<<10)
 	initial := bytes.Repeat([]byte{1}, 8<<10)
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Write(0, "f", 0, 8<<10, initial, done)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// Populate the cache via a read.
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Read(0, "f", 0, 8<<10, make([]byte, 8<<10), done)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// Overwrite the middle through the cache.
 	patch := bytes.Repeat([]byte{9}, 2<<10)
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Write(0, "f", 3<<10, 2<<10, patch, done)
 	}); err != nil {
 		t.Fatal(err)
 	}
 	// A cache-hit read must see the new bytes.
 	buf := make([]byte, 8<<10)
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Read(0, "f", 0, 8<<10, buf, done)
 	}); err != nil {
 		t.Fatal(err)
@@ -154,7 +154,7 @@ func TestWriteThroughUpdatesResidentPages(t *testing.T) {
 
 func TestNilPayloadWriteInvalidates(t *testing.T) {
 	c, _, eng := newCached(t, 1<<20, 4<<10)
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Read(0, "f", 0, 8<<10, make([]byte, 8<<10), done)
 	}); err != nil {
 		t.Fatal(err)
@@ -163,7 +163,7 @@ func TestNilPayloadWriteInvalidates(t *testing.T) {
 		t.Fatal("setup: nothing cached")
 	}
 	// A metadata-only write overlapping the pages must invalidate them.
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Write(0, "f", 0, 4<<10, nil, done)
 	}); err != nil {
 		t.Fatal(err)
@@ -177,7 +177,7 @@ func TestPartialPagesNotCached(t *testing.T) {
 	c, _, eng := newCached(t, 1<<20, 4<<10)
 	// Read [1KB, 9KB): covers page 0 partially, page 1 fully, page 2
 	// partially → only page 1 is inserted.
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Read(0, "f", 1<<10, 8<<10, make([]byte, 8<<10), done)
 	}); err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestPartialPagesNotCached(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	c, _, eng := newCached(t, 16<<10, 4<<10) // 4 pages
 	for i := int64(0); i < 8; i++ {
-		if err := runOp(eng, func(done func()) error {
+		if err := runOp(eng, func(done func(error)) error {
 			return c.Read(0, "f", i*4<<10, 4<<10, nil, done)
 		}); err != nil {
 			t.Fatal(err)
@@ -204,7 +204,7 @@ func TestLRUEviction(t *testing.T) {
 	}
 	// The oldest page (0) is gone: re-reading it is a miss.
 	before := c.Misses
-	if err := runOp(eng, func(done func()) error {
+	if err := runOp(eng, func(done func(error)) error {
 		return c.Read(0, "f", 0, 4<<10, nil, done)
 	}); err != nil {
 		t.Fatal(err)
@@ -217,7 +217,7 @@ func TestLRUEviction(t *testing.T) {
 func TestZeroSizeAndValidation(t *testing.T) {
 	c, _, eng := newCached(t, 1<<20, 4<<10)
 	done := false
-	if err := c.Read(0, "f", 0, 0, nil, func() { done = true }); err != nil {
+	if err := c.Read(0, "f", 0, 0, nil, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -246,7 +246,7 @@ func TestCacheCoherenceProperty(t *testing.T) {
 			if rng.Intn(2) == 0 {
 				data := make([]byte, size)
 				rng.Read(data)
-				if runOp(eng, func(done func()) error {
+				if runOp(eng, func(done func(error)) error {
 					return c.Write(0, "f", off, size, data, done)
 				}) != nil {
 					return false
@@ -254,7 +254,7 @@ func TestCacheCoherenceProperty(t *testing.T) {
 				copy(ref[off:off+size], data)
 			} else {
 				buf := make([]byte, size)
-				if runOp(eng, func(done func()) error {
+				if runOp(eng, func(done func(error)) error {
 					return c.Read(0, "f", off, size, buf, done)
 				}) != nil {
 					return false

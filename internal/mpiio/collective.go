@@ -25,17 +25,17 @@ type CollectiveConfig struct {
 // data it gathers. done runs when every aggregator finishes.
 //
 // perRank[r] holds rank r's spans; ranks with no data pass nil.
-func (f *File) CollectiveWrite(perRank [][]Span, cfg CollectiveConfig, done func()) error {
+func (f *File) CollectiveWrite(perRank [][]Span, cfg CollectiveConfig, done func(error)) error {
 	return f.collective(perRank, cfg, done, true)
 }
 
 // CollectiveRead is the read-side two-phase operation: aggregators read
 // contiguous runs, then scatter to ranks (exchange cost charged).
-func (f *File) CollectiveRead(perRank [][]Span, cfg CollectiveConfig, done func()) error {
+func (f *File) CollectiveRead(perRank [][]Span, cfg CollectiveConfig, done func(error)) error {
 	return f.collective(perRank, cfg, done, false)
 }
 
-func (f *File) collective(perRank [][]Span, cfg CollectiveConfig, done func(), isWrite bool) error {
+func (f *File) collective(perRank [][]Span, cfg CollectiveConfig, done func(error), isWrite bool) error {
 	if !f.open {
 		return fmt.Errorf("mpiio: file %q is closed", f.name)
 	}
@@ -48,7 +48,7 @@ func (f *File) collective(perRank [][]Span, cfg CollectiveConfig, done func(), i
 	}
 	runs := mergeSpans(all)
 	if len(runs) == 0 {
-		f.comm.eng.After(0, done)
+		f.completeEmpty(done)
 		return nil
 	}
 	aggs := cfg.Aggregators
@@ -71,7 +71,7 @@ func (f *File) collective(perRank [][]Span, cfg CollectiveConfig, done func(), i
 		domains[d] = append(domains[d], run)
 	}
 
-	join := sim.NewJoin(len(runs), done)
+	join := sim.NewErrJoin(len(runs), done)
 	for d, domain := range domains {
 		aggregator := d // aggregator rank index
 		// Exchange phase: the aggregator gathers (write) or scatters
@@ -97,7 +97,7 @@ func (f *File) collective(perRank [][]Span, cfg CollectiveConfig, done func(), i
 				if err != nil {
 					// Transport validation failed; count the run done so
 					// the collective still terminates.
-					join.Done()
+					join.Done(err)
 				}
 			}
 		})

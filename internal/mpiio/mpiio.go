@@ -23,10 +23,11 @@ import (
 // does StockTransport.
 type Transport interface {
 	// Read fetches file[off, off+size) for rank. buf may be nil
-	// (performance mode). done runs in virtual time at completion.
-	Read(rank int, file string, off, size int64, buf []byte, done func()) error
+	// (performance mode). done runs in virtual time at completion,
+	// receiving the first I/O error (nil on success).
+	Read(rank int, file string, off, size int64, buf []byte, done func(error)) error
 	// Write stores file[off, off+size) for rank; data may be nil.
-	Write(rank int, file string, off, size int64, data []byte, done func()) error
+	Write(rank int, file string, off, size int64, data []byte, done func(error)) error
 }
 
 // StockTransport is the paper's baseline: all requests go to the original
@@ -39,12 +40,12 @@ type StockTransport struct {
 var _ Transport = StockTransport{}
 
 // Read implements Transport.
-func (t StockTransport) Read(_ int, file string, off, size int64, buf []byte, done func()) error {
+func (t StockTransport) Read(_ int, file string, off, size int64, buf []byte, done func(error)) error {
 	return t.FS.Read(file, off, size, sim.PriorityHigh, buf, done)
 }
 
 // Write implements Transport.
-func (t StockTransport) Write(_ int, file string, off, size int64, data []byte, done func()) error {
+func (t StockTransport) Write(_ int, file string, off, size int64, data []byte, done func(error)) error {
 	return t.FS.Write(file, off, size, sim.PriorityHigh, data, done)
 }
 
@@ -107,8 +108,13 @@ func (f *File) Name() string { return f.name }
 // Comm returns the communicator the file was opened on.
 func (f *File) Comm() *Comm { return f.comm }
 
-// Close marks the handle closed; further I/O fails.
-func (f *File) Close() { f.open = false }
+// Close marks the handle closed; further I/O fails. Closing an already
+// closed file is a no-op (idempotent, like MPI_File_close on a freed
+// handle is not — this API is deliberately safer).
+func (f *File) Close() error {
+	f.open = false
+	return nil
+}
 
 // Seek sets rank's individual file pointer (MPI_File_seek).
 func (f *File) Seek(rank int, off int64) error {
@@ -126,7 +132,7 @@ func (f *File) Seek(rank int, off int64) error {
 func (f *File) Tell(rank int) int64 { return f.offset[rank] }
 
 // ReadAt reads at an explicit offset (MPI_File_read_at).
-func (f *File) ReadAt(rank int, off, size int64, buf []byte, done func()) error {
+func (f *File) ReadAt(rank int, off, size int64, buf []byte, done func(error)) error {
 	if err := f.check(rank); err != nil {
 		return err
 	}
@@ -134,7 +140,7 @@ func (f *File) ReadAt(rank int, off, size int64, buf []byte, done func()) error 
 }
 
 // WriteAt writes at an explicit offset (MPI_File_write_at).
-func (f *File) WriteAt(rank int, off, size int64, data []byte, done func()) error {
+func (f *File) WriteAt(rank int, off, size int64, data []byte, done func(error)) error {
 	if err := f.check(rank); err != nil {
 		return err
 	}
@@ -143,7 +149,7 @@ func (f *File) WriteAt(rank int, off, size int64, data []byte, done func()) erro
 
 // Read reads size bytes at rank's file pointer and advances it
 // (MPI_File_read).
-func (f *File) Read(rank int, size int64, buf []byte, done func()) error {
+func (f *File) Read(rank int, size int64, buf []byte, done func(error)) error {
 	off := f.offset[rank]
 	if err := f.ReadAt(rank, off, size, buf, done); err != nil {
 		return err
@@ -154,7 +160,7 @@ func (f *File) Read(rank int, size int64, buf []byte, done func()) error {
 
 // Write writes size bytes at rank's file pointer and advances it
 // (MPI_File_write).
-func (f *File) Write(rank int, size int64, data []byte, done func()) error {
+func (f *File) Write(rank int, size int64, data []byte, done func(error)) error {
 	off := f.offset[rank]
 	if err := f.WriteAt(rank, off, size, data, done); err != nil {
 		return err

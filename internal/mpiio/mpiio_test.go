@@ -156,7 +156,7 @@ func TestStridedListIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := false
-	if err := f.WriteStrided(0, 4, ListIO, func() { done = true }); err != nil {
+	if err := f.WriteStrided(0, 4, ListIO, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -183,7 +183,7 @@ func TestStridedDataSievingRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := false
-	if err := f.ReadStrided(0, 4, DataSieving, func() { done = true }); err != nil {
+	if err := f.ReadStrided(0, 4, DataSieving, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -227,7 +227,7 @@ func TestStridedZeroBlocksCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := false
-	if err := f.ReadStrided(0, 2, ListIO, func() { done = true }); err != nil {
+	if err := f.ReadStrided(0, 2, ListIO, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -266,7 +266,7 @@ func TestCollectiveWriteAggregates(t *testing.T) {
 		}
 	}
 	done := false
-	if err := f.CollectiveWrite(perRank, CollectiveConfig{Aggregators: 2}, func() { done = true }); err != nil {
+	if err := f.CollectiveWrite(perRank, CollectiveConfig{Aggregators: 2}, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -303,7 +303,7 @@ func TestCollectiveEmptyCompletes(t *testing.T) {
 	comm, _, eng := newStockComm(t, 2)
 	f := comm.Open("data")
 	done := false
-	if err := f.CollectiveWrite([][]Span{nil, nil}, CollectiveConfig{}, func() { done = true }); err != nil {
+	if err := f.CollectiveWrite([][]Span{nil, nil}, CollectiveConfig{}, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -331,7 +331,7 @@ func TestCollectiveShuffleCostDelaysIO(t *testing.T) {
 		var end time.Duration
 		if err := f.CollectiveWrite([][]Span{{{0, 1 << 20}}, {{1 << 20, 1 << 20}}},
 			CollectiveConfig{Aggregators: 1, Shuffle: shuffle},
-			func() { end = eng.Now() }); err != nil {
+			func(error) { end = eng.Now() }); err != nil {
 			t.Fatal(err)
 		}
 		eng.Run()

@@ -13,10 +13,15 @@ import (
 //	comm.Engine().RunWhile(func() bool { return !req.Done() })
 type Request struct {
 	done bool
+	err  error
 }
 
 // Done reports whether the operation has completed (MPI_Test).
 func (r *Request) Done() bool { return r.done }
+
+// Err returns the I/O error of a completed operation (nil while in flight
+// or on success).
+func (r *Request) Err() error { return r.err }
 
 // AllDone reports whether every request has completed (MPI_Testall).
 func AllDone(reqs ...*Request) bool {
@@ -32,7 +37,7 @@ func AllDone(reqs ...*Request) bool {
 // (MPI_File_iread_at).
 func (f *File) IReadAt(rank int, off, size int64, buf []byte) (*Request, error) {
 	req := &Request{}
-	if err := f.ReadAt(rank, off, size, buf, func() { req.done = true }); err != nil {
+	if err := f.ReadAt(rank, off, size, buf, func(err error) { req.done, req.err = true, err }); err != nil {
 		return nil, err
 	}
 	return req, nil
@@ -42,7 +47,7 @@ func (f *File) IReadAt(rank int, off, size int64, buf []byte) (*Request, error) 
 // (MPI_File_iwrite_at).
 func (f *File) IWriteAt(rank int, off, size int64, data []byte) (*Request, error) {
 	req := &Request{}
-	if err := f.WriteAt(rank, off, size, data, func() { req.done = true }); err != nil {
+	if err := f.WriteAt(rank, off, size, data, func(err error) { req.done, req.err = true, err }); err != nil {
 		return nil, err
 	}
 	return req, nil
@@ -54,7 +59,7 @@ func (f *File) SharedOffset() int64 { return f.shared }
 // WriteShared appends size bytes at the shared file pointer and advances
 // it atomically (MPI_File_write_shared): concurrent callers receive
 // disjoint regions in issue order.
-func (f *File) WriteShared(rank int, size int64, data []byte, done func()) error {
+func (f *File) WriteShared(rank int, size int64, data []byte, done func(error)) error {
 	if err := f.check(rank); err != nil {
 		return err
 	}
@@ -68,7 +73,7 @@ func (f *File) WriteShared(rank int, size int64, data []byte, done func()) error
 
 // ReadShared reads size bytes at the shared file pointer and advances it
 // (MPI_File_read_shared).
-func (f *File) ReadShared(rank int, size int64, buf []byte, done func()) error {
+func (f *File) ReadShared(rank int, size int64, buf []byte, done func(error)) error {
 	if err := f.check(rank); err != nil {
 		return err
 	}
@@ -83,17 +88,18 @@ func (f *File) ReadShared(rank int, size int64, buf []byte, done func()) error {
 // WriteSpans issues an indexed-datatype write: an explicit span list, as
 // List I/O (one request per span, reference [19]) or merged into minimal
 // contiguous runs first (the datatype-flattening optimization of Datatype
-// I/O, reference [7]). done runs when every span completes.
-func (f *File) WriteSpans(rank int, spans []Span, merge bool, done func()) error {
+// I/O, reference [7]). done runs when every span completes, with the
+// first span error.
+func (f *File) WriteSpans(rank int, spans []Span, merge bool, done func(error)) error {
 	return f.spansOp(rank, spans, merge, done, true)
 }
 
 // ReadSpans is the read-side indexed-datatype operation.
-func (f *File) ReadSpans(rank int, spans []Span, merge bool, done func()) error {
+func (f *File) ReadSpans(rank int, spans []Span, merge bool, done func(error)) error {
 	return f.spansOp(rank, spans, merge, done, false)
 }
 
-func (f *File) spansOp(rank int, spans []Span, merge bool, done func(), isWrite bool) error {
+func (f *File) spansOp(rank int, spans []Span, merge bool, done func(error), isWrite bool) error {
 	if err := f.check(rank); err != nil {
 		return err
 	}
@@ -107,10 +113,12 @@ func (f *File) spansOp(rank int, spans []Span, merge bool, done func(), isWrite 
 		work = mergeSpans(spans)
 	}
 	if len(work) == 0 {
-		f.comm.eng.After(0, done)
+		if done != nil {
+			f.comm.eng.After(0, func() { done(nil) })
+		}
 		return nil
 	}
-	join := sim.NewJoin(len(work), done)
+	join := sim.NewErrJoin(len(work), done)
 	for _, sp := range work {
 		var err error
 		if isWrite {

@@ -98,7 +98,7 @@ func TestSpansListIO(t *testing.T) {
 	f := comm.Open("data")
 	spans := []Span{{0, 100}, {500, 100}, {100, 100}}
 	done := false
-	if err := f.WriteSpans(0, spans, false, func() { done = true }); err != nil {
+	if err := f.WriteSpans(0, spans, false, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -134,7 +134,7 @@ func TestSpansValidationAndEmpty(t *testing.T) {
 		t.Fatal("negative span length accepted")
 	}
 	done := false
-	if err := f.WriteSpans(0, nil, true, func() { done = true }); err != nil {
+	if err := f.WriteSpans(0, nil, true, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()

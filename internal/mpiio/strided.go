@@ -77,14 +77,15 @@ const (
 )
 
 // ReadStrided reads n blocks of rank's view from its current view
-// position, using the given method. done runs when all data has arrived.
-func (f *File) ReadStrided(rank int, n int64, method StridedMethod, done func()) error {
+// position, using the given method. done runs when all data has arrived,
+// with the first I/O error.
+func (f *File) ReadStrided(rank int, n int64, method StridedMethod, done func(error)) error {
 	spans, err := f.takeViewSpans(rank, n)
 	if err != nil {
 		return err
 	}
 	if len(spans) == 0 {
-		f.comm.eng.After(0, done)
+		f.completeEmpty(done)
 		return nil
 	}
 	switch method {
@@ -94,7 +95,7 @@ func (f *File) ReadStrided(rank int, n int64, method StridedMethod, done func())
 		hi := spans[len(spans)-1].Off + spans[len(spans)-1].Len
 		return f.comm.transport.Read(rank, f.name, lo, hi-lo, nil, done)
 	default:
-		join := sim.NewJoin(len(spans), done)
+		join := sim.NewErrJoin(len(spans), done)
 		for _, sp := range spans {
 			if err := f.comm.transport.Read(rank, f.name, sp.Off, sp.Len, nil, join.Done); err != nil {
 				return err
@@ -108,31 +109,47 @@ func (f *File) ReadStrided(rank int, n int64, method StridedMethod, done func())
 // position. With DataSieving, the span is read, modified and written back
 // (the paper's reference [6] semantics); the read-modify-write is modeled
 // as a read followed by a full-span write.
-func (f *File) WriteStrided(rank int, n int64, method StridedMethod, done func()) error {
+func (f *File) WriteStrided(rank int, n int64, method StridedMethod, done func(error)) error {
 	spans, err := f.takeViewSpans(rank, n)
 	if err != nil {
 		return err
 	}
 	if len(spans) == 0 {
-		f.comm.eng.After(0, done)
+		f.completeEmpty(done)
 		return nil
 	}
 	switch method {
 	case DataSieving:
 		lo := spans[0].Off
 		hi := spans[len(spans)-1].Off + spans[len(spans)-1].Len
-		// Read-modify-write: fetch the span, then write it back whole.
-		return f.comm.transport.Read(rank, f.name, lo, hi-lo, nil, func() {
-			_ = f.comm.transport.Write(rank, f.name, lo, hi-lo, nil, done)
+		// Read-modify-write: fetch the span, then write it back whole. A
+		// failed fetch still writes back (the modification is issued), but
+		// the first error is the one reported.
+		return f.comm.transport.Read(rank, f.name, lo, hi-lo, nil, func(rerr error) {
+			_ = f.comm.transport.Write(rank, f.name, lo, hi-lo, nil, func(werr error) {
+				if rerr == nil {
+					rerr = werr
+				}
+				if done != nil {
+					done(rerr)
+				}
+			})
 		})
 	default:
-		join := sim.NewJoin(len(spans), done)
+		join := sim.NewErrJoin(len(spans), done)
 		for _, sp := range spans {
 			if err := f.comm.transport.Write(rank, f.name, sp.Off, sp.Len, nil, join.Done); err != nil {
 				return err
 			}
 		}
 		return nil
+	}
+}
+
+// completeEmpty reports a zero-work operation complete in virtual time.
+func (f *File) completeEmpty(done func(error)) {
+	if done != nil {
+		f.comm.eng.After(0, func() { done(nil) })
 	}
 }
 

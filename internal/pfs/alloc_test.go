@@ -73,7 +73,7 @@ func TestReadPerfModeZeroAllocs(t *testing.T) {
 func TestWriteWithDoneSteadyStateZeroAllocs(t *testing.T) {
 	eng, fs := newPerfFS(t)
 	finished := false
-	done := func() { finished = true }
+	done := func(error) { finished = true }
 	issue := func() {
 		finished = false
 		if err := fs.Write("f", 256<<10, 256<<10, sim.PriorityHigh, nil, done); err != nil {

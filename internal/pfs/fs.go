@@ -6,6 +6,7 @@ import (
 
 	"s4dcache/internal/chunkstore"
 	"s4dcache/internal/device"
+	"s4dcache/internal/faults"
 	"s4dcache/internal/netmodel"
 	"s4dcache/internal/sim"
 )
@@ -31,8 +32,13 @@ type TraceEvent struct {
 	Start, End time.Duration
 }
 
-// TraceFunc receives sub-request completions.
+// TraceFunc receives sub-request completions. Failed sub-requests are not
+// traced: the trace records served I/O.
 type TraceFunc func(TraceEvent)
+
+// StateFunc observes server crash/restart transitions. restarts reports
+// whether the crash has a scheduled restart (meaningful when down is true).
+type StateFunc func(server int, down, restarts bool)
 
 // Config assembles a file system instance.
 type Config struct {
@@ -51,6 +57,9 @@ type Config struct {
 	Net netmodel.Params
 	// Trace, if non-nil, observes every sub-request completion.
 	Trace TraceFunc
+	// Faults, if non-nil, injects this instance's share of the fault plan:
+	// per-server transient-error streams and crash/restart schedules.
+	Faults *faults.Injector
 }
 
 // FS is the client view of one parallel file system instance.
@@ -61,6 +70,8 @@ type FS struct {
 	servers []*Server
 	files   map[string]int64
 	trace   TraceFunc
+	onState StateFunc
+	faulty  bool
 
 	// subsBuf is the reusable fan-out buffer of issue(). Serve calls never
 	// nest (sub-request completions run from engine events, never from
@@ -89,20 +100,21 @@ type request struct {
 	pri      sim.Priority
 	reqOff   int64
 	payload  []byte
-	done     func()
+	err      error
+	done     func(error)
 	pieces   []Piece // reused stripe-fragment scratch (functional mode)
 	join     sim.Join
 	finishFn func() // bound to finish once, at first allocation
 }
 
 // finish runs when the slowest sub-request completes: recycle the context,
-// then notify the caller.
+// then notify the caller with the first sub-request error (nil on success).
 func (r *request) finish() {
-	fs, done := r.fs, r.done
-	r.done, r.payload, r.file = nil, nil, ""
+	fs, done, err := r.fs, r.done, r.err
+	r.done, r.payload, r.file, r.err = nil, nil, "", nil
 	fs.reqPool = append(fs.reqPool, r)
 	if done != nil {
-		done()
+		done(err)
 	}
 }
 
@@ -113,23 +125,30 @@ type subCall struct {
 	req        *request
 	sub        SubRequest
 	server     []byte
-	completeFn func(start, end time.Duration) // bound to complete once
+	completeFn func(start, end time.Duration, err error) // bound to complete once
 }
 
 // complete is the sub-request completion: scatter read payloads, emit the
-// trace event, recycle, and count down the request join.
-func (sc *subCall) complete(start, end time.Duration) {
+// trace event, recycle, and count down the request join. Errors are
+// recorded on the request (first error wins); failed reads scatter nothing.
+func (sc *subCall) complete(start, end time.Duration, err error) {
 	req := sc.req
 	fs := req.fs
-	if req.op == device.OpRead && req.payload != nil {
-		scatterPayload(req.payload, sc.sub, req.pieces, sc.server[:sc.sub.Size], req.reqOff)
-	}
-	if fs.trace != nil {
-		fs.trace(TraceEvent{
-			FS: fs.label, Server: sc.sub.Server, Op: req.op, File: req.file,
-			LocalOff: sc.sub.LocalOff, Size: sc.sub.Size, Priority: req.pri,
-			Start: start, End: end,
-		})
+	if err != nil {
+		if req.err == nil {
+			req.err = err
+		}
+	} else {
+		if req.op == device.OpRead && req.payload != nil {
+			scatterPayload(req.payload, sc.sub, req.pieces, sc.server[:sc.sub.Size], req.reqOff)
+		}
+		if fs.trace != nil {
+			fs.trace(TraceEvent{
+				FS: fs.label, Server: sc.sub.Server, Op: req.op, File: req.file,
+				LocalOff: sc.sub.LocalOff, Size: sc.sub.Size, Priority: req.pri,
+				Start: start, End: end,
+			})
+		}
 	}
 	join := &req.join
 	sc.req = nil
@@ -185,7 +204,82 @@ func New(cfg Config) (*FS, error) {
 	for i := range fs.servers {
 		fs.servers[i] = NewServer(i, cfg.Engine, cfg.NewDevice(i), newStore(i), cfg.Net)
 	}
+	if cfg.Faults != nil {
+		fs.faulty = true
+		for i, s := range fs.servers {
+			s.faults = cfg.Faults.ForServer(cfg.Label, i)
+			s.maxRetries = cfg.Faults.MaxRetries()
+			fs.scheduleCrashes(i, cfg.Faults.CrashesFor(cfg.Label, i))
+		}
+	}
 	return fs, nil
+}
+
+// scheduleCrashes installs one server's crash/restart schedule on the
+// engine. The down-event runs at the crash instant — before any aborted
+// completion arrives — so state observers see post-crash state first.
+func (fs *FS) scheduleCrashes(server int, crashes []faults.Crash) {
+	for _, c := range crashes {
+		c := c
+		fs.eng.At(c.At, func() {
+			fs.setServerDown(server, true, c.Restarts())
+			if c.Restarts() {
+				fs.eng.After(c.Down, func() {
+					fs.setServerDown(server, false, false)
+				})
+			}
+		})
+	}
+}
+
+// setServerDown flips one server's crash state and notifies the observer.
+func (fs *FS) setServerDown(server int, down, restarts bool) {
+	fs.servers[server].setDown(down)
+	if fs.onState != nil {
+		fs.onState(server, down, restarts)
+	}
+}
+
+// SetStateHook installs the crash/restart observer (core's degraded-mode
+// entry point). Install before driving the engine; crash events consult it
+// at fire time.
+func (fs *FS) SetStateHook(fn StateFunc) { fs.onState = fn }
+
+// Faulty reports whether a fault plan is installed on this instance.
+func (fs *FS) Faulty() bool { return fs.faulty }
+
+// ServerIsDown reports whether server id is currently crashed.
+func (fs *FS) ServerIsDown(id int) bool { return fs.servers[id].Down() }
+
+// AnyServerDown reports whether at least one server is crashed.
+func (fs *FS) AnyServerDown() bool {
+	for _, s := range fs.servers {
+		if s.Down() {
+			return true
+		}
+	}
+	return false
+}
+
+// RangeDown reports whether any server involved in serving file range
+// [off, off+size) is currently crashed.
+func (fs *FS) RangeDown(off, size int64) bool {
+	if size <= 0 {
+		return false
+	}
+	m := int64(fs.layout.Servers)
+	str := fs.layout.StripeSize
+	first := off / str
+	last := (off + size - 1) / str
+	if last-first+1 >= m {
+		return fs.AnyServerDown()
+	}
+	for k := first; k <= last; k++ {
+		if fs.servers[k%m].Down() {
+			return true
+		}
+	}
+	return false
 }
 
 // Label returns the instance label.
@@ -208,8 +302,9 @@ func (fs *FS) Files() int { return len(fs.files) }
 
 // Write schedules a parallel write of [off, off+size) of file. data may be
 // nil (performance mode); if non-nil it must hold exactly size bytes. done
-// (optional) runs in virtual time when the slowest sub-request completes.
-func (fs *FS) Write(file string, off, size int64, pri sim.Priority, data []byte, done func()) error {
+// (optional) runs in virtual time when the slowest sub-request completes,
+// receiving the first sub-request error (nil on success).
+func (fs *FS) Write(file string, off, size int64, pri sim.Priority, data []byte, done func(error)) error {
 	if err := fs.checkRange(off, size, data); err != nil {
 		return err
 	}
@@ -226,7 +321,7 @@ func (fs *FS) Write(file string, off, size int64, pri sim.Priority, data []byte,
 // (performance mode); if non-nil it must hold exactly size bytes and is
 // filled by completion time. Reading past EOF yields zeros, like a sparse
 // file.
-func (fs *FS) Read(file string, off, size int64, pri sim.Priority, buf []byte, done func()) error {
+func (fs *FS) Read(file string, off, size int64, pri sim.Priority, buf []byte, done func(error)) error {
 	if err := fs.checkRange(off, size, buf); err != nil {
 		return err
 	}
@@ -249,13 +344,13 @@ func (fs *FS) checkRange(off, size int64, payload []byte) error {
 	return nil
 }
 
-func (fs *FS) issue(op device.Op, file string, off, size int64, pri sim.Priority, payload []byte, done func()) {
+func (fs *FS) issue(op device.Op, file string, off, size int64, pri sim.Priority, payload []byte, done func(error)) {
 	fs.subsBuf = fs.layout.AppendSplit(fs.subsBuf[:0], off, size)
 	subs := fs.subsBuf
 	if len(subs) == 0 {
 		// Zero-size request: complete immediately in virtual time.
 		if done != nil {
-			fs.eng.After(0, done)
+			fs.eng.After(0, func() { done(nil) })
 		}
 		return
 	}
@@ -268,7 +363,7 @@ func (fs *FS) issue(op device.Op, file string, off, size int64, pri sim.Priority
 	}
 	req := fs.getRequest()
 	req.op, req.file, req.pri, req.reqOff = op, file, pri, off
-	req.payload, req.done = payload, done
+	req.payload, req.done, req.err = payload, done, nil
 	if payload != nil {
 		req.pieces = fs.layout.AppendPieces(req.pieces[:0], off, size)
 	}
@@ -329,6 +424,14 @@ type Stats struct {
 	BytesRead    int64
 	BytesWritten int64
 	Files        int
+	// Retries counts transient-error re-submissions across all servers.
+	Retries uint64
+	// IOErrors counts sub-requests failed after the retry budget.
+	IOErrors uint64
+	// Aborts counts sub-requests refused or lost to a crashed server.
+	Aborts uint64
+	// Downtime is the summed per-server crashed time.
+	Downtime time.Duration
 }
 
 // Stats returns a snapshot of the instance's counters.
@@ -341,7 +444,11 @@ func (fs *FS) Stats() Stats {
 		Files:        len(fs.files),
 	}
 	for _, s := range fs.servers {
-		st.SubRequests += s.SubRequests()
+		st.SubRequests += s.subRequests
+		st.Retries += s.retries
+		st.IOErrors += s.ioErrors
+		st.Aborts += s.aborts
+		st.Downtime += s.Downtime()
 	}
 	return st
 }

@@ -100,7 +100,7 @@ func mustWrite(t *testing.T, fs *FS, file string, off, size int64) {
 func TestFSZeroSizeCompletes(t *testing.T) {
 	fs, eng := newTestFS(t, 4, 100)
 	done := false
-	if err := fs.Write("f", 0, 0, sim.PriorityHigh, nil, func() { done = true }); err != nil {
+	if err := fs.Write("f", 0, 0, sim.PriorityHigh, nil, func(error) { done = true }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -155,7 +155,7 @@ func TestFSParallelismSpeedsUpLargeRequests(t *testing.T) {
 		}
 		var end time.Duration
 		// 64MB sequential write.
-		if err := fs.Write("f", 0, 64<<20, sim.PriorityHigh, nil, func() { end = eng.Now() }); err != nil {
+		if err := fs.Write("f", 0, 64<<20, sim.PriorityHigh, nil, func(error) { end = eng.Now() }); err != nil {
 			t.Fatal(err)
 		}
 		eng.Run()
@@ -237,10 +237,10 @@ func TestFSLowPriorityYieldsToHigh(t *testing.T) {
 	var order []string
 	// Saturate the single server, then enqueue low before high.
 	mustWrite(t, fs, "f", 0, 1<<20)
-	if err := fs.Write("bg", 0, 1<<20, sim.PriorityLow, nil, func() { order = append(order, "low") }); err != nil {
+	if err := fs.Write("bg", 0, 1<<20, sim.PriorityLow, nil, func(error) { order = append(order, "low") }); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Write("fg", 0, 1<<20, sim.PriorityHigh, nil, func() { order = append(order, "high") }); err != nil {
+	if err := fs.Write("fg", 0, 1<<20, sim.PriorityHigh, nil, func(error) { order = append(order, "high") }); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -309,7 +309,7 @@ func TestFSRandomVsSequentialGap(t *testing.T) {
 				finish = eng.Now()
 				return
 			}
-			if err := fs.Write("f", offsets[i], reqSize, sim.PriorityHigh, nil, func() { issue(i + 1) }); err != nil {
+			if err := fs.Write("f", offsets[i], reqSize, sim.PriorityHigh, nil, func(error) { issue(i + 1) }); err != nil {
 				t.Fatal(err)
 			}
 		}

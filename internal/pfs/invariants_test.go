@@ -57,7 +57,7 @@ func TestServerServiceIntervalsNeverOverlap(t *testing.T) {
 				if c%3 == 0 {
 					pri = sim.PriorityLow
 				}
-				if err := fs.Write("f", off, size, pri, nil, func() { issue(i + 1) }); err != nil {
+				if err := fs.Write("f", off, size, pri, nil, func(error) { issue(i + 1) }); err != nil {
 					return
 				}
 			}
@@ -159,7 +159,7 @@ func TestDegradedServerSlowsButStaysCorrect(t *testing.T) {
 			data[i] = byte(i * 17)
 		}
 		var end time.Duration
-		if err := fs.Write("f", 0, 1<<20, sim.PriorityHigh, data, func() { end = eng.Now() }); err != nil {
+		if err := fs.Write("f", 0, 1<<20, sim.PriorityHigh, data, func(error) { end = eng.Now() }); err != nil {
 			t.Fatal(err)
 		}
 		eng.Run()

@@ -1,10 +1,12 @@
 package pfs
 
 import (
+	"errors"
 	"time"
 
 	"s4dcache/internal/chunkstore"
 	"s4dcache/internal/device"
+	"s4dcache/internal/faults"
 	"s4dcache/internal/netmodel"
 	"s4dcache/internal/sim"
 )
@@ -15,6 +17,15 @@ import (
 // behaviour of an extent-based local file system.
 const slabSize = int64(256 << 20)
 
+// ErrServerDown reports a sub-request sent to (or caught in flight on) a
+// crashed file server. It is fail-stop: no retry happens at the pfs level;
+// the upper layers fail over or defer (core's degraded mode).
+var ErrServerDown = errors.New("pfs: server down")
+
+// ErrIO reports a transient device I/O error that survived the retry
+// budget.
+var ErrIO = errors.New("pfs: i/o error")
+
 // Server is one simulated file server: a storage device, a payload store,
 // a FCFS service queue with two priority levels, and a network link.
 type Server struct {
@@ -24,6 +35,13 @@ type Server struct {
 	store chunkstore.Store
 	net   netmodel.Params
 	res   *sim.Resource
+
+	// Fault injection (nil / zero on healthy testbeds).
+	faults     *faults.ServerFaults
+	maxRetries int
+	down       bool
+	downAt     time.Duration
+	downTotal  time.Duration
 
 	// Local file allocation: file → ordered slab base addresses.
 	slabs     map[string][]int64
@@ -38,6 +56,9 @@ type Server struct {
 	bytesRead    int64
 	bytesWritten int64
 	subRequests  uint64
+	retries      uint64
+	ioErrors     uint64
+	aborts       uint64
 }
 
 // servCall is the pooled context of one sub-request in service: the
@@ -50,18 +71,33 @@ type servCall struct {
 	file       string
 	localOff   int64
 	size       int64
+	pri        sim.Priority
 	payload    []byte
-	done       func(start, end time.Duration)
+	done       func(start, end time.Duration, err error)
 	start      time.Duration
+	err        error
+	attempt    int
 	serviceFn  func() time.Duration
 	completeFn func()
+	retryFn    func()
 }
 
 // service computes the grant-time service duration: network transfer plus
-// per-slab device access with the head state of the actual schedule.
+// per-slab device access with the head state of the actual schedule. A
+// down server refuses immediately (connection refused: zero service time);
+// an injected transient error still consumes the full service time — the
+// device did the work and failed at the end.
 func (c *servCall) service() time.Duration {
 	s := c.s
 	c.start = s.eng.Now()
+	c.err = nil
+	if s.down {
+		c.err = ErrServerDown
+		return 0
+	}
+	if s.faults != nil && s.faults.Fails() {
+		c.err = ErrIO
+	}
 	t := s.net.TransferTime(c.size)
 	// A sub-request may span slab boundaries; charge the device per
 	// contiguous slab extent.
@@ -82,27 +118,52 @@ func (c *servCall) service() time.Duration {
 }
 
 // complete runs at service completion: account, move payload, recycle the
-// context, then notify.
+// context, then notify. Transient errors re-enqueue the sub-request after
+// a capped exponential backoff until the retry budget runs out; a crash
+// that happened while the sub-request was in service aborts it.
 func (c *servCall) complete() {
 	s := c.s
-	s.subRequests++
-	if c.op == device.OpRead {
-		s.bytesRead += c.size
-		if c.payload != nil {
-			s.readPayload(c.file, c.localOff, c.payload)
-		}
-	} else {
-		s.bytesWritten += c.size
-		if c.payload != nil {
-			s.writePayload(c.file, c.localOff, c.payload)
-		}
+	if c.err == nil && s.down {
+		// The server crashed between grant and completion: the response is
+		// lost (fail-stop).
+		c.err = ErrServerDown
 	}
-	done, start := c.done, c.start
-	c.done, c.payload, c.file = nil, nil, ""
+	if c.err == ErrIO && c.attempt < s.maxRetries {
+		c.attempt++
+		s.retries++
+		s.eng.After(faults.Backoff(c.attempt-1), c.retryFn)
+		return
+	}
+	s.subRequests++
+	if c.err == nil {
+		if c.op == device.OpRead {
+			s.bytesRead += c.size
+			if c.payload != nil {
+				s.readPayload(c.file, c.localOff, c.payload)
+			}
+		} else {
+			s.bytesWritten += c.size
+			if c.payload != nil {
+				s.writePayload(c.file, c.localOff, c.payload)
+			}
+		}
+	} else if c.err == ErrServerDown {
+		s.aborts++
+	} else {
+		s.ioErrors++
+	}
+	done, start, err := c.done, c.start, c.err
+	c.done, c.payload, c.file, c.err, c.attempt = nil, nil, "", nil, 0
 	s.callPool = append(s.callPool, c)
 	if done != nil {
-		done(start, s.eng.Now())
+		done(start, s.eng.Now(), err)
 	}
+}
+
+// retry re-enqueues the sub-request on the service queue (bound once per
+// pooled context, like serviceFn/completeFn).
+func (c *servCall) retry() {
+	c.s.res.Use(c.pri, c.serviceFn, c.completeFn)
 }
 
 func (s *Server) getCall() *servCall {
@@ -114,6 +175,7 @@ func (s *Server) getCall() *servCall {
 	c := &servCall{s: s}
 	c.serviceFn = c.service
 	c.completeFn = c.complete
+	c.retryFn = c.retry
 	return c
 }
 
@@ -148,6 +210,37 @@ func (s *Server) BytesWritten() int64 { return s.bytesWritten }
 // SubRequests returns the number of sub-requests served.
 func (s *Server) SubRequests() uint64 { return s.subRequests }
 
+// Retries returns the number of transient-error re-submissions.
+func (s *Server) Retries() uint64 { return s.retries }
+
+// Down reports whether the server is currently crashed.
+func (s *Server) Down() bool { return s.down }
+
+// Downtime returns the accumulated crashed time, including the current
+// outage if one is in progress.
+func (s *Server) Downtime() time.Duration {
+	d := s.downTotal
+	if s.down {
+		d += s.eng.Now() - s.downAt
+	}
+	return d
+}
+
+// setDown flips the crash state and accounts downtime. Data on the device
+// persists across restarts (SSD/HDD contents survive a node crash), so the
+// payload store is untouched.
+func (s *Server) setDown(down bool) {
+	if s.down == down {
+		return
+	}
+	s.down = down
+	if down {
+		s.downAt = s.eng.Now()
+	} else {
+		s.downTotal += s.eng.Now() - s.downAt
+	}
+}
+
 // deviceAddr maps a server-local file offset to a device byte address,
 // allocating slabs on demand.
 func (s *Server) deviceAddr(file string, localOff int64) int64 {
@@ -166,9 +259,9 @@ func (s *Server) deviceAddr(file string, localOff int64) int64 {
 // at grant time (device head state reflects the actual schedule) and
 // includes the network transfer of the payload. done runs at completion in
 // virtual time; payload movement also happens at completion.
-func (s *Server) serve(op device.Op, file string, localOff, size int64, pri sim.Priority, payload []byte, done func(start, end time.Duration)) {
+func (s *Server) serve(op device.Op, file string, localOff, size int64, pri sim.Priority, payload []byte, done func(start, end time.Duration, err error)) {
 	c := s.getCall()
-	c.op, c.file, c.localOff, c.size = op, file, localOff, size
+	c.op, c.file, c.localOff, c.size, c.pri = op, file, localOff, size, pri
 	c.payload, c.done = payload, done
 	s.res.Use(pri, c.serviceFn, c.completeFn)
 }

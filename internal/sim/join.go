@@ -56,3 +56,63 @@ func (j *Join) fire() {
 		fn()
 	}
 }
+
+// ErrJoin is an error-aggregating countdown latch: fn runs once after n
+// calls to Done, receiving the first non-nil error reported. It joins
+// sub-operations whose completions carry an error (the fault-aware serve
+// paths); the max-of-servers timing semantics are those of Join.
+type ErrJoin struct {
+	n   int
+	err error
+	fn  func(error)
+}
+
+// NewErrJoin returns a latch that fires fn after n calls to Done. If
+// n <= 0, fn runs immediately with a nil error.
+func NewErrJoin(n int, fn func(error)) *ErrJoin {
+	j := &ErrJoin{}
+	j.Reset(n, fn)
+	return j
+}
+
+// Reset re-arms the latch with a new count and callback, clearing any
+// recorded error. If n <= 0, fn runs immediately.
+func (j *ErrJoin) Reset(n int, fn func(error)) {
+	j.n = n
+	j.fn = fn
+	j.err = nil
+	if n <= 0 {
+		j.fire()
+	}
+}
+
+// Done counts one completion; the first non-nil err is retained and
+// delivered to the callback. Calls beyond the initial count are ignored.
+func (j *ErrJoin) Done(err error) {
+	if j.n <= 0 {
+		return
+	}
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	j.n--
+	if j.n == 0 {
+		j.fire()
+	}
+}
+
+// Remaining returns how many Done calls are still outstanding.
+func (j *ErrJoin) Remaining() int {
+	if j.n < 0 {
+		return 0
+	}
+	return j.n
+}
+
+func (j *ErrJoin) fire() {
+	if j.fn != nil {
+		fn, err := j.fn, j.err
+		j.fn = nil
+		fn(err)
+	}
+}

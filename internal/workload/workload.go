@@ -21,6 +21,9 @@ type Result struct {
 	Bytes int64
 	// Requests is the number of application requests issued.
 	Requests int
+	// Errors counts requests that completed with an I/O error (only
+	// possible on fault-injecting testbeds).
+	Errors int
 	// Start and End bound the phase in virtual time.
 	Start, End time.Duration
 }
@@ -42,6 +45,7 @@ func (r Result) Merge(o Result) Result {
 	out := r
 	out.Bytes += o.Bytes
 	out.Requests += o.Requests
+	out.Errors += o.Errors
 	if o.Start < out.Start {
 		out.Start = o.Start
 	}
@@ -90,7 +94,12 @@ func Run(f *mpiio.File, perRank [][]mpiio.Span, write bool, done func(Result)) e
 			sp := spans[i]
 			res.Bytes += sp.Len
 			res.Requests++
-			next := func() { issue(i + 1) }
+			next := func(err error) {
+				if err != nil {
+					res.Errors++
+				}
+				issue(i + 1)
+			}
 			var err error
 			if write {
 				err = f.WriteAt(rank, sp.Off, sp.Len, nil, next)
