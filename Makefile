@@ -25,13 +25,14 @@ bench:
 # Regenerate the committed machine-readable perf report (micro ns/op +
 # allocs/op plus quick-suite wall-clock). Numbers are machine-dependent;
 # regenerate when the serve path changes.
-BENCH_JSON ?= BENCH_pr2.json
+BENCH_JSON ?= BENCH_pr4.json
 bench-json:
 	$(GO) run ./cmd/s4dbench -bench-json $(BENCH_JSON)
 
 # Just the allocation-regression tests: pins the performance-mode serve
-# and identify paths at 0 allocs/op.
+# and identify paths, and the metadata store's durable commit path, at
+# 0 allocs/op.
 alloc-check:
-	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ -v
+	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ ./internal/kvstore/ -v
 
 check: vet build race bench

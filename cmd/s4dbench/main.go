@@ -42,10 +42,10 @@ func main() {
 
 func run() int {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale    = flag.Float64("scale", 0, "file-size scale factor (0 = quick default)")
-		ranks    = flag.Int("ranks", 0, "base process count (0 = scale default)")
-		parallel = flag.Int("parallel", 0, "experiment cells simulated concurrently (0 = GOMAXPROCS)")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale     = flag.Float64("scale", 0, "file-size scale factor (0 = quick default)")
+		ranks     = flag.Int("ranks", 0, "base process count (0 = scale default)")
+		parallel  = flag.Int("parallel", 0, "experiment cells simulated concurrently (0 = GOMAXPROCS)")
 		full      = flag.Bool("full", false, "use the paper's published sizes (slow)")
 		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
 		faultPlan = flag.String("faults", "", "fault-injection plan for the 'faults' experiment (see internal/faults)")

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"s4dcache/internal/cluster"
 	"s4dcache/internal/device"
+	"s4dcache/internal/dmt"
 	"s4dcache/internal/extent"
 	"s4dcache/internal/kvstore"
 	"s4dcache/internal/netmodel"
@@ -38,13 +40,13 @@ type SuiteResult struct {
 // PerfReport is the schema of BENCH_*.json: machine-readable performance
 // numbers for cross-PR regression tracking.
 type PerfReport struct {
-	Schema    string        `json:"schema"`
-	GoVersion string        `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Scale     float64       `json:"scale"`
-	Ranks     int           `json:"ranks"`
-	Micro     []MicroResult `json:"micro"`
-	Suite     SuiteResult   `json:"suite"`
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      float64       `json:"scale"`
+	Ranks      int           `json:"ranks"`
+	Micro      []MicroResult `json:"micro"`
+	Suite      SuiteResult   `json:"suite"`
 }
 
 type microBench struct {
@@ -54,13 +56,21 @@ type microBench struct {
 
 // microBenchmarks lists the hot-path measurements: one per subsystem the
 // serve path crosses (event engine, extent index, WAL store, PFS fan-out,
-// full S4D interception).
+// full S4D interception), plus the meta/* family for the concurrent
+// metadata engine (group-commit latency and committer scaling; the
+// committers-N rows divided into committers-1 give the aggregate
+// throughput multiple the group commit buys).
 func microBenchmarks() []microBench {
 	return []microBench{
 		{"sim/schedule-step", benchSimScheduleStep},
 		{"sim/zero-delay", benchSimZeroDelay},
 		{"extent/append-overlaps", benchExtentAppendOverlaps},
 		{"kvstore/commit", benchKVCommit},
+		{"meta/group-commit-latency", benchMetaGroupCommitLatency},
+		{"meta/committers-1", benchMetaCommitters(1)},
+		{"meta/committers-4", benchMetaCommitters(4)},
+		{"meta/committers-16", benchMetaCommitters(16)},
+		{"meta/striped-dmt-committers-4", benchMetaStripedDMT(4)},
 		{"pfs/write-perf", benchPFSWrite},
 		{"pfs/read-perf", benchPFSRead},
 		{"core/write-perf", benchCoreWrite},
@@ -146,19 +156,129 @@ func benchExtentAppendOverlaps(b *testing.B) {
 	}
 }
 
+// benchCommitKeys returns n distinct keys shaped like DMT op-log keys,
+// precomputed so the benchmarks measure the store, not fmt.Sprintf.
+func benchCommitKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dmtop|%020d", i)
+	}
+	return keys
+}
+
 func benchKVCommit(b *testing.B) {
 	s, err := kvstore.Open(kvstore.NewMemBackend(), "bench", kvstore.Options{Sync: kvstore.SyncEvery})
 	if err != nil {
 		b.Fatal(err)
 	}
+	keys := benchCommitKeys(1 << 14)
+	val := make([]byte, 38)
+	for _, k := range keys {
+		if err := s.Put(k, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(keys[i&(len(keys)-1)], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// metaSyncDelay is the simulated per-append device-sync latency of the
+// meta/* benchmarks: without a sync cost, group commit has nothing to
+// amortize and every store looks identical.
+const metaSyncDelay = 20 * time.Microsecond
+
+func benchMetaGroupCommitLatency(b *testing.B) {
+	s, err := kvstore.Open(kvstore.NewDelayBackend(kvstore.NewMemBackend(), metaSyncDelay),
+		"bench", kvstore.Options{Sync: kvstore.SyncEvery})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchCommitKeys(1 << 10)
 	val := make([]byte, 38)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		key := fmt.Sprintf("dmtop|%020d", i)
-		if err := s.Put(key, val); err != nil {
+		if err := s.Put(keys[i&(len(keys)-1)], val); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchMetaCommitters measures aggregate durable-commit throughput with n
+// concurrent committers sharing one group committer. ns/op is wall time
+// over total commits.
+func benchMetaCommitters(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s, err := kvstore.Open(kvstore.NewDelayBackend(kvstore.NewMemBackend(), metaSyncDelay),
+			"bench", kvstore.Options{Sync: kvstore.SyncEvery})
+		if err != nil {
+			b.Fatal(err)
+		}
+		val := make([]byte, 38)
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < n; g++ {
+			share := b.N / n
+			if g < b.N%n {
+				share++
+			}
+			key := fmt.Sprintf("committer-%02d", g)
+			wg.Add(1)
+			go func(key string, share int) {
+				defer wg.Done()
+				for i := 0; i < share; i++ {
+					if err := s.Put(key, val); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(key, share)
+		}
+		wg.Wait()
+	}
+}
+
+// benchMetaStripedDMT measures the full concurrent metadata stack: n
+// goroutines inserting mappings of disjoint files into a striped DMT whose
+// persistence feeds the store's group committer over a sync-charging
+// backend.
+func benchMetaStripedDMT(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		st, err := kvstore.Open(kvstore.NewDelayBackend(kvstore.NewMemBackend(), metaSyncDelay),
+			"dmt", kvstore.Options{Sync: kvstore.SyncEvery})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl, err := dmt.OpenStriped(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < n; g++ {
+			share := b.N / n
+			if g < b.N%n {
+				share++
+			}
+			file := fmt.Sprintf("/bench/w%02d", g)
+			wg.Add(1)
+			go func(file string, share int) {
+				defer wg.Done()
+				for i := 0; i < share; i++ {
+					off := int64(i%1024) << 12
+					if err := tbl.Insert(file, off, 4096, off, true); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(file, share)
+		}
+		wg.Wait()
 	}
 }
 

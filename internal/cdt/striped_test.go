@@ -1,0 +1,159 @@
+package cdt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStripedMatchesTable drives an identical unbounded mutation script
+// through a plain Table and a Striped table and requires identical
+// critical coverage: striping must be invisible to per-file semantics.
+func TestStripedMatchesTable(t *testing.T) {
+	const files = 20
+	plain := New(0)
+	striped := NewStriped(0)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 600; i++ {
+		file := fmt.Sprintf("/cdt/f%02d", rng.Intn(files))
+		off := int64(rng.Intn(1 << 14))
+		n := int64(1 + rng.Intn(1<<10))
+		switch rng.Intn(5) {
+		case 0:
+			plain.Remove(file, off, n)
+			striped.Remove(file, off, n)
+		case 1:
+			plain.SetCFlag(file, off, n)
+			striped.SetCFlag(file, off, n)
+		case 2:
+			plain.ClearCFlag(file, off, n)
+			striped.ClearCFlag(file, off, n)
+		default:
+			benefit := time.Duration(rng.Intn(1000)) * time.Microsecond
+			plain.Add(file, off, n, benefit)
+			striped.Add(file, off, n, benefit)
+		}
+	}
+	if plain.Entries() != striped.Entries() {
+		t.Fatalf("entries: plain %d, striped %d", plain.Entries(), striped.Entries())
+	}
+	if plain.Bytes() != striped.Bytes() {
+		t.Fatalf("bytes: plain %d, striped %d", plain.Bytes(), striped.Bytes())
+	}
+	for i := 0; i < files; i++ {
+		file := fmt.Sprintf("/cdt/f%02d", i)
+		for off := int64(0); off < 1<<14; off += 512 {
+			if p, s := plain.Contains(file, off, 512), striped.Contains(file, off, 512); p != s {
+				t.Fatalf("%s [%d,+512): plain contains=%v, striped=%v", file, off, p, s)
+			}
+		}
+		if p, s := plain.FileTracked(file), striped.FileTracked(file); p != s {
+			t.Fatalf("%s: plain tracked=%v, striped=%v", file, p, s)
+		}
+	}
+	// Pending fetch sets must agree as sets (order differs by stripe).
+	key := func(f Fetch) string { return fmt.Sprintf("%s|%d|%d", f.File, f.Off, f.Len) }
+	want := map[string]bool{}
+	for _, f := range plain.PendingFetches(0) {
+		want[key(f)] = true
+	}
+	got := striped.PendingFetches(0)
+	if len(got) != len(want) {
+		t.Fatalf("pending fetches: plain %d, striped %d", len(want), len(got))
+	}
+	for _, f := range got {
+		if !want[key(f)] {
+			t.Fatalf("striped pending fetch %+v absent from plain table", f)
+		}
+	}
+}
+
+// TestStripedBound proves the divided byte bound holds in aggregate: a
+// bounded striped table under sustained inserts never tracks more than
+// maxBytes plus the per-stripe rounding slack, and eviction fires.
+func TestStripedBound(t *testing.T) {
+	const maxBytes = 1 << 16
+	striped := NewStriped(maxBytes)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		file := fmt.Sprintf("/bound/f%03d", rng.Intn(64))
+		striped.Add(file, int64(rng.Intn(1<<14)), int64(1+rng.Intn(1<<10)), 0)
+		if b := striped.Bytes(); b > maxBytes+numStripes {
+			t.Fatalf("tracked %d bytes, bound %d (+%d rounding slack)", b, maxBytes, numStripes)
+		}
+	}
+	if striped.Evicted() == 0 {
+		t.Fatal("bound never forced an eviction")
+	}
+}
+
+// TestStripedConcurrent hammers the striped table from concurrent
+// goroutines on disjoint file sets and compares per-file state against
+// sequential oracles. Under -race this is the data-race gate for the
+// striped CDT.
+func TestStripedConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 400
+	)
+	striped := NewStriped(0)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + g)))
+			for i := 0; i < ops; i++ {
+				file := fmt.Sprintf("/w%d/f%d", g, rng.Intn(4))
+				off := int64(rng.Intn(1 << 13))
+				n := int64(1 + rng.Intn(1<<9))
+				switch rng.Intn(5) {
+				case 0:
+					striped.Remove(file, off, n)
+				case 1:
+					striped.SetCFlag(file, off, n)
+				case 2:
+					striped.ClearCFlag(file, off, n)
+				default:
+					striped.Add(file, off, n, time.Duration(i)*time.Microsecond)
+				}
+				striped.Contains(file, off, n)
+				if i%64 == 0 {
+					striped.PendingFetches(8)
+					striped.Bytes()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 0; g < workers; g++ {
+		oracle := New(0)
+		rng := rand.New(rand.NewSource(int64(500 + g)))
+		for i := 0; i < ops; i++ {
+			file := fmt.Sprintf("/w%d/f%d", g, rng.Intn(4))
+			off := int64(rng.Intn(1 << 13))
+			n := int64(1 + rng.Intn(1<<9))
+			switch rng.Intn(5) {
+			case 0:
+				oracle.Remove(file, off, n)
+			case 1:
+				oracle.SetCFlag(file, off, n)
+			case 2:
+				oracle.ClearCFlag(file, off, n)
+			default:
+				oracle.Add(file, off, n, time.Duration(i)*time.Microsecond)
+			}
+		}
+		for f := 0; f < 4; f++ {
+			file := fmt.Sprintf("/w%d/f%d", g, f)
+			for off := int64(0); off < 1<<13; off += 256 {
+				if o, s := oracle.Contains(file, off, 256), striped.Contains(file, off, 256); o != s {
+					t.Fatalf("%s [%d,+256): oracle contains=%v, striped=%v", file, off, o, s)
+				}
+			}
+		}
+	}
+}

@@ -45,7 +45,7 @@ func TestDegradedModeCrashMidWorkload(t *testing.T) {
 				opErrors++
 			}
 			if i%4 == 3 {
-				back := order[rng.Intn(i + 1)]
+				back := order[rng.Intn(i+1)]
 				backOff := critOff + int64(back)*slotSize
 				buf := make([]byte, slotSize)
 				readsPending++

@@ -58,6 +58,15 @@ type Stats struct {
 	DirtyLost     int64
 	DegradedTime  time.Duration
 	WALReplays    uint64
+
+	// Metadata-engine commit counters, from the kvstore under the DMT.
+	// MetaGroupCommits counts WAL frames the group committer wrote;
+	// MetaGroupedRecords counts the records those frames carried. In the
+	// single-threaded simulator every group has size one, so the two are
+	// equal; a concurrent deployment amortizes syncs and the ratio
+	// records/commits is the average group size.
+	MetaGroupCommits   uint64
+	MetaGroupedRecords uint64
 }
 
 // Stats returns a snapshot of the instance counters, folding in the
@@ -67,7 +76,10 @@ func (s *S4D) Stats() Stats {
 	st := s.stats
 	st.Retries = s.opfs.Stats().Retries + s.cpfs.Stats().Retries
 	if s.metaStore != nil {
-		st.WALReplays = uint64(s.metaStore.Stats().RecoveredRecords)
+		ms := s.metaStore.Stats()
+		st.WALReplays = uint64(ms.RecoveredRecords)
+		st.MetaGroupCommits = ms.GroupCommits
+		st.MetaGroupedRecords = ms.GroupedRecords
 	}
 	if s.degraded() {
 		st.DegradedTime += s.eng.Now() - s.degradedSince

@@ -52,6 +52,11 @@ type Table struct {
 	names []string
 	store *kvstore.Store
 	seq   uint64
+	// nextSeq, when set, supplies persist-log sequence numbers instead of
+	// the local seq counter. The striped table injects a shared atomic here
+	// so sub-tables writing to one store never collide on log keys. Nil —
+	// the default — keeps the original single-table numbering exactly.
+	nextSeq func() uint64
 
 	// ov and sdHits are reusable scratch buffers for the lookup and
 	// set-dirty hot paths. Neither is live across any call that could
@@ -149,8 +154,7 @@ func (t *Table) InsertBatch(file string, frags []FragmentInsert) error {
 	if t.store != nil {
 		batch := t.store.NewBatch()
 		for _, op := range ops {
-			t.seq++
-			batch.Put(fmt.Sprintf(opPrefix+"%020d", t.seq), encodeOp(op))
+			batch.Put(fmt.Sprintf(opPrefix+"%020d", t.nextSeqNum()), encodeOp(op))
 		}
 		if err := batch.Commit(); err != nil {
 			return fmt.Errorf("dmt: batch insert: %w", err)
@@ -371,12 +375,21 @@ func (t *Table) apply(op logOp) {
 	}
 }
 
+// nextSeqNum returns the next persist-log sequence number: the injected
+// shared counter when striped, the table-local counter otherwise.
+func (t *Table) nextSeqNum() uint64 {
+	if t.nextSeq != nil {
+		return t.nextSeq()
+	}
+	t.seq++
+	return t.seq
+}
+
 func (t *Table) persist(op logOp) error {
 	if t.store == nil {
 		return nil
 	}
-	t.seq++
-	key := fmt.Sprintf(opPrefix+"%020d", t.seq)
+	key := fmt.Sprintf(opPrefix+"%020d", t.nextSeqNum())
 	if err := t.store.Put(key, encodeOp(op)); err != nil {
 		return fmt.Errorf("dmt: persist: %w", err)
 	}

@@ -1,0 +1,298 @@
+package dmt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"s4dcache/internal/extent"
+	"s4dcache/internal/kvstore"
+)
+
+// numStripes is the lock-stripe count of the concurrent table. A power of
+// two so routing is a mask; 16 matches the kvstore shard count, so stripe
+// concurrency is never throttled below store concurrency.
+const numStripes = 16
+
+// stripeIndex routes a file name to its stripe (FNV-1a, masked).
+func stripeIndex(file string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(file); i++ {
+		h ^= uint32(file[i])
+		h *= 16777619
+	}
+	return h & (numStripes - 1)
+}
+
+// Striped is a lock-striped concurrent Data Mapping Table: numStripes
+// independent sub-tables, each guarding the files that hash to it with its
+// own mutex. Per-file operations touch exactly one stripe, so concurrent
+// mutations of distinct files proceed in parallel, and their durable
+// appends coalesce in the store's group committer. All sub-tables share
+// one persist-log sequence (an atomic counter injected via Table.nextSeq),
+// so log keys stay globally unique and replay order is well defined.
+//
+// The simulator core keeps the plain Table — its cross-file scan order
+// (first-mapped) drives the deterministic Rebuilder schedule. Striped is
+// the concurrent server-side API layered on the same log format: a log
+// written by either table opens in the other.
+type Striped struct {
+	stripes [numStripes]struct {
+		mu sync.Mutex
+		t  *Table
+	}
+	seq   atomic.Uint64
+	store *kvstore.Store
+}
+
+// NewStriped returns a memory-only concurrent table.
+func NewStriped() *Striped {
+	s := &Striped{}
+	for i := range s.stripes {
+		t := New()
+		t.nextSeq = s.nextSeq
+		s.stripes[i].t = t
+	}
+	return s
+}
+
+// OpenStriped returns a concurrent table persisted as an operation log in
+// store, replaying any existing log (written by either a plain Table or a
+// Striped one) with each op routed to its file's stripe.
+func OpenStriped(store *kvstore.Store) (*Striped, error) {
+	if store == nil {
+		return nil, fmt.Errorf("dmt: store is required")
+	}
+	s := NewStriped()
+	s.store = store
+	for i := range s.stripes {
+		s.stripes[i].t.store = store
+	}
+	var max uint64
+	for _, k := range store.Keys(opPrefix) {
+		seq, err := strconv.ParseUint(strings.TrimPrefix(k, opPrefix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dmt: malformed log key %q: %w", k, err)
+		}
+		if seq > max {
+			max = seq
+		}
+		v, ok := store.Get(k)
+		if !ok {
+			continue
+		}
+		op, err := decodeOp(v)
+		if err != nil {
+			return nil, fmt.Errorf("dmt: replay %s: %w", k, err)
+		}
+		s.stripes[stripeIndex(op.file)].t.apply(op)
+	}
+	s.seq.Store(max)
+	return s, nil
+}
+
+func (s *Striped) nextSeq() uint64 { return s.seq.Add(1) }
+
+// stripe locks and returns the sub-table owning file. The caller must
+// unlock the returned mutex.
+func (s *Striped) stripe(file string) (*Table, *sync.Mutex) {
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	return sh.t, &sh.mu
+}
+
+// Insert maps [off, off+length) of file to cacheOff, as Table.Insert.
+func (s *Striped) Insert(file string, off, length, cacheOff int64, dirty bool) error {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.Insert(file, off, length, cacheOff, dirty)
+}
+
+// InsertBatch maps several fragments of one file atomically, as
+// Table.InsertBatch: the fragments commit as one store batch, which the
+// group committer may coalesce with concurrent stripes' commits into a
+// single WAL sync.
+func (s *Striped) InsertBatch(file string, frags []FragmentInsert) error {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.InsertBatch(file, frags)
+}
+
+// Delete removes mappings covering [off, off+length).
+func (s *Striped) Delete(file string, off, length int64) error {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.Delete(file, off, length)
+}
+
+// SetClean clears the D_flag across [off, off+length).
+func (s *Striped) SetClean(file string, off, length int64) error {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.SetClean(file, off, length)
+}
+
+// SetDirty sets the D_flag across [off, off+length).
+func (s *Striped) SetDirty(file string, off, length int64) error {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.SetDirty(file, off, length)
+}
+
+// Lookup splits [off, off+length) of file into mapped subranges and gaps.
+func (s *Striped) Lookup(file string, off, length int64) ([]Hit, []extent.Gap) {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.AppendLookup(nil, nil, file, off, length)
+}
+
+// AppendLookup is Lookup appending into caller-supplied buffers. The
+// buffers belong to the caller; only the stripe's internal scratch is
+// shared, and it is protected by the stripe lock.
+func (s *Striped) AppendLookup(hits []Hit, gaps []extent.Gap, file string, off, length int64) ([]Hit, []extent.Gap) {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.AppendLookup(hits, gaps, file, off, length)
+}
+
+// Contains reports whether the full range is mapped.
+func (s *Striped) Contains(file string, off, length int64) bool {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.Contains(file, off, length)
+}
+
+// FileMapped reports whether any range of file is currently mapped.
+func (s *Striped) FileMapped(file string) bool {
+	t, mu := s.stripe(file)
+	defer mu.Unlock()
+	return t.FileMapped(file)
+}
+
+// DirtyExtents returns up to max dirty mapped ranges (all if max <= 0),
+// in stripe order then each stripe's first-mapped order.
+func (s *Striped) DirtyExtents(max int) []Hit {
+	var out []Hit
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		rem := 0
+		if max > 0 {
+			rem = max - len(out)
+		}
+		out = append(out, sh.t.DirtyExtents(rem)...)
+		sh.mu.Unlock()
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// CleanExtents returns up to max clean mapped ranges (all if max <= 0).
+func (s *Striped) CleanExtents(max int) []Hit {
+	var out []Hit
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		rem := 0
+		if max > 0 {
+			rem = max - len(out)
+		}
+		out = append(out, sh.t.CleanExtents(rem)...)
+		sh.mu.Unlock()
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Entries returns the total mapped extent count.
+func (s *Striped) Entries() int {
+	n := 0
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		n += sh.t.Entries()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the total mapped byte count.
+func (s *Striped) Bytes() int64 {
+	var n int64
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		n += sh.t.Bytes()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MetadataBytes estimates the persistent table size at EntryBytes per
+// entry.
+func (s *Striped) MetadataBytes() int64 { return int64(s.Entries()) * EntryBytes }
+
+// Stats returns aggregated activity counters across stripes.
+func (s *Striped) Stats() Stats {
+	var out Stats
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		st := sh.t.Stats()
+		sh.mu.Unlock()
+		out.Inserts += st.Inserts
+		out.Deletes += st.Deletes
+		out.Entries += st.Entries
+		out.Bytes += st.Bytes
+	}
+	return out
+}
+
+// Compact rewrites the persistent log as one insert per live extent. It
+// holds every stripe lock for the duration — the log delete/rewrite is a
+// global operation and must not interleave with stripe mutations — but
+// the store-level snapshot it triggers runs off the commit path.
+func (s *Striped) Compact() error {
+	if s.store == nil {
+		return nil
+	}
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.stripes {
+			s.stripes[i].mu.Unlock()
+		}
+	}()
+	for _, k := range s.store.Keys(opPrefix) {
+		if err := s.store.Delete(k); err != nil {
+			return fmt.Errorf("dmt: compact: %w", err)
+		}
+	}
+	s.seq.Store(0)
+	for i := range s.stripes {
+		t := s.stripes[i].t
+		for _, file := range t.names {
+			m := t.files[file]
+			var walkErr error
+			m.Walk(func(e extent.Entry[Mapping]) bool {
+				op := logOp{kind: kindInsert, file: file, off: e.Off, length: e.Len, cacheOff: e.Val.CacheOff, dirty: e.Val.Dirty}
+				if err := t.persist(op); err != nil {
+					walkErr = err
+					return false
+				}
+				return true
+			})
+			if walkErr != nil {
+				return walkErr
+			}
+		}
+	}
+	return s.store.Compact()
+}

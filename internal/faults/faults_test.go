@@ -33,12 +33,12 @@ func TestParseRoundTrip(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := []string{
-		"io:cpfs",          // missing prob
-		"io:cpfs:1.5",      // prob out of range
-		"io::0.1",          // no fs label
-		"crash:cpfs@50ms",  // no server index
-		"crash:cpfs0",      // no @time
-		"crash:cpfs0@-5ms", // negative time
+		"io:cpfs",            // missing prob
+		"io:cpfs:1.5",        // prob out of range
+		"io::0.1",            // no fs label
+		"crash:cpfs@50ms",    // no server index
+		"crash:cpfs0",        // no @time
+		"crash:cpfs0@-5ms",   // negative time
 		"crash:cpfs0@5ms+0s", // zero downtime
 		"retry:-1",
 		"retry:x",

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Backend is the byte storage under a store: a write-ahead log that can be
@@ -112,6 +113,31 @@ func (m *MemBackend) Truncate(name string, n int) {
 		b := f.Bytes()[:n]
 		m.files[name] = bytes.NewBuffer(append([]byte(nil), b...))
 	}
+}
+
+// DelayBackend wraps a Backend and sleeps before every Append, modeling
+// the device-sync latency a durable commit pays on real storage (an fsync
+// is tens of microseconds on flash, milliseconds on disk). The meta
+// benchmarks use it to make group commit's sync amortization measurable:
+// with a per-append sync cost, N concurrent committers sharing one
+// leader's append approach N× the solo throughput.
+type DelayBackend struct {
+	Backend
+	// Delay is the simulated sync latency added to every Append.
+	Delay time.Duration
+}
+
+// NewDelayBackend wraps inner with a per-append sync delay.
+func NewDelayBackend(inner Backend, delay time.Duration) *DelayBackend {
+	return &DelayBackend{Backend: inner, Delay: delay}
+}
+
+// Append implements Backend, paying the sync delay first.
+func (d *DelayBackend) Append(name string, data []byte) error {
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	return d.Backend.Append(name, data)
 }
 
 // DirBackend stores files under an OS directory.

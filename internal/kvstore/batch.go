@@ -45,24 +45,48 @@ func (b *Batch) Len() int { return b.count }
 
 // Commit atomically applies the batch. An empty batch is a no-op. The
 // batch must not be reused after Commit.
+//
+// Every shard the batch touches is locked (in index order, so concurrent
+// batches cannot deadlock) for the duration of the commit; single-key
+// writers in other shards are unaffected. A batch committed concurrently
+// with other writers may be grouped by the commit leader, nesting its
+// opBatch record inside the group's frame — replay unpacks nested frames.
 func (b *Batch) Commit() error {
 	if b.count == 0 {
 		return nil
 	}
 	s := b.store
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.enc = appendRecord(s.enc[:0], opBatch, "", b.payload)
-	if err := s.commitLocked(s.enc); err != nil {
+	var touched [numShards]bool
+	for _, op := range b.ops {
+		touched[shardIndex(op.key)] = true
+	}
+	for i := range s.shards {
+		if touched[i] {
+			s.shards[i].mu.Lock()
+		}
+	}
+	defer func() {
+		for i := range s.shards {
+			if touched[i] {
+				s.shards[i].mu.Unlock()
+			}
+		}
+	}()
+
+	w := newWaiter()
+	w.buf = appendRecord(w.buf, opBatch, "", b.payload)
+	if err := s.commitRecord(w); err != nil {
 		return fmt.Errorf("kvstore: batch commit: %w", err)
 	}
 	for _, op := range b.ops {
-		s.applyLocked(op.op, op.key, op.val)
+		sh := &s.shards[shardIndex(op.key)]
 		switch op.op {
 		case opPut:
-			s.puts++
+			sh.data[op.key] = op.val
+			sh.puts++
 		case opDel:
-			s.dels++
+			delete(sh.data, op.key)
+			sh.dels++
 		}
 	}
 	b.payload = nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SyncMode selects commit durability.
@@ -14,6 +15,9 @@ const (
 	// SyncEvery makes every mutation durable before returning — the
 	// paper's choice: "changes to the mapping table are synchronously
 	// written to the storage in order to survive power failures" (§III.D).
+	// Concurrent committers are merged by a group commit (see
+	// groupcommit.go): a committer still never returns before its record
+	// is durable, but one WAL append can carry a whole group.
 	SyncEvery SyncMode = iota + 1
 	// SyncBatched buffers mutations and flushes them on Flush/Compact/
 	// Close, trading durability for latency (used by ablations).
@@ -26,27 +30,93 @@ type Options struct {
 	Sync SyncMode
 	// CommitHook, if non-nil, observes the byte size of every durable
 	// append. The S4D core uses it to charge DMT persistence I/O to the
-	// simulated CServers.
+	// simulated CServers. The hook runs under the store's WAL mutex, so
+	// invocations are serialized even with concurrent committers.
 	CommitHook func(bytes int)
 }
 
-// Store is a durable hash-table key-value store.
+// numShards stripes the key space. Must be a power of two.
+const numShards = 16
+
+// shard is one lock stripe of the store: a slice of the key space with
+// its own mutex, so operations on keys in different shards never contend.
+// The shard mutex is held for the full duration of a mutation — encode,
+// group commit, apply — which keeps per-key WAL order identical to
+// per-key apply order (recovery then always reproduces the live state).
+type shard struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	// cow marks a copy-on-write snapshot in progress: Compact has cloned
+	// this shard's map and still shares the value slices, so overwrites
+	// must allocate fresh slices instead of reusing old capacity in place.
+	cow bool
+	// free recycles commit waiters for this shard's mutations. It is only
+	// touched under mu (a committer holds its shard lock across the whole
+	// commit), so no extra synchronization is needed.
+	free []*commitWaiter
+
+	// puts and dels are guarded by mu (write lock); gets is atomic because
+	// lookups only hold the read lock.
+	puts, dels uint64
+	gets       atomic.Uint64
+}
+
+// shardIndex hashes a key to its lock stripe (FNV-1a, allocation-free).
+func shardIndex(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h & (numShards - 1)
+}
+
+// Store is a durable hash-table key-value store, sharded by key hash for
+// concurrent access. Durability flows through a single write-ahead log
+// fed by a leader/follower group commit.
 type Store struct {
-	mu      sync.Mutex
 	backend Backend
 	name    string
-	opts    Options
-	data    map[string][]byte
-	pending []byte
-	locks   *LockManager
-	// enc is the reusable record-encode scratch for the commit path; both
-	// backends copy on Append, so the buffer never escapes the lock.
-	enc []byte
+	// walFile and snapFile are the derived backend names, computed once so
+	// the commit hot path does not concatenate strings per append.
+	walFile  string
+	snapFile string
+	opts     Options
+	locks    *LockManager
 
-	// Stats.
-	puts, gets, dels uint64
-	walBytes         int64
-	recovered        int
+	shards [numShards]shard
+
+	// Group-commit state (groupcommit.go). queue holds waiters whose
+	// records the next leader will drain; qspare is the ping-pong buffer
+	// that lets queue swaps reuse capacity; leading marks an active leader.
+	qmu     sync.Mutex
+	queue   []*commitWaiter
+	qspare  []*commitWaiter
+	leading bool
+	// frameBuf and frameScratch are leader-only scratch for building a
+	// multi-record group frame; leaders are serialized, so one pair per
+	// store is safe.
+	frameBuf     []byte
+	frameScratch []byte
+
+	// walMu serializes WAL appends against each other and against the
+	// compaction swap. side captures, in append order, every frame
+	// committed while a background snapshot is being written (sideActive),
+	// so the snapshot can be brought forward to the swap point.
+	walMu      sync.Mutex
+	sideActive bool
+	side       []byte
+
+	// pendMu guards the SyncBatched buffer.
+	pendMu  sync.Mutex
+	pending []byte
+
+	// compactMu serializes Compact calls.
+	compactMu sync.Mutex
+
+	walBytes       atomic.Int64
+	groupCommits   atomic.Uint64
+	groupedRecords atomic.Uint64
+	recovered      int
 }
 
 // walName and snapName derive the backend file names of a store.
@@ -63,92 +133,128 @@ func Open(backend Backend, name string, opts Options) (*Store, error) {
 		opts.Sync = SyncEvery
 	}
 	s := &Store{
-		backend: backend,
-		name:    name,
-		opts:    opts,
-		data:    make(map[string][]byte),
-		locks:   NewLockManager(),
+		backend:  backend,
+		name:     name,
+		walFile:  walName(name),
+		snapFile: snapName(name),
+		opts:     opts,
+		locks:    NewLockManager(),
+	}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string][]byte)
 	}
 	snap, err := backend.ReadAll(snapName(name))
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: read snapshot: %w", err)
 	}
-	replay(snap, s.applyLocked)
+	replay(snap, s.applyRecord)
 	wal, err := backend.ReadAll(walName(name))
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: read wal: %w", err)
 	}
-	s.recovered = replay(wal, s.applyLocked)
+	s.recovered = replay(wal, s.applyRecord)
 	return s, nil
 }
 
-func (s *Store) applyLocked(op byte, key string, val []byte) {
+// applyRecord routes one replayed record to its shard. Only used during
+// Open, which runs before any concurrent access.
+func (s *Store) applyRecord(op byte, key string, val []byte) {
+	sh := &s.shards[shardIndex(key)]
 	switch op {
 	case opPut:
-		s.data[key] = val
+		sh.data[key] = val
 	case opDel:
-		delete(s.data, key)
+		delete(sh.data, key)
 	}
 }
 
-// Put stores val under key.
+// Put stores val under key. With SyncEvery the call does not return until
+// the record is durable.
 func (s *Store) Put(key string, val []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.puts++
-	s.enc = appendRecord(s.enc[:0], opPut, key, val)
-	if err := s.commitLocked(s.enc); err != nil {
+	sh := &s.shards[shardIndex(key)]
+	sh.mu.Lock()
+	sh.puts++
+	w := sh.getWaiter()
+	w.buf = appendRecord(w.buf[:0], opPut, key, val)
+	if err := s.commitRecord(w); err != nil {
+		sh.putWaiter(w)
+		sh.mu.Unlock()
 		return err
 	}
-	s.data[key] = append([]byte(nil), val...)
+	if old, ok := sh.data[key]; ok && !sh.cow && cap(old) >= len(val) {
+		// Overwrite in place: reuse the existing value slice. Forbidden
+		// while a copy-on-write snapshot shares it (cow).
+		sh.data[key] = append(old[:0], val...)
+	} else {
+		sh.data[key] = append([]byte(nil), val...)
+	}
+	sh.putWaiter(w)
+	sh.mu.Unlock()
 	return nil
 }
 
 // Get returns the value for key and whether it exists. The returned slice
 // is a copy.
 func (s *Store) Get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.gets++
-	v, ok := s.data[key]
+	sh := &s.shards[shardIndex(key)]
+	sh.mu.RLock()
+	sh.gets.Add(1)
+	v, ok := sh.data[key]
 	if !ok {
+		sh.mu.RUnlock()
 		return nil, false
 	}
-	return append([]byte(nil), v...), true
+	out := append([]byte(nil), v...)
+	sh.mu.RUnlock()
+	return out, true
 }
 
 // Delete removes key; deleting a missing key is a no-op.
 func (s *Store) Delete(key string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.dels++
-	if _, ok := s.data[key]; !ok {
+	sh := &s.shards[shardIndex(key)]
+	sh.mu.Lock()
+	sh.dels++
+	if _, ok := sh.data[key]; !ok {
+		sh.mu.Unlock()
 		return nil
 	}
-	s.enc = appendRecord(s.enc[:0], opDel, key, nil)
-	if err := s.commitLocked(s.enc); err != nil {
+	w := sh.getWaiter()
+	w.buf = appendRecord(w.buf[:0], opDel, key, nil)
+	if err := s.commitRecord(w); err != nil {
+		sh.putWaiter(w)
+		sh.mu.Unlock()
 		return err
 	}
-	delete(s.data, key)
+	delete(sh.data, key)
+	sh.putWaiter(w)
+	sh.mu.Unlock()
 	return nil
 }
 
 // Len returns the number of live keys.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.data)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Keys returns all keys with the given prefix, sorted.
 func (s *Store) Keys(prefix string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.data))
-	for k := range s.data {
-		if strings.HasPrefix(k, prefix) {
-			out = append(out, k)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.data {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, k)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -158,9 +264,10 @@ func (s *Store) Keys(prefix string) []string {
 // order. The value slice must not be retained.
 func (s *Store) Scan(prefix string, fn func(key string, val []byte) bool) {
 	for _, k := range s.Keys(prefix) {
-		s.mu.Lock()
-		v, ok := s.data[k]
-		s.mu.Unlock()
+		sh := &s.shards[shardIndex(k)]
+		sh.mu.RLock()
+		v, ok := sh.data[k]
+		sh.mu.RUnlock()
 		if !ok {
 			continue
 		}
@@ -172,38 +279,90 @@ func (s *Store) Scan(prefix string, fn func(key string, val []byte) bool) {
 
 // Flush forces buffered (SyncBatched) mutations to the backend.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.flushLocked()
+	s.pendMu.Lock()
+	rec := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	if len(rec) == 0 {
+		return nil
+	}
+	return s.appendFrame(rec)
 }
 
-// Compact writes a full snapshot and truncates the write-ahead log.
+// Compact writes a full snapshot and truncates the write-ahead log. Only
+// the caller waits: concurrent readers and writers proceed while the
+// snapshot is encoded. The shards are cloned copy-on-write under their
+// stripes (cheap — map headers and shared value slices), and every frame
+// committed during the encode is captured in a side log that is appended
+// to the snapshot before the swap, so the snapshot always lands at the
+// swap point's state.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.flushLocked(); err != nil {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if err := s.Flush(); err != nil {
 		return err
 	}
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
+
+	// Start the side capture before cloning: a frame committed after this
+	// point lands in the side log; one committed before a shard's clone is
+	// also reflected in the clone, and replaying it again is idempotent
+	// (records carry absolute values and the side log preserves order).
+	s.walMu.Lock()
+	s.sideActive = true
+	s.side = s.side[:0]
+	s.walMu.Unlock()
+
+	// Copy-on-write clone of every shard. The clone shares value slices
+	// with the live map; cow makes writers allocate instead of mutating
+	// them in place until the swap completes.
+	type kv struct {
+		key string
+		val []byte
 	}
-	sort.Strings(keys)
+	var entries []kv
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.data {
+			entries = append(entries, kv{k, v})
+		}
+		sh.cow = true
+		sh.mu.Unlock()
+	}
+	defer func() {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			sh.cow = false
+			sh.mu.Unlock()
+		}
+	}()
+
+	// Encode the snapshot off every lock: writers proceed.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 	total := 0
-	for _, k := range keys {
-		total += recordSize(k, s.data[k])
+	for _, e := range entries {
+		total += recordSize(e.key, e.val)
 	}
 	snap := make([]byte, 0, total)
-	for _, k := range keys {
-		snap = appendRecord(snap, opPut, k, s.data[k])
+	for _, e := range entries {
+		snap = appendRecord(snap, opPut, e.key, e.val)
 	}
-	if err := s.backend.Replace(snapName(s.name), snap); err != nil {
+
+	// Swap: bring the snapshot forward with the side log, install it, and
+	// truncate the WAL. Appends are excluded for the swap's duration only.
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	snap = append(snap, s.side...)
+	s.sideActive = false
+	s.side = s.side[:0]
+	if err := s.backend.Replace(s.snapFile, snap); err != nil {
 		return fmt.Errorf("kvstore: compact: %w", err)
 	}
-	if err := s.backend.Remove(walName(s.name)); err != nil {
+	if err := s.backend.Remove(s.walFile); err != nil {
 		return fmt.Errorf("kvstore: truncate wal: %w", err)
 	}
-	s.walBytes = 0
+	s.walBytes.Store(0)
 	return nil
 }
 
@@ -221,42 +380,61 @@ type StoreStats struct {
 	Keys                int
 	WALBytes            int64
 	RecoveredRecords    int
+	// GroupCommits counts durable WAL frames written by group-commit
+	// leaders; GroupedRecords counts the committer records they carried.
+	// Equal when every commit ran alone (the single-threaded simulation);
+	// GroupedRecords/GroupCommits is the mean group size under load.
+	GroupCommits   uint64
+	GroupedRecords uint64
 }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return StoreStats{
-		Puts: s.puts, Gets: s.gets, Deletes: s.dels,
-		Keys: len(s.data), WALBytes: s.walBytes, RecoveredRecords: s.recovered,
+	st := StoreStats{
+		WALBytes:         s.walBytes.Load(),
+		RecoveredRecords: s.recovered,
+		GroupCommits:     s.groupCommits.Load(),
+		GroupedRecords:   s.groupedRecords.Load(),
 	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Puts += sh.puts
+		st.Gets += sh.gets.Load()
+		st.Deletes += sh.dels
+		st.Keys += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return st
 }
 
-func (s *Store) commitLocked(rec []byte) error {
+// commitRecord makes one waiter's encoded record durable according to the
+// sync mode. Called with the waiter's shard lock (or, for batches, every
+// involved shard lock) held.
+func (s *Store) commitRecord(w *commitWaiter) error {
 	if s.opts.Sync == SyncBatched {
-		s.pending = append(s.pending, rec...)
+		s.pendMu.Lock()
+		s.pending = append(s.pending, w.buf...)
+		s.pendMu.Unlock()
 		return nil
 	}
-	return s.appendLocked(rec)
+	return s.groupCommit(w)
 }
 
-func (s *Store) flushLocked() error {
-	if len(s.pending) == 0 {
-		return nil
-	}
-	rec := s.pending
-	s.pending = nil
-	return s.appendLocked(rec)
-}
-
-func (s *Store) appendLocked(rec []byte) error {
-	if err := s.backend.Append(walName(s.name), rec); err != nil {
+// appendFrame durably appends one WAL frame, feeding the compaction side
+// log and the commit hook under the WAL mutex.
+func (s *Store) appendFrame(frame []byte) error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.backend.Append(s.walFile, frame); err != nil {
 		return fmt.Errorf("kvstore: wal append: %w", err)
 	}
-	s.walBytes += int64(len(rec))
+	s.walBytes.Add(int64(len(frame)))
+	if s.sideActive {
+		s.side = append(s.side, frame...)
+	}
 	if s.opts.CommitHook != nil {
-		s.opts.CommitHook(len(rec))
+		s.opts.CommitHook(len(frame))
 	}
 	return nil
 }

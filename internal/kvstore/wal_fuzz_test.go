@@ -13,8 +13,10 @@ type fuzzRec struct {
 }
 
 // fuzzBaseLog builds a known-good WAL covering every record kind — puts,
-// an overwrite, a delete, and an atomic batch — and returns the encoded
-// log with the leaf records replay must produce from it.
+// an overwrite, a delete, an atomic batch, and a group-commit frame (an
+// opBatch written by a commit leader whose group contained a plain put, a
+// delete, and an application batch, nesting opBatch two deep) — and
+// returns the encoded log with the leaf records replay must produce.
 func fuzzBaseLog() ([]byte, []fuzzRec) {
 	var log []byte
 	log = appendRecord(log, opPut, "alpha", []byte("1"))
@@ -25,6 +27,16 @@ func fuzzBaseLog() ([]byte, []fuzzRec) {
 	batch = appendRecord(batch, opPut, "gamma", []byte("4444"))
 	batch = appendRecord(batch, opDel, "alpha", nil)
 	log = appendRecord(log, opBatch, "", batch)
+	// Group frame: exactly what Store.buildFrame emits for a group of
+	// three committers, one of which committed an application batch.
+	var inner []byte
+	inner = appendRecord(inner, opPut, "delta", []byte("55555"))
+	var groupedBatch []byte
+	groupedBatch = appendRecord(groupedBatch, opPut, "epsilon", []byte("6"))
+	groupedBatch = appendRecord(groupedBatch, opDel, "gamma", nil)
+	inner = appendRecord(inner, opBatch, "", groupedBatch)
+	inner = appendRecord(inner, opDel, "delta", nil)
+	log = appendRecord(log, opBatch, "", inner)
 	recs := []fuzzRec{
 		{opPut, "alpha", "1"},
 		{opPut, "beta", "22"},
@@ -32,8 +44,45 @@ func fuzzBaseLog() ([]byte, []fuzzRec) {
 		{opDel, "beta", ""},
 		{opPut, "gamma", "4444"},
 		{opDel, "alpha", ""},
+		{opPut, "delta", "55555"},
+		{opPut, "epsilon", "6"},
+		{opDel, "gamma", ""},
+		{opDel, "delta", ""},
 	}
 	return log, recs
+}
+
+// TestGroupFrameReplayEquivalence pins the group-commit framing contract:
+// a leader's batched frame must replay to exactly the same leaf sequence
+// as the sequential records it grouped, whatever mix of puts, deletes,
+// and nested application batches the group carried.
+func TestGroupFrameReplayEquivalence(t *testing.T) {
+	var sequential []byte
+	sequential = appendRecord(sequential, opPut, "a", []byte("1"))
+	sequential = appendRecord(sequential, opDel, "b", nil)
+	var appBatch []byte
+	appBatch = appendRecord(appBatch, opPut, "c", []byte("2"))
+	appBatch = appendRecord(appBatch, opPut, "d", []byte("3"))
+	sequential = appendRecord(sequential, opBatch, "", appBatch)
+
+	grouped := appendRecord(nil, opBatch, "", sequential)
+
+	collect := func(data []byte) []fuzzRec {
+		var out []fuzzRec
+		replay(data, func(op byte, key string, val []byte) {
+			out = append(out, fuzzRec{op, key, string(val)})
+		})
+		return out
+	}
+	seq, grp := collect(sequential), collect(grouped)
+	if len(seq) != 4 || len(grp) != len(seq) {
+		t.Fatalf("replayed %d sequential vs %d grouped leaves, want 4 each", len(seq), len(grp))
+	}
+	for i := range seq {
+		if seq[i] != grp[i] {
+			t.Fatalf("leaf %d: sequential %+v != grouped %+v", i, seq[i], grp[i])
+		}
+	}
 }
 
 // FuzzReplay checks the WAL parser's crash-safety contract on arbitrary

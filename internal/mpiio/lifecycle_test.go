@@ -18,16 +18,16 @@ func TestClosedFileRejectsAllIO(t *testing.T) {
 
 	fired := func(error) { t.Error("callback fired on closed file") }
 	ops := map[string]error{
-		"Seek":       f.Seek(0, 0),
-		"ReadAt":     f.ReadAt(0, 0, 8, make([]byte, 8), fired),
-		"WriteAt":    f.WriteAt(0, 0, 8, make([]byte, 8), fired),
-		"Read":       f.Read(0, 8, make([]byte, 8), fired),
-		"Write":      f.Write(0, 8, make([]byte, 8), fired),
-		"ReadShared": f.ReadShared(0, 8, make([]byte, 8), fired),
+		"Seek":        f.Seek(0, 0),
+		"ReadAt":      f.ReadAt(0, 0, 8, make([]byte, 8), fired),
+		"WriteAt":     f.WriteAt(0, 0, 8, make([]byte, 8), fired),
+		"Read":        f.Read(0, 8, make([]byte, 8), fired),
+		"Write":       f.Write(0, 8, make([]byte, 8), fired),
+		"ReadShared":  f.ReadShared(0, 8, make([]byte, 8), fired),
 		"WriteShared": f.WriteShared(0, 8, make([]byte, 8), fired),
-		"ReadSpans":  f.ReadSpans(0, []Span{{0, 8}}, true, fired),
-		"WriteSpans": f.WriteSpans(0, []Span{{0, 8}}, true, fired),
-		"SetView":    f.SetView(0, View{BlockLen: 4, Stride: 8}),
+		"ReadSpans":   f.ReadSpans(0, []Span{{0, 8}}, true, fired),
+		"WriteSpans":  f.WriteSpans(0, []Span{{0, 8}}, true, fired),
+		"SetView":     f.SetView(0, View{BlockLen: 4, Stride: 8}),
 		"CollectiveWrite": f.CollectiveWrite([][]Span{{{0, 8}}, nil},
 			CollectiveConfig{}, fired),
 		"CollectiveRead": f.CollectiveRead([][]Span{{{0, 8}}, nil},
