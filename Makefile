@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json alloc-check check
+.PHONY: all build vet test race bench bench-json bench-serve alloc-check check
 
 all: build
 
@@ -29,10 +29,17 @@ BENCH_JSON ?= BENCH_pr4.json
 bench-json:
 	$(GO) run ./cmd/s4dbench -bench-json $(BENCH_JSON)
 
+# Regenerate the multi-client serve throughput report: the concurrent
+# engine on the wall-clock backend at 1/4/16 clients. Numbers are
+# machine-dependent; the shape (speedup_max_vs_1) is the signal.
+BENCH_SERVE ?= BENCH_pr5.json
+bench-serve:
+	$(GO) run ./cmd/s4dbench -bench-serve $(BENCH_SERVE)
+
 # Just the allocation-regression tests: pins the performance-mode serve
-# and identify paths, and the metadata store's durable commit path, at
-# 0 allocs/op.
+# and identify paths, the metadata store's durable commit path, and the
+# striped-table dirty/pending counters, at 0 allocs/op.
 alloc-check:
-	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ ./internal/kvstore/ -v
+	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ ./internal/kvstore/ ./internal/dmt/ ./internal/cdt/ -v
 
 check: vet build race bench

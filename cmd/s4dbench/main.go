@@ -5,7 +5,8 @@
 //
 //	s4dbench [-exp id[,id...]] [-scale f] [-ranks n] [-parallel n] [-full] [-list]
 //	         [-faults plan] [-fault-seed n]
-//	         [-bench-json file] [-cpuprofile file] [-memprofile file] [-trace file]
+//	         [-bench-json file] [-bench-serve file] [-serve-clients list] [-serve-window d]
+//	         [-cpuprofile file] [-memprofile file] [-trace file]
 //
 // By default every experiment runs at the quick scale (~1/250 of the
 // paper's data volume, all ratios preserved). -full uses the published
@@ -22,6 +23,13 @@
 // suite and writes a machine-readable BENCH_*.json perf report instead of
 // the tables. The profiling flags capture pprof CPU/heap profiles and a
 // runtime trace of whatever the invocation runs.
+//
+// -bench-serve runs the serve/* multi-client throughput family: real
+// client goroutines (-serve-clients counts, -serve-window per point)
+// driving the concurrent S4D engine on the wall-clock backend, reporting
+// aggregate ops/s per client count. The experiment tables always run on
+// the deterministic virtual-time scheduler; -bench-serve is the only mode
+// that exercises the wall-clock one.
 package main
 
 import (
@@ -42,18 +50,21 @@ func main() {
 
 func run() int {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale     = flag.Float64("scale", 0, "file-size scale factor (0 = quick default)")
-		ranks     = flag.Int("ranks", 0, "base process count (0 = scale default)")
-		parallel  = flag.Int("parallel", 0, "experiment cells simulated concurrently (0 = GOMAXPROCS)")
-		full      = flag.Bool("full", false, "use the paper's published sizes (slow)")
-		listOnly  = flag.Bool("list", false, "list experiment ids and exit")
-		faultPlan = flag.String("faults", "", "fault-injection plan for the 'faults' experiment (see internal/faults)")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's random streams")
-		benchJSON = flag.String("bench-json", "", "write a machine-readable perf report to this file and exit")
-		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
-		tracePath = flag.String("trace", "", "write a runtime execution trace to this file")
+		expFlag      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale        = flag.Float64("scale", 0, "file-size scale factor (0 = quick default)")
+		ranks        = flag.Int("ranks", 0, "base process count (0 = scale default)")
+		parallel     = flag.Int("parallel", 0, "experiment cells simulated concurrently (0 = GOMAXPROCS)")
+		full         = flag.Bool("full", false, "use the paper's published sizes (slow)")
+		listOnly     = flag.Bool("list", false, "list experiment ids and exit")
+		faultPlan    = flag.String("faults", "", "fault-injection plan for the 'faults' experiment (see internal/faults)")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault plan's random streams")
+		benchJSON    = flag.String("bench-json", "", "write a machine-readable perf report to this file and exit")
+		benchServe   = flag.String("bench-serve", "", "run the serve/* multi-client throughput family and write its JSON report to this file")
+		serveClients = flag.String("serve-clients", "1,4,16", "client-goroutine counts for -bench-serve")
+		serveWindow  = flag.Duration("serve-window", 400*time.Millisecond, "measured window per -bench-serve point")
+		cpuProf      = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		tracePath    = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -99,6 +110,35 @@ func run() int {
 			// experiment it parameterizes.
 			*expFlag = "faults"
 		}
+	}
+
+	if *benchServe != "" {
+		var clients []int
+		for _, s := range strings.Split(*serveClients, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "s4dbench: -serve-clients: bad count %q\n", s)
+				return 2
+			}
+			clients = append(clients, n)
+		}
+		f, err := os.Create(*benchServe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		serveCfg := bench.ServeConfig{Clients: clients, Window: *serveWindow}
+		if err := bench.EmitServeJSON(f, serveCfg, os.Stderr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("s4dbench: wrote %s\n", *benchServe)
+		return 0
 	}
 
 	if *benchJSON != "" {

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s4dcache/internal/core"
+	"s4dcache/internal/costmodel"
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+// ServeConfig parameterizes the serve/* multi-client throughput family: N
+// real client goroutines hammering one concurrent S4D engine over the
+// wall-clock backend. Unlike the virtual-time experiments this measures
+// the engine itself — lock contention, shard routing, completion fan-in —
+// with I/O service time modeled by the WallFS busy-horizon.
+type ServeConfig struct {
+	// Clients lists the client-goroutine counts to sweep (default 1,4,16).
+	Clients []int
+	// Window is the measured interval per point (default 400ms); Warmup
+	// runs first and is discarded (default 50ms).
+	Window, Warmup time.Duration
+	// Shards is the engine concurrency (default 16).
+	Shards int
+	// PerOpSSD and PerOpHDD are the modeled per-subrequest service times
+	// of the cache and original servers (defaults 300µs and 600µs). The
+	// scaling ceiling is servers/PerOp, not CPU count: one outstanding op
+	// per client, so added clients overlap service time, exactly the
+	// latency-hiding a real multi-client deployment sees.
+	PerOpSSD, PerOpHDD time.Duration
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 4, 16}
+	}
+	if c.Window <= 0 {
+		c.Window = 400 * time.Millisecond
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 50 * time.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.PerOpSSD <= 0 {
+		c.PerOpSSD = 300 * time.Microsecond
+	}
+	if c.PerOpHDD <= 0 {
+		c.PerOpHDD = 600 * time.Microsecond
+	}
+	return c
+}
+
+// ServePoint is one measured client count.
+type ServePoint struct {
+	Clients   int     `json:"clients"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// ServeReport is the schema of BENCH_pr5.json.
+type ServeReport struct {
+	Schema        string       `json:"schema"`
+	GoVersion     string       `json:"go_version"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Backend       string       `json:"backend"`
+	Shards        int          `json:"shards"`
+	WindowMs      int64        `json:"window_ms"`
+	Points        []ServePoint `json:"points"`
+	SpeedupMaxVs1 float64      `json:"speedup_max_vs_1"`
+}
+
+// RunServe sweeps the configured client counts, one fresh deployment per
+// point, and reports aggregate ops/s.
+func RunServe(cfg ServeConfig, progress io.Writer) (*ServeReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &ServeReport{
+		Schema:     "s4d-serve/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Backend:    "wallclock",
+		Shards:     cfg.Shards,
+		WindowMs:   cfg.Window.Milliseconds(),
+	}
+	for _, n := range cfg.Clients {
+		if progress != nil {
+			fmt.Fprintf(progress, "bench-serve: %d client(s)\n", n)
+		}
+		pt, err := runServePoint(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve %d clients: %w", n, err)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	var base float64
+	for _, pt := range rep.Points {
+		if pt.Clients == 1 {
+			base = pt.OpsPerSec
+		}
+	}
+	if base > 0 {
+		for _, pt := range rep.Points {
+			if s := pt.OpsPerSec / base; s > rep.SpeedupMaxVs1 {
+				rep.SpeedupMaxVs1 = s
+			}
+		}
+	}
+	return rep, nil
+}
+
+// EmitServeJSON writes a ServeReport to w; s4dbench's -bench-serve flag
+// and `make bench-serve` drive it.
+func EmitServeJSON(w io.Writer, cfg ServeConfig, progress io.Writer) error {
+	rep, err := RunServe(cfg, progress)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runServePoint builds a fresh wall-clock deployment (8 HDD DServers, 8
+// SSD CServers, performance mode) and measures aggregate throughput with
+// n clients, each keeping exactly one 16KB request outstanding against
+// its own file.
+func runServePoint(cfg ServeConfig, n int) (ServePoint, error) {
+	clock := sim.NewWallClock()
+	mkWall := func(label string, perOp time.Duration) (*pfs.WallFS, error) {
+		return pfs.NewWallFS(pfs.WallConfig{
+			Label:       label,
+			Layout:      pfs.Layout{Servers: 8, StripeSize: 16 << 10},
+			Clock:       clock,
+			PerOp:       perOp,
+			BytesPerSec: 1 << 33,
+		})
+	}
+	opfs, err := mkWall("OPFS", cfg.PerOpHDD)
+	if err != nil {
+		return ServePoint{}, err
+	}
+	cpfs, err := mkWall("CPFS", cfg.PerOpSSD)
+	if err != nil {
+		return ServePoint{}, err
+	}
+	curve, err := device.ProfileSeekCurve(device.NewHDD(device.DefaultHDDParams()), device.DefaultProfileConfig())
+	if err != nil {
+		return ServePoint{}, err
+	}
+	model := costmodel.Calibrate(device.DefaultHDDParams(), device.DefaultSSDParams(), netmodel.Gigabit(), curve)
+	model.M = 8
+	model.N = 8
+	model.Stripe = 16 << 10
+	eng, err := core.NewConcurrent(core.ConcurrentConfig{
+		Clock:         clock,
+		OPFS:          opfs,
+		CPFS:          cpfs,
+		Model:         model,
+		CacheCapacity: 512 << 20,
+		Concurrency:   cfg.Shards,
+		// RebuildPeriod 0: no background cycles compete with the measured
+		// window; dirty data simply accumulates (capacity is ample).
+	})
+	if err != nil {
+		return ServePoint{}, err
+	}
+	defer eng.Close()
+
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		ops       atomic.Uint64
+		errOnce   sync.Once
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	const reqSize = 16 << 10
+	const fileSpan = 4 << 20
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c + 1)))
+			file := fmt.Sprintf("serve%02d", c)
+			ch := make(chan error, 1)
+			done := func(err error) { ch <- err }
+			for !stop.Load() {
+				off := rng.Int63n(fileSpan - reqSize)
+				var err error
+				if rng.Intn(3) > 0 {
+					err = eng.Write(c, file, off, reqSize, nil, done)
+				} else {
+					err = eng.Read(c, file, off, reqSize, nil, done)
+				}
+				if err == nil {
+					err = <-ch
+				}
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				if measuring.Load() {
+					ops.Add(1)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(cfg.Warmup)
+	start := time.Now()
+	measuring.Store(true)
+	time.Sleep(cfg.Window)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return ServePoint{}, firstErr
+	}
+	total := ops.Load()
+	if total == 0 {
+		return ServePoint{}, fmt.Errorf("no operations completed in the %v window", cfg.Window)
+	}
+	return ServePoint{
+		Clients:   n,
+		Ops:       total,
+		OpsPerSec: float64(total) / elapsed.Seconds(),
+		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(total),
+	}, nil
+}

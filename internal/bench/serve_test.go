@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestServeBenchScales is the smoke oracle for the serve/* family: with a
+// 2ms modeled service time (far above scheduler jitter, so the measurement
+// is dominated by the model, not the machine), 8 clients over 8 servers
+// must clear at least 2x the single-client throughput even on one CPU —
+// the scaling is latency hiding, not parallel compute.
+func TestServeBenchScales(t *testing.T) {
+	cfg := ServeConfig{
+		Clients:  []int{1, 8},
+		Window:   80 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+		Shards:   8,
+		PerOpSSD: 2 * time.Millisecond,
+		PerOpHDD: 2 * time.Millisecond,
+	}
+	var buf bytes.Buffer
+	if err := EmitServeJSON(&buf, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "s4d-serve/1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.Ops == 0 || pt.OpsPerSec <= 0 {
+			t.Fatalf("empty measurement: %+v", pt)
+		}
+	}
+	if rep.SpeedupMaxVs1 < 2.0 {
+		t.Fatalf("8-client speedup %.2fx, want >= 2x (points: %+v)", rep.SpeedupMaxVs1, rep.Points)
+	}
+}

@@ -73,6 +73,13 @@ type Manager struct {
 	ov   []extent.Entry[unit] // scratch for overlap scans
 	gaps []extent.Gap         // scratch for free-gap scans
 
+	// pinned, when set, reports whether any byte of [off, off+length) is
+	// held by an in-flight cache read; reclaim skips such candidates so an
+	// eviction can never reuse space whose old bytes are still being read.
+	// The concurrent engine installs it (see Sharded); the sequential
+	// simulator leaves it nil, keeping reclaim behavior byte-identical.
+	pinned func(off, length int64) bool
+
 	evictions uint64
 	failures  uint64
 }
@@ -128,9 +135,22 @@ func (m *Manager) Allocate(size int64, owner Owner, dirty bool) ([]Fragment, []E
 	if size > m.FreeBytes() {
 		evicted = m.reclaim(size - m.FreeBytes())
 	}
+	if size > m.FreeBytes() {
+		// Reclaim came up short: some clean space is pinned by in-flight
+		// reads. The evictions already performed are returned with the
+		// error — the caller must still drop their DMT mappings. With no
+		// pin hook installed reclaim always satisfies a feasible request,
+		// so this branch is unreachable in the sequential engine.
+		m.failures++
+		return nil, evicted, fmt.Errorf("%w: need %d, free %d after reclaim (pinned space held)", ErrNoSpace, size, m.FreeBytes())
+	}
 	frags := m.takeFree(size, owner, dirty)
 	return frags, evicted, nil
 }
+
+// SetPinned installs the in-flight-read pin predicate consulted by
+// reclaim. Passing nil removes it.
+func (m *Manager) SetPinned(fn func(off, length int64) bool) { m.pinned = fn }
 
 // FreeRange releases [cacheOff, cacheOff+length) back to the free pool,
 // regardless of state. Callers use it when a DMT mapping is dropped or
@@ -211,8 +231,16 @@ func (m *Manager) nextSeq() uint64 {
 func (m *Manager) reclaim(need int64) []Evicted {
 	var out []Evicted
 	var reclaimed int64
+	var skipped []cleanCand
 	for reclaimed < need && len(m.cleanQ.cs) > 0 {
 		c := m.cleanQ.pop()
+		if m.pinned != nil && m.pinned(c.off, c.len) {
+			// An in-flight read holds (part of) this range. Set it aside —
+			// requeued after the loop so one reclaim pass cannot spin on
+			// it — and try the next-oldest candidate.
+			skipped = append(skipped, c)
+			continue
+		}
 		cEnd := c.off + c.len
 		// Validate against the live map: only subranges that are still
 		// clean and still carry the candidate's seq belong to this LRU
@@ -255,6 +283,9 @@ func (m *Manager) reclaim(need int64) []Evicted {
 			m.FreeRange(ev.CacheOff, ev.Len)
 			m.evictions++
 		}
+	}
+	for _, c := range skipped {
+		m.cleanQ.push(c)
 	}
 	return out
 }

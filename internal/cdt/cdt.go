@@ -41,8 +41,12 @@ type Table struct {
 	order    []fifoRef // insertion order, for bounded eviction
 	maxBytes int64
 	bytes    int64
-	seq      uint64
-	evicted  uint64
+	// flagged tracks the C_flag-marked bytes, maintained incrementally by
+	// every mutation so HasPending is O(1): the Rebuilder polls it every
+	// period and must not walk (or allocate) per poll.
+	flagged int64
+	seq     uint64
+	evicted uint64
 	// ov is the reusable overlap-scan scratch of Add/SetCFlag/ClearCFlag;
 	// callers are single-threaded and each scan completes before the next
 	// starts, so one buffer per table is safe.
@@ -78,10 +82,15 @@ func (t *Table) Add(file string, off, length int64, benefit time.Duration) {
 			break
 		}
 	}
-	t.bytes -= t.overlapBytes(m, off, length)
+	total, flaggedOv := t.overlapBytes(m, off, length)
+	t.bytes -= total
+	t.flagged -= flaggedOv
 	t.seq++
 	m.Insert(off, length, Info{CFlag: flag, Benefit: benefit, seq: t.seq})
 	t.bytes += length
+	if flag {
+		t.flagged += length
+	}
 	if t.maxBytes > 0 {
 		// The FIFO log only feeds evict(); an unbounded table would grow it
 		// forever without ever consuming it.
@@ -113,6 +122,7 @@ func (t *Table) SetCFlag(file string, off, length int64) {
 			v := e.Val
 			v.CFlag = true
 			m.Insert(e.Off, e.Len, v)
+			t.flagged += e.Len
 		}
 	}
 }
@@ -130,6 +140,7 @@ func (t *Table) ClearCFlag(file string, off, length int64) {
 			v := e.Val
 			v.CFlag = false
 			m.Insert(e.Off, e.Len, v)
+			t.flagged -= e.Len
 		}
 	}
 }
@@ -155,13 +166,39 @@ func (t *Table) PendingFetches(max int) []Fetch {
 	return out
 }
 
+// Extent is one tracked critical range, as reported by Extents.
+type Extent struct {
+	File    string
+	Off     int64
+	Len     int64
+	CFlag   bool
+	Benefit time.Duration
+}
+
+// Extents dumps every tracked range in deterministic (first-added file,
+// ascending offset) order — the state-comparison oracle of the
+// concurrency-equivalence tests.
+func (t *Table) Extents() []Extent {
+	var out []Extent
+	for _, file := range t.names {
+		m := t.files[file]
+		m.Walk(func(e extent.Entry[Info]) bool {
+			out = append(out, Extent{File: file, Off: e.Off, Len: e.Len, CFlag: e.Val.CFlag, Benefit: e.Val.Benefit})
+			return true
+		})
+	}
+	return out
+}
+
 // Remove drops coverage of [off, off+length).
 func (t *Table) Remove(file string, off, length int64) {
 	m, ok := t.files[file]
 	if !ok {
 		return
 	}
-	t.bytes -= t.overlapBytes(m, off, length)
+	total, flaggedOv := t.overlapBytes(m, off, length)
+	t.bytes -= total
+	t.flagged -= flaggedOv
 	m.Delete(off, length)
 }
 
@@ -174,6 +211,14 @@ func (t *Table) FileTracked(file string) bool {
 
 // Bytes returns the total tracked critical bytes.
 func (t *Table) Bytes() int64 { return t.bytes }
+
+// PendingBytes returns the C_flag-marked bytes awaiting a lazy fetch,
+// maintained incrementally (O(1), no walk).
+func (t *Table) PendingBytes() int64 { return t.flagged }
+
+// HasPending reports whether any lazy fetch is pending, in O(1) and
+// without allocating — the Rebuilder's poll predicate.
+func (t *Table) HasPending() bool { return t.flagged > 0 }
 
 // Entries returns the total extent count.
 func (t *Table) Entries() int {
@@ -213,6 +258,9 @@ func (t *Table) evict() {
 		for _, e := range m.Overlaps(ref.off, ref.len) {
 			if e.Val.seq == ref.seq {
 				t.bytes -= e.Len
+				if e.Val.CFlag {
+					t.flagged -= e.Len
+				}
 				m.Delete(e.Off, e.Len)
 				t.evicted++
 			}
@@ -220,8 +268,9 @@ func (t *Table) evict() {
 	}
 }
 
-func (t *Table) overlapBytes(m *extent.Map[Info], off, length int64) int64 {
-	var n int64
+// overlapBytes returns the tracked bytes of m inside [off, off+length),
+// clipped, along with how many of them carry the C_flag.
+func (t *Table) overlapBytes(m *extent.Map[Info], off, length int64) (total, flagged int64) {
 	end := off + length
 	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
 	for _, e := range t.ov {
@@ -232,7 +281,10 @@ func (t *Table) overlapBytes(m *extent.Map[Info], off, length int64) int64 {
 		if hi > end {
 			hi = end
 		}
-		n += hi - lo
+		total += hi - lo
+		if e.Val.CFlag {
+			flagged += hi - lo
+		}
 	}
-	return n
+	return total, flagged
 }

@@ -146,6 +146,47 @@ func (s *Striped) Entries() int {
 	return n
 }
 
+// PendingBytes returns the C_flag-marked bytes across stripes.
+func (s *Striped) PendingBytes() int64 {
+	var n int64
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		n += sh.t.PendingBytes()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// HasPending reports whether any stripe has a lazy fetch pending. Each
+// stripe answers in O(1) from its incremental counter, and the scan stops
+// at the first pending stripe — the concurrent Rebuilder's poll predicate.
+func (s *Striped) HasPending() bool {
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		pending := sh.t.HasPending()
+		sh.mu.Unlock()
+		if pending {
+			return true
+		}
+	}
+	return false
+}
+
+// Extents dumps every tracked range across stripes (stripe order, then
+// each stripe's deterministic order) — the concurrency-equivalence oracle.
+func (s *Striped) Extents() []Extent {
+	var out []Extent
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		out = append(out, sh.t.Extents()...)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Evicted returns how many FIFO evictions the byte bound has forced
 // across stripes.
 func (s *Striped) Evicted() uint64 {

@@ -119,6 +119,33 @@ func TestReadCacheHitZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRebuildPendingZeroAllocs pins the Rebuilder's poll predicate at zero
+// heap allocations: it used to build DirtyExtents(1)/PendingFetches(1)
+// slices just to check emptiness, on every periodic tick. Pinned in both
+// states (pending work and drained) so neither branch regresses.
+func TestRebuildPendingZeroAllocs(t *testing.T) {
+	tb := newPerfTestbed(t)
+	// Dirty data present: a critical random write absorbed into the cache.
+	if err := tb.s4d.Write(0, "f", 1<<30, 16<<10, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.Run()
+	if !tb.s4d.RebuildPending() {
+		t.Fatal("no pending rebuild work after a cache-absorbed write")
+	}
+	if got := testing.AllocsPerRun(100, func() { tb.s4d.RebuildPending() }); got != 0 {
+		t.Fatalf("RebuildPending (pending) allocates %v per op, want 0", got)
+	}
+	tb.s4d.DrainRebuild(nil)
+	tb.eng.Run()
+	if tb.s4d.RebuildPending() {
+		t.Fatal("rebuild work still pending after drain")
+	}
+	if got := testing.AllocsPerRun(100, func() { tb.s4d.RebuildPending() }); got != 0 {
+		t.Fatalf("RebuildPending (drained) allocates %v per op, want 0", got)
+	}
+}
+
 // TestEpochPruning verifies the fileEpoch satellite: epochs of files whose
 // DMT and CDT footprints are gone are dropped at Rebuilder cycle
 // boundaries, so the map no longer grows with every file ever written.

@@ -1,0 +1,611 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s4dcache/internal/cachespace"
+	"s4dcache/internal/cdt"
+	"s4dcache/internal/costmodel"
+	"s4dcache/internal/dmt"
+	"s4dcache/internal/extent"
+	"s4dcache/internal/kvstore"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+// Backend is the PFS surface the concurrent engine drives. Both the
+// virtual-time *pfs.FS and the wall-clock *pfs.WallFS satisfy it; the
+// concurrent engine only requires that Write/Read never run their
+// completion synchronously (the sim.Clock invariant) and that all methods
+// are safe for the callers the instance is built for.
+type Backend interface {
+	Write(file string, off, size int64, pri sim.Priority, data []byte, done func(error)) error
+	Read(file string, off, size int64, pri sim.Priority, buf []byte, done func(error)) error
+	RangeDown(off, size int64) bool
+	Layout() pfs.Layout
+}
+
+var (
+	_ Backend = (*pfs.FS)(nil)
+	_ Backend = (*pfs.WallFS)(nil)
+)
+
+// ConcurrentConfig assembles a Concurrent engine.
+type ConcurrentConfig struct {
+	// Clock supplies time and timers; sim.NewWallClock for real
+	// multi-goroutine execution.
+	Clock sim.Clock
+	// OPFS and CPFS are the two goroutine-safe PFS backends.
+	OPFS, CPFS Backend
+	// Model is the calibrated cost model.
+	Model costmodel.Params
+	// CacheCapacity is total cache space, divided evenly across shards.
+	CacheCapacity int64
+	// CDTMaxBytes bounds the critical data table; 0 means unbounded.
+	CDTMaxBytes int64
+	// RebuildPeriod triggers the Rebuilder every period; 0 disables it.
+	RebuildPeriod time.Duration
+	// RebuildBatch caps extents flushed and fetched per cycle; 0 means 64.
+	RebuildBatch int
+	// RebuildWorkers sizes the Rebuilder's worker pool; 0 means 4.
+	RebuildWorkers int
+	// MetaStore, if non-nil, persists the DMT through this store (the
+	// sharded engine uses the lock-striped table over the same store).
+	MetaStore *kvstore.Store
+	// Policy selects the admission policy; zero value = PolicyBenefit.
+	Policy AdmissionPolicy
+	// Concurrency is the shard count — the number of independent serve
+	// lanes. 0 means 8. Files hash onto shards; clients may call from any
+	// number of goroutines regardless of this value.
+	Concurrency int
+	// Faulty enables the degraded-mode checks on the serve path from the
+	// start (required when servers may crash before the first failure).
+	Faulty bool
+}
+
+// Concurrent is the sharded, goroutine-safe S4D engine (the PR's
+// "concurrent redirection engine"). It implements the same Algorithm-1
+// routing as S4D but routes every request by file hash onto one of
+// Concurrency shards, each with its own mutex, cost-model tracker, file
+// epochs and cache-space region; the metadata tables are the lock-striped
+// dmt.Striped/cdt.Striped. The Rebuilder fans flush/fetch work across a
+// bounded worker pool with per-file ordering.
+//
+// The engine is always lazy-fetch (the paper's behaviour) and never
+// charges metadata I/O; those ablations stay on the deterministic
+// sequential engine.
+//
+// Lock order (documented in DESIGN.md §11): core shard mutex → cachespace
+// region mutex → striped table stripe mutex → kvstore shard mutex. Leaf
+// mutexes (deferred-read list, degraded map, join error slots) are taken
+// below all of these. No path holds two shard mutexes or two region
+// mutexes at once.
+type Concurrent struct {
+	clock  sim.Clock
+	opfs   Backend
+	cpfs   Backend
+	model  costmodel.Params
+	policy AdmissionPolicy
+	faulty atomic.Bool
+
+	shards []cshard
+	dmt    *dmt.Striped
+	cdt    *cdt.Striped
+	space  *cachespace.Sharded
+
+	// Rebuilder state (concrebuild.go).
+	rebuildBatch   int
+	rebuildMu      sync.Mutex
+	rebuildBusy    bool
+	rebuildWaiters []func()
+	workerCh       []chan crTask
+	quit           chan struct{}
+	closed         atomic.Bool
+
+	// Degraded-mode state. downMu is a leaf mutex: never held while taking
+	// a shard or region lock.
+	downMu        sync.Mutex
+	downC         map[int]bool
+	downCount     atomic.Int32
+	degradedSince time.Duration
+	degradedTime  time.Duration
+
+	// deferMu guards the parked-read list; leaf like downMu.
+	deferMu  sync.Mutex
+	deferred []deferredRead
+
+	// Rebuilder counters (updated from worker goroutines).
+	rebuildCycles, flushes, flushRetries atomic.Uint64
+	fetches, fetchFailures, fetchRetries atomic.Uint64
+	bytesFlushed, bytesFetched           atomic.Int64
+	epochsPruned                         atomic.Uint64
+}
+
+// cshard is one serve lane: everything a request for this shard's files
+// touches under the shard mutex.
+type cshard struct {
+	mu        sync.Mutex
+	tracker   *costmodel.Tracker
+	locality  *localityTracker
+	fileEpoch map[string]uint64
+	// Serve-path lookup scratch, reused under mu.
+	hitsBuf    []dmt.Hit
+	gapsBuf    []extent.Gap
+	insertsBuf []dmt.FragmentInsert
+	stats      Stats
+}
+
+// NewConcurrent builds a Concurrent engine.
+func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("core: clock is required")
+	}
+	if cfg.OPFS == nil || cfg.CPFS == nil {
+		return nil, fmt.Errorf("core: OPFS and CPFS are required")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.CacheCapacity <= 0 {
+		return nil, fmt.Errorf("core: cache capacity must be positive, got %d", cfg.CacheCapacity)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.RebuildBatch <= 0 {
+		cfg.RebuildBatch = 64
+	}
+	if cfg.RebuildWorkers <= 0 {
+		cfg.RebuildWorkers = 4
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyBenefit
+	}
+	space, err := cachespace.NewSharded(cfg.CacheCapacity, cfg.Concurrency)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	table := dmt.NewStriped()
+	if cfg.MetaStore != nil {
+		table, err = dmt.OpenStriped(cfg.MetaStore)
+		if err != nil {
+			return nil, fmt.Errorf("core: open DMT: %w", err)
+		}
+	}
+	c := &Concurrent{
+		clock:        cfg.Clock,
+		opfs:         cfg.OPFS,
+		cpfs:         cfg.CPFS,
+		model:        cfg.Model,
+		policy:       cfg.Policy,
+		shards:       make([]cshard, cfg.Concurrency),
+		dmt:          table,
+		cdt:          cdt.NewStriped(cfg.CDTMaxBytes),
+		space:        space,
+		rebuildBatch: cfg.RebuildBatch,
+		downC:        make(map[int]bool),
+		quit:         make(chan struct{}),
+	}
+	c.faulty.Store(cfg.Faulty)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.tracker = costmodel.NewTracker()
+		sh.fileEpoch = make(map[string]uint64)
+		if cfg.Policy == PolicyLocality {
+			sh.locality = newLocalityTracker(0, 0)
+		}
+	}
+	c.workerCh = make([]chan crTask, cfg.RebuildWorkers)
+	for i := range c.workerCh {
+		c.workerCh[i] = make(chan crTask, 2*cfg.RebuildBatch)
+		go c.rebuildWorker(c.workerCh[i])
+	}
+	if cfg.RebuildPeriod > 0 {
+		c.armRebuild(cfg.RebuildPeriod)
+	}
+	return c, nil
+}
+
+// Close stops the periodic Rebuilder trigger and the worker pool. Call
+// after draining (DrainRebuild): tasks of an in-flight cycle may be
+// dropped once workers exit, leaving that cycle's callbacks unfired.
+func (c *Concurrent) Close() {
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.quit)
+	}
+}
+
+// DMT exposes the lock-striped mapping table.
+func (c *Concurrent) DMT() *dmt.Striped { return c.dmt }
+
+// CDT exposes the lock-striped critical data table.
+func (c *Concurrent) CDT() *cdt.Striped { return c.cdt }
+
+// Space exposes the sharded cache-space manager.
+func (c *Concurrent) Space() *cachespace.Sharded { return c.space }
+
+// shard routes a file to its serve lane by FNV-1a hash.
+func (c *Concurrent) shard(file string) (*cshard, int) {
+	h := uint32(2166136261)
+	for i := 0; i < len(file); i++ {
+		h ^= uint32(file[i])
+		h *= 16777619
+	}
+	idx := int(h % uint32(len(c.shards)))
+	return &c.shards[idx], idx
+}
+
+// conJoin joins one request's cache/disk segments. Segment completions
+// (sub) may run on any goroutine; the request's done callback always fires
+// asynchronously via the clock so no caller lock is held when it runs.
+type conJoin struct {
+	c    *Concurrent
+	n    atomic.Int32
+	mu   sync.Mutex
+	err  error
+	done func(error)
+}
+
+func (j *conJoin) sub(err error) {
+	if err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = err
+		}
+		j.mu.Unlock()
+	}
+	if j.n.Add(-1) == 0 {
+		j.mu.Lock()
+		err := j.err
+		j.mu.Unlock()
+		if j.done != nil {
+			j.c.clock.After(0, func() { j.done(err) })
+		}
+	}
+}
+
+// segJoin joins the fragments of one miss segment into a single parent
+// completion (a conJoin.sub). Unlike conJoin it fires the parent directly:
+// sub is safe to call from any goroutine.
+type segJoin struct {
+	n      atomic.Int32
+	mu     sync.Mutex
+	err    error
+	parent func(error)
+}
+
+func (j *segJoin) sub(err error) {
+	if err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = err
+		}
+		j.mu.Unlock()
+	}
+	if j.n.Add(-1) == 0 {
+		j.mu.Lock()
+		err := j.err
+		j.mu.Unlock()
+		j.parent(err)
+	}
+}
+
+// completeErr reports a zero-work request done asynchronously.
+func (c *Concurrent) completeErr(done func(error)) {
+	if done != nil {
+		c.clock.After(0, func() { done(nil) })
+	}
+}
+
+func (c *Concurrent) complete(done func()) {
+	if done != nil {
+		c.clock.After(0, done)
+	}
+}
+
+// degradedNow reports whether any CServer is down (lock-free fast path).
+func (c *Concurrent) degradedNow() bool { return c.downCount.Load() > 0 }
+
+// Write intercepts an application write of file[off, off+size) by rank.
+// Safe to call from any goroutine; done runs asynchronously when all
+// segments complete, with the first segment error.
+func (c *Concurrent) Write(rank int, file string, off, size int64, data []byte, done func(error)) error {
+	if err := checkRange(off, size, data); err != nil {
+		return err
+	}
+	if size == 0 {
+		c.completeErr(done)
+		return nil
+	}
+	sh, shardIdx := c.shard(file)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Writes++
+	sh.stats.BytesWritten += size
+	sh.fileEpoch[file]++
+
+	benefit := c.identify(sh, rank, file, off, size)
+
+	sh.hitsBuf, sh.gapsBuf = c.dmt.AppendLookup(sh.hitsBuf[:0], sh.gapsBuf[:0], file, off, size)
+	hits, gaps := sh.hitsBuf, sh.gapsBuf
+	j := &conJoin{c: c, done: done}
+	j.n.Store(int32(len(hits) + len(gaps)))
+
+	faulty := c.faulty.Load()
+	for _, h := range hits {
+		if faulty && c.cpfs.RangeDown(h.CacheOff, h.Len) {
+			// Cached copy sits on a crashed CServer; the write supersedes
+			// it — unmap and fail the segment over to the DServers.
+			sh.stats.Failovers++
+			if err := c.dmt.Delete(file, h.Off, h.Len); err != nil {
+				return fmt.Errorf("core: failover unmap: %w", err)
+			}
+			c.space.FreeRange(h.CacheOff, h.Len)
+			sh.stats.SegWritesDisk++
+			sh.stats.BytesWriteDisk += h.Len
+			if err := c.opfs.Write(file, h.Off, h.Len, sim.PriorityHigh, slice(data, off, h.Off, h.Len), j.sub); err != nil {
+				j.sub(err)
+			}
+			continue
+		}
+		sh.stats.SegWritesCache++
+		sh.stats.BytesWriteCache += h.Len
+		// Re-dirty before issuing: dirty space is never reclaimed, so the
+		// in-flight destination cannot be evicted by another shard's
+		// allocation (regions are per-shard) or this shard's (serialized).
+		if err := c.dmt.SetDirty(file, h.Off, h.Len); err != nil {
+			return fmt.Errorf("core: set dirty: %w", err)
+		}
+		c.space.MarkDirty(h.CacheOff, h.Len)
+		c.space.Touch(h.CacheOff, h.Len)
+		seg := slice(data, off, h.Off, h.Len)
+		cb := j.sub
+		if faulty {
+			h := h
+			cb = func(err error) {
+				if err == nil {
+					j.sub(nil)
+					return
+				}
+				c.absorbFailedConc(file, h.Off, h.Len, h.CacheOff, seg, j.sub)
+			}
+		}
+		if err := c.cpfs.Write(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, seg, cb); err != nil {
+			j.sub(err)
+		}
+	}
+
+	for _, g := range gaps {
+		if c.admitWriteConc(sh, file, g.Off, g.Len, benefit) {
+			if faulty && c.degradedNow() {
+				sh.stats.Failovers++
+			} else {
+				c.absorbWriteConc(sh, shardIdx, file, g.Off, g.Len, slice(data, off, g.Off, g.Len), j, faulty)
+				continue
+			}
+		}
+		sh.stats.SegWritesDisk++
+		sh.stats.BytesWriteDisk += g.Len
+		if err := c.opfs.Write(file, g.Off, g.Len, sim.PriorityHigh, slice(data, off, g.Off, g.Len), j.sub); err != nil {
+			j.sub(err)
+		}
+	}
+	return nil
+}
+
+// Read intercepts an application read of file[off, off+size) by rank. Safe
+// to call from any goroutine. In-flight cache hits pin their ranges so
+// reclaim cannot hand the bytes to another owner mid-read.
+func (c *Concurrent) Read(rank int, file string, off, size int64, buf []byte, done func(error)) error {
+	if err := checkRange(off, size, buf); err != nil {
+		return err
+	}
+	if size == 0 {
+		c.completeErr(done)
+		return nil
+	}
+	sh, _ := c.shard(file)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stats.Reads++
+	sh.stats.BytesRead += size
+
+	benefit := c.identify(sh, rank, file, off, size)
+
+	sh.hitsBuf, sh.gapsBuf = c.dmt.AppendLookup(sh.hitsBuf[:0], sh.gapsBuf[:0], file, off, size)
+	hits, gaps := sh.hitsBuf, sh.gapsBuf
+	j := &conJoin{c: c, done: done}
+	j.n.Store(int32(len(hits) + len(gaps)))
+
+	faulty := c.faulty.Load()
+	for _, h := range hits {
+		seg := slice(buf, off, h.Off, h.Len)
+		if faulty && c.cpfs.RangeDown(h.CacheOff, h.Len) {
+			// Only up-to-date copy is dirty data on a crashed, restarting
+			// CServer: park until the restart.
+			c.deferReadConc(sh, file, h.Off, h.Len, seg, j.sub)
+			continue
+		}
+		sh.stats.SegReadsCache++
+		sh.stats.BytesReadCache += h.Len
+		c.space.Touch(h.CacheOff, h.Len)
+		c.space.Pin(h.CacheOff, h.Len)
+		h := h
+		cb := func(err error) {
+			c.space.Unpin(h.CacheOff, h.Len)
+			if err == nil || !c.faulty.Load() {
+				j.sub(err)
+				return
+			}
+			c.readFailedConc(err, file, h.Off, h.Len, seg, j.sub)
+		}
+		if err := c.cpfs.Read(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, seg, cb); err != nil {
+			c.space.Unpin(h.CacheOff, h.Len)
+			j.sub(err)
+		}
+	}
+	for _, g := range gaps {
+		critical := benefit > 0 || c.cdt.Contains(file, g.Off, g.Len)
+		if critical {
+			// Always lazy: mark for the Rebuilder (Algorithm 1, line 18).
+			c.cdt.SetCFlag(file, g.Off, g.Len)
+			sh.stats.LazyMarks++
+		}
+		sh.stats.SegReadsDisk++
+		sh.stats.BytesReadDisk += g.Len
+		if err := c.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, slice(buf, off, g.Off, g.Len), j.sub); err != nil {
+			j.sub(err)
+		}
+	}
+	return nil
+}
+
+// identify runs the Data Identifier on the shard's tracker. Cost-model
+// state is keyed by (file, rank) and files map to exactly one shard, so
+// per-shard trackers produce the same decisions as one global tracker.
+func (c *Concurrent) identify(sh *cshard, rank int, file string, off, size int64) time.Duration {
+	sh.stats.Identified++
+	if c.policy == PolicyLocality {
+		if sh.locality.Touch(file, off, size) {
+			sh.stats.Critical++
+			c.cdt.Add(file, off, size, 0)
+			return time.Nanosecond
+		}
+		return 0
+	}
+	dist := sh.tracker.Observe(costmodel.StreamKey{File: file, Rank: rank}, off, size)
+	benefit := c.model.Benefit(costmodel.Request{Offset: off, Size: size, Distance: dist})
+	if benefit > 0 {
+		sh.stats.Critical++
+		if c.policy != PolicyNone {
+			c.cdt.Add(file, off, size, benefit)
+		}
+	}
+	return benefit
+}
+
+func (c *Concurrent) admitWriteConc(sh *cshard, file string, off, length int64, benefit time.Duration) bool {
+	switch c.policy {
+	case PolicyNone:
+		return false
+	case PolicyAll:
+		return true
+	default:
+		return benefit > 0 || c.cdt.Contains(file, off, length)
+	}
+}
+
+// absorbWriteConc allocates cache space in the shard's region for a
+// critical write miss and writes the segment to the CServers. Runs under
+// the shard mutex; all eviction victims belong to this shard, so their
+// mapping deletions are race-free.
+func (c *Concurrent) absorbWriteConc(sh *cshard, shardIdx int, file string, off, length int64, data []byte, j *conJoin, faulty bool) {
+	frags, evicted, err := c.space.Allocate(shardIdx, length, cachespace.Owner{File: file, FileOff: off}, true)
+	// Evicted mappings must be dropped even when the allocation came up
+	// short: reclaim may have evicted fragments before stalling on pinned
+	// space.
+	for _, ev := range evicted {
+		if derr := c.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len); derr != nil {
+			j.sub(fmt.Errorf("core: evict mapping: %w", derr))
+			return
+		}
+	}
+	if err != nil {
+		sh.stats.AdmitFailures++
+		sh.stats.SegWritesDisk++
+		sh.stats.BytesWriteDisk += length
+		if werr := c.opfs.Write(file, off, length, sim.PriorityHigh, data, j.sub); werr != nil {
+			j.sub(werr)
+		}
+		return
+	}
+	sh.stats.Admissions++
+	sh.stats.SegWritesCache++
+	sh.stats.BytesWriteCache += length
+	sh.insertsBuf = sh.insertsBuf[:0]
+	pos := off
+	for _, fr := range frags {
+		sh.insertsBuf = append(sh.insertsBuf, dmt.FragmentInsert{
+			Off: pos, Length: fr.Len, CacheOff: fr.CacheOff, Dirty: true,
+		})
+		pos += fr.Len
+	}
+	if err := c.dmt.InsertBatch(file, sh.insertsBuf); err != nil {
+		j.sub(fmt.Errorf("core: map fragments: %w", err))
+		return
+	}
+	sub := &segJoin{parent: j.sub}
+	sub.n.Store(int32(len(frags)))
+	pos = off
+	for _, fr := range frags {
+		seg := slice(data, off, pos, fr.Len)
+		cb := sub.sub
+		if faulty {
+			fr, pos := fr, pos
+			cb = func(err error) {
+				if err == nil {
+					sub.sub(nil)
+					return
+				}
+				c.absorbFailedConc(file, pos, fr.Len, fr.CacheOff, seg, sub.sub)
+			}
+		}
+		if err := c.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityHigh, seg, cb); err != nil {
+			sub.sub(err)
+		}
+		pos += fr.Len
+	}
+}
+
+// Stats aggregates per-shard serve counters, Rebuilder atomics and the
+// degraded-time accumulator into one snapshot. Best-effort consistency:
+// each shard is locked in turn, so the snapshot is not a single instant —
+// fine for reports and tests that quiesce first.
+func (c *Concurrent) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s := sh.stats
+		sh.mu.Unlock()
+		st.Reads += s.Reads
+		st.Writes += s.Writes
+		st.BytesRead += s.BytesRead
+		st.BytesWritten += s.BytesWritten
+		st.Identified += s.Identified
+		st.Critical += s.Critical
+		st.SegReadsCache += s.SegReadsCache
+		st.SegReadsDisk += s.SegReadsDisk
+		st.SegWritesCache += s.SegWritesCache
+		st.SegWritesDisk += s.SegWritesDisk
+		st.BytesReadCache += s.BytesReadCache
+		st.BytesReadDisk += s.BytesReadDisk
+		st.BytesWriteCache += s.BytesWriteCache
+		st.BytesWriteDisk += s.BytesWriteDisk
+		st.Admissions += s.Admissions
+		st.AdmitFailures += s.AdmitFailures
+		st.LazyMarks += s.LazyMarks
+		st.Failovers += s.Failovers
+		st.DeferredReads += s.DeferredReads
+		st.DirtyLost += s.DirtyLost
+	}
+	st.RebuildCycles = c.rebuildCycles.Load()
+	st.Flushes = c.flushes.Load()
+	st.FlushRetries = c.flushRetries.Load()
+	st.Fetches = c.fetches.Load()
+	st.FetchFailures = c.fetchFailures.Load()
+	st.FetchRetries = c.fetchRetries.Load()
+	st.BytesFlushed = c.bytesFlushed.Load()
+	st.BytesFetched = c.bytesFetched.Load()
+	st.EpochsPruned = c.epochsPruned.Load()
+	c.downMu.Lock()
+	st.DegradedTime = c.degradedTime
+	if len(c.downC) > 0 {
+		st.DegradedTime += c.clock.Now() - c.degradedSince
+	}
+	c.downMu.Unlock()
+	return st
+}

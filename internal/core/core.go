@@ -98,6 +98,14 @@ type Config struct {
 	// Rebuilder fetches them later; when false, read misses are cached
 	// eagerly in the request path (ablation).
 	LazyFetch bool
+	// Concurrency selects the engine build. Values <= 1 (the default)
+	// build the deterministic single-threaded simulator engine here;
+	// values > 1 request the sharded concurrent engine, which runs on a
+	// wall clock and goroutine-safe backends — use NewConcurrent with a
+	// ConcurrentConfig for that. New rejects Concurrency > 1 so the
+	// virtual-time experiment tables can never silently pick up a
+	// nondeterministic serve path.
+	Concurrency int
 }
 
 // S4D is one S4D-Cache instance.
@@ -205,6 +213,9 @@ func (s *S4D) getJoin(n int, done func(error)) *reqJoin {
 func New(cfg Config) (*S4D, error) {
 	if cfg.Engine == nil {
 		return nil, fmt.Errorf("core: engine is required")
+	}
+	if cfg.Concurrency > 1 {
+		return nil, fmt.Errorf("core: Concurrency=%d requires the concurrent engine; use NewConcurrent", cfg.Concurrency)
 	}
 	if cfg.OPFS == nil || cfg.CPFS == nil {
 		return nil, fmt.Errorf("core: OPFS and CPFS are required")
@@ -492,18 +503,22 @@ func (s *S4D) admitWrite(file string, off, length int64, benefit time.Duration) 
 // failure the segment falls back to the DServers.
 func (s *S4D) absorbWrite(file string, off, length int64, data []byte, join *reqJoin) error {
 	frags, evicted, err := s.space.Allocate(length, cachespace.Owner{File: file, FileOff: off}, true)
+	// Evicted mappings must be dropped even when the allocation itself
+	// failed: with pinned space (concurrent engine) Allocate can evict
+	// some fragments and still come up short. Sequentially evicted is
+	// always nil on error, so the order change is invisible.
+	for _, ev := range evicted {
+		if derr := s.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len); derr != nil {
+			return fmt.Errorf("core: evict mapping: %w", derr)
+		}
+		s.chargeMetaIO()
+	}
 	if err != nil {
 		// No free or clean space: the request goes to the DServers.
 		s.stats.AdmitFailures++
 		s.stats.SegWritesDisk++
 		s.stats.BytesWriteDisk += length
 		return s.opfs.Write(file, off, length, sim.PriorityHigh, data, join.doneFn)
-	}
-	for _, ev := range evicted {
-		if err := s.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len); err != nil {
-			return fmt.Errorf("core: evict mapping: %w", err)
-		}
-		s.chargeMetaIO()
 	}
 	s.stats.Admissions++
 	s.stats.SegWritesCache++
@@ -556,13 +571,13 @@ func (s *S4D) eagerFetch(file string, off, length int64, data []byte) {
 		return
 	}
 	frags, evicted, err := s.space.Allocate(length, cachespace.Owner{File: file, FileOff: off}, false)
-	if err != nil {
-		return // no space: skip caching
-	}
 	for _, ev := range evicted {
 		if s.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len) != nil {
 			return
 		}
+	}
+	if err != nil {
+		return // no space: skip caching
 	}
 	s.stats.Fetches++
 	pos := off

@@ -52,9 +52,13 @@ func (s *S4D) RebuildNow(done func()) {
 	}
 }
 
-// RebuildPending reports whether dirty data or pending fetches remain.
+// RebuildPending reports whether dirty data or pending fetches remain. It
+// reads the tables' incremental byte counters — O(1) and allocation-free
+// (pinned by TestRebuildPendingZeroAllocs) — because the periodic ticker
+// polls it every cycle; the old DirtyExtents(1)/PendingFetches(1) probe
+// built slices just to check emptiness.
 func (s *S4D) RebuildPending() bool {
-	return len(s.dmt.DirtyExtents(1)) > 0 || len(s.cdt.PendingFetches(1)) > 0
+	return s.dmt.HasDirty() || s.cdt.HasPending()
 }
 
 // DrainRebuild runs Rebuilder cycles until no dirty data or pending
@@ -173,18 +177,21 @@ func (s *S4D) fetchExtent(file string, off, length int64, join *sim.Join) {
 // fetchGap moves one unmapped gap from the DServers into the cache.
 func (s *S4D) fetchGap(file string, off, length int64, join *sim.Join) {
 	frags, evicted, err := s.space.Allocate(length, cachespace.Owner{File: file, FileOff: off}, true)
-	if err != nil {
-		// No reclaimable space; retry after future flushes free space.
-		s.stats.FetchFailures++
-		join.Done()
-		return
-	}
+	// Drop evicted mappings before inspecting err: an allocation stalled
+	// on pinned space still evicts (nil evicted sequentially, where pins
+	// never exist).
 	for _, ev := range evicted {
 		if err := s.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len); err != nil {
 			join.Done()
 			return
 		}
 		s.chargeMetaIO()
+	}
+	if err != nil {
+		// No reclaimable space; retry after future flushes free space.
+		s.stats.FetchFailures++
+		join.Done()
+		return
 	}
 	epoch := s.fileEpoch[file]
 	buf := s.flushBuffer(length)

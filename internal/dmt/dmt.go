@@ -64,6 +64,11 @@ type Table struct {
 	ov     []extent.Entry[Mapping]
 	sdHits []Hit
 
+	// dirtyBytes tracks the mapped bytes whose D_flag is set, maintained
+	// incrementally by apply so HasDirty is O(1): the Rebuilder polls it
+	// every period and must not walk (or allocate) per poll.
+	dirtyBytes int64
+
 	inserts, deletes uint64
 }
 
@@ -310,6 +315,14 @@ func (t *Table) Bytes() int64 {
 	return n
 }
 
+// DirtyBytes returns the mapped bytes whose D_flag is set, maintained
+// incrementally (O(1), no walk).
+func (t *Table) DirtyBytes() int64 { return t.dirtyBytes }
+
+// HasDirty reports whether any mapped range is dirty, in O(1) and without
+// allocating — the Rebuilder's poll predicate.
+func (t *Table) HasDirty() bool { return t.dirtyBytes > 0 }
+
 // MetadataBytes estimates the persistent size of the table at the paper's
 // 24 bytes per entry (§V.E.1).
 func (t *Table) MetadataBytes() int64 { return int64(t.Entries()) * EntryBytes }
@@ -368,11 +381,39 @@ func (t *Table) apply(op logOp) {
 	switch op.kind {
 	case kindInsert:
 		t.inserts++
+		t.dirtyBytes -= t.dirtyOverlapBytes(m, op.off, op.length)
 		m.Insert(op.off, op.length, Mapping{CacheOff: op.cacheOff, Dirty: op.dirty})
+		if op.dirty {
+			t.dirtyBytes += op.length
+		}
 	case kindDelete:
 		t.deletes++
+		t.dirtyBytes -= t.dirtyOverlapBytes(m, op.off, op.length)
 		m.Delete(op.off, op.length)
 	}
+}
+
+// dirtyOverlapBytes returns how many dirty mapped bytes of m fall inside
+// [off, off+length), clipped. It reuses t.ov, which every caller has
+// released by the time apply runs.
+func (t *Table) dirtyOverlapBytes(m *extent.Map[Mapping], off, length int64) int64 {
+	var n int64
+	end := off + length
+	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
+	for _, e := range t.ov {
+		if !e.Val.Dirty {
+			continue
+		}
+		lo, hi := e.Off, e.End()
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		n += hi - lo
+	}
+	return n
 }
 
 // nextSeqNum returns the next persist-log sequence number: the injected

@@ -234,6 +234,34 @@ func (s *Striped) Bytes() int64 {
 	return n
 }
 
+// DirtyBytes returns the dirty mapped bytes across stripes.
+func (s *Striped) DirtyBytes() int64 {
+	var n int64
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		n += sh.t.DirtyBytes()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// HasDirty reports whether any stripe holds a dirty mapping. Each stripe
+// answers in O(1) from its incremental counter, and the scan stops at the
+// first dirty stripe — the concurrent Rebuilder's poll predicate.
+func (s *Striped) HasDirty() bool {
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		dirty := sh.t.HasDirty()
+		sh.mu.Unlock()
+		if dirty {
+			return true
+		}
+	}
+	return false
+}
+
 // MetadataBytes estimates the persistent table size at EntryBytes per
 // entry.
 func (s *Striped) MetadataBytes() int64 { return int64(s.Entries()) * EntryBytes }

@@ -36,7 +36,13 @@ func (f *File) CollectiveRead(perRank [][]Span, cfg CollectiveConfig, done func(
 }
 
 func (f *File) collective(perRank [][]Span, cfg CollectiveConfig, done func(error), isWrite bool) error {
-	if !f.open {
+	if f.comm.eng == nil {
+		return fmt.Errorf("mpiio: collective I/O requires a virtual-time communicator (NewComm)")
+	}
+	f.mu.Lock()
+	open := f.open
+	f.mu.Unlock()
+	if !open {
 		return fmt.Errorf("mpiio: file %q is closed", f.name)
 	}
 	if len(perRank) > f.comm.size {

@@ -2,8 +2,7 @@ package mpiio
 
 import (
 	"fmt"
-
-	"s4dcache/internal/sim"
+	"sync"
 )
 
 // Request is a nonblocking-operation handle (the MPI_Request analogue).
@@ -11,22 +10,40 @@ import (
 //
 //	req, _ := f.IWriteAt(rank, off, size, nil)
 //	comm.Engine().RunWhile(func() bool { return !req.Done() })
+//
+// The handle is goroutine-safe: on an engine-free communicator the
+// completion arrives on a timer goroutine while the issuer polls Done.
 type Request struct {
+	mu   sync.Mutex
 	done bool
 	err  error
 }
 
 // Done reports whether the operation has completed (MPI_Test).
-func (r *Request) Done() bool { return r.done }
+func (r *Request) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
 
 // Err returns the I/O error of a completed operation (nil while in flight
 // or on success).
-func (r *Request) Err() error { return r.err }
+func (r *Request) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Request) complete(err error) {
+	r.mu.Lock()
+	r.done, r.err = true, err
+	r.mu.Unlock()
+}
 
 // AllDone reports whether every request has completed (MPI_Testall).
 func AllDone(reqs ...*Request) bool {
 	for _, r := range reqs {
-		if r != nil && !r.done {
+		if r != nil && !r.Done() {
 			return false
 		}
 	}
@@ -37,7 +54,7 @@ func AllDone(reqs ...*Request) bool {
 // (MPI_File_iread_at).
 func (f *File) IReadAt(rank int, off, size int64, buf []byte) (*Request, error) {
 	req := &Request{}
-	if err := f.ReadAt(rank, off, size, buf, func(err error) { req.done, req.err = true, err }); err != nil {
+	if err := f.ReadAt(rank, off, size, buf, req.complete); err != nil {
 		return nil, err
 	}
 	return req, nil
@@ -47,14 +64,18 @@ func (f *File) IReadAt(rank int, off, size int64, buf []byte) (*Request, error) 
 // (MPI_File_iwrite_at).
 func (f *File) IWriteAt(rank int, off, size int64, data []byte) (*Request, error) {
 	req := &Request{}
-	if err := f.WriteAt(rank, off, size, data, func(err error) { req.done, req.err = true, err }); err != nil {
+	if err := f.WriteAt(rank, off, size, data, req.complete); err != nil {
 		return nil, err
 	}
 	return req, nil
 }
 
 // SharedOffset returns the shared file pointer (one per file, all ranks).
-func (f *File) SharedOffset() int64 { return f.shared }
+func (f *File) SharedOffset() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shared
+}
 
 // WriteShared appends size bytes at the shared file pointer and advances
 // it atomically (MPI_File_write_shared): concurrent callers receive
@@ -66,8 +87,10 @@ func (f *File) WriteShared(rank int, size int64, data []byte, done func(error)) 
 	if size < 0 {
 		return fmt.Errorf("mpiio: negative shared write size %d", size)
 	}
+	f.mu.Lock()
 	off := f.shared
 	f.shared += size
+	f.mu.Unlock()
 	return f.comm.transport.Write(rank, f.name, off, size, data, done)
 }
 
@@ -80,8 +103,10 @@ func (f *File) ReadShared(rank int, size int64, buf []byte, done func(error)) er
 	if size < 0 {
 		return fmt.Errorf("mpiio: negative shared read size %d", size)
 	}
+	f.mu.Lock()
 	off := f.shared
 	f.shared += size
+	f.mu.Unlock()
 	return f.comm.transport.Read(rank, f.name, off, size, buf, done)
 }
 
@@ -114,17 +139,17 @@ func (f *File) spansOp(rank int, spans []Span, merge bool, done func(error), isW
 	}
 	if len(work) == 0 {
 		if done != nil {
-			f.comm.eng.After(0, func() { done(nil) })
+			f.comm.after0(func() { done(nil) })
 		}
 		return nil
 	}
-	join := sim.NewErrJoin(len(work), done)
+	join := f.comm.errJoin(len(work), done)
 	for _, sp := range work {
 		var err error
 		if isWrite {
-			err = f.comm.transport.Write(rank, f.name, sp.Off, sp.Len, nil, join.Done)
+			err = f.comm.transport.Write(rank, f.name, sp.Off, sp.Len, nil, join)
 		} else {
-			err = f.comm.transport.Read(rank, f.name, sp.Off, sp.Len, nil, join.Done)
+			err = f.comm.transport.Read(rank, f.name, sp.Off, sp.Len, nil, join)
 		}
 		if err != nil {
 			return err

@@ -2,8 +2,6 @@ package mpiio
 
 import (
 	"fmt"
-
-	"s4dcache/internal/sim"
 )
 
 // View is a strided file view (a vector-datatype-lite): starting at Disp,
@@ -59,8 +57,10 @@ func (f *File) SetView(rank int, v View) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
+	f.mu.Lock()
 	f.view[rank] = v
 	f.offset[rank] = 0 // view-relative block position
+	f.mu.Unlock()
 	return nil
 }
 
@@ -95,9 +95,9 @@ func (f *File) ReadStrided(rank int, n int64, method StridedMethod, done func(er
 		hi := spans[len(spans)-1].Off + spans[len(spans)-1].Len
 		return f.comm.transport.Read(rank, f.name, lo, hi-lo, nil, done)
 	default:
-		join := sim.NewErrJoin(len(spans), done)
+		join := f.comm.errJoin(len(spans), done)
 		for _, sp := range spans {
-			if err := f.comm.transport.Read(rank, f.name, sp.Off, sp.Len, nil, join.Done); err != nil {
+			if err := f.comm.transport.Read(rank, f.name, sp.Off, sp.Len, nil, join); err != nil {
 				return err
 			}
 		}
@@ -136,9 +136,9 @@ func (f *File) WriteStrided(rank int, n int64, method StridedMethod, done func(e
 			})
 		})
 	default:
-		join := sim.NewErrJoin(len(spans), done)
+		join := f.comm.errJoin(len(spans), done)
 		for _, sp := range spans {
-			if err := f.comm.transport.Write(rank, f.name, sp.Off, sp.Len, nil, join.Done); err != nil {
+			if err := f.comm.transport.Write(rank, f.name, sp.Off, sp.Len, nil, join); err != nil {
 				return err
 			}
 		}
@@ -146,10 +146,10 @@ func (f *File) WriteStrided(rank int, n int64, method StridedMethod, done func(e
 	}
 }
 
-// completeEmpty reports a zero-work operation complete in virtual time.
+// completeEmpty reports a zero-work operation complete asynchronously.
 func (f *File) completeEmpty(done func(error)) {
 	if done != nil {
-		f.comm.eng.After(0, func() { done(nil) })
+		f.comm.after0(func() { done(nil) })
 	}
 }
 
@@ -159,6 +159,8 @@ func (f *File) takeViewSpans(rank int, n int64) ([]Span, error) {
 	if err := f.check(rank); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	v, ok := f.view[rank]
 	if !ok {
 		return nil, fmt.Errorf("mpiio: rank %d has no view on %q", rank, f.name)
