@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve alloc-check check
+.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale alloc-check check
 
 all: build
 
@@ -35,6 +35,14 @@ bench-json:
 BENCH_SERVE ?= BENCH_pr5.json
 bench-serve:
 	$(GO) run ./cmd/s4dbench -bench-serve $(BENCH_SERVE)
+
+# Regenerate the GOMAXPROCS contention sweep: read-heavy/mixed/write-heavy
+# mixes at GOMAXPROCS 1/2/4/8, epoch (lock-free read path) vs locked
+# (stripe-locked baseline). Numbers are machine-dependent; read num_cpu
+# before interpreting the procs axis (see README "Serve scaling").
+BENCH_SCALE ?= BENCH_pr6.json
+bench-serve-scale:
+	$(GO) run ./cmd/s4dbench -bench-serve-scale $(BENCH_SCALE)
 
 # Just the allocation-regression tests: pins the performance-mode serve
 # and identify paths, the metadata store's durable commit path, and the

@@ -6,7 +6,9 @@
 //	s4dbench [-exp id[,id...]] [-scale f] [-ranks n] [-parallel n] [-full] [-list]
 //	         [-faults plan] [-fault-seed n]
 //	         [-bench-json file] [-bench-serve file] [-serve-clients list] [-serve-window d]
+//	         [-bench-serve-scale file] [-serve-procs list]
 //	         [-cpuprofile file] [-memprofile file] [-trace file]
+//	         [-mutexprofile file] [-blockprofile file]
 //
 // By default every experiment runs at the quick scale (~1/250 of the
 // paper's data volume, all ratios preserved). -full uses the published
@@ -28,8 +30,14 @@
 // client goroutines (-serve-clients counts, -serve-window per point)
 // driving the concurrent S4D engine on the wall-clock backend, reporting
 // aggregate ops/s per client count. The experiment tables always run on
-// the deterministic virtual-time scheduler; -bench-serve is the only mode
-// that exercises the wall-clock one.
+// the deterministic virtual-time scheduler; -bench-serve and
+// -bench-serve-scale are the only modes that exercise the wall-clock one.
+//
+// -bench-serve-scale runs the serve/scale contention family: a GOMAXPROCS
+// sweep (-serve-procs) over read-heavy/mixed/write-heavy mixes, in both
+// epoch (lock-free read path) and locked (stripe-locked baseline) modes —
+// the BENCH_pr6.json generator. -mutexprofile and -blockprofile capture
+// contention evidence for any invocation.
 package main
 
 import (
@@ -62,9 +70,13 @@ func run() int {
 		benchServe   = flag.String("bench-serve", "", "run the serve/* multi-client throughput family and write its JSON report to this file")
 		serveClients = flag.String("serve-clients", "1,4,16", "client-goroutine counts for -bench-serve")
 		serveWindow  = flag.Duration("serve-window", 400*time.Millisecond, "measured window per -bench-serve point")
+		benchScale   = flag.String("bench-serve-scale", "", "run the serve/scale GOMAXPROCS contention sweep and write its JSON report to this file")
+		serveProcs   = flag.String("serve-procs", "1,2,4,8", "GOMAXPROCS values for -bench-serve-scale")
 		cpuProf      = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf      = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		tracePath    = flag.String("trace", "", "write a runtime execution trace to this file")
+		mutexProf    = flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file at exit")
+		blockProf    = flag.String("blockprofile", "", "write a pprof goroutine-blocking profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -75,7 +87,13 @@ func run() int {
 		return 0
 	}
 
-	stopProf, err := profiling.Config{CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *tracePath}.Start()
+	stopProf, err := profiling.Config{
+		CPUProfile:   *cpuProf,
+		MemProfile:   *memProf,
+		Trace:        *tracePath,
+		MutexProfile: *mutexProf,
+		BlockProfile: *blockProf,
+	}.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
 		return 1
@@ -138,6 +156,35 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("s4dbench: wrote %s\n", *benchServe)
+		return 0
+	}
+
+	if *benchScale != "" {
+		var procs []int
+		for _, s := range strings.Split(*serveProcs, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "s4dbench: -serve-procs: bad value %q\n", s)
+				return 2
+			}
+			procs = append(procs, n)
+		}
+		f, err := os.Create(*benchScale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		scaleCfg := bench.ServeScaleConfig{Procs: procs, Window: *serveWindow}
+		if err := bench.EmitServeScaleJSON(f, scaleCfg, os.Stderr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("s4dbench: wrote %s\n", *benchScale)
 		return 0
 	}
 

@@ -5,6 +5,7 @@
 //
 //	s4dreport [-o EXPERIMENTS.md] [-scale f] [-ranks n] [-parallel n] [-full]
 //	          [-bench-json file] [-cpuprofile file] [-memprofile file] [-trace file]
+//	          [-mutexprofile file] [-blockprofile file]
 //
 // -bench-json skips the markdown report and instead runs the hot-path
 // micro-benchmarks plus the experiment suite, writing a machine-readable
@@ -119,10 +120,18 @@ func run() int {
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		tracePath = flag.String("trace", "", "write a runtime execution trace to this file")
+		mutexProf = flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file at exit")
+		blockProf = flag.String("blockprofile", "", "write a pprof goroutine-blocking profile to this file at exit")
 	)
 	flag.Parse()
 
-	stopProf, err := profiling.Config{CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *tracePath}.Start()
+	stopProf, err := profiling.Config{
+		CPUProfile:   *cpuProf,
+		MemProfile:   *memProf,
+		Trace:        *tracePath,
+		MutexProfile: *mutexProf,
+		BlockProfile: *blockProf,
+	}.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "s4dreport: %v\n", err)
 		return 1

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestServeScaleReport exercises the full sweep machinery at a tiny
+// window: every cell measures, the summary ratios populate, and the
+// caller's GOMAXPROCS is restored.
+func TestServeScaleReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark harness")
+	}
+	before := runtime.GOMAXPROCS(0)
+	rep, err := RunServeScale(ServeScaleConfig{
+		Procs:     []int{1, 2},
+		Clients:   4,
+		Window:    40 * time.Millisecond,
+		Warmup:    10 * time.Millisecond,
+		Workloads: []string{"read-heavy", "write-heavy"},
+		Modes:     []string{"epoch", "locked"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOMAXPROCS(0) != before {
+		t.Fatalf("GOMAXPROCS not restored: %d, want %d", runtime.GOMAXPROCS(0), before)
+	}
+	if rep.Schema != "s4d-serve-scale/1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if rep.NumCPU != runtime.NumCPU() {
+		t.Fatalf("num_cpu %d, want %d", rep.NumCPU, runtime.NumCPU())
+	}
+	if want := 2 * 2 * 2; len(rep.Points) != want {
+		t.Fatalf("%d points, want %d", len(rep.Points), want)
+	}
+	for _, pt := range rep.Points {
+		if pt.Ops == 0 || pt.OpsPerSec <= 0 {
+			t.Fatalf("empty cell: %+v", pt)
+		}
+	}
+	if rep.EpochVsLockedReadHeavy <= 0 {
+		t.Fatal("epoch_vs_locked_read_heavy not computed")
+	}
+}
+
+// TestServeScaleSmoke is the CI multicore regression gate (ISSUE 6,
+// satellite 6): on a multi-core host, read-heavy epoch throughput at
+// GOMAXPROCS=4 must not fall below GOMAXPROCS=1 — if the lock-free read
+// path ever reintroduces a serialization point, adding cores makes
+// aggregate ops/s collapse and this fails. Single-core hosts skip: with
+// one CPU the sweep measures scheduler interleaving, not parallelism.
+func TestServeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark harness")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skipf("host has %d CPU(s); multicore scaling is unmeasurable", runtime.NumCPU())
+	}
+	rep, err := RunServeScale(ServeScaleConfig{
+		Procs:     []int{1, 4},
+		Clients:   8,
+		Window:    150 * time.Millisecond,
+		Warmup:    30 * time.Millisecond,
+		Workloads: []string{"read-heavy"},
+		Modes:     []string{"epoch"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p1, p4 float64
+	for _, pt := range rep.Points {
+		switch pt.Procs {
+		case 1:
+			p1 = pt.OpsPerSec
+		case 4:
+			p4 = pt.OpsPerSec
+		}
+	}
+	if p1 <= 0 || p4 <= 0 {
+		t.Fatalf("missing points: p1=%v p4=%v", p1, p4)
+	}
+	if p4 < p1 {
+		t.Fatalf("multi-core regression: %d clients at GOMAXPROCS=4 served %.0f ops/s < %.0f ops/s at GOMAXPROCS=1", rep.Clients, p4, p1)
+	}
+}

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s4dcache/internal/core"
+	"s4dcache/internal/costmodel"
+	"s4dcache/internal/device"
+	"s4dcache/internal/netmodel"
+	"s4dcache/internal/pfs"
+	"s4dcache/internal/sim"
+)
+
+// ServeScaleConfig parameterizes the serve/scale contention family: the
+// GOMAXPROCS sweep that separates CPU scaling from the latency hiding the
+// plain serve/* family measures. Service time is set to ~zero, the working
+// set is preloaded into cache, and the same client count runs at each
+// GOMAXPROCS value — so any throughput difference between points is the
+// engine's own serialization, and the epoch-vs-locked mode pair prices
+// the lock-free read path directly against the stripe-locked baseline.
+type ServeScaleConfig struct {
+	// Procs lists the GOMAXPROCS values to sweep (default 1,2,4,8).
+	Procs []int
+	// Clients is the client-goroutine count at every point (default 8).
+	Clients int
+	// Window is the measured interval per point (default 300ms); Warmup
+	// runs first and is discarded (default 50ms).
+	Window, Warmup time.Duration
+	// Shards is the engine concurrency (default 16).
+	Shards int
+	// Workloads selects the contention mixes (default all three:
+	// "read-heavy" 95/5, "mixed" 50/50, "write-heavy" 5/95 read/write).
+	Workloads []string
+	// Modes selects the read-path implementations (default "epoch" then
+	// "locked" — core.ConcurrentConfig.LockedReads).
+	Modes []string
+	// PerOp is the modeled per-subrequest service time (default 1µs —
+	// small enough that the engine, not the modeled device, is measured).
+	PerOp time.Duration
+}
+
+func (c ServeScaleConfig) withDefaults() ServeScaleConfig {
+	if len(c.Procs) == 0 {
+		c.Procs = []int{1, 2, 4, 8}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 300 * time.Millisecond
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 50 * time.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"read-heavy", "mixed", "write-heavy"}
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []string{"epoch", "locked"}
+	}
+	if c.PerOp <= 0 {
+		c.PerOp = time.Microsecond
+	}
+	return c
+}
+
+// readPercent maps a workload name to its read share.
+func readPercent(workload string) (int, error) {
+	switch workload {
+	case "read-heavy":
+		return 95, nil
+	case "mixed":
+		return 50, nil
+	case "write-heavy":
+		return 5, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown workload %q", workload)
+	}
+}
+
+// ServeScalePoint is one measured (workload, mode, procs) cell.
+type ServeScalePoint struct {
+	Workload  string  `json:"workload"`
+	Mode      string  `json:"mode"`
+	Procs     int     `json:"procs"`
+	Clients   int     `json:"clients"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	NsPerOp   float64 `json:"ns_per_op"`
+}
+
+// ServeScaleReport is the schema of BENCH_pr6.json. NumCPU records the
+// host's parallelism honestly: GOMAXPROCS values above it cannot add real
+// concurrency, and on a single-core host the sweep degenerates to a
+// scheduling benchmark (README "Serve scaling" discusses reading it).
+type ServeScaleReport struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	NumCPU     int               `json:"num_cpu"`
+	Backend    string            `json:"backend"`
+	Shards     int               `json:"shards"`
+	Clients    int               `json:"clients"`
+	WindowMs   int64             `json:"window_ms"`
+	Points     []ServeScalePoint `json:"points"`
+	// SpeedupReadHeavy4v1 is epoch-mode read-heavy ops/s at procs=4 over
+	// procs=1 (0 when either point is absent).
+	SpeedupReadHeavy4v1 float64 `json:"speedup_read_heavy_4v1"`
+	// EpochVsLockedReadHeavy is epoch over locked read-heavy ops/s at the
+	// largest measured procs value (0 when either mode is absent).
+	EpochVsLockedReadHeavy float64 `json:"epoch_vs_locked_read_heavy"`
+}
+
+// RunServeScale sweeps workloads × modes × GOMAXPROCS, one fresh
+// deployment per cell, restoring the caller's GOMAXPROCS afterwards.
+func RunServeScale(cfg ServeScaleConfig, progress io.Writer) (*ServeScaleReport, error) {
+	cfg = cfg.withDefaults()
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	rep := &ServeScaleReport{
+		Schema:    "s4d-serve-scale/1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Backend:   "wallclock",
+		Shards:    cfg.Shards,
+		Clients:   cfg.Clients,
+		WindowMs:  cfg.Window.Milliseconds(),
+	}
+	for _, workload := range cfg.Workloads {
+		if _, err := readPercent(workload); err != nil {
+			return nil, err
+		}
+		for _, mode := range cfg.Modes {
+			if mode != "epoch" && mode != "locked" {
+				return nil, fmt.Errorf("bench: unknown mode %q", mode)
+			}
+			for _, procs := range cfg.Procs {
+				if progress != nil {
+					fmt.Fprintf(progress, "bench-serve-scale: %s/%s procs=%d\n", workload, mode, procs)
+				}
+				pt, err := runServeScalePoint(cfg, workload, mode, procs)
+				if err != nil {
+					return nil, fmt.Errorf("bench: serve-scale %s/%s procs=%d: %w", workload, mode, procs, err)
+				}
+				rep.Points = append(rep.Points, pt)
+			}
+		}
+	}
+	cell := func(workload, mode string, procs int) float64 {
+		for _, pt := range rep.Points {
+			if pt.Workload == workload && pt.Mode == mode && pt.Procs == procs {
+				return pt.OpsPerSec
+			}
+		}
+		return 0
+	}
+	if p1 := cell("read-heavy", "epoch", 1); p1 > 0 {
+		rep.SpeedupReadHeavy4v1 = cell("read-heavy", "epoch", 4) / p1
+	}
+	maxProcs := 0
+	for _, p := range cfg.Procs {
+		if p > maxProcs {
+			maxProcs = p
+		}
+	}
+	if locked := cell("read-heavy", "locked", maxProcs); locked > 0 {
+		rep.EpochVsLockedReadHeavy = cell("read-heavy", "epoch", maxProcs) / locked
+	}
+	return rep, nil
+}
+
+// EmitServeScaleJSON writes a ServeScaleReport to w; s4dbench's
+// -bench-serve-scale flag and `make bench-serve-scale` drive it.
+func EmitServeScaleJSON(w io.Writer, cfg ServeScaleConfig, progress io.Writer) error {
+	rep, err := RunServeScale(cfg, progress)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Serve-scale working set: a shared pool of preloaded hot files, so
+// clients genuinely contend on the same shards and stripes (the plain
+// serve family gives each client a private file, which measures fan-out,
+// not contention). 16 files × 4MB = 64MB, comfortably under the 512MB
+// capacity — no eviction, reads are all cache hits.
+const (
+	scaleFiles    = 16
+	scaleFileSpan = int64(4 << 20)
+	scaleReqSize  = int64(16 << 10)
+)
+
+// runServeScalePoint builds a fresh deployment at the given GOMAXPROCS,
+// preloads the shared working set, and measures aggregate throughput of
+// cfg.Clients goroutines running the workload mix, one op outstanding
+// each.
+func runServeScalePoint(cfg ServeScaleConfig, workload, mode string, procs int) (ServeScalePoint, error) {
+	readPct, err := readPercent(workload)
+	if err != nil {
+		return ServeScalePoint{}, err
+	}
+	runtime.GOMAXPROCS(procs)
+
+	clock := sim.NewWallClock()
+	mkWall := func(label string) (*pfs.WallFS, error) {
+		return pfs.NewWallFS(pfs.WallConfig{
+			Label:       label,
+			Layout:      pfs.Layout{Servers: 8, StripeSize: 16 << 10},
+			Clock:       clock,
+			PerOp:       cfg.PerOp,
+			BytesPerSec: 1 << 40,
+		})
+	}
+	opfs, err := mkWall("OPFS")
+	if err != nil {
+		return ServeScalePoint{}, err
+	}
+	cpfs, err := mkWall("CPFS")
+	if err != nil {
+		return ServeScalePoint{}, err
+	}
+	curve, err := device.ProfileSeekCurve(device.NewHDD(device.DefaultHDDParams()), device.DefaultProfileConfig())
+	if err != nil {
+		return ServeScalePoint{}, err
+	}
+	model := costmodel.Calibrate(device.DefaultHDDParams(), device.DefaultSSDParams(), netmodel.Gigabit(), curve)
+	model.M = 8
+	model.N = 8
+	model.Stripe = 16 << 10
+	eng, err := core.NewConcurrent(core.ConcurrentConfig{
+		Clock:         clock,
+		OPFS:          opfs,
+		CPFS:          cpfs,
+		Model:         model,
+		CacheCapacity: 512 << 20,
+		Concurrency:   cfg.Shards,
+		Policy:        core.PolicyAll,
+		LockedReads:   mode == "locked",
+		// RebuildPeriod 0: no background cycles compete with the measured
+		// window; dirty data simply accumulates (capacity is ample).
+	})
+	if err != nil {
+		return ServeScalePoint{}, err
+	}
+	defer eng.Close()
+
+	// Preload: every hot file fully written (PolicyAll absorbs all of it),
+	// so measured reads are cache hits end to end.
+	preload := make(chan error, 1)
+	for f := 0; f < scaleFiles; f++ {
+		if err := eng.Write(0, scaleFileName(f), 0, scaleFileSpan, nil, func(err error) { preload <- err }); err != nil {
+			return ServeScalePoint{}, err
+		}
+		if err := <-preload; err != nil {
+			return ServeScalePoint{}, err
+		}
+	}
+
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		ops       atomic.Uint64
+		errOnce   sync.Once
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c + 1)))
+			ch := make(chan error, 1)
+			done := func(err error) { ch <- err }
+			for !stop.Load() {
+				file := scaleFileName(rng.Intn(scaleFiles))
+				off := rng.Int63n(scaleFileSpan - scaleReqSize)
+				var err error
+				if rng.Intn(100) < readPct {
+					err = eng.Read(c, file, off, scaleReqSize, nil, done)
+				} else {
+					err = eng.Write(c, file, off, scaleReqSize, nil, done)
+				}
+				if err == nil {
+					err = <-ch
+				}
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				if measuring.Load() {
+					ops.Add(1)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(cfg.Warmup)
+	start := time.Now()
+	measuring.Store(true)
+	time.Sleep(cfg.Window)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return ServeScalePoint{}, firstErr
+	}
+	total := ops.Load()
+	if total == 0 {
+		return ServeScalePoint{}, fmt.Errorf("no operations completed in the %v window", cfg.Window)
+	}
+	return ServeScalePoint{
+		Workload:  workload,
+		Mode:      mode,
+		Procs:     procs,
+		Clients:   cfg.Clients,
+		Ops:       total,
+		OpsPerSec: float64(total) / elapsed.Seconds(),
+		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(total),
+	}, nil
+}
+
+func scaleFileName(f int) string { return fmt.Sprintf("hot%02d", f) }

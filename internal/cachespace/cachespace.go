@@ -80,6 +80,18 @@ type Manager struct {
 	// simulator leaves it nil, keeping reclaim behavior byte-identical.
 	pinned func(off, length int64) bool
 
+	// evict, when set, runs for every fragment reclaim is about to evict,
+	// before the fragment's bytes rejoin the free pool. The concurrent
+	// engine installs a hook that unmaps the fragment's DMT range, making
+	// unmap-before-free a manager invariant: lock-free readers that loaded
+	// a stale view can never pin-and-read bytes that were recycled to a
+	// new owner, because the unmap publishes (under this manager's lock)
+	// before the space is reusable, and readers revalidate after pinning.
+	// Returning false vetoes the eviction (the mapping could not be
+	// dropped); the fragment is set aside like pinned space. Nil — the
+	// sequential simulator — keeps reclaim byte-identical.
+	evict func(owner Owner, cacheOff, length int64) bool
+
 	evictions uint64
 	failures  uint64
 }
@@ -151,6 +163,10 @@ func (m *Manager) Allocate(size int64, owner Owner, dirty bool) ([]Fragment, []E
 // SetPinned installs the in-flight-read pin predicate consulted by
 // reclaim. Passing nil removes it.
 func (m *Manager) SetPinned(fn func(off, length int64) bool) { m.pinned = fn }
+
+// SetEvictHook installs the pre-free eviction callback (see the evict
+// field). Passing nil removes it.
+func (m *Manager) SetEvictHook(fn func(owner Owner, cacheOff, length int64) bool) { m.evict = fn }
 
 // FreeRange releases [cacheOff, cacheOff+length) back to the free pool,
 // regardless of state. Callers use it when a DMT mapping is dropped or
@@ -264,6 +280,12 @@ func (m *Manager) reclaim(need int64) []Evicted {
 			}
 			owner := e.Val.owner
 			owner.FileOff += lo - e.Off
+			if m.evict != nil && !m.evict(owner, lo, take) {
+				// The hook could not unmap this fragment; it must not be
+				// freed. Requeue it like pinned space and move on.
+				skipped = append(skipped, cleanCand{seq: c.seq, off: lo, len: hi - lo})
+				continue
+			}
 			out = append(out, Evicted{Owner: owner, CacheOff: lo, Len: take})
 			reclaimed += take
 			if reclaimed >= need {

@@ -43,6 +43,10 @@ type shardRegion struct {
 	ov     []extent.Entry[int64]
 	gaps   []extent.Gap
 	hookOv []extent.Entry[int64]
+	// Padding: regions sit in one slice and their mutexes are the hottest
+	// words on the serve path; keep neighbours off each other's cache
+	// line.
+	_ [64]byte
 }
 
 // NewSharded returns a sharded space of the given total capacity split
@@ -74,6 +78,28 @@ func NewSharded(capacity int64, shards int) (*Sharded, error) {
 		})
 	}
 	return s, nil
+}
+
+// SetEvictHook installs fn as every region's pre-free eviction callback
+// (Manager.SetEvictHook), with cache offsets translated to the global
+// space. The hook runs with the owning region's mutex held, below the
+// core shard mutex and above the metadata stripe mutexes — the revised
+// lock hierarchy of DESIGN.md §12. Install before serving traffic;
+// passing nil removes the hook.
+func (s *Sharded) SetEvictHook(fn func(owner Owner, cacheOff, length int64) bool) {
+	for i := range s.regions {
+		r := &s.regions[i]
+		r.mu.Lock()
+		if fn == nil {
+			r.m.SetEvictHook(nil)
+		} else {
+			base := r.base
+			r.m.SetEvictHook(func(owner Owner, off, length int64) bool {
+				return fn(owner, off+base, length)
+			})
+		}
+		r.mu.Unlock()
+	}
 }
 
 // Shards returns the region count.

@@ -1,0 +1,177 @@
+package cdt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Epoch-view tests for the CDT's published coverage runs: lock-free
+// ViewContains must agree with the locked Contains when quiescent, the
+// benefit-refresh publication no-op must hold, and concurrent readers
+// must only ever observe legal coverage shapes.
+
+func TestViewContainsMatchesContains(t *testing.T) {
+	s := NewStriped(0)
+	file := "crit.dat"
+	s.Add(file, 0, 100, time.Millisecond)
+	s.Add(file, 100, 50, time.Millisecond) // adjacent: merges into one run
+	s.Add(file, 300, 100, time.Millisecond)
+	s.Remove(file, 320, 10)
+
+	ranges := [][2]int64{
+		{0, 150}, {0, 151}, {50, 100}, {140, 20}, {300, 20},
+		{310, 10}, {320, 10}, {330, 70}, {0, 400}, {500, 10},
+	}
+	for _, r := range ranges {
+		if got, want := s.ViewContains(file, r[0], r[1]), s.Contains(file, r[0], r[1]); got != want {
+			t.Fatalf("range %v: ViewContains=%v Contains=%v", r, got, want)
+		}
+	}
+	if s.ViewContains("other", 0, 10) {
+		t.Fatal("ViewContains true for untracked file")
+	}
+	if !s.ViewContains(file, 0, 0) {
+		t.Fatal("empty range must be contained")
+	}
+}
+
+func TestViewRefreshAddSkipsRepublish(t *testing.T) {
+	s := NewStriped(0)
+	file := "hot.dat"
+	s.Add(file, 0, 4096, time.Millisecond)
+	v0 := s.StripeVersion(file)
+	// The steady-state hot case: every critical request re-Adds its range,
+	// refreshing the benefit payload without changing coverage. No new
+	// snapshot may be built.
+	for i := 0; i < 100; i++ {
+		s.Add(file, 0, 4096, time.Duration(i)*time.Microsecond)
+		s.Add(file, 512, 1024, time.Millisecond)
+	}
+	if v1 := s.StripeVersion(file); v1 != v0 {
+		t.Fatalf("refresh Adds republished: version %d -> %d", v0, v1)
+	}
+	// Coverage growth must republish.
+	s.Add(file, 4096, 100, time.Millisecond)
+	if v2 := s.StripeVersion(file); v2 == v0 {
+		t.Fatal("coverage-changing Add did not republish")
+	}
+	if !s.ViewContains(file, 0, 4196) {
+		t.Fatal("grown coverage not visible in view")
+	}
+}
+
+func TestViewEvictionRepublishesStripe(t *testing.T) {
+	// Bound small enough that a second file's Add evicts the first (FIFO)
+	// within one stripe: the whole stripe must republish, dropping the
+	// victim's runs from the view.
+	s := NewStriped(4096 * numStripes)
+	file := "evict.dat"
+	s.Add(file, 0, 4096, time.Millisecond)
+	if !s.ViewContains(file, 0, 4096) {
+		t.Fatal("initial coverage missing from view")
+	}
+	s.Add(file, 4096, 4096, time.Millisecond) // same file, same stripe: over bound
+	if s.Evicted() == 0 {
+		t.Fatal("expected a FIFO eviction")
+	}
+	if s.ViewContains(file, 0, 1) {
+		t.Fatal("evicted run still visible in view")
+	}
+	if !s.ViewContains(file, 4096, 4096) {
+		t.Fatal("surviving run missing from view")
+	}
+}
+
+// TestStripedConcurrentViewRuns is the CDT torn-coverage property test
+// (ISSUE 6, satellite 4; runs under -race in CI). A writer flips a file
+// between full coverage and coverage with a hole punched in the middle;
+// lock-free readers assert each snapshot is exactly one of the two legal
+// shapes and the stripe version is monotonic.
+func TestStripedConcurrentViewRuns(t *testing.T) {
+	s := NewStriped(0)
+	const (
+		file    = "runs.dat"
+		fileLen = int64(8192)
+		holeOff = int64(3072)
+		holeLen = int64(1024)
+	)
+	s.Add(file, 0, fileLen, time.Millisecond)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for !stop.Load() {
+			s.Remove(file, holeOff, holeLen)
+			s.Add(file, holeOff, holeLen, time.Millisecond)
+		}
+	}()
+
+	readers := 4
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var runs []Run
+			var lastVer uint64
+			for !stop.Load() {
+				ver := s.StripeVersion(file)
+				if ver < lastVer {
+					errs <- "stripe version moved backwards"
+					return
+				}
+				lastVer = ver
+				runs = s.AppendViewRuns(runs[:0], file)
+				switch len(runs) {
+				case 1: // full coverage
+					if runs[0] != (Run{Off: 0, Len: fileLen}) {
+						errs <- "single run is not full coverage"
+						return
+					}
+				case 2: // hole punched
+					if runs[0] != (Run{Off: 0, Len: holeOff}) ||
+						runs[1] != (Run{Off: holeOff + holeLen, Len: fileLen - holeOff - holeLen}) {
+						errs <- "two runs do not match the punched-hole shape"
+						return
+					}
+				default:
+					errs <- "illegal run count"
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestViewContainsZeroAllocs pins the lock-free criticality check at zero
+// allocations per operation (ISSUE 6, satellite 3; `make alloc-check`).
+func TestViewContainsZeroAllocs(t *testing.T) {
+	s := NewStriped(0)
+	file := "alloc.dat"
+	for off := int64(0); off < 8192; off += 1024 {
+		s.Add(file, off, 512, time.Millisecond) // gapped: many runs
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if !s.ViewContains(file, 2048, 512) {
+			t.Fatal("coverage missing")
+		}
+		if s.ViewContains(file, 2048, 1024) {
+			t.Fatal("hole reported covered")
+		}
+	}); n != 0 {
+		t.Fatalf("ViewContains allocates %v/op, want 0", n)
+	}
+}

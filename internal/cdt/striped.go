@@ -2,6 +2,7 @@ package cdt
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,10 +29,19 @@ func stripeIndex(file string) uint32 {
 // plain Table (its scan order drives the deterministic fetch schedule);
 // Striped is the concurrent server-side API.
 type Striped struct {
-	stripes [numStripes]struct {
-		mu sync.Mutex
-		t  *Table
-	}
+	stripes [numStripes]cstripe
+}
+
+// cstripe is one lock stripe: the live sub-table behind its writer mutex
+// plus the published coverage view readers load lock-free (view.go).
+// Padded so neighbouring stripes don't false-share a cache line.
+type cstripe struct {
+	mu sync.Mutex
+	t  *Table
+	// view/version as in dmt.dstripe: stored under mu, loaded lock-free.
+	view    atomic.Pointer[cstripeView]
+	version atomic.Uint64
+	_       [64]byte
 }
 
 // NewStriped returns an empty concurrent table bounded to maxBytes of
@@ -59,11 +69,28 @@ func (s *Striped) stripe(file string) (*Table, *sync.Mutex) {
 	return sh.t, &sh.mu
 }
 
-// Add records [off, off+length) of file as critical, as Table.Add.
+// Add records [off, off+length) of file as critical, as Table.Add. The
+// stripe's coverage view republishes only when coverage can have changed:
+// a benefit refresh of an already-covered range (the hot case — every
+// critical request re-Adds its range) leaves the published runs as they
+// are, and a bounded table's FIFO eviction — which may drop coverage of
+// other files in the stripe — triggers a full stripe republish.
 func (s *Striped) Add(file string, off, length int64, benefit time.Duration) {
-	t, mu := s.stripe(file)
-	defer mu.Unlock()
-	t.Add(file, off, length, benefit)
+	if length <= 0 {
+		return
+	}
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	covered := sh.t.Contains(file, off, length)
+	evicted := sh.t.Evicted()
+	sh.t.Add(file, off, length, benefit)
+	switch {
+	case sh.t.Evicted() != evicted:
+		sh.republishAll()
+	case !covered:
+		sh.republish(file)
+	}
 }
 
 // Contains reports whether [off, off+length) is fully covered.
@@ -74,7 +101,8 @@ func (s *Striped) Contains(file string, off, length int64) bool {
 }
 
 // SetCFlag marks the overlapped critical parts of the range for lazy
-// fetching.
+// fetching. Flags are payload, not coverage: the published view needs no
+// republish.
 func (s *Striped) SetCFlag(file string, off, length int64) {
 	t, mu := s.stripe(file)
 	defer mu.Unlock()
@@ -108,11 +136,14 @@ func (s *Striped) PendingFetches(max int) []Fetch {
 	return out
 }
 
-// Remove drops coverage of [off, off+length).
+// Remove drops coverage of [off, off+length), republishing the file's
+// published runs before the stripe mutex is released.
 func (s *Striped) Remove(file string, off, length int64) {
-	t, mu := s.stripe(file)
-	defer mu.Unlock()
-	t.Remove(file, off, length)
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.t.Remove(file, off, length)
+	sh.republish(file)
 }
 
 // FileTracked reports whether any critical extent of file remains.

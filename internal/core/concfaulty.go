@@ -70,7 +70,7 @@ func (c *Concurrent) invalidateServerConc(server int, restarts bool) {
 				}
 				c.space.FreeRange(hh.CacheOff, hh.Len)
 				if dirty {
-					sh.stats.DirtyLost += hh.Len
+					sh.stats.dirtyLost.Add(hh.Len)
 				}
 			}
 			sh.mu.Unlock()
@@ -104,7 +104,7 @@ func (c *Concurrent) conExtentOnServer(cacheOff, length int64, server int) bool 
 // deferReadConc parks a read segment until its crashed CServer restarts.
 // Called under the owning shard's mutex; deferMu is a leaf below it.
 func (c *Concurrent) deferReadConc(sh *cshard, file string, off, length int64, buf []byte, cb func(error)) {
-	sh.stats.DeferredReads++
+	sh.stats.deferredReads.Add(1)
 	c.deferMu.Lock()
 	c.deferred = append(c.deferred, deferredRead{file: file, off: off, lng: length, buf: buf, cb: cb})
 	c.deferMu.Unlock()
@@ -131,7 +131,7 @@ func (c *Concurrent) flushDeferredReadsConc() {
 func (c *Concurrent) absorbFailedConc(file string, off, length, cacheOff int64, data []byte, cb func(error)) {
 	sh, _ := c.shard(file)
 	sh.mu.Lock()
-	sh.stats.Failovers++
+	sh.stats.failovers.Add(1)
 	hits, _ := c.dmt.Lookup(file, off, length)
 	for _, h := range hits {
 		if h.CacheOff != cacheOff+(h.Off-off) {
@@ -141,8 +141,8 @@ func (c *Concurrent) absorbFailedConc(file string, off, length, cacheOff int64, 
 			c.space.FreeRange(h.CacheOff, h.Len)
 		}
 	}
-	sh.stats.SegWritesDisk++
-	sh.stats.BytesWriteDisk += length
+	sh.stats.segWritesDisk.Add(1)
+	sh.stats.bytesWriteDisk.Add(length)
 	sh.mu.Unlock()
 	if err := c.opfs.Write(file, off, length, sim.PriorityHigh, data, cb); err != nil {
 		cb(err)
@@ -156,7 +156,7 @@ func (c *Concurrent) absorbFailedConc(file string, off, length, cacheOff int64, 
 func (c *Concurrent) readFailedConc(orig error, file string, off, length int64, buf []byte, cb func(error)) {
 	sh, _ := c.shard(file)
 	sh.mu.Lock()
-	sh.stats.Failovers++
+	sh.stats.failovers.Add(1)
 	hits, gaps := c.dmt.Lookup(file, off, length)
 	j := &segJoin{parent: cb}
 	j.n.Store(int32(len(hits) + len(gaps)))
@@ -168,16 +168,16 @@ func (c *Concurrent) readFailedConc(orig error, file string, off, length int64, 
 		case h.Dirty:
 			j.sub(orig)
 		default:
-			sh.stats.SegReadsDisk++
-			sh.stats.BytesReadDisk += h.Len
+			sh.stats.segReadsDisk.Add(1)
+			sh.stats.bytesReadDisk.Add(h.Len)
 			if err := c.opfs.Read(file, h.Off, h.Len, sim.PriorityHigh, seg, j.sub); err != nil {
 				j.sub(err)
 			}
 		}
 	}
 	for _, g := range gaps {
-		sh.stats.SegReadsDisk++
-		sh.stats.BytesReadDisk += g.Len
+		sh.stats.segReadsDisk.Add(1)
+		sh.stats.bytesReadDisk.Add(g.Len)
 		if err := c.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, slice(buf, off, g.Off, g.Len), j.sub); err != nil {
 			j.sub(err)
 		}
@@ -199,8 +199,8 @@ func (c *Concurrent) readSegmentConc(file string, off, length int64, buf []byte,
 			c.deferReadConc(sh, file, h.Off, h.Len, seg, j.sub)
 			continue
 		}
-		sh.stats.SegReadsCache++
-		sh.stats.BytesReadCache += h.Len
+		sh.stats.segReadsCache.Add(1)
+		sh.stats.bytesReadCache.Add(h.Len)
 		c.space.Touch(h.CacheOff, h.Len)
 		c.space.Pin(h.CacheOff, h.Len)
 		h := h
@@ -218,8 +218,8 @@ func (c *Concurrent) readSegmentConc(file string, off, length int64, buf []byte,
 		}
 	}
 	for _, g := range gaps {
-		sh.stats.SegReadsDisk++
-		sh.stats.BytesReadDisk += g.Len
+		sh.stats.segReadsDisk.Add(1)
+		sh.stats.bytesReadDisk.Add(g.Len)
 		if err := c.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, slice(buf, off, g.Off, g.Len), j.sub); err != nil {
 			j.sub(err)
 		}

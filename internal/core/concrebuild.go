@@ -274,13 +274,9 @@ func (c *Concurrent) fetchGapConc(sh *cshard, shardIdx int, file string, off, le
 		sh.mu.Unlock()
 		return
 	}
-	frags, evicted, err := c.space.Allocate(shardIdx, length, cachespace.Owner{File: file, FileOff: off}, true)
-	for _, ev := range evicted {
-		if c.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len) != nil {
-			sh.mu.Unlock()
-			return
-		}
-	}
+	// Eviction victims are unmapped by the cachespace eviction hook, under
+	// the region mutex (unmap-before-free, DESIGN.md §12).
+	frags, _, err := c.space.Allocate(shardIdx, length, cachespace.Owner{File: file, FileOff: off}, true)
 	if err != nil {
 		c.fetchFailures.Add(1)
 		sh.mu.Unlock()

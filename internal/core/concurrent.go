@@ -64,6 +64,10 @@ type ConcurrentConfig struct {
 	// Faulty enables the degraded-mode checks on the serve path from the
 	// start (required when servers may crash before the first failure).
 	Faulty bool
+	// LockedReads forces reads through the stripe-locked path, disabling
+	// the epoch-view fast path — the contention baseline of the serve
+	// scaling benchmarks. Leave false in production use.
+	LockedReads bool
 }
 
 // Concurrent is the sharded, goroutine-safe S4D engine (the PR's
@@ -78,18 +82,23 @@ type ConcurrentConfig struct {
 // charges metadata I/O; those ablations stay on the deterministic
 // sequential engine.
 //
-// Lock order (documented in DESIGN.md §11): core shard mutex → cachespace
-// region mutex → striped table stripe mutex → kvstore shard mutex. Leaf
-// mutexes (deferred-read list, degraded map, join error slots) are taken
-// below all of these. No path holds two shard mutexes or two region
-// mutexes at once.
+// Lock order (documented in DESIGN.md §12): core shard mutex → shard
+// tracker mutex → cachespace region mutex → striped table stripe mutex →
+// kvstore shard mutex. Leaf mutexes (deferred-read list, degraded map,
+// join error slots) are taken below all of these. No path holds two shard
+// mutexes or two region mutexes at once. The region → stripe edge exists
+// only inside the cachespace eviction hook, which unmaps a victim's DMT
+// range under the region mutex before its bytes rejoin the free pool —
+// the invariant the lock-free read path's pin-then-revalidate protocol
+// relies on (readFast).
 type Concurrent struct {
-	clock  sim.Clock
-	opfs   Backend
-	cpfs   Backend
-	model  costmodel.Params
-	policy AdmissionPolicy
-	faulty atomic.Bool
+	clock       sim.Clock
+	opfs        Backend
+	cpfs        Backend
+	model       costmodel.Params
+	policy      AdmissionPolicy
+	faulty      atomic.Bool
+	lockedReads bool
 
 	shards []cshard
 	dmt    *dmt.Striped
@@ -124,10 +133,19 @@ type Concurrent struct {
 	epochsPruned                         atomic.Uint64
 }
 
-// cshard is one serve lane: everything a request for this shard's files
-// touches under the shard mutex.
+// cshard is one serve lane. Writers and degraded-mode paths serialize on
+// mu; the epoch read fast path never takes it — identify state has its
+// own trackerMu (acquired below mu, so the locked paths can nest it), and
+// the serve counters are atomics updated lock-free from both paths. The
+// trailing padding keeps neighbouring shards' mutexes and counters on
+// separate cache lines.
 type cshard struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	// trackerMu guards the cost-model tracker and locality state, which
+	// mutate on every identify — the only identify state the lock-free
+	// read path must still serialize. Acquired below mu, above the region
+	// and stripe mutexes.
+	trackerMu sync.Mutex
 	tracker   *costmodel.Tracker
 	locality  *localityTracker
 	fileEpoch map[string]uint64
@@ -135,7 +153,54 @@ type cshard struct {
 	hitsBuf    []dmt.Hit
 	gapsBuf    []extent.Gap
 	insertsBuf []dmt.FragmentInsert
-	stats      Stats
+	stats      cstats
+	_          [64]byte
+}
+
+// cstats is the per-shard serve counter block: padded atomic counters, so
+// the lock-free read path can account without the shard mutex and Stats
+// can snapshot without quiescing. Field meanings as core.Stats.
+type cstats struct {
+	reads, writes           atomic.Uint64
+	bytesRead, bytesWritten atomic.Int64
+
+	identified, critical atomic.Uint64
+
+	segReadsCache, segReadsDisk   atomic.Uint64
+	segWritesCache, segWritesDisk atomic.Uint64
+
+	bytesReadCache, bytesReadDisk   atomic.Int64
+	bytesWriteCache, bytesWriteDisk atomic.Int64
+
+	admissions, admitFailures atomic.Uint64
+	lazyMarks                 atomic.Uint64
+
+	failovers, deferredReads atomic.Uint64
+	dirtyLost                atomic.Int64
+}
+
+// addTo folds a snapshot of the counters into st.
+func (s *cstats) addTo(st *Stats) {
+	st.Reads += s.reads.Load()
+	st.Writes += s.writes.Load()
+	st.BytesRead += s.bytesRead.Load()
+	st.BytesWritten += s.bytesWritten.Load()
+	st.Identified += s.identified.Load()
+	st.Critical += s.critical.Load()
+	st.SegReadsCache += s.segReadsCache.Load()
+	st.SegReadsDisk += s.segReadsDisk.Load()
+	st.SegWritesCache += s.segWritesCache.Load()
+	st.SegWritesDisk += s.segWritesDisk.Load()
+	st.BytesReadCache += s.bytesReadCache.Load()
+	st.BytesReadDisk += s.bytesReadDisk.Load()
+	st.BytesWriteCache += s.bytesWriteCache.Load()
+	st.BytesWriteDisk += s.bytesWriteDisk.Load()
+	st.Admissions += s.admissions.Load()
+	st.AdmitFailures += s.admitFailures.Load()
+	st.LazyMarks += s.lazyMarks.Load()
+	st.Failovers += s.failovers.Load()
+	st.DeferredReads += s.deferredReads.Load()
+	st.DirtyLost += s.dirtyLost.Load()
 }
 
 // NewConcurrent builds a Concurrent engine.
@@ -181,6 +246,7 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		cpfs:         cfg.CPFS,
 		model:        cfg.Model,
 		policy:       cfg.Policy,
+		lockedReads:  cfg.LockedReads,
 		shards:       make([]cshard, cfg.Concurrency),
 		dmt:          table,
 		cdt:          cdt.NewStriped(cfg.CDTMaxBytes),
@@ -190,6 +256,13 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		quit:         make(chan struct{}),
 	}
 	c.faulty.Store(cfg.Faulty)
+	// Unmap-before-free: every eviction drops its DMT mapping under the
+	// region mutex, before the bytes rejoin the free pool. The epoch read
+	// path's pin-then-revalidate protocol depends on this ordering; the
+	// locked paths no longer unmap eviction victims themselves.
+	space.SetEvictHook(func(owner cachespace.Owner, cacheOff, length int64) bool {
+		return c.dmt.Delete(owner.File, owner.FileOff, length) == nil
+	})
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.tracker = costmodel.NewTracker()
@@ -323,8 +396,8 @@ func (c *Concurrent) Write(rank int, file string, off, size int64, data []byte, 
 	sh, shardIdx := c.shard(file)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.stats.Writes++
-	sh.stats.BytesWritten += size
+	sh.stats.writes.Add(1)
+	sh.stats.bytesWritten.Add(size)
 	sh.fileEpoch[file]++
 
 	benefit := c.identify(sh, rank, file, off, size)
@@ -339,20 +412,20 @@ func (c *Concurrent) Write(rank int, file string, off, size int64, data []byte, 
 		if faulty && c.cpfs.RangeDown(h.CacheOff, h.Len) {
 			// Cached copy sits on a crashed CServer; the write supersedes
 			// it — unmap and fail the segment over to the DServers.
-			sh.stats.Failovers++
+			sh.stats.failovers.Add(1)
 			if err := c.dmt.Delete(file, h.Off, h.Len); err != nil {
 				return fmt.Errorf("core: failover unmap: %w", err)
 			}
 			c.space.FreeRange(h.CacheOff, h.Len)
-			sh.stats.SegWritesDisk++
-			sh.stats.BytesWriteDisk += h.Len
+			sh.stats.segWritesDisk.Add(1)
+			sh.stats.bytesWriteDisk.Add(h.Len)
 			if err := c.opfs.Write(file, h.Off, h.Len, sim.PriorityHigh, slice(data, off, h.Off, h.Len), j.sub); err != nil {
 				j.sub(err)
 			}
 			continue
 		}
-		sh.stats.SegWritesCache++
-		sh.stats.BytesWriteCache += h.Len
+		sh.stats.segWritesCache.Add(1)
+		sh.stats.bytesWriteCache.Add(h.Len)
 		// Re-dirty before issuing: dirty space is never reclaimed, so the
 		// in-flight destination cannot be evicted by another shard's
 		// allocation (regions are per-shard) or this shard's (serialized).
@@ -381,14 +454,14 @@ func (c *Concurrent) Write(rank int, file string, off, size int64, data []byte, 
 	for _, g := range gaps {
 		if c.admitWriteConc(sh, file, g.Off, g.Len, benefit) {
 			if faulty && c.degradedNow() {
-				sh.stats.Failovers++
+				sh.stats.failovers.Add(1)
 			} else {
 				c.absorbWriteConc(sh, shardIdx, file, g.Off, g.Len, slice(data, off, g.Off, g.Len), j, faulty)
 				continue
 			}
 		}
-		sh.stats.SegWritesDisk++
-		sh.stats.BytesWriteDisk += g.Len
+		sh.stats.segWritesDisk.Add(1)
+		sh.stats.bytesWriteDisk.Add(g.Len)
 		if err := c.opfs.Write(file, g.Off, g.Len, sim.PriorityHigh, slice(data, off, g.Off, g.Len), j.sub); err != nil {
 			j.sub(err)
 		}
@@ -399,6 +472,13 @@ func (c *Concurrent) Write(rank int, file string, off, size int64, data []byte, 
 // Read intercepts an application read of file[off, off+size) by rank. Safe
 // to call from any goroutine. In-flight cache hits pin their ranges so
 // reclaim cannot hand the bytes to another owner mid-read.
+//
+// Fault-free engines serve reads through the epoch fast path: counters
+// are atomics, identify serializes only on the shard's tracker mutex, and
+// the DMT/CDT lookups traverse the stripes' published views — a read-only
+// serve never blocks on the shard mutex or a stripe writer. A torn
+// revalidation (the mapping moved between the view load and the pin)
+// falls back to the stripe-locked path, reusing the identify result.
 func (c *Concurrent) Read(rank int, file string, off, size int64, buf []byte, done func(error)) error {
 	if err := checkRange(off, size, buf); err != nil {
 		return err
@@ -408,13 +488,102 @@ func (c *Concurrent) Read(rank int, file string, off, size int64, buf []byte, do
 		return nil
 	}
 	sh, _ := c.shard(file)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.stats.Reads++
-	sh.stats.BytesRead += size
+	sh.stats.reads.Add(1)
+	sh.stats.bytesRead.Add(size)
 
 	benefit := c.identify(sh, rank, file, off, size)
 
+	if !c.lockedReads && !c.faulty.Load() && c.readFast(sh, file, off, size, buf, done, benefit) {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.readLocked(sh, file, off, size, buf, done, benefit)
+	return nil
+}
+
+// readScratch is the fast read path's pooled lookup buffer pair: the path
+// holds no shard mutex, so the per-shard scratch buffers are off limits.
+type readScratch struct {
+	hits []dmt.Hit
+	gaps []extent.Gap
+}
+
+var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
+
+// readFast serves one read entirely from the published epoch views:
+// lock-free view lookup, pin, revalidate against a fresh view load, then
+// issue. Returns false — without having issued anything — if any hit
+// fails revalidation; the caller retries under the shard mutex.
+//
+// Soundness of pin-then-revalidate: evictions unmap their DMT range
+// under the region mutex before the space is freed (the eviction hook),
+// and Pin acquires that same region mutex. So once a hit is pinned, a
+// revalidation against the then-current view proves the mapping was live
+// at pin time, and the pin blocks any later reclaim of those bytes until
+// the read completes.
+func (c *Concurrent) readFast(sh *cshard, file string, off, size int64, buf []byte, done func(error), benefit time.Duration) bool {
+	sc := readScratchPool.Get().(*readScratch)
+	hits, gaps := c.dmt.ViewLookup(sc.hits[:0], sc.gaps[:0], file, off, size)
+	// Pin and revalidate every hit before issuing any segment: a torn
+	// batch (some segments issued fast, the rest re-looked-up locked)
+	// could double-serve parts of the request.
+	for i, h := range hits {
+		c.space.Pin(h.CacheOff, h.Len)
+		if !c.dmt.ViewMappedAt(file, h.Off, h.Len, h.CacheOff) {
+			for _, p := range hits[:i+1] {
+				c.space.Unpin(p.CacheOff, p.Len)
+			}
+			sc.hits, sc.gaps = hits, gaps
+			readScratchPool.Put(sc)
+			return false
+		}
+	}
+	j := &conJoin{c: c, done: done}
+	j.n.Store(int32(len(hits) + len(gaps)))
+	for _, h := range hits {
+		sh.stats.segReadsCache.Add(1)
+		sh.stats.bytesReadCache.Add(h.Len)
+		c.space.Touch(h.CacheOff, h.Len)
+		seg := slice(buf, off, h.Off, h.Len)
+		h := h
+		cb := func(err error) {
+			c.space.Unpin(h.CacheOff, h.Len)
+			if err == nil || !c.faulty.Load() {
+				j.sub(err)
+				return
+			}
+			// A crash raced the in-flight read (faulty flipped after issue):
+			// resolve through the degraded-mode rerouter, as the locked path
+			// would.
+			c.readFailedConc(err, file, h.Off, h.Len, seg, j.sub)
+		}
+		if err := c.cpfs.Read(CacheFileName, h.CacheOff, h.Len, sim.PriorityHigh, seg, cb); err != nil {
+			c.space.Unpin(h.CacheOff, h.Len)
+			j.sub(err)
+		}
+	}
+	for _, g := range gaps {
+		if benefit > 0 || c.cdt.ViewContains(file, g.Off, g.Len) {
+			// Always lazy: mark for the Rebuilder (Algorithm 1, line 18).
+			c.cdt.SetCFlag(file, g.Off, g.Len)
+			sh.stats.lazyMarks.Add(1)
+		}
+		sh.stats.segReadsDisk.Add(1)
+		sh.stats.bytesReadDisk.Add(g.Len)
+		if err := c.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, slice(buf, off, g.Off, g.Len), j.sub); err != nil {
+			j.sub(err)
+		}
+	}
+	sc.hits, sc.gaps = hits, gaps
+	readScratchPool.Put(sc)
+	return true
+}
+
+// readLocked is the stripe-locked read body — the faulty-mode path and
+// the fast path's fallback. Caller holds the shard mutex; request-level
+// counters and identify have already run.
+func (c *Concurrent) readLocked(sh *cshard, file string, off, size int64, buf []byte, done func(error), benefit time.Duration) {
 	sh.hitsBuf, sh.gapsBuf = c.dmt.AppendLookup(sh.hitsBuf[:0], sh.gapsBuf[:0], file, off, size)
 	hits, gaps := sh.hitsBuf, sh.gapsBuf
 	j := &conJoin{c: c, done: done}
@@ -429,8 +598,8 @@ func (c *Concurrent) Read(rank int, file string, off, size int64, buf []byte, do
 			c.deferReadConc(sh, file, h.Off, h.Len, seg, j.sub)
 			continue
 		}
-		sh.stats.SegReadsCache++
-		sh.stats.BytesReadCache += h.Len
+		sh.stats.segReadsCache.Add(1)
+		sh.stats.bytesReadCache.Add(h.Len)
 		c.space.Touch(h.CacheOff, h.Len)
 		c.space.Pin(h.CacheOff, h.Len)
 		h := h
@@ -452,34 +621,42 @@ func (c *Concurrent) Read(rank int, file string, off, size int64, buf []byte, do
 		if critical {
 			// Always lazy: mark for the Rebuilder (Algorithm 1, line 18).
 			c.cdt.SetCFlag(file, g.Off, g.Len)
-			sh.stats.LazyMarks++
+			sh.stats.lazyMarks.Add(1)
 		}
-		sh.stats.SegReadsDisk++
-		sh.stats.BytesReadDisk += g.Len
+		sh.stats.segReadsDisk.Add(1)
+		sh.stats.bytesReadDisk.Add(g.Len)
 		if err := c.opfs.Read(file, g.Off, g.Len, sim.PriorityHigh, slice(buf, off, g.Off, g.Len), j.sub); err != nil {
 			j.sub(err)
 		}
 	}
-	return nil
 }
 
 // identify runs the Data Identifier on the shard's tracker. Cost-model
 // state is keyed by (file, rank) and files map to exactly one shard, so
 // per-shard trackers produce the same decisions as one global tracker.
+// Serializes only on the shard's tracker mutex (never the shard mutex):
+// the epoch read fast path calls it lock-free, and the locked write path
+// nests it below mu. The CDT Add serializes on the target stripe's own
+// mutex.
 func (c *Concurrent) identify(sh *cshard, rank int, file string, off, size int64) time.Duration {
-	sh.stats.Identified++
+	sh.stats.identified.Add(1)
 	if c.policy == PolicyLocality {
-		if sh.locality.Touch(file, off, size) {
-			sh.stats.Critical++
+		sh.trackerMu.Lock()
+		hot := sh.locality.Touch(file, off, size)
+		sh.trackerMu.Unlock()
+		if hot {
+			sh.stats.critical.Add(1)
 			c.cdt.Add(file, off, size, 0)
 			return time.Nanosecond
 		}
 		return 0
 	}
+	sh.trackerMu.Lock()
 	dist := sh.tracker.Observe(costmodel.StreamKey{File: file, Rank: rank}, off, size)
+	sh.trackerMu.Unlock()
 	benefit := c.model.Benefit(costmodel.Request{Offset: off, Size: size, Distance: dist})
 	if benefit > 0 {
-		sh.stats.Critical++
+		sh.stats.critical.Add(1)
 		if c.policy != PolicyNone {
 			c.cdt.Add(file, off, size, benefit)
 		}
@@ -503,28 +680,22 @@ func (c *Concurrent) admitWriteConc(sh *cshard, file string, off, length int64, 
 // the shard mutex; all eviction victims belong to this shard, so their
 // mapping deletions are race-free.
 func (c *Concurrent) absorbWriteConc(sh *cshard, shardIdx int, file string, off, length int64, data []byte, j *conJoin, faulty bool) {
-	frags, evicted, err := c.space.Allocate(shardIdx, length, cachespace.Owner{File: file, FileOff: off}, true)
-	// Evicted mappings must be dropped even when the allocation came up
-	// short: reclaim may have evicted fragments before stalling on pinned
-	// space.
-	for _, ev := range evicted {
-		if derr := c.dmt.Delete(ev.Owner.File, ev.Owner.FileOff, ev.Len); derr != nil {
-			j.sub(fmt.Errorf("core: evict mapping: %w", derr))
-			return
-		}
-	}
+	// Eviction victims have their DMT mappings dropped by the cachespace
+	// eviction hook, under the region mutex and before the bytes rejoin
+	// the free pool (unmap-before-free, DESIGN.md §12).
+	frags, _, err := c.space.Allocate(shardIdx, length, cachespace.Owner{File: file, FileOff: off}, true)
 	if err != nil {
-		sh.stats.AdmitFailures++
-		sh.stats.SegWritesDisk++
-		sh.stats.BytesWriteDisk += length
+		sh.stats.admitFailures.Add(1)
+		sh.stats.segWritesDisk.Add(1)
+		sh.stats.bytesWriteDisk.Add(length)
 		if werr := c.opfs.Write(file, off, length, sim.PriorityHigh, data, j.sub); werr != nil {
 			j.sub(werr)
 		}
 		return
 	}
-	sh.stats.Admissions++
-	sh.stats.SegWritesCache++
-	sh.stats.BytesWriteCache += length
+	sh.stats.admissions.Add(1)
+	sh.stats.segWritesCache.Add(1)
+	sh.stats.bytesWriteCache.Add(length)
 	sh.insertsBuf = sh.insertsBuf[:0]
 	pos := off
 	for _, fr := range frags {
@@ -561,36 +732,13 @@ func (c *Concurrent) absorbWriteConc(sh *cshard, shardIdx int, file string, off,
 }
 
 // Stats aggregates per-shard serve counters, Rebuilder atomics and the
-// degraded-time accumulator into one snapshot. Best-effort consistency:
-// each shard is locked in turn, so the snapshot is not a single instant —
-// fine for reports and tests that quiesce first.
+// degraded-time accumulator into one snapshot. The per-shard counters are
+// atomics, so no shard lock is taken; the snapshot is not a single
+// instant — fine for reports and tests that quiesce first.
 func (c *Concurrent) Stats() Stats {
 	var st Stats
 	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		s := sh.stats
-		sh.mu.Unlock()
-		st.Reads += s.Reads
-		st.Writes += s.Writes
-		st.BytesRead += s.BytesRead
-		st.BytesWritten += s.BytesWritten
-		st.Identified += s.Identified
-		st.Critical += s.Critical
-		st.SegReadsCache += s.SegReadsCache
-		st.SegReadsDisk += s.SegReadsDisk
-		st.SegWritesCache += s.SegWritesCache
-		st.SegWritesDisk += s.SegWritesDisk
-		st.BytesReadCache += s.BytesReadCache
-		st.BytesReadDisk += s.BytesReadDisk
-		st.BytesWriteCache += s.BytesWriteCache
-		st.BytesWriteDisk += s.BytesWriteDisk
-		st.Admissions += s.Admissions
-		st.AdmitFailures += s.AdmitFailures
-		st.LazyMarks += s.LazyMarks
-		st.Failovers += s.Failovers
-		st.DeferredReads += s.DeferredReads
-		st.DirtyLost += s.DirtyLost
+		c.shards[i].stats.addTo(&st)
 	}
 	st.RebuildCycles = c.rebuildCycles.Load()
 	st.Flushes = c.flushes.Load()

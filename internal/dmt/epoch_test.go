@@ -1,0 +1,256 @@
+package dmt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s4dcache/internal/extent"
+)
+
+// Epoch-view tests: the lock-free read surface (ViewLookup, ViewMappedAt,
+// ViewContains) must agree with the locked surface when quiescent, and
+// concurrent readers must never observe a torn mapping while a writer
+// churns a stripe.
+
+func TestViewLookupMatchesAppendLookup(t *testing.T) {
+	s := NewStriped()
+	file := "view.dat"
+	// Build a fragmented layout: mapped runs with holes between them.
+	if err := s.Insert(file, 0, 100, 1000, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(file, 150, 50, 2000, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(file, 300, 200, 3000, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(file, 350, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetDirty(file, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+
+	ranges := [][2]int64{
+		{0, 100}, {0, 600}, {50, 100}, {120, 60}, {140, 20},
+		{150, 50}, {200, 300}, {340, 40}, {490, 100}, {600, 50},
+	}
+	for _, r := range ranges {
+		wantH, wantG := s.AppendLookup(nil, nil, file, r[0], r[1])
+		gotH, gotG := s.ViewLookup(nil, nil, file, r[0], r[1])
+		if len(gotH) != len(wantH) || len(gotG) != len(wantG) {
+			t.Fatalf("range %v: view %d hits/%d gaps, locked %d hits/%d gaps",
+				r, len(gotH), len(gotG), len(wantH), len(wantG))
+		}
+		for i := range wantH {
+			if gotH[i] != wantH[i] {
+				t.Fatalf("range %v hit %d: view %+v locked %+v", r, i, gotH[i], wantH[i])
+			}
+		}
+		for i := range wantG {
+			if gotG[i] != wantG[i] {
+				t.Fatalf("range %v gap %d: view %+v locked %+v", r, i, gotG[i], wantG[i])
+			}
+		}
+		if s.ViewContains(file, r[0], r[1]) != s.Contains(file, r[0], r[1]) {
+			t.Fatalf("range %v: ViewContains disagrees with Contains", r)
+		}
+		for _, h := range wantH {
+			if !s.ViewMappedAt(file, h.Off, h.Len, h.CacheOff) {
+				t.Fatalf("range %v: ViewMappedAt rejects live hit %+v", r, h)
+			}
+			if s.ViewMappedAt(file, h.Off, h.Len, h.CacheOff+1) {
+				t.Fatalf("range %v: ViewMappedAt accepts wrong cache offset for %+v", r, h)
+			}
+		}
+	}
+	// Unknown file: whole range is one gap, nothing mapped.
+	if h, g := s.ViewLookup(nil, nil, "other", 10, 20); len(h) != 0 || len(g) != 1 || g[0] != (extent.Gap{Off: 10, Len: 20}) {
+		t.Fatalf("unknown file: hits=%v gaps=%v", h, g)
+	}
+	if s.ViewMappedAt("other", 0, 10, 0) {
+		t.Fatal("ViewMappedAt true for unknown file")
+	}
+}
+
+func TestViewLookupAfterDeleteAndReplay(t *testing.T) {
+	s := NewStriped()
+	file := "gone.dat"
+	if err := s.Insert(file, 0, 100, 500, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(file, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if s.ViewContains(file, 0, 1) {
+		t.Fatal("view still contains deleted mapping")
+	}
+	if h, g := s.ViewLookup(nil, nil, file, 0, 100); len(h) != 0 || len(g) != 1 {
+		t.Fatalf("deleted file: hits=%v gaps=%v", h, g)
+	}
+}
+
+// TestStripedConcurrentViewReaders is the torn-mapping property test
+// (ISSUE 6, satellite 4; runs under -race in CI). One writer flips a file
+// between two batch-inserted layouts, A and B, with distinct cache-offset
+// bases, and toggles dirty flags across the whole file between the flips.
+// Concurrent lock-free readers assert every snapshot is exactly layout A
+// or layout B — full coverage from a single base, uniform dirty bit — and
+// that the stripe version only moves forward. A torn batch, a half-applied
+// flag flip, or a stale-after-fresh view all fail the oracle.
+func TestStripedConcurrentViewReaders(t *testing.T) {
+	s := NewStriped()
+	const (
+		file    = "torn.dat"
+		fileLen = int64(4096)
+		baseA   = int64(1 << 20)
+		baseB   = int64(2 << 20)
+	)
+	batch := func(base int64, frag int64) []FragmentInsert {
+		var out []FragmentInsert
+		for off := int64(0); off < fileLen; off += frag {
+			out = append(out, FragmentInsert{Off: off, Length: frag, CacheOff: base + off, Dirty: false})
+		}
+		return out
+	}
+	layoutA := batch(baseA, 256) // 16 fragments
+	layoutB := batch(baseB, 512) // 8 fragments
+	if err := s.InsertBatch(file, layoutA); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		cur := layoutA
+		for i := 0; !stop.Load(); i++ {
+			// Toggle the dirty bit across the whole file, then flip layouts.
+			if err := s.SetDirty(file, 0, fileLen); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.SetClean(file, 0, fileLen); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Delete(file, 0, fileLen); err != nil {
+				t.Error(err)
+				return
+			}
+			if cur = layoutB; i%2 == 1 {
+				cur = layoutA
+			}
+			if err := s.InsertBatch(file, cur); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	readers := 4
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var hits []Hit
+			var gaps []extent.Gap
+			var lastVer uint64
+			for n := 0; !stop.Load(); n++ {
+				ver := s.StripeVersion(file)
+				if ver < lastVer {
+					errs <- "stripe version moved backwards"
+					return
+				}
+				lastVer = ver
+				hits, gaps = s.ViewLookup(hits[:0], gaps[:0], file, 0, fileLen)
+				if len(hits) == 0 {
+					// Mid-flip epoch: Delete published before the re-insert.
+					// Legal — the whole file is one gap.
+					if len(gaps) != 1 || gaps[0].Off != 0 || gaps[0].Len != fileLen {
+						errs <- "empty view is not one whole-file gap"
+						return
+					}
+					continue
+				}
+				if len(gaps) != 0 {
+					errs <- "torn view: partial coverage"
+					return
+				}
+				base := hits[0].CacheOff - hits[0].Off
+				if base != baseA && base != baseB {
+					errs <- "unknown cache base"
+					return
+				}
+				dirty := hits[0].Dirty
+				pos := int64(0)
+				for _, h := range hits {
+					if h.Off != pos {
+						errs <- "non-contiguous hits"
+						return
+					}
+					if h.CacheOff != base+h.Off {
+						errs <- "torn view: mixed layouts"
+						return
+					}
+					if h.Dirty != dirty {
+						errs <- "torn view: mixed dirty bits"
+						return
+					}
+					pos += h.Len
+				}
+				if pos != fileLen {
+					errs <- "coverage short of file length"
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestViewLookupZeroAllocs pins the lock-free read surface at zero
+// allocations per operation (ISSUE 6, satellite 3; `make alloc-check`).
+func TestViewLookupZeroAllocs(t *testing.T) {
+	s := NewStriped()
+	file := "alloc.dat"
+	for off := int64(0); off < 4096; off += 256 {
+		if err := s.Insert(file, off, 256, 10000+off, off%512 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := make([]Hit, 0, 32)
+	gaps := make([]extent.Gap, 0, 32)
+	if n := testing.AllocsPerRun(200, func() {
+		hits, gaps = s.ViewLookup(hits[:0], gaps[:0], file, 100, 2000)
+	}); n != 0 {
+		t.Fatalf("ViewLookup allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if !s.ViewMappedAt(file, 256, 256, 10256) {
+			t.Fatal("mapping missing")
+		}
+	}); n != 0 {
+		t.Fatalf("ViewMappedAt allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if !s.ViewContains(file, 0, 4096) {
+			t.Fatal("coverage missing")
+		}
+	}); n != 0 {
+		t.Fatalf("ViewContains allocates %v/op, want 0", n)
+	}
+}

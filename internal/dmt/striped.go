@@ -39,12 +39,25 @@ func stripeIndex(file string) uint32 {
 // the concurrent server-side API layered on the same log format: a log
 // written by either table opens in the other.
 type Striped struct {
-	stripes [numStripes]struct {
-		mu sync.Mutex
-		t  *Table
-	}
-	seq   atomic.Uint64
-	store *kvstore.Store
+	stripes [numStripes]dstripe
+	seq     atomic.Uint64
+	store   *kvstore.Store
+}
+
+// dstripe is one lock stripe: the live sub-table behind its writer mutex
+// plus the published epoch view readers traverse lock-free (view.go). The
+// trailing padding keeps neighbouring stripes' mutexes and view pointers
+// on separate cache lines — adjacent array elements would otherwise false-
+// share under multicore serve load.
+type dstripe struct {
+	mu sync.Mutex
+	t  *Table
+	// view is the published immutable snapshot; version counts
+	// publications (the torn-read oracle). Writers store both with the
+	// mutex held; readers only load.
+	view    atomic.Pointer[stripeView]
+	version atomic.Uint64
+	_       [64]byte
 }
 
 // NewStriped returns a memory-only concurrent table.
@@ -90,6 +103,12 @@ func OpenStriped(store *kvstore.Store) (*Striped, error) {
 		s.stripes[stripeIndex(op.file)].t.apply(op)
 	}
 	s.seq.Store(max)
+	// Replay applied ops directly into the sub-tables, bypassing the
+	// per-call publication; publish every stripe's view before any reader
+	// can exist.
+	for i := range s.stripes {
+		s.stripes[i].republishAll()
+	}
 	return s, nil
 }
 
@@ -104,41 +123,64 @@ func (s *Striped) stripe(file string) (*Table, *sync.Mutex) {
 }
 
 // Insert maps [off, off+length) of file to cacheOff, as Table.Insert.
+// The stripe's epoch view republishes before the mutex is released, so
+// lock-free readers see either the old or the new mapping, never a
+// partial state.
 func (s *Striped) Insert(file string, off, length, cacheOff int64, dirty bool) error {
-	t, mu := s.stripe(file)
-	defer mu.Unlock()
-	return t.Insert(file, off, length, cacheOff, dirty)
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	err := sh.t.Insert(file, off, length, cacheOff, dirty)
+	sh.republish(file)
+	return err
 }
 
 // InsertBatch maps several fragments of one file atomically, as
 // Table.InsertBatch: the fragments commit as one store batch, which the
 // group committer may coalesce with concurrent stripes' commits into a
-// single WAL sync.
+// single WAL sync. The epoch view publishes once, after every fragment
+// applied — a reader can never observe a torn batch.
 func (s *Striped) InsertBatch(file string, frags []FragmentInsert) error {
-	t, mu := s.stripe(file)
-	defer mu.Unlock()
-	return t.InsertBatch(file, frags)
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	err := sh.t.InsertBatch(file, frags)
+	sh.republish(file)
+	return err
 }
 
-// Delete removes mappings covering [off, off+length).
+// Delete removes mappings covering [off, off+length), republishing the
+// stripe's epoch view before the mutex is released.
 func (s *Striped) Delete(file string, off, length int64) error {
-	t, mu := s.stripe(file)
-	defer mu.Unlock()
-	return t.Delete(file, off, length)
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	err := sh.t.Delete(file, off, length)
+	sh.republish(file)
+	return err
 }
 
-// SetClean clears the D_flag across [off, off+length).
+// SetClean clears the D_flag across [off, off+length). One publication
+// for the whole range: lock-free readers see the flag flip atomically
+// even when it spans several mapped fragments.
 func (s *Striped) SetClean(file string, off, length int64) error {
-	t, mu := s.stripe(file)
-	defer mu.Unlock()
-	return t.SetClean(file, off, length)
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	err := sh.t.SetClean(file, off, length)
+	sh.republish(file)
+	return err
 }
 
-// SetDirty sets the D_flag across [off, off+length).
+// SetDirty sets the D_flag across [off, off+length), publishing once as
+// SetClean does.
 func (s *Striped) SetDirty(file string, off, length int64) error {
-	t, mu := s.stripe(file)
-	defer mu.Unlock()
-	return t.SetDirty(file, off, length)
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	err := sh.t.SetDirty(file, off, length)
+	sh.republish(file)
+	return err
 }
 
 // Lookup splits [off, off+length) of file into mapped subranges and gaps.

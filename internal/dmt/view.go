@@ -1,0 +1,231 @@
+package dmt
+
+import (
+	"sync/atomic"
+
+	"s4dcache/internal/extent"
+)
+
+// Epoch views: each stripe of the concurrent table publishes an immutable
+// snapshot of its mappings that readers traverse without taking the stripe
+// mutex. The scheme is RCU-style rather than seqlock-style because the
+// underlying state includes Go maps, which cannot be read concurrently
+// with a write at all — so readers get a consistent pointer-loaded
+// snapshot instead of a retry loop over live state.
+//
+// Two levels keep publication cheap:
+//
+//   - stripeView holds an immutable file → slot map. It is rebuilt (copied)
+//     only when a file first appears in the stripe — the slow, rare event.
+//   - fileSlot holds an atomic pointer to the file's immutable sorted
+//     extent slice. Every mutation of a file republishes just that slice,
+//     O(extents of the file), and swaps one pointer.
+//
+// Writers serialize per stripe (the stripe mutex), mutate the live Table,
+// and republish before releasing the mutex — one publication per exported
+// Striped call, so a multi-fragment InsertBatch becomes visible to readers
+// atomically and no reader can observe a torn batch. The per-stripe
+// version counter increments after each publication; it is the oracle of
+// the torn-mapping property tests and a change detector for diagnostics.
+//
+// Memory-ordering contract (DESIGN.md §12): the view pointer store is the
+// release edge — every Table mutation happens-before the store, and a
+// reader's pointer load acquires everything the snapshot was built from.
+// Staleness is bounded by the writer's critical section: a reader may see
+// the previous epoch, never a partial one.
+
+// stripeView is one stripe's published file set. The map itself is
+// immutable; per-file mutations swap the slot's extent pointer instead.
+type stripeView struct {
+	files map[string]*fileSlot
+}
+
+// fileSlot carries one file's current immutable extent snapshot.
+type fileSlot struct {
+	ext atomic.Pointer[fileExtents]
+}
+
+// fileExtents is an immutable sorted extent slice. Never mutated after
+// publication.
+type fileExtents struct {
+	entries []extent.Entry[Mapping]
+}
+
+var emptyFileExtents = &fileExtents{}
+
+// republish rebuilds file's published snapshot from the live table. Must
+// run with the stripe mutex held (writers are serialized); readers load
+// the result lock-free.
+func (sh *dstripe) republish(file string) {
+	fe := emptyFileExtents
+	if m := sh.t.files[file]; m != nil && m.Len() > 0 {
+		fe = &fileExtents{entries: m.AppendEntries(make([]extent.Entry[Mapping], 0, m.Len()))}
+	}
+	v := sh.view.Load()
+	if v != nil {
+		if slot := v.files[file]; slot != nil {
+			slot.ext.Store(fe)
+			sh.version.Add(1)
+			return
+		}
+	}
+	// First publication of this file in the stripe: copy-on-write the map.
+	n := 1
+	if v != nil {
+		n += len(v.files)
+	}
+	files := make(map[string]*fileSlot, n)
+	if v != nil {
+		for k, s := range v.files {
+			files[k] = s
+		}
+	}
+	slot := &fileSlot{}
+	slot.ext.Store(fe)
+	files[file] = slot
+	sh.view.Store(&stripeView{files: files})
+	sh.version.Add(1)
+}
+
+// republishAll rebuilds the stripe's whole view from the live table —
+// used after a replay (OpenStriped), where apply bypassed the per-call
+// publication.
+func (sh *dstripe) republishAll() {
+	files := make(map[string]*fileSlot, len(sh.t.files))
+	for name, m := range sh.t.files {
+		fe := emptyFileExtents
+		if m.Len() > 0 {
+			fe = &fileExtents{entries: m.AppendEntries(make([]extent.Entry[Mapping], 0, m.Len()))}
+		}
+		slot := &fileSlot{}
+		slot.ext.Store(fe)
+		files[name] = slot
+	}
+	sh.view.Store(&stripeView{files: files})
+	sh.version.Add(1)
+}
+
+// viewEntries loads file's current published extent snapshot, or nil if
+// the file has never been published. Lock-free.
+func (s *Striped) viewEntries(file string) []extent.Entry[Mapping] {
+	v := s.stripes[stripeIndex(file)].view.Load()
+	if v == nil {
+		return nil
+	}
+	slot := v.files[file]
+	if slot == nil {
+		return nil
+	}
+	return slot.ext.Load().entries
+}
+
+// firstEnding returns the index of the first entry whose End > off — a
+// manual binary search (sort.Search's closure would allocate on the
+// zero-alloc serve path).
+func firstEnding(entries []extent.Entry[Mapping], off int64) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if entries[mid].End() > off {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ViewLookup is AppendLookup against the stripe's published epoch view:
+// the same hits/gaps split, computed without taking any mutex. The result
+// is a consistent snapshot — at most one epoch stale, never torn. Callers
+// that act on the hits must re-validate after pinning (see ViewMappedAt
+// and the core fast read path).
+func (s *Striped) ViewLookup(hits []Hit, gaps []extent.Gap, file string, off, length int64) ([]Hit, []extent.Gap) {
+	if length <= 0 {
+		return hits, gaps
+	}
+	end := off + length
+	entries := s.viewEntries(file)
+	pos := off
+	for i := firstEnding(entries, off); i < len(entries); i++ {
+		e := entries[i]
+		if e.Off >= end {
+			break
+		}
+		if e.Off > pos {
+			gaps = append(gaps, extent.Gap{Off: pos, Len: e.Off - pos})
+			pos = e.Off
+		}
+		lo, hi := e.Off, e.End()
+		cacheOff := e.Val.CacheOff
+		if lo < off {
+			cacheOff += off - lo
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		hits = append(hits, Hit{Off: lo, Len: hi - lo, CacheOff: cacheOff, Dirty: e.Val.Dirty})
+		pos = hi
+	}
+	if pos < end {
+		gaps = append(gaps, extent.Gap{Off: pos, Len: end - pos})
+	}
+	return hits, gaps
+}
+
+// ViewMappedAt reports whether the published view still maps
+// [off, off+length) of file contiguously to cacheOff — the post-pin
+// revalidation of the lock-free read path. Lock-free and allocation-free.
+func (s *Striped) ViewMappedAt(file string, off, length, cacheOff int64) bool {
+	if length <= 0 {
+		return true
+	}
+	entries := s.viewEntries(file)
+	end := off + length
+	pos, want := off, cacheOff
+	for i := firstEnding(entries, off); i < len(entries) && pos < end; i++ {
+		e := entries[i]
+		if e.Off > pos {
+			return false
+		}
+		if co := e.Val.CacheOff + (pos - e.Off); co != want {
+			return false
+		}
+		adv := e.End() - pos
+		if pos+adv > end {
+			adv = end - pos
+		}
+		pos += adv
+		want += adv
+	}
+	return pos >= end
+}
+
+// ViewContains reports whether the published view fully maps the range.
+// Lock-free and allocation-free.
+func (s *Striped) ViewContains(file string, off, length int64) bool {
+	if length <= 0 {
+		return true
+	}
+	entries := s.viewEntries(file)
+	end := off + length
+	pos := off
+	for i := firstEnding(entries, off); i < len(entries) && pos < end; i++ {
+		e := entries[i]
+		if e.Off > pos {
+			return false
+		}
+		if e.End() > pos {
+			pos = e.End()
+		}
+	}
+	return pos >= end
+}
+
+// StripeVersion returns the publication counter of file's stripe. It
+// increments after every published mutation of any file in the stripe —
+// the version oracle of the epoch-read property tests.
+func (s *Striped) StripeVersion(file string) uint64 {
+	return s.stripes[stripeIndex(file)].version.Load()
+}

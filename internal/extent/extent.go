@@ -217,6 +217,13 @@ func (m *Map[V]) Find(off int64) (Entry[V], bool) {
 	return zero, false
 }
 
+// AppendEntries appends every extent to dst in offset order and returns
+// the extended slice — the snapshot primitive behind the striped tables'
+// immutable epoch views (internal/dmt, internal/cdt).
+func (m *Map[V]) AppendEntries(dst []Entry[V]) []Entry[V] {
+	return append(dst, m.entries...)
+}
+
 // Walk calls fn for every extent in offset order; returning false stops.
 func (m *Map[V]) Walk(fn func(Entry[V]) bool) {
 	for _, e := range m.entries {

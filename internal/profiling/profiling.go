@@ -19,6 +19,13 @@ type Config struct {
 	MemProfile string
 	// Trace receives a runtime execution trace for the whole run.
 	Trace string
+	// MutexProfile receives a mutex-contention profile taken at shutdown.
+	// Sampling runs for the whole process (SetMutexProfileFraction(1)) —
+	// the serve path's lock-contention evidence for the epoch read work.
+	MutexProfile string
+	// BlockProfile receives a goroutine-blocking profile taken at
+	// shutdown (SetBlockProfileRate(1) for the whole process).
+	BlockProfile string
 }
 
 // Start begins the requested collectors and returns a stop function that
@@ -58,6 +65,12 @@ func (c Config) Start() (func() error, error) {
 		}
 		traceFile = f
 	}
+	if c.MutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if c.BlockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 	stop := func() error {
 		var firstErr error
 		keep := func(err error) {
@@ -82,6 +95,25 @@ func (c Config) Start() (func() error, error) {
 				keep(pprof.WriteHeapProfile(f))
 				keep(f.Close())
 			}
+		}
+		writeLookup := func(name, path string) {
+			f, err := os.Create(path)
+			if err != nil {
+				keep(err)
+				return
+			}
+			if p := pprof.Lookup(name); p != nil {
+				keep(p.WriteTo(f, 0))
+			}
+			keep(f.Close())
+		}
+		if c.MutexProfile != "" {
+			writeLookup("mutex", c.MutexProfile)
+			runtime.SetMutexProfileFraction(0)
+		}
+		if c.BlockProfile != "" {
+			writeLookup("block", c.BlockProfile)
+			runtime.SetBlockProfileRate(0)
 		}
 		return firstErr
 	}
