@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale alloc-check check
+.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale bench-hitrate alloc-check check
 
 all: build
 
@@ -44,10 +44,19 @@ BENCH_SCALE ?= BENCH_pr6.json
 bench-serve-scale:
 	$(GO) run ./cmd/s4dbench -bench-serve-scale $(BENCH_SCALE)
 
+# Regenerate the cache-policy hit-rate report: the policy × workload lab
+# (clean-lru / s3fifo / tinylfu over zipf, ior-rand, hpio, tileio, mixed)
+# plus the adaptive shifting-workload bench. The tables are deterministic;
+# only the wall-clock stamp varies across machines.
+BENCH_HITRATE ?= BENCH_pr7.json
+bench-hitrate:
+	$(GO) run ./cmd/s4dbench -bench-hitrate $(BENCH_HITRATE)
+
 # Just the allocation-regression tests: pins the performance-mode serve
-# and identify paths, the metadata store's durable commit path, and the
-# striped-table dirty/pending counters, at 0 allocs/op.
+# and identify paths, the metadata store's durable commit path, the
+# striped-table dirty/pending counters, and every cache policy's
+# touch/eviction paths, at 0 allocs/op.
 alloc-check:
-	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ ./internal/kvstore/ ./internal/dmt/ ./internal/cdt/ -v
+	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ ./internal/kvstore/ ./internal/dmt/ ./internal/cdt/ ./internal/cachespace/ -v
 
 check: vet build race bench

@@ -5,7 +5,8 @@
 //
 //	s4dbench [-exp id[,id...]] [-scale f] [-ranks n] [-parallel n] [-full] [-list]
 //	         [-faults plan] [-fault-seed n]
-//	         [-bench-json file] [-bench-serve file] [-serve-clients list] [-serve-window d]
+//	         [-bench-json file] [-bench-hitrate file]
+//	         [-bench-serve file] [-serve-clients list] [-serve-window d]
 //	         [-bench-serve-scale file] [-serve-procs list]
 //	         [-cpuprofile file] [-memprofile file] [-trace file]
 //	         [-mutexprofile file] [-blockprofile file]
@@ -25,6 +26,10 @@
 // suite and writes a machine-readable BENCH_*.json perf report instead of
 // the tables. The profiling flags capture pprof CPU/heap profiles and a
 // runtime trace of whatever the invocation runs.
+//
+// -bench-hitrate runs the cache-policy hit-rate lab (policy × workload
+// sweep) and the adaptive shifting-workload bench, writing their JSON
+// report — the BENCH_pr7.json generator (see `make bench-hitrate`).
 //
 // -bench-serve runs the serve/* multi-client throughput family: real
 // client goroutines (-serve-clients counts, -serve-window per point)
@@ -67,6 +72,7 @@ func run() int {
 		faultPlan    = flag.String("faults", "", "fault-injection plan for the 'faults' experiment (see internal/faults)")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault plan's random streams")
 		benchJSON    = flag.String("bench-json", "", "write a machine-readable perf report to this file and exit")
+		benchHit     = flag.String("bench-hitrate", "", "run the cache-policy hit-rate lab and the adaptive shift bench, write their JSON report to this file")
 		benchServe   = flag.String("bench-serve", "", "run the serve/* multi-client throughput family and write its JSON report to this file")
 		serveClients = flag.String("serve-clients", "1,4,16", "client-goroutine counts for -bench-serve")
 		serveWindow  = flag.Duration("serve-window", 400*time.Millisecond, "measured window per -bench-serve point")
@@ -185,6 +191,25 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("s4dbench: wrote %s\n", *benchScale)
+		return 0
+	}
+
+	if *benchHit != "" {
+		f, err := os.Create(*benchHit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := bench.EmitHitRateJSON(f, cfg, os.Stderr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("s4dbench: wrote %s\n", *benchHit)
 		return 0
 	}
 

@@ -33,7 +33,9 @@ type Config struct {
 	Parallel int
 	// FaultPlan overrides the "faults" experiment's injected-failure
 	// schedule (see internal/faults); the zero value uses
-	// DefaultFaultPlan. Other experiments always run fault-free.
+	// DefaultFaultPlan. The hitrate experiments also honor a non-empty
+	// plan (every policy row runs under the same injected faults); all
+	// other experiments always run fault-free.
 	FaultPlan faults.Plan
 	// FaultSeed derives the fault plan's random streams; 0 means 1.
 	FaultSeed int64
@@ -129,6 +131,7 @@ var canonicalOrder = []string{
 	"ablation-admission", "ablation-policy", "ablation-lazy", "ablation-dmtsync",
 	"ablation-rebuild", "ablation-tableii", "ablation-collective",
 	"ext-memcache", "faults",
+	"hitrate", "hitrate-shift",
 }
 
 func register(e Experiment) { registry = append(registry, e) }

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// identicalAcrossParallel runs one experiment at several -parallel
+// settings and fails unless every rendered table is byte-identical.
+// Returns the common table text for further checks.
+func identicalAcrossParallel(t *testing.T, id string, base Config) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("%s not registered", id)
+	}
+	var outs []string
+	for _, parallel := range []int{1, 4, 16} {
+		cfg := base
+		cfg.Parallel = parallel
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s parallel=%d: %v", id, parallel, err)
+		}
+		outs = append(outs, tbl.String())
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("%s table differs between parallel settings:\n--- parallel=1 ---\n%s--- run %d ---\n%s",
+				id, outs[0], i, outs[i])
+		}
+	}
+	return outs[0]
+}
+
+// TestHitRateTableDeterministic pins the determinism criterion for the
+// hit-rate lab: every policy row (clean-lru, s3fifo, tinylfu × every
+// workload) must come out byte-identical whether the cells run
+// sequentially or on a 4- or 16-worker pool.
+func TestHitRateTableDeterministic(t *testing.T) {
+	out := identicalAcrossParallel(t, "hitrate", tiny())
+	for _, policy := range []string{"clean-lru", "s3fifo", "tinylfu"} {
+		if !strings.Contains(out, policy) {
+			t.Fatalf("policy %q missing from table:\n%s", policy, out)
+		}
+	}
+}
+
+// TestHitRateShiftTableDeterministic pins the same criterion for the
+// shifting-workload bench. The adaptive row runs the characterizer on
+// the virtual clock (AdaptivePeriod ticks are simulator events), so its
+// policy swaps land at identical virtual times in every run.
+func TestHitRateShiftTableDeterministic(t *testing.T) {
+	out := identicalAcrossParallel(t, "hitrate-shift", tiny())
+	if !strings.Contains(out, "adaptive") {
+		t.Fatalf("adaptive row missing from table:\n%s", out)
+	}
+}
+
+// TestHitRateTableDeterministicUnderFaults re-runs both experiments with
+// the scaled fault plan injected into every cell: transient I/O errors
+// and a CServer crash/restart must not break byte-identity across
+// -parallel settings for any policy (each cell owns its injector and
+// random streams, so worker scheduling cannot leak into the tables).
+func TestHitRateTableDeterministicUnderFaults(t *testing.T) {
+	identicalAcrossParallel(t, "hitrate", faultyTiny(t, 0))
+	identicalAcrossParallel(t, "hitrate-shift", faultyTiny(t, 0))
+}
+
+// TestHitRateFaultsNotVacuous guards the faulted determinism test: under
+// the scaled plan a hit-rate cell must actually record fault activity,
+// and a clean cell must record none.
+func TestHitRateFaultsNotVacuous(t *testing.T) {
+	w := hitRateWorkloads(tiny())[0] // zipf
+	probe := func(cfg Config) (uint64, error) {
+		_, stats, err := runHitRateCell(cfg, "clean-lru", w)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Retries + stats.Failovers + stats.DeferredReads, nil
+	}
+	clean, err := probe(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != 0 {
+		t.Fatalf("clean cell recorded fault activity: %d", clean)
+	}
+	faulted, err := probe(faultyTiny(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted == 0 {
+		t.Fatal("faulted cell recorded no retries, failovers or deferred reads; the plan never fired")
+	}
+}

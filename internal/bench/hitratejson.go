@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// HitRateLabRow is one policy × workload cell of the hit-rate lab in the
+// machine-readable report.
+type HitRateLabRow struct {
+	Workload  string  `json:"workload"`
+	Policy    string  `json:"policy"`
+	HitRate   float64 `json:"hit_rate"`
+	Evictions uint64  `json:"evictions"`
+	// Writebacks counts Rebuilder dirty flushes; Rejected the
+	// admissions bounced by the policy gate; GhostHits the S3-FIFO
+	// ghost readmissions.
+	Writebacks uint64  `json:"writebacks"`
+	Rejected   uint64  `json:"rejected"`
+	GhostHits  uint64  `json:"ghost_hits"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// HitRateShiftRow is one policy row of the shifting-workload bench.
+type HitRateShiftRow struct {
+	Policy string `json:"policy"`
+	// Phases is the cache traffic share per phase (P0 write burst,
+	// P1 zipf re-read, P2 scan, P3 zipf re-read, P4 cold write burst).
+	Phases  []float64 `json:"phases"`
+	Overall float64   `json:"overall"`
+	Swaps   uint64    `json:"swaps"`
+}
+
+// HitRateReport is the schema of BENCH_pr7.json: the full hit-rate lab
+// and the adaptive shift bench, for cross-PR policy regression tracking.
+type HitRateReport struct {
+	Schema      string            `json:"schema"`
+	GoVersion   string            `json:"go_version"`
+	Scale       float64           `json:"scale"`
+	Ranks       int               `json:"ranks"`
+	Lab         []HitRateLabRow   `json:"lab"`
+	Shift       []HitRateShiftRow `json:"shift"`
+	WallClockMs int64             `json:"wall_clock_ms"`
+}
+
+// EmitHitRateJSON runs the hit-rate lab and the shifting-workload bench
+// at cfg, writing a HitRateReport to w. s4dbench's -bench-hitrate flag
+// drives it; `make bench-hitrate` regenerates the committed
+// BENCH_pr7.json.
+func EmitHitRateJSON(w io.Writer, cfg Config, progress io.Writer) error {
+	rep := HitRateReport{
+		Schema:    "s4d-hitrate/1",
+		GoVersion: runtime.Version(),
+		Scale:     cfg.Scale,
+		Ranks:     cfg.Ranks,
+	}
+	start := time.Now()
+	if progress != nil {
+		fmt.Fprintf(progress, "bench-hitrate: lab (scale=%.4g ranks=%d)\n", cfg.Scale, cfg.Ranks)
+	}
+	lab, err := collectHitRate(cfg)
+	if err != nil {
+		return fmt.Errorf("bench: emit hitrate json: %w", err)
+	}
+	for _, r := range lab {
+		rep.Lab = append(rep.Lab, HitRateLabRow{
+			Workload:   r.workload,
+			Policy:     r.policy,
+			HitRate:    r.cell.hitRate,
+			Evictions:  r.cell.evictions,
+			Writebacks: r.cell.writebacks,
+			Rejected:   r.cell.rejected,
+			GhostHits:  r.cell.ghostHits,
+			OpsPerSec:  r.cell.opsPerSec,
+		})
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "bench-hitrate: shifting workload\n")
+	}
+	shift, err := collectShift(cfg)
+	if err != nil {
+		return fmt.Errorf("bench: emit hitrate json: %w", err)
+	}
+	for _, r := range shift {
+		rep.Shift = append(rep.Shift, HitRateShiftRow{
+			Policy:  r.label,
+			Phases:  r.cell.phases,
+			Overall: r.cell.overall,
+			Swaps:   r.cell.swaps,
+		})
+	}
+	rep.WallClockMs = time.Since(start).Milliseconds()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

@@ -1,0 +1,143 @@
+package cachespace
+
+import (
+	"errors"
+	"testing"
+)
+
+// newSteadyManager returns a full cache in eviction steady state: every
+// byte allocated clean, so each further allocation must reclaim.
+func newSteadyManager(tb testing.TB, policy string) *Manager {
+	tb.Helper()
+	p, err := NewPolicy(policy, 1<<20)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := NewWithPolicy(1<<20, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for off := int64(0); off < 1<<20; off += 16 << 10 {
+		if _, _, err := m.Allocate(16<<10, Owner{File: "seed", FileOff: off}, false); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestAllocateZeroAllocs pins the eviction-path allocation cost of every
+// policy at 0 allocs/op: with caller-owned result buffers, a steady-state
+// allocate-over-full-cache (pop victims, gate, evict, take free space)
+// performs no heap allocation — including TinyLFU rejections, which
+// return the fixed ErrAdmissionRejected.
+func TestAllocateZeroAllocs(t *testing.T) {
+	for _, policy := range PolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			m := newSteadyManager(t, policy)
+			var (
+				frags   []Fragment
+				evicted []Evicted
+			)
+			off := int64(0)
+			alloc := func() {
+				var err error
+				frags, evicted, err = m.AllocateInto(frags[:0], evicted[:0], 16<<10, Owner{File: "in", FileOff: off}, false)
+				if err != nil && !errors.Is(err, ErrNoSpace) {
+					t.Fatal(err)
+				}
+				off += 16 << 10
+			}
+			// Warm up scratch buffers, rings and the candidate index.
+			for i := 0; i < 200; i++ {
+				alloc()
+			}
+			if n := testing.AllocsPerRun(200, alloc); n != 0 {
+				t.Fatalf("%s Allocate: %v allocs/op, want 0", policy, n)
+			}
+		})
+	}
+}
+
+// TestTouchZeroAllocs pins the cache-hit path of every policy at 0
+// allocs/op: recency restamps, frequency bumps and candidate index
+// updates all run without heap allocation.
+func TestTouchZeroAllocs(t *testing.T) {
+	for _, policy := range PolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			m := newSteadyManager(t, policy)
+			i := 0
+			touch := func() {
+				m.Touch(int64(i%64)*(16<<10), 16<<10)
+				i++
+			}
+			for j := 0; j < 200; j++ {
+				touch()
+			}
+			if n := testing.AllocsPerRun(200, touch); n != 0 {
+				t.Fatalf("%s Touch: %v allocs/op, want 0", policy, n)
+			}
+		})
+	}
+}
+
+// BenchmarkTouchHotRange measures the hot-range cache-hit cost per
+// policy. Before the indexed-heap fix the clean-LRU case appended one
+// stale heap entry per hit, growing the queue without bound and turning
+// a hot loop into O(n log n) heap churn; now every policy stays O(log n)
+// worst case with a bounded queue.
+func BenchmarkTouchHotRange(b *testing.B) {
+	for _, policy := range PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			m := newSteadyManager(b, policy)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Touch(0, 16<<10)
+			}
+			b.StopTimer()
+			if q := m.policy.QueueLen(); q > 128 {
+				b.Fatalf("queue grew to %d over %d hot touches", q, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateEvict measures the steady-state allocate-with-eviction
+// cost per policy.
+func BenchmarkAllocateEvict(b *testing.B) {
+	for _, policy := range PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			m := newSteadyManager(b, policy)
+			var (
+				frags   []Fragment
+				evicted []Evicted
+			)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				frags, evicted, err = m.AllocateInto(frags[:0], evicted[:0], 16<<10, Owner{File: "in", FileOff: int64(i) * (16 << 10)}, false)
+				if err != nil && !errors.Is(err, ErrNoSpace) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRejectionErrIsFixed guards the allocation-free rejection contract:
+// two rejections return the same error value.
+func TestRejectionErrIsFixed(t *testing.T) {
+	m := mustNewPolicy(t, 4096, PolicyTinyLFU)
+	if _, _, err := m.Allocate(4096, Owner{File: "hot"}, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Touch(0, 4096)
+	}
+	_, _, err1 := m.Allocate(4096, Owner{File: "cold1"}, true)
+	_, _, err2 := m.Allocate(4096, Owner{File: "cold2"}, true)
+	if err1 != ErrAdmissionRejected || err2 != ErrAdmissionRejected {
+		t.Fatalf("rejections not the fixed sentinel: %v / %v", err1, err2)
+	}
+}

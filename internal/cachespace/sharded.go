@@ -51,8 +51,16 @@ type shardRegion struct {
 
 // NewSharded returns a sharded space of the given total capacity split
 // evenly across shards regions (any remainder bytes beyond the even split
-// are unused).
+// are unused), using the default clean-first LRU policy.
 func NewSharded(capacity int64, shards int) (*Sharded, error) {
+	return NewShardedPolicy(capacity, shards, nil)
+}
+
+// NewShardedPolicy is NewSharded with an eviction/admission policy
+// factory: newPolicy is called once per region with the region's
+// capacity (each region owns an independent policy instance, so policy
+// state never crosses a region lock). Nil means clean-first LRU.
+func NewShardedPolicy(capacity int64, shards int, newPolicy func(regionCapacity int64) Policy) (*Sharded, error) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -65,7 +73,11 @@ func NewSharded(capacity int64, shards int) (*Sharded, error) {
 	}
 	for i := range s.regions {
 		r := &s.regions[i]
-		m, err := New(s.regionSize)
+		var p Policy
+		if newPolicy != nil {
+			p = newPolicy(s.regionSize)
+		}
+		m, err := NewWithPolicy(s.regionSize, p)
 		if err != nil {
 			return nil, err
 		}
@@ -100,6 +112,84 @@ func (s *Sharded) SetEvictHook(fn func(owner Owner, cacheOff, length int64) bool
 		}
 		r.mu.Unlock()
 	}
+}
+
+// SetPolicy swaps every region's eviction/admission policy live, one
+// region lock at a time: newPolicy is called once per region with the
+// region's capacity; nil restores clean-first LRU. In-flight operations
+// in other regions proceed against whichever policy their region holds —
+// the cache contents and accounting are untouched either way.
+func (s *Sharded) SetPolicy(newPolicy func(regionCapacity int64) Policy) {
+	for i := range s.regions {
+		r := &s.regions[i]
+		var p Policy
+		if newPolicy != nil {
+			p = newPolicy(s.regionSize)
+		}
+		r.mu.Lock()
+		r.m.SetPolicy(p)
+		r.mu.Unlock()
+	}
+}
+
+// PolicyName returns the active policy's registered name (all regions
+// run the same policy; region 0 is consulted).
+func (s *Sharded) PolicyName() string {
+	r := &s.regions[0]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m.PolicyName()
+}
+
+// PolicyCounters returns the per-policy decision counters summed across
+// regions. They reset when the policy is swapped.
+func (s *Sharded) PolicyCounters() PolicyCounters {
+	var out PolicyCounters
+	for i := range s.regions {
+		r := &s.regions[i]
+		r.mu.Lock()
+		out = out.Add(r.m.PolicyCounters())
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// Touches returns fragment-level cache-hit touches across regions.
+func (s *Sharded) Touches() uint64 {
+	var n uint64
+	for i := range s.regions {
+		r := &s.regions[i]
+		r.mu.Lock()
+		n += r.m.Touches()
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// AdmitRejected returns admission-gate denials across regions; unlike
+// PolicyCounters it survives policy swaps.
+func (s *Sharded) AdmitRejected() uint64 {
+	var n uint64
+	for i := range s.regions {
+		r := &s.regions[i]
+		r.mu.Lock()
+		n += r.m.AdmitRejected()
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// PolicyQueueLen returns the candidate queue length (live + stale)
+// summed across regions; a fragmentation/leak diagnostic.
+func (s *Sharded) PolicyQueueLen() int {
+	var n int
+	for i := range s.regions {
+		r := &s.regions[i]
+		r.mu.Lock()
+		n += r.m.PolicyQueueLen()
+		r.mu.Unlock()
+	}
+	return n
 }
 
 // Shards returns the region count.

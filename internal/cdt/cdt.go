@@ -66,6 +66,18 @@ func New(maxBytes int64) *Table {
 	return &Table{files: make(map[string]*extent.Map[Info]), maxBytes: maxBytes}
 }
 
+// SetMaxBytes adjusts the table bound live; maxBytes <= 0 means
+// unbounded. Shrinking a bounded table evicts immediately. A table
+// constructed unbounded has no insertion log for its existing entries,
+// so a new bound takes hold as fresh adds cycle through the FIFO.
+func (t *Table) SetMaxBytes(maxBytes int64) {
+	t.maxBytes = maxBytes
+	t.evict()
+}
+
+// MaxBytes returns the current table bound (<= 0 means unbounded).
+func (t *Table) MaxBytes() int64 { return t.maxBytes }
+
 // Add records [off, off+length) of file as critical. Re-adding an existing
 // range refreshes its benefit and keeps its C_flag.
 func (t *Table) Add(file string, off, length int64, benefit time.Duration) {

@@ -61,6 +61,39 @@ func NewStriped(maxBytes int64) *Striped {
 	return s
 }
 
+// SetMaxBytes adjusts the aggregate table bound live; maxBytes <= 0
+// means unbounded. The bound is ceiling-split across stripes as in
+// NewStriped. Stripes whose eviction drops coverage republish their
+// views before the new bound is visible to readers.
+func (s *Striped) SetMaxBytes(maxBytes int64) {
+	per := maxBytes
+	if maxBytes > 0 {
+		per = (maxBytes + numStripes - 1) / numStripes
+	}
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		evicted := sh.t.Evicted()
+		sh.t.SetMaxBytes(per)
+		if sh.t.Evicted() != evicted {
+			sh.republishAll()
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// MaxBytes returns the aggregate table bound (<= 0 means unbounded).
+func (s *Striped) MaxBytes() int64 {
+	sh := &s.stripes[0]
+	sh.mu.Lock()
+	per := sh.t.MaxBytes()
+	sh.mu.Unlock()
+	if per <= 0 {
+		return per
+	}
+	return per * numStripes
+}
+
 // stripe locks and returns the sub-table owning file. The caller must
 // unlock the returned mutex.
 func (s *Striped) stripe(file string) (*Table, *sync.Mutex) {

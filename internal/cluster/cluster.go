@@ -51,6 +51,13 @@ type Params struct {
 	Policy core.AdmissionPolicy
 	// EagerFetch disables the paper's lazy read caching (ablation).
 	EagerFetch bool
+	// CachePolicy selects the cache-space eviction/admission policy by
+	// name (cachespace.PolicyNames); empty means clean-LRU.
+	CachePolicy string
+	// AdaptivePeriod enables the online workload characterizer, which
+	// swaps the cache policy and retunes the criticality threshold
+	// every period; 0 keeps the configured policy fixed.
+	AdaptivePeriod time.Duration
 	// PersistMeta persists the DMT in an embedded store.
 	PersistMeta bool
 	// ChargeMetaIO charges DMT commits as CServer I/O (needs PersistMeta).
@@ -253,17 +260,19 @@ func build(p Params, withCache bool) (*Testbed, error) {
 		}
 	}
 	s4d, err := core.New(core.Config{
-		Engine:        eng,
-		OPFS:          opfs,
-		CPFS:          cpfs,
-		Model:         model,
-		CacheCapacity: p.CacheCapacity,
-		RebuildPeriod: p.RebuildPeriod,
-		RebuildBatch:  p.RebuildBatch,
-		MetaStore:     metaStore,
-		ChargeMetaIO:  p.ChargeMetaIO,
-		Policy:        p.Policy,
-		LazyFetch:     !p.EagerFetch,
+		Engine:         eng,
+		OPFS:           opfs,
+		CPFS:           cpfs,
+		Model:          model,
+		CacheCapacity:  p.CacheCapacity,
+		RebuildPeriod:  p.RebuildPeriod,
+		RebuildBatch:   p.RebuildBatch,
+		MetaStore:      metaStore,
+		ChargeMetaIO:   p.ChargeMetaIO,
+		Policy:         p.Policy,
+		LazyFetch:      !p.EagerFetch,
+		CachePolicy:    p.CachePolicy,
+		AdaptivePeriod: p.AdaptivePeriod,
 	})
 	if err != nil {
 		return nil, err

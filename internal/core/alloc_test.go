@@ -65,14 +65,14 @@ func newPerfTestbed(t *testing.T) *testbed {
 func TestIdentifyZeroAllocs(t *testing.T) {
 	tb := newPerfTestbed(t)
 	// Sequential large request: benefit <= 0, pure model path.
-	seq := func() { tb.s4d.identify(0, "seq", 0, 4<<20) }
+	seq := func() { tb.s4d.identify(0, "seq", 0, 4<<20, false) }
 	seq()
 	if got := testing.AllocsPerRun(100, seq); got != 0 {
 		t.Fatalf("identify (sequential) allocates %v per op, want 0", got)
 	}
 	// Random small request, same range every time: critical path with a
 	// steady-state CDT re-add.
-	rnd := func() { tb.s4d.identify(1, "rnd", 1<<30, 16<<10) }
+	rnd := func() { tb.s4d.identify(1, "rnd", 1<<30, 16<<10, false) }
 	rnd()
 	if got := testing.AllocsPerRun(100, rnd); got != 0 {
 		t.Fatalf("identify (critical) allocates %v per op, want 0", got)

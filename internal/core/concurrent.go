@@ -68,6 +68,16 @@ type ConcurrentConfig struct {
 	// the epoch-view fast path — the contention baseline of the serve
 	// scaling benchmarks. Leave false in production use.
 	LockedReads bool
+	// CachePolicy selects the cache-space eviction/admission policy by
+	// name (cachespace.PolicyNames), applied to every shard region.
+	// Empty means the clean-LRU default.
+	CachePolicy string
+	// AdaptivePeriod enables the online workload characterizer: every
+	// period the engine snapshots the windowed access profile and may
+	// swap the cache policy of all regions, retune the criticality
+	// threshold and cap the CDT live (DESIGN.md §13.4). Zero disables
+	// adaptation. Only meaningful under PolicyBenefit.
+	AdaptivePeriod time.Duration
 }
 
 // Concurrent is the sharded, goroutine-safe S4D engine (the PR's
@@ -104,6 +114,15 @@ type Concurrent struct {
 	dmt    *dmt.Striped
 	cdt    *cdt.Striped
 	space  *cachespace.Sharded
+
+	// Adaptive policy engine (characterizer.go). admitNanos is the live
+	// criticality threshold in nanoseconds, loaded lock-free by the
+	// epoch read fast path; the adaptTick goroutine is its only writer.
+	cacheCap                int64
+	baseCDTMax              int64
+	admitNanos              atomic.Int64
+	chz                     *Characterizer
+	policySwaps, adaptTicks atomic.Uint64
 
 	// Rebuilder state (concrebuild.go).
 	rebuildBatch   int
@@ -229,7 +248,20 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 	if cfg.Policy == 0 {
 		cfg.Policy = PolicyBenefit
 	}
-	space, err := cachespace.NewSharded(cfg.CacheCapacity, cfg.Concurrency)
+	var newPolicy func(regionCapacity int64) cachespace.Policy
+	if cfg.CachePolicy != "" {
+		// Validate the name once up front; the per-region factory then
+		// cannot fail.
+		if _, err := cachespace.NewPolicy(cfg.CachePolicy, cfg.CacheCapacity); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		name := cfg.CachePolicy
+		newPolicy = func(regionCapacity int64) cachespace.Policy {
+			p, _ := cachespace.NewPolicy(name, regionCapacity)
+			return p
+		}
+	}
+	space, err := cachespace.NewShardedPolicy(cfg.CacheCapacity, cfg.Concurrency, newPolicy)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -251,10 +283,13 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		dmt:          table,
 		cdt:          cdt.NewStriped(cfg.CDTMaxBytes),
 		space:        space,
+		cacheCap:     cfg.CacheCapacity,
+		baseCDTMax:   cfg.CDTMaxBytes,
 		rebuildBatch: cfg.RebuildBatch,
 		downC:        make(map[int]bool),
 		quit:         make(chan struct{}),
 	}
+	c.admitNanos.Store(int64(cfg.Model.CriticalThreshold))
 	c.faulty.Store(cfg.Faulty)
 	// Unmap-before-free: every eviction drops its DMT mapping under the
 	// region mutex, before the bytes rejoin the free pool. The epoch read
@@ -279,8 +314,59 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 	if cfg.RebuildPeriod > 0 {
 		c.armRebuild(cfg.RebuildPeriod)
 	}
+	if cfg.AdaptivePeriod > 0 {
+		c.chz = NewCharacterizer()
+		c.armAdapt(cfg.AdaptivePeriod)
+	}
 	return c, nil
 }
+
+// armAdapt schedules the next adaptation step; self-rearming like
+// armRebuild, stopped by Close.
+func (c *Concurrent) armAdapt(period time.Duration) {
+	c.clock.After(period, func() {
+		if c.closed.Load() {
+			return
+		}
+		c.adaptTick()
+		c.armAdapt(period)
+	})
+}
+
+// adaptTick is one adaptation step of the concurrent engine: the
+// sharded twin of S4D.adaptTick. Policy swaps go through
+// Sharded.SetPolicy (per-region locks, live under traffic — the swap
+// torture test's path); the threshold is published through admitNanos
+// so the lock-free read path picks it up without a mutex.
+func (c *Concurrent) adaptTick() {
+	c.adaptTicks.Add(1)
+	prof := c.chz.SnapshotReset()
+	if prof.Total() == 0 {
+		return
+	}
+	if name := ChoosePolicy(prof, c.cacheCap, c.space.PolicyName()); name != "" && name != c.space.PolicyName() {
+		switch name {
+		case cachespace.PolicyCleanLRU:
+			c.space.SetPolicy(nil)
+		default:
+			c.space.SetPolicy(func(regionCapacity int64) cachespace.Policy {
+				p, _ := cachespace.NewPolicy(name, regionCapacity)
+				return p
+			})
+		}
+		c.policySwaps.Add(1)
+	}
+	if thrashing(prof, c.cacheCap) {
+		c.admitNanos.Store(int64(c.model.CriticalThreshold + prof.MeanBenefit))
+		c.cdt.SetMaxBytes(c.cacheCap)
+	} else {
+		c.admitNanos.Store(int64(c.model.CriticalThreshold))
+		c.cdt.SetMaxBytes(c.baseCDTMax)
+	}
+}
+
+// threshold returns the live criticality threshold (lock-free).
+func (c *Concurrent) threshold() time.Duration { return time.Duration(c.admitNanos.Load()) }
 
 // Close stops the periodic Rebuilder trigger and the worker pool. Call
 // after draining (DrainRebuild): tasks of an in-flight cycle may be
@@ -400,7 +486,7 @@ func (c *Concurrent) Write(rank int, file string, off, size int64, data []byte, 
 	sh.stats.bytesWritten.Add(size)
 	sh.fileEpoch[file]++
 
-	benefit := c.identify(sh, rank, file, off, size)
+	benefit := c.identify(sh, rank, file, off, size, true)
 
 	sh.hitsBuf, sh.gapsBuf = c.dmt.AppendLookup(sh.hitsBuf[:0], sh.gapsBuf[:0], file, off, size)
 	hits, gaps := sh.hitsBuf, sh.gapsBuf
@@ -491,7 +577,7 @@ func (c *Concurrent) Read(rank int, file string, off, size int64, buf []byte, do
 	sh.stats.reads.Add(1)
 	sh.stats.bytesRead.Add(size)
 
-	benefit := c.identify(sh, rank, file, off, size)
+	benefit := c.identify(sh, rank, file, off, size, false)
 
 	if !c.lockedReads && !c.faulty.Load() && c.readFast(sh, file, off, size, buf, done, benefit) {
 		return nil
@@ -564,7 +650,7 @@ func (c *Concurrent) readFast(sh *cshard, file string, off, size int64, buf []by
 		}
 	}
 	for _, g := range gaps {
-		if benefit > 0 || c.cdt.ViewContains(file, g.Off, g.Len) {
+		if benefit > c.threshold() || c.cdt.ViewContains(file, g.Off, g.Len) {
 			// Always lazy: mark for the Rebuilder (Algorithm 1, line 18).
 			c.cdt.SetCFlag(file, g.Off, g.Len)
 			sh.stats.lazyMarks.Add(1)
@@ -617,7 +703,7 @@ func (c *Concurrent) readLocked(sh *cshard, file string, off, size int64, buf []
 		}
 	}
 	for _, g := range gaps {
-		critical := benefit > 0 || c.cdt.Contains(file, g.Off, g.Len)
+		critical := benefit > c.threshold() || c.cdt.Contains(file, g.Off, g.Len)
 		if critical {
 			// Always lazy: mark for the Rebuilder (Algorithm 1, line 18).
 			c.cdt.SetCFlag(file, g.Off, g.Len)
@@ -638,7 +724,7 @@ func (c *Concurrent) readLocked(sh *cshard, file string, off, size int64, buf []
 // the epoch read fast path calls it lock-free, and the locked write path
 // nests it below mu. The CDT Add serializes on the target stripe's own
 // mutex.
-func (c *Concurrent) identify(sh *cshard, rank int, file string, off, size int64) time.Duration {
+func (c *Concurrent) identify(sh *cshard, rank int, file string, off, size int64, write bool) time.Duration {
 	sh.stats.identified.Add(1)
 	if c.policy == PolicyLocality {
 		sh.trackerMu.Lock()
@@ -655,7 +741,11 @@ func (c *Concurrent) identify(sh *cshard, rank int, file string, off, size int64
 	dist := sh.tracker.Observe(costmodel.StreamKey{File: file, Rank: rank}, off, size)
 	sh.trackerMu.Unlock()
 	benefit := c.model.Benefit(costmodel.Request{Offset: off, Size: size, Distance: dist})
-	if benefit > 0 {
+	if c.chz != nil {
+		// Atomic accumulation — safe from the lock-free read path.
+		c.chz.Note(write, dist, file, off, size, benefit)
+	}
+	if benefit > c.threshold() {
 		sh.stats.critical.Add(1)
 		if c.policy != PolicyNone {
 			c.cdt.Add(file, off, size, benefit)
@@ -671,7 +761,7 @@ func (c *Concurrent) admitWriteConc(sh *cshard, file string, off, length int64, 
 	case PolicyAll:
 		return true
 	default:
-		return benefit > 0 || c.cdt.Contains(file, off, length)
+		return benefit > c.threshold() || c.cdt.Contains(file, off, length)
 	}
 }
 
@@ -755,5 +845,15 @@ func (c *Concurrent) Stats() Stats {
 		st.DegradedTime += c.clock.Now() - c.degradedSince
 	}
 	c.downMu.Unlock()
+	st.CachePolicy = c.space.PolicyName()
+	st.CacheTouches = c.space.Touches()
+	st.CacheEvictions = c.space.Evictions()
+	st.PolicyAdmitRejected = c.space.AdmitRejected()
+	pc := c.space.PolicyCounters()
+	st.PolicyGhostHits = pc.GhostHits
+	st.PolicyPromotions = pc.Promotions
+	st.PolicySwaps = c.policySwaps.Load()
+	st.AdaptTicks = c.adaptTicks.Load()
+	st.PolicyQueueLen = c.space.PolicyQueueLen()
 	return st
 }

@@ -27,6 +27,11 @@ type concTestbed struct {
 
 func newConcTestbed(t *testing.T, shards int, functional, faulty bool) *concTestbed {
 	t.Helper()
+	return newConcTestbedCfg(t, shards, functional, faulty, nil)
+}
+
+func newConcTestbedCfg(t *testing.T, shards int, functional, faulty bool, mutate func(*ConcurrentConfig)) *concTestbed {
+	t.Helper()
 	clock := sim.NewWallClock()
 	mkWall := func(label string, servers int) *pfs.WallFS {
 		w, err := pfs.NewWallFS(pfs.WallConfig{
@@ -52,7 +57,7 @@ func newConcTestbed(t *testing.T, shards int, functional, faulty bool) *concTest
 	model.M = 8
 	model.N = 4
 	model.Stripe = 16 << 10
-	eng, err := NewConcurrent(ConcurrentConfig{
+	cfg := ConcurrentConfig{
 		Clock:         clock,
 		OPFS:          opfs,
 		CPFS:          cpfs,
@@ -60,7 +65,11 @@ func newConcTestbed(t *testing.T, shards int, functional, faulty bool) *concTest
 		CacheCapacity: 256 << 20,
 		Concurrency:   shards,
 		Faulty:        faulty,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := NewConcurrent(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

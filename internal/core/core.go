@@ -106,6 +106,16 @@ type Config struct {
 	// virtual-time experiment tables can never silently pick up a
 	// nondeterministic serve path.
 	Concurrency int
+	// CachePolicy selects the cache-space eviction/admission policy by
+	// name (cachespace.PolicyNames). Empty means the clean-LRU default.
+	CachePolicy string
+	// AdaptivePeriod enables the online workload characterizer: every
+	// period the engine snapshots the windowed access profile and may
+	// swap the cache policy, retune the criticality threshold and cap
+	// the CDT live (DESIGN.md §13.4). Zero disables adaptation. Only
+	// meaningful under PolicyBenefit — the other admission policies
+	// bypass the cost model the characterizer feeds on.
+	AdaptivePeriod time.Duration
 }
 
 // S4D is one S4D-Cache instance.
@@ -120,6 +130,17 @@ type S4D struct {
 	cdt     *cdt.Table
 	dmt     *dmt.Table
 	space   *cachespace.Manager
+
+	// Adaptive policy engine (characterizer.go). admitThreshold is the
+	// live criticality threshold: initialized from the model's
+	// CriticalThreshold and retuned each adaptTick when adaptation is
+	// on. cacheCap and baseCDTMax remember the configured sizes the
+	// engine adapts around.
+	cacheCap       int64
+	baseCDTMax     int64
+	admitThreshold time.Duration
+	chz            *Characterizer
+	adaptTicker    *sim.Ticker
 
 	rebuildBatch   int
 	ticker         *sim.Ticker
@@ -226,7 +247,17 @@ func New(cfg Config) (*S4D, error) {
 	if cfg.CacheCapacity <= 0 {
 		return nil, fmt.Errorf("core: cache capacity must be positive, got %d", cfg.CacheCapacity)
 	}
-	space, err := cachespace.New(cfg.CacheCapacity)
+	var space *cachespace.Manager
+	var err error
+	if cfg.CachePolicy != "" {
+		pol, perr := cachespace.NewPolicy(cfg.CachePolicy, cfg.CacheCapacity)
+		if perr != nil {
+			return nil, fmt.Errorf("core: %w", perr)
+		}
+		space, err = cachespace.NewWithPolicy(cfg.CacheCapacity, pol)
+	} else {
+		space, err = cachespace.New(cfg.CacheCapacity)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -244,23 +275,26 @@ func New(cfg Config) (*S4D, error) {
 		}
 	}
 	s := &S4D{
-		eng:           cfg.Engine,
-		opfs:          cfg.OPFS,
-		cpfs:          cfg.CPFS,
-		model:         cfg.Model,
-		policy:        cfg.Policy,
-		lazy:          cfg.LazyFetch,
-		tracker:       costmodel.NewTracker(),
-		cdt:           cdt.New(cfg.CDTMaxBytes),
-		dmt:           table,
-		space:         space,
-		rebuildBatch:  cfg.RebuildBatch,
-		fileEpoch:     make(map[string]uint64),
-		chargeMeta:    cfg.ChargeMetaIO && cfg.MetaStore != nil,
-		inFlightFetch: make(map[string]bool),
-		metaStore:     cfg.MetaStore,
-		faulty:        cfg.OPFS.Faulty() || cfg.CPFS.Faulty(),
-		downC:         make(map[int]bool),
+		eng:            cfg.Engine,
+		opfs:           cfg.OPFS,
+		cpfs:           cfg.CPFS,
+		model:          cfg.Model,
+		policy:         cfg.Policy,
+		lazy:           cfg.LazyFetch,
+		tracker:        costmodel.NewTracker(),
+		cdt:            cdt.New(cfg.CDTMaxBytes),
+		dmt:            table,
+		space:          space,
+		cacheCap:       cfg.CacheCapacity,
+		baseCDTMax:     cfg.CDTMaxBytes,
+		admitThreshold: cfg.Model.CriticalThreshold,
+		rebuildBatch:   cfg.RebuildBatch,
+		fileEpoch:      make(map[string]uint64),
+		chargeMeta:     cfg.ChargeMetaIO && cfg.MetaStore != nil,
+		inFlightFetch:  make(map[string]bool),
+		metaStore:      cfg.MetaStore,
+		faulty:         cfg.OPFS.Faulty() || cfg.CPFS.Faulty(),
+		downC:          make(map[int]bool),
 	}
 	if cfg.Policy == PolicyLocality {
 		s.locality = newLocalityTracker(0, 0)
@@ -268,14 +302,51 @@ func New(cfg Config) (*S4D, error) {
 	if cfg.RebuildPeriod > 0 {
 		s.ticker = cfg.Engine.Every(cfg.RebuildPeriod, func() { s.RebuildNow(nil) })
 	}
+	if cfg.AdaptivePeriod > 0 {
+		s.chz = NewCharacterizer()
+		s.adaptTicker = cfg.Engine.Every(cfg.AdaptivePeriod, s.adaptTick)
+	}
 	return s, nil
 }
 
-// Close stops the periodic Rebuilder.
+// Close stops the periodic Rebuilder and the adaptive policy ticker.
 func (s *S4D) Close() {
 	if s.ticker != nil {
 		s.ticker.Stop()
 		s.ticker = nil
+	}
+	if s.adaptTicker != nil {
+		s.adaptTicker.Stop()
+		s.adaptTicker = nil
+	}
+}
+
+// adaptTick is one adaptation step: snapshot the characterizer window,
+// swap the cache policy if the profile calls for a different one, and
+// retune the criticality threshold and CDT bound (DESIGN.md §13.4).
+// It runs from the engine ticker in virtual time, so it is serialized
+// with the serve path and fully deterministic.
+func (s *S4D) adaptTick() {
+	s.stats.AdaptTicks++
+	prof := s.chz.SnapshotReset()
+	if prof.Total() == 0 {
+		return
+	}
+	if name := ChoosePolicy(prof, s.cacheCap, s.space.PolicyName()); name != "" && name != s.space.PolicyName() {
+		if pol, err := cachespace.NewPolicy(name, s.cacheCap); err == nil {
+			s.space.SetPolicy(pol)
+			s.stats.PolicySwaps++
+		}
+	}
+	if thrashing(prof, s.cacheCap) {
+		// Cache-defeating scan: only clearly above-typical requests stay
+		// critical, and the CDT is capped so scan extents cannot crowd
+		// out the resident hot set's records.
+		s.admitThreshold = s.model.CriticalThreshold + prof.MeanBenefit
+		s.cdt.SetMaxBytes(s.cacheCap)
+	} else {
+		s.admitThreshold = s.model.CriticalThreshold
+		s.cdt.SetMaxBytes(s.baseCDTMax)
 	}
 }
 
@@ -306,7 +377,7 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 	s.stats.BytesWritten += size
 	s.fileEpoch[file]++
 
-	benefit := s.identify(rank, file, off, size)
+	benefit := s.identify(rank, file, off, size, true)
 
 	s.hitsBuf, s.gapsBuf = s.dmt.AppendLookup(s.hitsBuf[:0], s.gapsBuf[:0], file, off, size)
 	hits, gaps := s.hitsBuf, s.gapsBuf
@@ -395,7 +466,7 @@ func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func
 	s.stats.Reads++
 	s.stats.BytesRead += size
 
-	benefit := s.identify(rank, file, off, size)
+	benefit := s.identify(rank, file, off, size, false)
 
 	s.hitsBuf, s.gapsBuf = s.dmt.AppendLookup(s.hitsBuf[:0], s.gapsBuf[:0], file, off, size)
 	hits, gaps := s.hitsBuf, s.gapsBuf
@@ -430,7 +501,7 @@ func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func
 		}
 	}
 	for _, g := range gaps {
-		critical := benefit > 0 || s.cdt.Contains(file, g.Off, g.Len)
+		critical := benefit > s.admitThreshold || s.cdt.Contains(file, g.Off, g.Len)
 		if critical && s.lazy {
 			// Lazy caching: mark for the Rebuilder (line 18).
 			s.cdt.SetCFlag(file, g.Off, g.Len)
@@ -461,8 +532,9 @@ func (s *S4D) Read(rank int, file string, off, size int64, buf []byte, done func
 // identify runs the Data Identifier: compute the benefit (Eq. 8) and
 // record critical requests in the CDT. Under PolicyLocality the
 // criterion is temporal locality instead of the cost model. Returns the
-// benefit (zero when the policy replaces the model).
-func (s *S4D) identify(rank int, file string, off, size int64) time.Duration {
+// benefit (zero when the policy replaces the model). write feeds the
+// adaptive characterizer's read/write mix; it does not change routing.
+func (s *S4D) identify(rank int, file string, off, size int64, write bool) time.Duration {
 	s.stats.Identified++
 	if s.policy == PolicyLocality {
 		if s.locality.Touch(file, off, size) {
@@ -474,7 +546,10 @@ func (s *S4D) identify(rank int, file string, off, size int64) time.Duration {
 	}
 	dist := s.tracker.Observe(costmodel.StreamKey{File: file, Rank: rank}, off, size)
 	benefit := s.model.Benefit(costmodel.Request{Offset: off, Size: size, Distance: dist})
-	if benefit > 0 {
+	if s.chz != nil {
+		s.chz.Note(write, dist, file, off, size, benefit)
+	}
+	if benefit > s.admitThreshold {
 		s.stats.Critical++
 		if s.policy != PolicyNone {
 			s.cdt.Add(file, off, size, benefit)
@@ -494,7 +569,7 @@ func (s *S4D) admitWrite(file string, off, length int64, benefit time.Duration) 
 	default:
 		// PolicyBenefit and PolicyLocality: the identifier has already
 		// encoded its verdict in benefit/CDT membership.
-		return benefit > 0 || s.cdt.Contains(file, off, length)
+		return benefit > s.admitThreshold || s.cdt.Contains(file, off, length)
 	}
 }
 

@@ -67,6 +67,25 @@ type Stats struct {
 	// records/commits is the average group size.
 	MetaGroupCommits   uint64
 	MetaGroupedRecords uint64
+
+	// Cache-policy counters (DESIGN.md §13). CachePolicy is the active
+	// eviction/admission policy's name; CacheTouches and CacheEvictions
+	// count cache-hit restamps and evicted fragments. The Policy*
+	// counters come from the active policy instance: admissions bounced
+	// by its gate (TinyLFU), ghost-table readmissions and small→main
+	// promotions (S3-FIFO). PolicySwaps and AdaptTicks count the
+	// adaptive engine's live reconfigurations and window snapshots.
+	CachePolicy         string
+	CacheTouches        uint64
+	CacheEvictions      uint64
+	PolicyAdmitRejected uint64
+	PolicyGhostHits     uint64
+	PolicyPromotions    uint64
+	PolicySwaps         uint64
+	AdaptTicks          uint64
+	// PolicyQueueLen is a gauge: the candidate queue's current length
+	// (live + stale entries), a fragmentation/leak diagnostic.
+	PolicyQueueLen int
 }
 
 // Stats returns a snapshot of the instance counters, folding in the
@@ -84,6 +103,14 @@ func (s *S4D) Stats() Stats {
 	if s.degraded() {
 		st.DegradedTime += s.eng.Now() - s.degradedSince
 	}
+	st.CachePolicy = s.space.PolicyName()
+	st.CacheTouches = s.space.Touches()
+	st.CacheEvictions = s.space.Evictions()
+	st.PolicyAdmitRejected = s.space.AdmitRejected()
+	pc := s.space.PolicyCounters()
+	st.PolicyGhostHits = pc.GhostHits
+	st.PolicyPromotions = pc.Promotions
+	st.PolicyQueueLen = s.space.PolicyQueueLen()
 	return st
 }
 

@@ -81,6 +81,11 @@ type Params struct {
 	// stripe boundary (the paper's E = ⌊(f+r)/str⌋ is then one stripe
 	// past the last byte; the exact form uses ⌊(f+r−1)/str⌋).
 	PaperTableII bool
+	// CriticalThreshold is the minimum modeled benefit for a request to
+	// count as performance-critical. The zero value keeps the paper's
+	// B > 0 criterion; the adaptive policy engine raises it during
+	// scan-heavy phases so marginal stragglers stop polluting the CDT.
+	CriticalThreshold time.Duration
 }
 
 // Validate reports whether the parameters are usable.
@@ -291,8 +296,10 @@ func (p Params) Benefit(req Request) time.Duration {
 	return p.HDDCost(req) - p.SSDCost(req)
 }
 
-// Critical reports whether the request is performance-critical (B > 0).
-func (p Params) Critical(req Request) bool { return p.Benefit(req) > 0 }
+// Critical reports whether the request is performance-critical
+// (B > CriticalThreshold; the threshold's zero value keeps the paper's
+// B > 0 criterion).
+func (p Params) Critical(req Request) bool { return p.Benefit(req) > p.CriticalThreshold }
 
 func max64(a, b int64) int64 {
 	if a > b {

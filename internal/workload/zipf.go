@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"s4dcache/internal/mpiio"
+)
+
+// ZipfConfig parameterizes the zipfian re-reference stream of the
+// hit-rate lab (DESIGN.md §13.5): n processes share one file and issue
+// fixed-size requests whose target blocks follow a Zipf popularity
+// distribution, scattered across the file so popular blocks are not
+// spatially clustered. Unlike the paper's benchmarks this is a cache-
+// policy stressor, not a reproduction workload: the skewed re-reference
+// pattern separates recency (clean-LRU), ghost-readmission (S3-FIFO)
+// and frequency (TinyLFU) policies, which the paper's mostly-uniform
+// streams cannot.
+type ZipfConfig struct {
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// FileSize is the shared file size; requests may target any block.
+	FileSize int64
+	// RequestSize is the transfer size per request (the block size).
+	RequestSize int64
+	// Requests is the number of requests each rank issues.
+	Requests int
+	// Skew is the Zipf exponent s (> 1); the zero value means 1.2.
+	Skew float64
+	// Seed drives the random streams and the popularity→block scatter.
+	Seed int64
+	// DrawSeed, when nonzero, replaces Seed for the popularity draws
+	// only: the same blocks stay hot (the scatter is still keyed by
+	// Seed) but the sample is independent — a fresh epoch of the same
+	// working set, so unpopular blocks touched in one epoch are true
+	// one-hit wonders in the next.
+	DrawSeed int64
+	// ScanEvery interleaves scan pollution: every ScanEvery-th request
+	// reads the next block of a per-rank sequential sweep instead of a
+	// popularity draw. Scanned blocks are one-touch within any window
+	// that matters — the traffic a scan-resistant policy (probationary
+	// queue, admission gate) filters and a pure recency order lets
+	// displace the hot set. 0 disables pollution.
+	ScanEvery int
+	// File names the shared file.
+	File string
+}
+
+// Validate reports whether the configuration is usable.
+func (c ZipfConfig) Validate() error {
+	if c.Ranks <= 0 {
+		return fmt.Errorf("workload: zipf ranks must be positive, got %d", c.Ranks)
+	}
+	if err := validatePositive("zipf file size", c.FileSize); err != nil {
+		return err
+	}
+	if err := validatePositive("zipf request size", c.RequestSize); err != nil {
+		return err
+	}
+	if c.Requests <= 0 {
+		return fmt.Errorf("workload: zipf requests must be positive, got %d", c.Requests)
+	}
+	if c.FileSize < c.RequestSize {
+		return fmt.Errorf("workload: zipf file size %d smaller than request size %d",
+			c.FileSize, c.RequestSize)
+	}
+	if c.Skew != 0 && c.Skew <= 1 {
+		return fmt.Errorf("workload: zipf skew must be > 1, got %g", c.Skew)
+	}
+	return nil
+}
+
+// zipfScatter maps a popularity rank to its file block: a splitmix64
+// finalizer over (seed, rank) modulo the block count. Without the
+// scatter the hottest blocks would all sit at the start of the file and
+// a recency policy would win on spatial accident rather than policy
+// merit; with it, popularity and file position are independent.
+func zipfScatter(seed int64, rank uint64, blocks int64) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + rank
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x % uint64(blocks))
+}
+
+// Spans generates the per-rank request streams.
+func (c ZipfConfig) Spans() ([][]mpiio.Span, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	skew := c.Skew
+	if skew == 0 {
+		skew = 1.2
+	}
+	blocks := c.FileSize / c.RequestSize
+	draw := c.DrawSeed
+	if draw == 0 {
+		draw = c.Seed
+	}
+	out := make([][]mpiio.Span, c.Ranks)
+	for r := 0; r < c.Ranks; r++ {
+		rng := rngFor(draw, r)
+		z := rand.NewZipf(rng, skew, 1, uint64(blocks-1))
+		scan := int64(r) * blocks / int64(c.Ranks)
+		spans := make([]mpiio.Span, 0, c.Requests)
+		for i := 0; i < c.Requests; i++ {
+			var block int64
+			if c.ScanEvery > 0 && (i+1)%c.ScanEvery == 0 {
+				block = scan % blocks
+				scan++
+			} else {
+				block = zipfScatter(c.Seed, z.Uint64(), blocks)
+			}
+			spans = append(spans, mpiio.Span{Off: block * c.RequestSize, Len: c.RequestSize})
+		}
+		out[r] = spans
+	}
+	return out, nil
+}
+
+// RunZipf runs one zipfian phase (write or read) on the communicator.
+func RunZipf(comm *mpiio.Comm, cfg ZipfConfig, write bool, done func(Result)) error {
+	spans, err := cfg.Spans()
+	if err != nil {
+		return err
+	}
+	name := cfg.File
+	if name == "" {
+		name = "zipf.dat"
+	}
+	f := comm.Open(name)
+	return Run(f, spans, write, done)
+}

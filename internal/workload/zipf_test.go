@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestZipfValidate(t *testing.T) {
+	good := ZipfConfig{Ranks: 4, FileSize: 1 << 20, RequestSize: 16 << 10, Requests: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []ZipfConfig{
+		{Ranks: 0, FileSize: 1 << 20, RequestSize: 16 << 10, Requests: 64},
+		{Ranks: 4, FileSize: 0, RequestSize: 16 << 10, Requests: 64},
+		{Ranks: 4, FileSize: 1 << 20, RequestSize: 0, Requests: 64},
+		{Ranks: 4, FileSize: 1 << 20, RequestSize: 16 << 10, Requests: 0},
+		{Ranks: 4, FileSize: 8 << 10, RequestSize: 16 << 10, Requests: 64},
+		{Ranks: 4, FileSize: 1 << 20, RequestSize: 16 << 10, Requests: 64, Skew: 0.9},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestZipfSpansDeterministic(t *testing.T) {
+	cfg := ZipfConfig{
+		Ranks: 4, FileSize: 32 << 20, RequestSize: 16 << 10,
+		Requests: 256, Skew: 1.1, Seed: 42, ScanEvery: 3,
+	}
+	a, err := cfg.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a {
+		if len(a[r]) != cfg.Requests {
+			t.Fatalf("rank %d has %d spans, want %d", r, len(a[r]), cfg.Requests)
+		}
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("rank %d span %d differs across runs: %+v vs %+v", r, i, a[r][i], b[r][i])
+			}
+			sp := a[r][i]
+			if sp.Off%cfg.RequestSize != 0 || sp.Len != cfg.RequestSize ||
+				sp.Off < 0 || sp.Off+sp.Len > cfg.FileSize {
+				t.Fatalf("rank %d span %d out of shape: %+v", r, i, sp)
+			}
+		}
+	}
+}
+
+// TestZipfSkewConcentration checks the popularity shape: the most popular
+// block must absorb far more than a uniform share of the requests.
+func TestZipfSkewConcentration(t *testing.T) {
+	cfg := ZipfConfig{
+		Ranks: 2, FileSize: 16 << 20, RequestSize: 16 << 10,
+		Requests: 4096, Skew: 1.2, Seed: 42,
+	}
+	spans, err := cfg.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int{}
+	total := 0
+	for _, s := range spans {
+		for _, sp := range s {
+			counts[sp.Off]++
+			total++
+		}
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	blocks := int(cfg.FileSize / cfg.RequestSize)
+	uniform := float64(total) / float64(blocks)
+	if float64(max) < 10*uniform {
+		t.Fatalf("hottest block has %d requests, uniform share %.1f — stream is not skewed", max, uniform)
+	}
+}
+
+// TestZipfDrawSeedKeepsHotSet checks the epoch semantics: changing
+// DrawSeed resamples the stream but the popular blocks stay the same,
+// while changing Seed moves the scatter and with it the hot set.
+func TestZipfDrawSeedKeepsHotSet(t *testing.T) {
+	base := ZipfConfig{
+		Ranks: 2, FileSize: 16 << 20, RequestSize: 16 << 10,
+		Requests: 4096, Skew: 1.2, Seed: 42,
+	}
+	hot := func(cfg ZipfConfig) map[int64]bool {
+		spans, err := cfg.Spans()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int64]int{}
+		for _, s := range spans {
+			for _, sp := range s {
+				counts[sp.Off]++
+			}
+		}
+		out := map[int64]bool{}
+		for off, n := range counts {
+			if n >= 50 {
+				out[off] = true
+			}
+		}
+		if len(out) == 0 {
+			t.Fatal("no hot blocks found")
+		}
+		return out
+	}
+	overlap := func(a, b map[int64]bool) float64 {
+		n := 0
+		for off := range a {
+			if b[off] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(a))
+	}
+
+	epoch1 := base
+	epoch1.DrawSeed = 43
+	epoch2 := base
+	epoch2.DrawSeed = 44
+	if ov := overlap(hot(epoch1), hot(epoch2)); ov < 0.9 {
+		t.Fatalf("hot-set overlap across DrawSeed epochs = %.2f, want ~1", ov)
+	}
+
+	moved := base
+	moved.Seed = 1042
+	if ov := overlap(hot(base), hot(moved)); ov > 0.5 {
+		t.Fatalf("hot-set overlap across different Seeds = %.2f, want small", ov)
+	}
+}
+
+// TestZipfScanEvery checks the pollution interleave: every ScanEvery-th
+// request walks a per-rank sequential cursor instead of a zipf draw.
+func TestZipfScanEvery(t *testing.T) {
+	cfg := ZipfConfig{
+		Ranks: 2, FileSize: 32 << 20, RequestSize: 16 << 10,
+		Requests: 300, Skew: 1.1, Seed: 42, ScanEvery: 3,
+	}
+	spans, err := cfg.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := cfg.FileSize / cfg.RequestSize
+	for r, s := range spans {
+		scan := int64(r) * blocks / int64(cfg.Ranks)
+		for i, sp := range s {
+			if (i+1)%cfg.ScanEvery != 0 {
+				continue
+			}
+			want := (scan % blocks) * cfg.RequestSize
+			if sp.Off != want {
+				t.Fatalf("rank %d request %d: scan offset %d, want %d", r, i, sp.Off, want)
+			}
+			scan++
+		}
+	}
+
+	// ScanEvery=0 disables pollution: identical to the pure-zipf stream.
+	pure := cfg
+	pure.ScanEvery = 0
+	a, err := pure.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pure.Spans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a {
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("pure zipf stream not deterministic at rank %d request %d", r, i)
+			}
+		}
+	}
+}
+
+// TestRunZipf drives one write+read pair end-to-end on a stock testbed.
+func TestRunZipf(t *testing.T) {
+	comm := stockComm(t, 2)
+	cfg := ZipfConfig{
+		Ranks: 2, FileSize: 4 << 20, RequestSize: 16 << 10,
+		Requests: 32, Skew: 1.2, Seed: 42,
+	}
+	var wres, rres Result
+	if err := RunZipf(comm, cfg, true, func(r Result) { wres = r }); err != nil {
+		t.Fatal(err)
+	}
+	comm.Engine().Run()
+	if err := RunZipf(comm, cfg, false, func(r Result) { rres = r }); err != nil {
+		t.Fatal(err)
+	}
+	comm.Engine().Run()
+	wantBytes := int64(cfg.Ranks) * int64(cfg.Requests) * cfg.RequestSize
+	if wres.Bytes != wantBytes || rres.Bytes != wantBytes {
+		t.Fatalf("bytes = %d write / %d read, want %d", wres.Bytes, rres.Bytes, wantBytes)
+	}
+	if wres.Requests != cfg.Ranks*cfg.Requests || rres.Requests != cfg.Ranks*cfg.Requests {
+		t.Fatalf("requests = %d write / %d read, want %d", wres.Requests, rres.Requests, cfg.Ranks*cfg.Requests)
+	}
+}
