@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale bench-hitrate alloc-check check
+.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale bench-hitrate bench-recovery alloc-check check
 
 all: build
 
@@ -51,6 +51,14 @@ bench-serve-scale:
 BENCH_HITRATE ?= BENCH_pr7.json
 bench-hitrate:
 	$(GO) run ./cmd/s4dbench -bench-hitrate $(BENCH_HITRATE)
+
+# Regenerate the warm-restart report: cold / warm / torn-WAL / bit-rotted
+# snapshot restarts, with recovered residency, quarantine counters,
+# virtual time-to-warm and post-restart hit rates. Fully deterministic
+# (virtual time); only the wall-clock stamp varies across machines.
+BENCH_RECOVERY ?= BENCH_pr8.json
+bench-recovery:
+	$(GO) run ./cmd/s4dbench -bench-recovery $(BENCH_RECOVERY)
 
 # Just the allocation-regression tests: pins the performance-mode serve
 # and identify paths, the metadata store's durable commit path, the

@@ -5,7 +5,7 @@
 //
 //	s4dbench [-exp id[,id...]] [-scale f] [-ranks n] [-parallel n] [-full] [-list]
 //	         [-faults plan] [-fault-seed n]
-//	         [-bench-json file] [-bench-hitrate file]
+//	         [-bench-json file] [-bench-hitrate file] [-bench-recovery file]
 //	         [-bench-serve file] [-serve-clients list] [-serve-window d]
 //	         [-bench-serve-scale file] [-serve-procs list]
 //	         [-cpuprofile file] [-memprofile file] [-trace file]
@@ -30,6 +30,12 @@
 // -bench-hitrate runs the cache-policy hit-rate lab (policy × workload
 // sweep) and the adaptive shifting-workload bench, writing their JSON
 // report — the BENCH_pr7.json generator (see `make bench-hitrate`).
+//
+// -bench-recovery runs the warm-restart family: write/drain/read, durable
+// snapshot, crash, and a restart per scenario (cold, warm, torn WAL,
+// bit-rotted store snapshot), reporting recovered residency, quarantine
+// counters, virtual time-to-warm and the post-restart hit rate — the
+// BENCH_pr8.json generator (see `make bench-recovery`).
 //
 // -bench-serve runs the serve/* multi-client throughput family: real
 // client goroutines (-serve-clients counts, -serve-window per point)
@@ -73,6 +79,7 @@ func run() int {
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault plan's random streams")
 		benchJSON    = flag.String("bench-json", "", "write a machine-readable perf report to this file and exit")
 		benchHit     = flag.String("bench-hitrate", "", "run the cache-policy hit-rate lab and the adaptive shift bench, write their JSON report to this file")
+		benchRecov   = flag.String("bench-recovery", "", "run the warm-restart family (cold/warm/damaged-metadata restarts) and write its JSON report to this file")
 		benchServe   = flag.String("bench-serve", "", "run the serve/* multi-client throughput family and write its JSON report to this file")
 		serveClients = flag.String("serve-clients", "1,4,16", "client-goroutine counts for -bench-serve")
 		serveWindow  = flag.Duration("serve-window", 400*time.Millisecond, "measured window per -bench-serve point")
@@ -210,6 +217,25 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("s4dbench: wrote %s\n", *benchHit)
+		return 0
+	}
+
+	if *benchRecov != "" {
+		f, err := os.Create(*benchRecov)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := bench.EmitRecoveryJSON(f, cfg, os.Stderr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("s4dbench: wrote %s\n", *benchRecov)
 		return 0
 	}
 

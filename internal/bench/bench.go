@@ -131,7 +131,7 @@ var canonicalOrder = []string{
 	"ablation-admission", "ablation-policy", "ablation-lazy", "ablation-dmtsync",
 	"ablation-rebuild", "ablation-tableii", "ablation-collective",
 	"ext-memcache", "faults",
-	"hitrate", "hitrate-shift",
+	"hitrate", "hitrate-shift", "recovery",
 }
 
 func register(e Experiment) { registry = append(registry, e) }

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "meta",
 		"ablation-admission", "ablation-policy", "ablation-lazy", "ablation-dmtsync",
 		"ablation-rebuild", "ablation-tableii", "ablation-collective",
-		"ext-memcache", "faults", "hitrate", "hitrate-shift",
+		"ext-memcache", "faults", "hitrate", "hitrate-shift", "recovery",
 	}
 	ids := IDs()
 	have := make(map[string]bool, len(ids))

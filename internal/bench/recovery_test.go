@@ -1,0 +1,71 @@
+package bench
+
+import "testing"
+
+// TestRecoveryBench pins the warm-restart bench to the PR's acceptance
+// criteria: the warm restart recovers the pre-crash residency and serves
+// it (hit rate back at the pre-crash level, ≥90% of it at minimum), the
+// cold restart pays the DServers, and the damaged-metadata restarts still
+// come up and serve — damage lands in the quarantine/torn-tail counters,
+// never in served bytes.
+func TestRecoveryBench(t *testing.T) {
+	rows, err := collectRecovery(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make(map[string]recoveryCell, len(rows))
+	for _, r := range rows {
+		cells[r.mode] = r.cell
+	}
+	cold, ok := cells["cold"]
+	if !ok {
+		t.Fatal("no cold row")
+	}
+	warm, ok := cells["warm"]
+	if !ok {
+		t.Fatal("no warm row")
+	}
+	if warm.recoveredClean == 0 || warm.recoveredDirty == 0 {
+		t.Fatalf("warm restart recovered clean=%d dirty=%d, want both > 0",
+			warm.recoveredClean, warm.recoveredDirty)
+	}
+	if warm.quarantined != 0 {
+		t.Fatalf("undamaged warm restart quarantined %d records", warm.quarantined)
+	}
+	if warm.timeToWarmMs <= 0 {
+		t.Fatalf("warm restart TimeToWarm = %v ms", warm.timeToWarmMs)
+	}
+	if warm.postHitRate < 0.9*warm.preHitRate {
+		t.Fatalf("warm hit rate after restart %.3f < 90%% of pre-crash %.3f",
+			warm.postHitRate, warm.preHitRate)
+	}
+	if cold.recoveredClean != 0 || cold.recoveredDirty != 0 {
+		t.Fatalf("cold restart recovered clean=%d dirty=%d, want 0",
+			cold.recoveredClean, cold.recoveredDirty)
+	}
+	if cold.postHitRate >= warm.postHitRate {
+		t.Fatalf("cold post-restart hit rate %.3f not below warm %.3f",
+			cold.postHitRate, warm.postHitRate)
+	}
+	torn, ok := cells["warm-torn-wal"]
+	if !ok {
+		t.Fatal("no warm-torn-wal row")
+	}
+	if torn.tornWALBytes == 0 {
+		t.Fatal("torn-WAL restart dropped no tail bytes")
+	}
+	flip, ok := cells["warm-snap-bitflip"]
+	if !ok {
+		t.Fatal("no warm-snap-bitflip row")
+	}
+	// The bit-rotted store snapshot is rejected wholesale by its frame
+	// CRC; the restart still happens and the engine still serves.
+	if !flip.snapQuarantined {
+		t.Fatal("bit-rotted store snapshot was not quarantined")
+	}
+	for mode, c := range cells {
+		if c.postHitRate < 0 || c.postHitRate > 1 {
+			t.Fatalf("%s post hit rate %.3f out of range", mode, c.postHitRate)
+		}
+	}
+}

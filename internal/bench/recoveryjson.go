@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// RecoveryRow is one restart scenario in the machine-readable report.
+type RecoveryRow struct {
+	Mode           string `json:"mode"`
+	RecoveredClean uint64 `json:"recovered_clean"`
+	RecoveredDirty uint64 `json:"recovered_dirty"`
+	RecoveredBytes int64  `json:"recovered_bytes"`
+	// Quarantined counts sealed records rejected at recovery (served as
+	// misses); Drift the replayed extents absent from the residency image
+	// (post-snapshot movement, telemetry).
+	Quarantined     uint64 `json:"quarantined"`
+	Drift           uint64 `json:"drift"`
+	SnapQuarantined bool   `json:"snap_quarantined"`
+	TornWALBytes    int64  `json:"torn_wal_bytes"`
+	// TimeToWarmMs is virtual time served degraded before the clean queue
+	// drained; the hit rates are the read-byte cache shares of the
+	// pre-crash and post-restart read passes.
+	TimeToWarmMs float64 `json:"time_to_warm_ms"`
+	HitRatePre   float64 `json:"hit_rate_pre"`
+	HitRatePost  float64 `json:"hit_rate_post"`
+}
+
+// RecoveryReport is the schema of BENCH_pr8.json: every restart scenario
+// of the warm-restart bench, for cross-PR durability regression tracking.
+type RecoveryReport struct {
+	Schema      string        `json:"schema"`
+	GoVersion   string        `json:"go_version"`
+	Scale       float64       `json:"scale"`
+	Ranks       int           `json:"ranks"`
+	Rows        []RecoveryRow `json:"rows"`
+	WallClockMs int64         `json:"wall_clock_ms"`
+}
+
+// EmitRecoveryJSON runs the warm-restart bench at cfg, writing a
+// RecoveryReport to w. s4dbench's -bench-recovery flag drives it;
+// `make bench-recovery` regenerates the committed BENCH_pr8.json.
+func EmitRecoveryJSON(w io.Writer, cfg Config, progress io.Writer) error {
+	rep := RecoveryReport{
+		Schema:    "s4d-recovery/1",
+		GoVersion: runtime.Version(),
+		Scale:     cfg.Scale,
+		Ranks:     cfg.Ranks,
+	}
+	start := time.Now()
+	if progress != nil {
+		fmt.Fprintf(progress, "bench-recovery: restart scenarios (scale=%.4g ranks=%d)\n", cfg.Scale, cfg.Ranks)
+	}
+	rows, err := collectRecovery(cfg)
+	if err != nil {
+		return fmt.Errorf("bench: emit recovery json: %w", err)
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, RecoveryRow{
+			Mode:            r.mode,
+			RecoveredClean:  r.cell.recoveredClean,
+			RecoveredDirty:  r.cell.recoveredDirty,
+			RecoveredBytes:  r.cell.recoveredBytes,
+			Quarantined:     r.cell.quarantined,
+			Drift:           r.cell.drift,
+			SnapQuarantined: r.cell.snapQuarantined,
+			TornWALBytes:    r.cell.tornWALBytes,
+			TimeToWarmMs:    r.cell.timeToWarmMs,
+			HitRatePre:      r.cell.preHitRate,
+			HitRatePost:     r.cell.postHitRate,
+		})
+	}
+	rep.WallClockMs = time.Since(start).Milliseconds()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

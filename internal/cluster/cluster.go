@@ -60,6 +60,9 @@ type Params struct {
 	AdaptivePeriod time.Duration
 	// PersistMeta persists the DMT in an embedded store.
 	PersistMeta bool
+	// SnapshotPeriod streams a durable residency snapshot every period
+	// (DESIGN.md §14); 0 disables it. Needs PersistMeta.
+	SnapshotPeriod time.Duration
 	// ChargeMetaIO charges DMT commits as CServer I/O (needs PersistMeta).
 	ChargeMetaIO bool
 	// Trace installs an iotrace.Recorder on both file systems.
@@ -111,6 +114,9 @@ type Testbed struct {
 	MemCache *memcache.Cache
 	// Model is the calibrated cost model (valid in S4D mode).
 	Model costmodel.Params
+	// MetaBackend holds the metadata store's persisted bytes when
+	// Params.PersistMeta is set — the durable state RestartS4D reopens.
+	MetaBackend kvstore.Backend
 	// Params echoes the configuration.
 	Params Params
 
@@ -254,7 +260,8 @@ func build(p Params, withCache bool) (*Testbed, error) {
 
 	var metaStore *kvstore.Store
 	if p.PersistMeta {
-		metaStore, err = kvstore.Open(kvstore.NewMemBackend(), "dmt", kvstore.Options{})
+		tb.MetaBackend = kvstore.NewMemBackend()
+		metaStore, err = kvstore.Open(tb.MetaBackend, "dmt", kvstore.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -268,6 +275,7 @@ func build(p Params, withCache bool) (*Testbed, error) {
 		RebuildPeriod:  p.RebuildPeriod,
 		RebuildBatch:   p.RebuildBatch,
 		MetaStore:      metaStore,
+		SnapshotPeriod: p.SnapshotPeriod,
 		ChargeMetaIO:   p.ChargeMetaIO,
 		Policy:         p.Policy,
 		LazyFetch:      !p.EagerFetch,
@@ -284,4 +292,74 @@ func build(p Params, withCache bool) (*Testbed, error) {
 		cpfs.SetStateHook(s4d.OnCServerState)
 	}
 	return tb, nil
+}
+
+// RestartOptions configures a simulated crash/restart of the S4D layer.
+type RestartOptions struct {
+	// Warm re-opens the persisted metadata and recovers the cache image
+	// (DESIGN.md §14). False models losing the metadata entirely: the
+	// restarted instance comes up with a cold cache.
+	Warm bool
+	// CorruptPlan damages the persisted metadata bytes as they are read
+	// back (corrupt: clauses, see internal/faults); the zero plan reads
+	// them back intact. CorruptSeed derives the damage streams.
+	CorruptPlan faults.Plan
+	CorruptSeed int64
+}
+
+// RestartS4D simulates an S4D crash and restart: the running instance is
+// abandoned (its background activity stopped), and a fresh one is built
+// over the same engine, file systems and calibrated model. DServer and
+// CServer payloads survive — only the S4D process dies. Requires an S4D
+// testbed with PersistMeta.
+func (tb *Testbed) RestartS4D(opts RestartOptions) error {
+	if tb.S4D == nil {
+		return fmt.Errorf("cluster: restart: not an S4D testbed")
+	}
+	if tb.MetaBackend == nil {
+		return fmt.Errorf("cluster: restart: needs PersistMeta")
+	}
+	tb.S4D.Close()
+	var store *kvstore.Store
+	var err error
+	if opts.Warm {
+		backend := tb.MetaBackend
+		// Plan.Empty deliberately ignores corrupt rules (they are not
+		// serve-path faults), so check them directly here.
+		if len(opts.CorruptPlan.Corrupt) > 0 || !opts.CorruptPlan.Empty() {
+			backend = faults.NewInjector(opts.CorruptPlan, opts.CorruptSeed).WrapBackend(backend, "dmt")
+		}
+		store, err = kvstore.Open(backend, "dmt", kvstore.Options{})
+	} else {
+		// Cold: a fresh, empty store. The old durable state stays on
+		// MetaBackend untouched (a later warm restart could still use it).
+		store, err = kvstore.Open(kvstore.NewMemBackend(), "dmt", kvstore.Options{})
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: restart: %w", err)
+	}
+	p := tb.Params
+	s4d, err := core.New(core.Config{
+		Engine:         tb.Eng,
+		OPFS:           tb.OPFS,
+		CPFS:           tb.CPFS,
+		Model:          tb.Model,
+		CacheCapacity:  p.CacheCapacity,
+		RebuildPeriod:  p.RebuildPeriod,
+		RebuildBatch:   p.RebuildBatch,
+		MetaStore:      store,
+		SnapshotPeriod: p.SnapshotPeriod,
+		ChargeMetaIO:   p.ChargeMetaIO,
+		Policy:         p.Policy,
+		LazyFetch:      !p.EagerFetch,
+		CachePolicy:    p.CachePolicy,
+		AdaptivePeriod: p.AdaptivePeriod,
+		WarmRestart:    opts.Warm,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: restart: %w", err)
+	}
+	tb.S4D = s4d
+	tb.closed = false
+	return nil
 }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"s4dcache/internal/costmodel"
 	"s4dcache/internal/device"
+	"s4dcache/internal/kvstore"
 	"s4dcache/internal/netmodel"
 	"s4dcache/internal/pfs"
 	"s4dcache/internal/sim"
@@ -13,6 +15,11 @@ import (
 // newPerfTestbed builds a performance-mode (metadata-only stores, no DMT
 // persistence) S4D deployment for allocation measurement.
 func newPerfTestbed(t *testing.T) *testbed {
+	t.Helper()
+	return newPerfTestbedCfg(t, nil)
+}
+
+func newPerfTestbedCfg(t *testing.T, mutate func(*Config)) *testbed {
 	t.Helper()
 	eng := sim.NewEngine()
 	mk := func(label string, servers int, dev func(i int) device.Device) *pfs.FS {
@@ -44,14 +51,18 @@ func newPerfTestbed(t *testing.T) *testbed {
 	model.M = 8
 	model.N = 4
 	model.Stripe = 64 << 10
-	s4d, err := New(Config{
+	cfg := Config{
 		Engine:        eng,
 		OPFS:          opfs,
 		CPFS:          cpfs,
 		Model:         model,
 		CacheCapacity: 64 << 20,
 		LazyFetch:     true,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s4d, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,5 +199,46 @@ func TestEpochPruning(t *testing.T) {
 	}
 	if s.TrackedEpochs() < 1 {
 		t.Fatal("hot file epoch pruned while still mapped")
+	}
+}
+
+// TestServeZeroAllocsWithSnapshotting pins the steady-state serve path at
+// zero heap allocations with durable snapshotting configured and a
+// snapshot already taken: between ticks, cache-hit reads and re-dirtying
+// writes must touch neither the metadata store nor the heap. The snapshot
+// ticker keeps the event queue non-empty, so the driver steps virtual time
+// with RunUntil instead of Run.
+func TestServeZeroAllocsWithSnapshotting(t *testing.T) {
+	store, err := kvstore.Open(kvstore.NewMemBackend(), "dmt", kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := newPerfTestbedCfg(t, func(c *Config) {
+		c.MetaStore = store
+		c.SnapshotPeriod = time.Hour
+	})
+	step := func(fn func() error) func() {
+		return func() {
+			if err := fn(); err != nil {
+				t.Fatal(err)
+			}
+			tb.eng.RunUntil(tb.eng.Now() + time.Millisecond)
+		}
+	}
+	write := step(func() error { return tb.s4d.Write(0, "f", 1<<30, 16<<10, nil, nil) })
+	read := step(func() error { return tb.s4d.Read(0, "f", 1<<30, 16<<10, nil, nil) })
+	write() // admits (allocates mappings, persists the insert)
+	write()
+	tb.s4d.snapshotTick() // a real snapshot + log compaction has run
+	if tb.s4d.Stats().Snapshots != 1 {
+		t.Fatal("snapshot did not run")
+	}
+	write()
+	if got := testing.AllocsPerRun(100, write); got != 0 {
+		t.Fatalf("steady-state Write with snapshotting allocates %v per op, want 0", got)
+	}
+	read()
+	if got := testing.AllocsPerRun(100, read); got != 0 {
+		t.Fatalf("steady-state Read with snapshotting allocates %v per op, want 0", got)
 	}
 }

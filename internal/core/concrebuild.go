@@ -16,9 +16,12 @@ import (
 // at a time, blocking on its asynchronous I/O chain before taking the
 // next; cross-file parallelism comes from the pool width.
 
-// crTask is one unit of Rebuilder data movement.
+// crTask is one unit of Rebuilder data movement — or, with recover set,
+// one file's warm-restart re-admission (concrecovery.go), which rides the
+// same per-file worker routing for ordering and carries no cycle.
 type crTask struct {
 	flush    bool
+	recover  bool
 	file     string
 	off      int64
 	length   int64
@@ -75,7 +78,9 @@ func (c *Concurrent) RebuildNow(done func()) {
 
 	flushes := c.dmt.DirtyExtents(c.rebuildBatch)
 	var fetches []cdt.Fetch
-	if !(c.faulty.Load() && c.degradedNow()) {
+	if !(c.faulty.Load() && c.degradedNow()) && !c.recovering.Load() {
+		// No cache population while degraded or still warming up; flushes
+		// stay allowed — they only drain recovered dirty data.
 		fetches = c.cdt.PendingFetches(c.rebuildBatch)
 	}
 	total := len(flushes) + len(fetches)
@@ -111,12 +116,17 @@ func (c *Concurrent) rebuildWorker(ch chan crTask) {
 		case <-c.quit:
 			return
 		case t := <-ch:
-			if t.flush {
+			switch {
+			case t.recover:
+				c.recoverFileConc(t.file)
+			case t.flush:
 				c.flushOne(t.file, t.off, t.length, t.cacheOff)
-			} else {
+			default:
 				c.fetchOne(t.file, t.off, t.length)
 			}
-			t.cy.taskDone()
+			if t.cy != nil {
+				t.cy.taskDone()
+			}
 		}
 	}
 }

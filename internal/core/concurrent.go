@@ -14,6 +14,7 @@ import (
 	"s4dcache/internal/kvstore"
 	"s4dcache/internal/pfs"
 	"s4dcache/internal/sim"
+	"s4dcache/internal/staterec"
 )
 
 // Backend is the PFS surface the concurrent engine drives. Both the
@@ -78,6 +79,18 @@ type ConcurrentConfig struct {
 	// threshold and cap the CDT live (DESIGN.md §13.4). Zero disables
 	// adaptation. Only meaningful under PolicyBenefit.
 	AdaptivePeriod time.Duration
+	// SnapshotPeriod streams residency and CDT state into MetaStore every
+	// period, riding the DMT's copy-on-write compaction (DESIGN.md §14).
+	// Zero disables snapshotting. Requires MetaStore.
+	SnapshotPeriod time.Duration
+	// WarmRestart recovers cache residency from MetaStore at construction:
+	// dirty extents re-admit synchronously, clean extents incrementally on
+	// the Rebuilder workers while the engine serves degraded (read-around).
+	// Requires MetaStore.
+	WarmRestart bool
+	// RecoverBatch caps clean extents re-admitted per shard-mutex hold
+	// during recovery; 0 means 256.
+	RecoverBatch int
 }
 
 // Concurrent is the sharded, goroutine-safe S4D engine (the PR's
@@ -150,6 +163,30 @@ type Concurrent struct {
 	fetches, fetchFailures, fetchRetries atomic.Uint64
 	bytesFlushed, bytesFetched           atomic.Int64
 	epochsPruned                         atomic.Uint64
+
+	// Warm-restart state (concrecovery.go). recovering gates admissions
+	// and Rebuilder fetches until every shard's pending clean extents
+	// drained; recoverLeft counts files still queued on the workers.
+	// snapMu serializes snapshot ticks; the counters mirror the
+	// sequential engine's warm-restart stats.
+	metaStore    *kvstore.Store
+	recovering   atomic.Bool
+	recoverBatch int
+	recoverStart time.Duration
+	recoverLeft  atomic.Int32
+	recCrits     []staterec.Critical
+	timeToWarm   atomic.Int64
+	snapEpoch    atomic.Uint64
+	snapMu       sync.Mutex
+
+	snapshots, snapshotRecords     atomic.Uint64
+	recoveredClean, recoveredDirty atomic.Uint64
+	recoveredBytes                 atomic.Int64
+	quarRecords                    atomic.Uint64
+	quarBytes                      atomic.Int64
+	superseded                     atomic.Uint64
+	residencyDrift                 atomic.Uint64
+	cdtRestored                    atomic.Uint64
 }
 
 // cshard is one serve lane. Writers and degraded-mode paths serialize on
@@ -168,6 +205,10 @@ type cshard struct {
 	tracker   *costmodel.Tracker
 	locality  *localityTracker
 	fileEpoch map[string]uint64
+	// pending holds this shard's recovered clean extents awaiting
+	// re-admission; non-nil only during warm recovery, mutated only under
+	// mu (writer supersedes and the recovery worker's adopts).
+	pending map[string][]*pendingExt
 	// Serve-path lookup scratch, reused under mu.
 	hitsBuf    []dmt.Hit
 	gapsBuf    []extent.Gap
@@ -245,6 +286,12 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 	if cfg.RebuildWorkers <= 0 {
 		cfg.RebuildWorkers = 4
 	}
+	if cfg.RecoverBatch <= 0 {
+		cfg.RecoverBatch = defaultRecoverBatch
+	}
+	if (cfg.WarmRestart || cfg.SnapshotPeriod > 0) && cfg.MetaStore == nil {
+		return nil, fmt.Errorf("core: WarmRestart/SnapshotPeriod require MetaStore")
+	}
 	if cfg.Policy == 0 {
 		cfg.Policy = PolicyBenefit
 	}
@@ -266,7 +313,9 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	table := dmt.NewStriped()
-	if cfg.MetaStore != nil {
+	if cfg.MetaStore != nil && !cfg.WarmRestart {
+		// With WarmRestart the log replays through the recovery path below
+		// instead, installing only verified extents.
 		table, err = dmt.OpenStriped(cfg.MetaStore)
 		if err != nil {
 			return nil, fmt.Errorf("core: open DMT: %w", err)
@@ -288,6 +337,8 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		rebuildBatch: cfg.RebuildBatch,
 		downC:        make(map[int]bool),
 		quit:         make(chan struct{}),
+		metaStore:    cfg.MetaStore,
+		recoverBatch: cfg.RecoverBatch,
 	}
 	c.admitNanos.Store(int64(cfg.Model.CriticalThreshold))
 	c.faulty.Store(cfg.Faulty)
@@ -311,12 +362,24 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		c.workerCh[i] = make(chan crTask, 2*cfg.RebuildBatch)
 		go c.rebuildWorker(c.workerCh[i])
 	}
+	if cfg.WarmRestart {
+		// After the workers: clean-extent re-admission rides their
+		// channels. Before any ticker: the synchronous dirty installs must
+		// finish before other goroutines touch the engine.
+		if err := c.beginRecoveryConc(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	if cfg.RebuildPeriod > 0 {
 		c.armRebuild(cfg.RebuildPeriod)
 	}
 	if cfg.AdaptivePeriod > 0 {
 		c.chz = NewCharacterizer()
 		c.armAdapt(cfg.AdaptivePeriod)
+	}
+	if cfg.SnapshotPeriod > 0 {
+		c.armSnapshot(cfg.SnapshotPeriod)
 	}
 	return c, nil
 }
@@ -485,6 +548,12 @@ func (c *Concurrent) Write(rank int, file string, off, size int64, data []byte, 
 	sh.stats.writes.Add(1)
 	sh.stats.bytesWritten.Add(size)
 	sh.fileEpoch[file]++
+	if c.recovering.Load() {
+		// The write's bytes supersede any still-queued recovered extents
+		// it overlaps (durably, so a crash mid-recovery cannot resurrect
+		// them); membership is guarded by the shard mutex held here.
+		c.supersedeConc(sh, file, off, size)
+	}
 
 	benefit := c.identify(sh, rank, file, off, size, true)
 
@@ -755,6 +824,11 @@ func (c *Concurrent) identify(sh *cshard, rank int, file string, off, size int64
 }
 
 func (c *Concurrent) admitWriteConc(sh *cshard, file string, off, length int64, benefit time.Duration) bool {
+	if c.recovering.Load() {
+		// Degraded until warm: pending recovered extents still own their
+		// cache ranges, so nothing new is admitted.
+		return false
+	}
 	switch c.policy {
 	case PolicyNone:
 		return false
@@ -855,5 +929,25 @@ func (c *Concurrent) Stats() Stats {
 	st.PolicySwaps = c.policySwaps.Load()
 	st.AdaptTicks = c.adaptTicks.Load()
 	st.PolicyQueueLen = c.space.PolicyQueueLen()
+	st.Snapshots = c.snapshots.Load()
+	st.SnapshotRecords = c.snapshotRecords.Load()
+	st.RecoveredDirty = c.recoveredDirty.Load()
+	st.RecoveredClean = c.recoveredClean.Load()
+	st.RecoveredBytes = c.recoveredBytes.Load()
+	st.QuarantinedRecords = c.quarRecords.Load()
+	st.QuarantinedBytes = c.quarBytes.Load()
+	st.RecoverySuperseded = c.superseded.Load()
+	st.ResidencyDrift = c.residencyDrift.Load()
+	st.CDTRestored = c.cdtRestored.Load()
+	st.Recovering = c.recovering.Load()
+	st.TimeToWarm = time.Duration(c.timeToWarm.Load())
+	if c.metaStore != nil {
+		ms := c.metaStore.Stats()
+		st.WALReplays = uint64(ms.RecoveredRecords)
+		st.MetaGroupCommits = ms.GroupCommits
+		st.MetaGroupedRecords = ms.GroupedRecords
+		st.MetaTornWALBytes = ms.TornWALBytes
+		st.MetaSnapQuarantined = ms.SnapQuarantined
+	}
 	return st
 }

@@ -32,6 +32,7 @@ import (
 	"s4dcache/internal/kvstore"
 	"s4dcache/internal/pfs"
 	"s4dcache/internal/sim"
+	"s4dcache/internal/staterec"
 )
 
 // CacheFileName is the shared cache file on the CPFS. The paper creates
@@ -116,6 +117,19 @@ type Config struct {
 	// meaningful under PolicyBenefit — the other admission policies
 	// bypass the cost model the characterizer feeds on.
 	AdaptivePeriod time.Duration
+	// SnapshotPeriod streams the residency and CDT state into MetaStore
+	// every period and rides the DMT's copy-on-write compaction, so a
+	// restarted engine comes back warm (DESIGN.md §14). Zero disables
+	// snapshotting. Requires MetaStore.
+	SnapshotPeriod time.Duration
+	// WarmRestart recovers cache residency from MetaStore at construction:
+	// dirty extents re-admit synchronously, clean extents incrementally in
+	// the background while the engine serves degraded (read-around).
+	// Requires MetaStore.
+	WarmRestart bool
+	// RecoverBatch caps clean extents re-admitted per recovery step; 0
+	// means 256.
+	RecoverBatch int
 }
 
 // S4D is one S4D-Cache instance.
@@ -161,6 +175,18 @@ type S4D struct {
 	downC         map[int]bool
 	degradedSince time.Duration
 	deferred      []deferredRead
+
+	// Warm-restart state (recovery.go). recovering gates admissions and
+	// Rebuilder fetches until the clean-extent queue drains; the pending
+	// maps exist only during recovery.
+	recovering    bool
+	recoverQueue  []*pendingExt
+	recoverByFile map[string][]*pendingExt
+	recoverBatch  int
+	recoverStart  time.Duration
+	recCrits      []staterec.Critical
+	snapEpoch     uint64
+	snapTicker    *sim.Ticker
 
 	// hitsBuf/gapsBuf are the serve path's reusable DMT lookup buffers.
 	// Serve calls never nest (completions run from engine events), so one
@@ -267,8 +293,16 @@ func New(cfg Config) (*S4D, error) {
 	if cfg.RebuildBatch <= 0 {
 		cfg.RebuildBatch = 64
 	}
+	if cfg.RecoverBatch <= 0 {
+		cfg.RecoverBatch = defaultRecoverBatch
+	}
+	if (cfg.WarmRestart || cfg.SnapshotPeriod > 0) && cfg.MetaStore == nil {
+		return nil, fmt.Errorf("core: WarmRestart/SnapshotPeriod require MetaStore")
+	}
 	table := dmt.New()
-	if cfg.MetaStore != nil {
+	if cfg.MetaStore != nil && !cfg.WarmRestart {
+		// With WarmRestart the log replays through the recovery path below
+		// instead, installing only verified extents.
 		table, err = dmt.Open(cfg.MetaStore)
 		if err != nil {
 			return nil, fmt.Errorf("core: open DMT: %w", err)
@@ -295,9 +329,15 @@ func New(cfg Config) (*S4D, error) {
 		metaStore:      cfg.MetaStore,
 		faulty:         cfg.OPFS.Faulty() || cfg.CPFS.Faulty(),
 		downC:          make(map[int]bool),
+		recoverBatch:   cfg.RecoverBatch,
 	}
 	if cfg.Policy == PolicyLocality {
 		s.locality = newLocalityTracker(0, 0)
+	}
+	if cfg.WarmRestart {
+		if err := s.beginRecovery(cfg.MetaStore); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.RebuildPeriod > 0 {
 		s.ticker = cfg.Engine.Every(cfg.RebuildPeriod, func() { s.RebuildNow(nil) })
@@ -305,6 +345,9 @@ func New(cfg Config) (*S4D, error) {
 	if cfg.AdaptivePeriod > 0 {
 		s.chz = NewCharacterizer()
 		s.adaptTicker = cfg.Engine.Every(cfg.AdaptivePeriod, s.adaptTick)
+	}
+	if cfg.SnapshotPeriod > 0 {
+		s.snapTicker = cfg.Engine.Every(cfg.SnapshotPeriod, s.snapshotTick)
 	}
 	return s, nil
 }
@@ -318,6 +361,10 @@ func (s *S4D) Close() {
 	if s.adaptTicker != nil {
 		s.adaptTicker.Stop()
 		s.adaptTicker = nil
+	}
+	if s.snapTicker != nil {
+		s.snapTicker.Stop()
+		s.snapTicker = nil
 	}
 }
 
@@ -376,6 +423,12 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 	s.stats.Writes++
 	s.stats.BytesWritten += size
 	s.fileEpoch[file]++
+	if s.recovering {
+		// The write's bytes supersede any still-queued recovered extents it
+		// overlaps; dropping them durably keeps a crash mid-recovery from
+		// resurrecting the stale cache image over the new data.
+		s.supersedePending(file, off, size)
+	}
 
 	benefit := s.identify(rank, file, off, size, true)
 
@@ -561,6 +614,11 @@ func (s *S4D) identify(rank int, file string, off, size int64, write bool) time.
 // admitWrite decides whether a write miss segment is absorbed by the
 // CServers (Algorithm 1, line 3).
 func (s *S4D) admitWrite(file string, off, length int64, benefit time.Duration) bool {
+	if s.recovering {
+		// Degraded until warm: the allocator's map still has holes where
+		// pending extents will land, so nothing new is admitted.
+		return false
+	}
 	switch s.policy {
 	case PolicyNone:
 		return false
@@ -642,6 +700,9 @@ func (s *S4D) absorbWrite(file string, off, length int64, data []byte, join *req
 // It only proceeds for fully unmapped ranges: partially mapped ranges may
 // hold dirty cache data that a disk-sourced insert would clobber.
 func (s *S4D) eagerFetch(file string, off, length int64, data []byte) {
+	if s.recovering {
+		return
+	}
 	if hits, _ := s.dmt.Lookup(file, off, length); len(hits) > 0 {
 		return
 	}

@@ -27,9 +27,11 @@ func (s *S4D) RebuildNow(done func()) {
 
 	flushes := s.dmt.DirtyExtents(s.rebuildBatch)
 	fetches := s.cdt.PendingFetches(s.rebuildBatch)
-	if s.faulty && s.degraded() {
-		// While a CServer is down the Rebuilder does not populate the
-		// cache; pending fetches retry once the outage ends.
+	if (s.faulty && s.degraded()) || s.recovering {
+		// While a CServer is down — or recovery still owns unadmitted
+		// cache ranges — the Rebuilder does not populate the cache;
+		// pending fetches retry once the outage/warm-up ends. Flushing
+		// recovered dirty extents stays allowed: it only drains data.
 		fetches = nil
 	}
 

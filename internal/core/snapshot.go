@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"s4dcache/internal/cdt"
+	"s4dcache/internal/dmt"
+	"s4dcache/internal/kvstore"
+	"s4dcache/internal/staterec"
+)
+
+// Durable warm-restart snapshots (DESIGN.md §14). Every SnapshotPeriod the
+// engine streams its residency state into the metadata store under
+// dedicated key prefixes, then rides the DMT's copy-on-write compaction so
+// the whole image lands in one integrity-framed store snapshot:
+//
+//	wrres|NNNNNNNNNNNN → staterec.Extent   (cache residency, telemetry)
+//	wrcdt|NNNNNNNNNNNN → staterec.Critical (CDT entries, load-bearing)
+//	wrmeta             → staterec.Meta     (epoch + expected record counts)
+//
+// Authority model: the DMT op-log — every record CRC-checked by the store —
+// is the single authority for which extents exist and where they live. The
+// wrres records are a second, independently-sealed copy used to verify it
+// and to measure drift; recovery never re-admits from a residency record
+// alone, because a later replayed delete may have legitimately removed the
+// mapping. The wrcdt records ARE load-bearing: the CDT has no other
+// persistence, so losing one silently loses a criticality hint (never
+// correctness). wrmeta is written last, so a crash mid-snapshot leaves
+// counts that disagree with the surviving records — recovery surfaces the
+// delta in the quarantine counter instead of trusting the torn image.
+
+const (
+	resPrefix = "wrres|"
+	cdtPrefix = "wrcdt|"
+	metaKey   = "wrmeta"
+)
+
+// snapBatchOps caps the mutations per store batch while snapshotting, so
+// one snapshot never produces an unbounded WAL record.
+const snapBatchOps = 64
+
+// pendingExt is one recovered clean extent awaiting re-admission. dropped
+// marks it superseded by a write that arrived before its turn; the
+// supersede also durably deletes the mapping, so a crash mid-recovery
+// cannot resurrect it over the newer DServer bytes.
+type pendingExt struct {
+	file     string
+	off      int64
+	length   int64
+	cacheOff int64
+	dropped  bool
+}
+
+// snapImage is the verified content of a residency snapshot, plus the
+// damage found while reading it.
+type snapImage struct {
+	hasMeta bool
+	meta    staterec.Meta
+	// residency holds one key per valid wrres record (resKey format).
+	residency map[string]struct{}
+	crits     []staterec.Critical
+	// quarRecords counts records rejected by their seal, unparseable, or
+	// missing against the meta counts. Bytes are unknowable for a record
+	// that failed its CRC, so only the record count moves here.
+	quarRecords uint64
+	// resSeen/critSeen count records present under each prefix, valid or
+	// not, so the meta-count delta only charges records that vanished
+	// entirely (damaged ones are already counted above).
+	resSeen, critSeen int
+}
+
+func resKey(file string, off, length, cacheOff int64, dirty bool) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%t", file, off, length, cacheOff, dirty)
+}
+
+// readSnapshot loads and verifies the warm-restart records in store. It
+// never fails: damaged records are counted, not fatal — the caller serves
+// from the op-log regardless.
+func readSnapshot(store *kvstore.Store) snapImage {
+	img := snapImage{residency: make(map[string]struct{})}
+	if raw, ok := store.Get(metaKey); ok {
+		if m, err := staterec.DecodeMeta(raw); err == nil {
+			img.hasMeta = true
+			img.meta = m
+		} else {
+			img.quarRecords++
+		}
+	}
+	store.Scan(resPrefix, func(_ string, val []byte) bool {
+		img.resSeen++
+		e, err := staterec.DecodeExtent(val)
+		if err != nil {
+			img.quarRecords++
+			return true
+		}
+		img.residency[resKey(e.File, e.Off, e.Len, e.CacheOff, e.Dirty)] = struct{}{}
+		return true
+	})
+	store.Scan(cdtPrefix, func(_ string, val []byte) bool {
+		img.critSeen++
+		cr, err := staterec.DecodeCritical(val)
+		if err != nil {
+			img.quarRecords++
+			return true
+		}
+		img.crits = append(img.crits, cr)
+		return true
+	})
+	if img.hasMeta {
+		// Records the meta header promises but that vanished entirely were
+		// lost with their bytes; surface them rather than pretending the
+		// image was whole. (Damaged-but-present records were counted above.)
+		if n := int(img.meta.Extents) - img.resSeen; n > 0 {
+			img.quarRecords += uint64(n)
+		}
+		if n := int(img.meta.Criticals) - img.critSeen; n > 0 {
+			img.quarRecords += uint64(n)
+		}
+	}
+	return img
+}
+
+// deletePrefix removes every key under prefix in bounded batches.
+func deletePrefix(store *kvstore.Store, prefix string) error {
+	keys := store.Keys(prefix)
+	for start := 0; start < len(keys); start += snapBatchOps {
+		end := start + snapBatchOps
+		if end > len(keys) {
+			end = len(keys)
+		}
+		b := store.NewBatch()
+		for _, k := range keys[start:end] {
+			b.Delete(k)
+		}
+		if err := b.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSnapshot replaces the warm-restart records in store with the given
+// residency and CDT state, sealing every record and writing the meta header
+// last. Returns the number of records written (excluding the header).
+func writeSnapshot(store *kvstore.Store, dirty, clean []dmt.Hit, crits []cdt.Extent, epoch uint64, capacity int64) (int, error) {
+	if err := deletePrefix(store, resPrefix); err != nil {
+		return 0, err
+	}
+	if err := deletePrefix(store, cdtPrefix); err != nil {
+		return 0, err
+	}
+	b := store.NewBatch()
+	flush := func() error {
+		if b.Len() == 0 {
+			return nil
+		}
+		err := b.Commit()
+		b = store.NewBatch()
+		return err
+	}
+	idx := 0
+	putExtent := func(h dmt.Hit, isDirty bool) error {
+		rec := staterec.EncodeExtent(staterec.Extent{
+			File: h.File, Off: h.Off, Len: h.Len, CacheOff: h.CacheOff, Dirty: isDirty,
+		})
+		b.Put(fmt.Sprintf(resPrefix+"%012d", idx), rec)
+		idx++
+		if b.Len() >= snapBatchOps {
+			return flush()
+		}
+		return nil
+	}
+	for _, h := range dirty {
+		if err := putExtent(h, true); err != nil {
+			return 0, err
+		}
+	}
+	for _, h := range clean {
+		if err := putExtent(h, false); err != nil {
+			return 0, err
+		}
+	}
+	nExtents := idx
+	for i, cr := range crits {
+		rec := staterec.EncodeCritical(staterec.Critical{
+			File: cr.File, Off: cr.Off, Len: cr.Len, CFlag: cr.CFlag, Benefit: cr.Benefit,
+		})
+		b.Put(fmt.Sprintf(cdtPrefix+"%012d", i), rec)
+		if b.Len() >= snapBatchOps {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	meta := staterec.EncodeMeta(staterec.Meta{
+		Epoch:         epoch,
+		Extents:       uint32(nExtents),
+		Criticals:     uint32(len(crits)),
+		CapacityBytes: capacity,
+	})
+	if err := store.Put(metaKey, meta); err != nil {
+		return 0, err
+	}
+	return nExtents + len(crits), nil
+}

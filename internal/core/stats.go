@@ -86,6 +86,38 @@ type Stats struct {
 	// PolicyQueueLen is a gauge: the candidate queue's current length
 	// (live + stale entries), a fragmentation/leak diagnostic.
 	PolicyQueueLen int
+
+	// Warm-restart counters (DESIGN.md §14). Snapshots counts residency
+	// images streamed to the metadata store; SnapshotRecords the sealed
+	// records they carried. Recovered* count extents re-admitted from the
+	// durable image at restart (bytes across both). QuarantinedRecords
+	// counts persisted records rejected by verification — seal failures,
+	// unparseable payloads, adopt conflicts, and records the snapshot
+	// header promised but that never surfaced; QuarantinedBytes the extent
+	// bytes those rejections dropped (dirty quarantined bytes also land in
+	// DirtyLost). RecoverySuperseded counts queued clean extents dropped
+	// because a write overlapped them mid-recovery. ResidencyDrift counts
+	// replayed extents absent from the residency snapshot — expected
+	// post-snapshot movement, telemetry only. CDTRestored counts critical
+	// records re-installed once warm. Recovering reports recovery still in
+	// flight; TimeToWarm is how long the engine served degraded before the
+	// clean queue drained. MetaTornWALBytes/MetaSnapQuarantined surface
+	// the metadata store's own crash damage (truncated WAL tail, snapshot
+	// rejected wholesale by its frame CRC).
+	Snapshots           uint64
+	SnapshotRecords     uint64
+	RecoveredDirty      uint64
+	RecoveredClean      uint64
+	RecoveredBytes      int64
+	QuarantinedRecords  uint64
+	QuarantinedBytes    int64
+	RecoverySuperseded  uint64
+	ResidencyDrift      uint64
+	CDTRestored         uint64
+	Recovering          bool
+	TimeToWarm          time.Duration
+	MetaTornWALBytes    int64
+	MetaSnapQuarantined bool
 }
 
 // Stats returns a snapshot of the instance counters, folding in the
@@ -99,7 +131,10 @@ func (s *S4D) Stats() Stats {
 		st.WALReplays = uint64(ms.RecoveredRecords)
 		st.MetaGroupCommits = ms.GroupCommits
 		st.MetaGroupedRecords = ms.GroupedRecords
+		st.MetaTornWALBytes = ms.TornWALBytes
+		st.MetaSnapQuarantined = ms.SnapQuarantined
 	}
+	st.Recovering = s.recovering
 	if s.degraded() {
 		st.DegradedTime += s.eng.Now() - s.degradedSince
 	}

@@ -10,8 +10,6 @@ package dmt
 import (
 	"encoding/binary"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"s4dcache/internal/extent"
 	"s4dcache/internal/kvstore"
@@ -86,28 +84,18 @@ func Open(store *kvstore.Store) (*Table, error) {
 	}
 	t := New()
 	t.store = store
-	for _, k := range store.Keys(opPrefix) {
-		// Continue the sequence after the highest listed op. The max is
-		// taken explicitly over every key rather than trusting store key
-		// order: resuming below an existing sequence number would silently
-		// overwrite live log records on the next persist.
-		seq, err := strconv.ParseUint(strings.TrimPrefix(k, opPrefix), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("dmt: malformed log key %q: %w", k, err)
+	// Continue the sequence after the highest logged op (ReplayLog's max).
+	seq, err := ReplayLog(store, func(file string, off, length, cacheOff int64, dirty, insert bool) {
+		kind := kindInsert
+		if !insert {
+			kind = kindDelete
 		}
-		if seq > t.seq {
-			t.seq = seq
-		}
-		v, ok := store.Get(k)
-		if !ok {
-			continue
-		}
-		op, err := decodeOp(v)
-		if err != nil {
-			return nil, fmt.Errorf("dmt: replay %s: %w", k, err)
-		}
-		t.apply(op)
+		t.apply(logOp{kind: kind, file: file, off: off, length: length, cacheOff: cacheOff, dirty: dirty})
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.seq = seq
 	return t, nil
 }
 

@@ -1,0 +1,106 @@
+package dmt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"s4dcache/internal/kvstore"
+)
+
+// This file is the warm-restart surface of the DMT: walking a persistent
+// op-log without owning it, constructing tables attached to a store without
+// replaying it, and applying recovered state in memory without re-persisting
+// ops the log already holds.
+
+// ReplayLog walks the persistent DMT op-log in store in sequence order,
+// calling apply for every op (insert=true for inserts, false for deletes),
+// and returns the highest sequence number present — the point a table
+// attached to the same store must continue numbering from. Every record
+// already passed the store's WAL/snapshot CRCs to be visible here.
+func ReplayLog(store *kvstore.Store, apply func(file string, off, length, cacheOff int64, dirty, insert bool)) (maxSeq uint64, err error) {
+	if store == nil {
+		return 0, fmt.Errorf("dmt: store is required")
+	}
+	for _, k := range store.Keys(opPrefix) {
+		// The max is taken explicitly over every key rather than trusting
+		// store key order: resuming below an existing sequence number would
+		// silently overwrite live log records on the next persist.
+		seq, err := strconv.ParseUint(strings.TrimPrefix(k, opPrefix), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("dmt: malformed log key %q: %w", k, err)
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		v, ok := store.Get(k)
+		if !ok {
+			continue
+		}
+		op, err := decodeOp(v)
+		if err != nil {
+			return 0, fmt.Errorf("dmt: replay %s: %w", k, err)
+		}
+		apply(op.file, op.off, op.length, op.cacheOff, op.dirty, op.kind == kindInsert)
+	}
+	return maxSeq, nil
+}
+
+// NewPersisted returns an empty table attached to store without replaying
+// its log, numbering new ops after seq (as returned by ReplayLog). The warm-
+// restart recoverer uses it to install recovered extents selectively — via
+// Restore, which does not re-persist what the log already holds — while new
+// mutations append to the same log as usual.
+func NewPersisted(store *kvstore.Store, seq uint64) (*Table, error) {
+	if store == nil {
+		return nil, fmt.Errorf("dmt: store is required")
+	}
+	t := New()
+	t.store = store
+	t.seq = seq
+	return t, nil
+}
+
+// Restore applies an insert to the in-memory table only, without writing a
+// log op. Correct exactly when the mapping is already durable in the
+// attached store's log (warm-restart re-admission); anywhere else it would
+// silently fork memory from the log.
+func (t *Table) Restore(file string, off, length, cacheOff int64, dirty bool) {
+	if length <= 0 {
+		return
+	}
+	t.apply(logOp{kind: kindInsert, file: file, off: off, length: length, cacheOff: cacheOff, dirty: dirty})
+}
+
+// NewStripedPersisted is NewPersisted for the concurrent table: attached to
+// store, numbering after seq, nothing replayed, every stripe view published
+// empty.
+func NewStripedPersisted(store *kvstore.Store, seq uint64) (*Striped, error) {
+	if store == nil {
+		return nil, fmt.Errorf("dmt: store is required")
+	}
+	s := NewStriped()
+	s.store = store
+	for i := range s.stripes {
+		s.stripes[i].t.store = store
+	}
+	s.seq.Store(seq)
+	for i := range s.stripes {
+		s.stripes[i].republishAll()
+	}
+	return s, nil
+}
+
+// Restore applies an insert to file's stripe without persisting, and
+// republishes the stripe's epoch view so lock-free readers see the
+// recovered mapping. Same durability contract as Table.Restore.
+func (s *Striped) Restore(file string, off, length, cacheOff int64, dirty bool) {
+	if length <= 0 {
+		return
+	}
+	sh := &s.stripes[stripeIndex(file)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.t.apply(logOp{kind: kindInsert, file: file, off: off, length: length, cacheOff: cacheOff, dirty: dirty})
+	sh.republish(file)
+}

@@ -2,8 +2,6 @@ package dmt
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -83,24 +81,15 @@ func OpenStriped(store *kvstore.Store) (*Striped, error) {
 	for i := range s.stripes {
 		s.stripes[i].t.store = store
 	}
-	var max uint64
-	for _, k := range store.Keys(opPrefix) {
-		seq, err := strconv.ParseUint(strings.TrimPrefix(k, opPrefix), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("dmt: malformed log key %q: %w", k, err)
+	max, err := ReplayLog(store, func(file string, off, length, cacheOff int64, dirty, insert bool) {
+		kind := kindInsert
+		if !insert {
+			kind = kindDelete
 		}
-		if seq > max {
-			max = seq
-		}
-		v, ok := store.Get(k)
-		if !ok {
-			continue
-		}
-		op, err := decodeOp(v)
-		if err != nil {
-			return nil, fmt.Errorf("dmt: replay %s: %w", k, err)
-		}
-		s.stripes[stripeIndex(op.file)].t.apply(op)
+		s.stripes[stripeIndex(file)].t.apply(logOp{kind: kind, file: file, off: off, length: length, cacheOff: cacheOff, dirty: dirty})
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.seq.Store(max)
 	// Replay applied ops directly into the sub-tables, bypassing the

@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"s4dcache/internal/kvstore"
+)
+
+// CorruptMode selects how persisted bytes are damaged.
+type CorruptMode int
+
+const (
+	// CorruptBitflip flips Param (default 1) bits at seeded positions —
+	// bit rot on the device.
+	CorruptBitflip CorruptMode = iota + 1
+	// CorruptTruncate cuts up to Param (default 64) bytes off the tail —
+	// a lost write or truncated file.
+	CorruptTruncate
+	// CorruptTornTail cuts 1..16 bytes off the tail — the shape of a
+	// mid-write crash that tore the last record.
+	CorruptTornTail
+)
+
+func (m CorruptMode) String() string {
+	switch m {
+	case CorruptBitflip:
+		return "bitflip"
+	case CorruptTruncate:
+		return "truncate"
+	case CorruptTornTail:
+		return "torntail"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// CorruptRule is one persisted-byte corruption clause. It applies where a
+// CorruptBackend wrapped with a matching store label reads the matching
+// file back (recovery), never on the write path — corruption models damage
+// at rest, not a failing writer (that is what io:/crash: clauses are for).
+type CorruptRule struct {
+	// Store matches the CorruptBackend label, case-insensitively; "*"
+	// matches every store.
+	Store string
+	// File narrows the rule to the store's "wal" or "snap" file; empty
+	// matches both.
+	File string
+	// Mode is how the bytes are damaged.
+	Mode CorruptMode
+	// Param tunes the mode (bits flipped / max bytes cut); 0 means the
+	// mode's default.
+	Param int
+}
+
+// String renders the rule in canonical clause form.
+func (r CorruptRule) String() string {
+	s := "corrupt:" + strings.ToLower(r.Store)
+	if r.File != "" {
+		s += "." + r.File
+	}
+	s += ":" + r.Mode.String()
+	if r.Param > 0 {
+		s += ":" + strconv.Itoa(r.Param)
+	}
+	return s
+}
+
+// parseCorrupt parses "<store>[.wal|.snap]:<mode>[:<param>]".
+func parseCorrupt(s string) (CorruptRule, error) {
+	target, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return CorruptRule{}, fmt.Errorf("faults: corrupt clause %q needs <store>[.wal|.snap]:<mode>[:<param>]", s)
+	}
+	r := CorruptRule{Store: strings.ToLower(strings.TrimSpace(target))}
+	if store, file, hasFile := strings.Cut(r.Store, "."); hasFile {
+		file = strings.ToLower(file)
+		if file != "wal" && file != "snap" {
+			return CorruptRule{}, fmt.Errorf("faults: corrupt target file %q, want wal or snap", file)
+		}
+		r.Store, r.File = store, file
+	}
+	if r.Store == "" {
+		return CorruptRule{}, fmt.Errorf("faults: corrupt clause %q lacks a store label", s)
+	}
+	modeStr, paramStr, hasParam := strings.Cut(rest, ":")
+	switch strings.ToLower(strings.TrimSpace(modeStr)) {
+	case "bitflip":
+		r.Mode = CorruptBitflip
+	case "truncate":
+		r.Mode = CorruptTruncate
+	case "torntail":
+		r.Mode = CorruptTornTail
+	default:
+		return CorruptRule{}, fmt.Errorf("faults: unknown corrupt mode %q", modeStr)
+	}
+	if hasParam {
+		n, err := strconv.Atoi(strings.TrimSpace(paramStr))
+		if err != nil || n <= 0 {
+			return CorruptRule{}, fmt.Errorf("faults: bad corrupt param %q", paramStr)
+		}
+		if r.Mode == CorruptTornTail {
+			return CorruptRule{}, fmt.Errorf("faults: torntail takes no param (got %q)", paramStr)
+		}
+		r.Param = n
+	}
+	return r, nil
+}
+
+// matches reports whether the rule applies to file name of the labeled store.
+func (r CorruptRule) matches(label, name string) bool {
+	if r.Store != "*" && !strings.EqualFold(r.Store, label) {
+		return false
+	}
+	return r.File == "" || strings.HasSuffix(name, "."+r.File)
+}
+
+// WrapBackend wraps a kvstore backend so that reads of persisted files come
+// back damaged according to the plan's matching corrupt rules. The returned
+// backend passes writes through untouched; with no matching rules the inner
+// backend is returned as-is. label names the store for rule matching and
+// stream derivation.
+func (in *Injector) WrapBackend(inner kvstore.Backend, label string) kvstore.Backend {
+	var rules []CorruptRule
+	for _, r := range in.plan.Corrupt {
+		if r.Store == "*" || strings.EqualFold(r.Store, label) {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return inner
+	}
+	return &CorruptBackend{inner: inner, label: label, seed: in.seed, rules: rules}
+}
+
+// CorruptBackend applies deterministic corruption to files as they are read
+// back. Each (seed, label, file, rule) tuple derives its own stream, so the
+// damage is byte-identical per seed regardless of read order or count —
+// re-reading a file yields the same corruption, as real at-rest damage would.
+type CorruptBackend struct {
+	inner kvstore.Backend
+	label string
+	seed  int64
+	rules []CorruptRule
+}
+
+var _ kvstore.Backend = (*CorruptBackend)(nil)
+
+// ReadAll implements kvstore.Backend, damaging the returned bytes per the
+// matching rules.
+func (b *CorruptBackend) ReadAll(name string) ([]byte, error) {
+	data, err := b.inner.ReadAll(name)
+	if err != nil || len(data) == 0 {
+		return data, err
+	}
+	for i, r := range b.rules {
+		if !r.matches(b.label, name) {
+			continue
+		}
+		data = applyCorruption(data, r, corruptSeed(b.seed, b.label, name, i))
+	}
+	return data, nil
+}
+
+// Append implements kvstore.Backend.
+func (b *CorruptBackend) Append(name string, data []byte) error { return b.inner.Append(name, data) }
+
+// Replace implements kvstore.Backend.
+func (b *CorruptBackend) Replace(name string, data []byte) error { return b.inner.Replace(name, data) }
+
+// Remove implements kvstore.Backend.
+func (b *CorruptBackend) Remove(name string) error { return b.inner.Remove(name) }
+
+// applyCorruption damages data in place per one rule. data is the caller's
+// copy (Backend.ReadAll returns fresh slices), so mutating is safe.
+func applyCorruption(data []byte, r CorruptRule, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	switch r.Mode {
+	case CorruptBitflip:
+		bits := r.Param
+		if bits <= 0 {
+			bits = 1
+		}
+		for i := 0; i < bits; i++ {
+			pos := rng.Intn(len(data) * 8)
+			data[pos/8] ^= 1 << (pos % 8)
+		}
+	case CorruptTruncate:
+		max := r.Param
+		if max <= 0 {
+			max = 64
+		}
+		cut := 1 + rng.Intn(max)
+		if cut > len(data) {
+			cut = len(data)
+		}
+		data = data[:len(data)-cut]
+	case CorruptTornTail:
+		cut := 1 + rng.Intn(16)
+		if cut > len(data) {
+			cut = len(data)
+		}
+		data = data[:len(data)-cut]
+	}
+	return data
+}
+
+// corruptSeed derives the per-(seed, store, file, rule) corruption stream.
+func corruptSeed(seed int64, label, name string, rule int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", seed, strings.ToLower(label), name, rule)
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"s4dcache/internal/kvstore"
+)
+
+func TestParseCorrupt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CorruptRule
+	}{
+		{"corrupt:meta:bitflip", CorruptRule{Store: "meta", Mode: CorruptBitflip}},
+		{"corrupt:meta.snap:bitflip:3", CorruptRule{Store: "meta", File: "snap", Mode: CorruptBitflip, Param: 3}},
+		{"corrupt:meta.wal:truncate:128", CorruptRule{Store: "meta", File: "wal", Mode: CorruptTruncate, Param: 128}},
+		{"corrupt:*.wal:torntail", CorruptRule{Store: "*", File: "wal", Mode: CorruptTornTail}},
+		{"corrupt:META.SNAP:TRUNCATE", CorruptRule{Store: "meta", File: "snap", Mode: CorruptTruncate}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if len(p.Corrupt) != 1 || p.Corrupt[0] != c.want {
+			t.Fatalf("Parse(%q) = %+v, want %+v", c.in, p.Corrupt, c.want)
+		}
+		if !p.Empty() {
+			t.Fatalf("Parse(%q): corrupt-only plan must stay Empty (serve path untouched)", c.in)
+		}
+		// Canonical form round-trips.
+		p2, err := Parse(p.String())
+		if err != nil || len(p2.Corrupt) != 1 || p2.Corrupt[0] != p.Corrupt[0] {
+			t.Fatalf("round-trip %q -> %q -> %+v (%v)", c.in, p.String(), p2.Corrupt, err)
+		}
+	}
+	for _, bad := range []string{
+		"corrupt:meta",                // no mode
+		"corrupt:.wal:bitflip",        // no store
+		"corrupt:meta.log:bitflip",    // unknown file
+		"corrupt:meta:chew",           // unknown mode
+		"corrupt:meta:bitflip:0",      // zero param
+		"corrupt:meta:bitflip:-2",     // negative param
+		"corrupt:meta.wal:torntail:4", // torntail takes no param
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMixedPlanRoundtrip(t *testing.T) {
+	in := "io:cpfs:0.02;crash:cpfs0@50ms+150ms;retry:3;corrupt:meta.snap:bitflip:3;corrupt:*.wal:torntail"
+	p, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.IO) != 1 || len(p.Crashes) != 1 || p.MaxRetries != 3 || len(p.Corrupt) != 2 {
+		t.Fatalf("parsed %+v", p)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if p.String() != p2.String() {
+		t.Fatalf("canonical form unstable: %q vs %q", p.String(), p2.String())
+	}
+}
+
+// corruptTestBackend builds a backend holding one wal and one snap file.
+func corruptTestBackend(t *testing.T) *kvstore.MemBackend {
+	t.Helper()
+	b := kvstore.NewMemBackend()
+	wal := bytes.Repeat([]byte{0xAA, 0x55}, 512)
+	snap := bytes.Repeat([]byte{0x0F}, 256)
+	if err := b.Append("meta.wal", wal); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Replace("meta.snap", snap); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCorruptionDeterministic pins the byte-identical-per-seed contract:
+// the same seed damages the same bytes on every read and every rebuild of
+// the injector, and a different seed damages different bytes.
+func TestCorruptionDeterministic(t *testing.T) {
+	plan, err := Parse("corrupt:meta.wal:bitflip:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(seed int64) []byte {
+		wrapped := NewInjector(plan, seed).WrapBackend(corruptTestBackend(t), "meta")
+		data, err := wrapped.ReadAll("meta.wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a1, a2, b1 := read(7), read(7), read(8)
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a1, b1) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+	// Re-reads through one wrapper are stable too (damage at rest, not
+	// a fresh coin flip per read).
+	wrapped := NewInjector(plan, 7).WrapBackend(corruptTestBackend(t), "meta")
+	r1, _ := wrapped.ReadAll("meta.wal")
+	r2, _ := wrapped.ReadAll("meta.wal")
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("re-read through one wrapper differs")
+	}
+}
+
+func TestCorruptionModesAndScope(t *testing.T) {
+	b := corruptTestBackend(t)
+	origWAL, _ := b.ReadAll("meta.wal")
+	origSnap, _ := b.ReadAll("meta.snap")
+
+	// bitflip on .snap only: wal untouched, snap same length, few bytes off.
+	plan, _ := Parse("corrupt:meta.snap:bitflip:2")
+	wrapped := NewInjector(plan, 1).WrapBackend(b, "meta")
+	wal, _ := wrapped.ReadAll("meta.wal")
+	snap, _ := wrapped.ReadAll("meta.snap")
+	if !bytes.Equal(wal, origWAL) {
+		t.Fatal("snap-scoped rule damaged the wal")
+	}
+	if len(snap) != len(origSnap) || bytes.Equal(snap, origSnap) {
+		t.Fatalf("bitflip: len %d->%d, changed=%v", len(origSnap), len(snap), !bytes.Equal(snap, origSnap))
+	}
+
+	// torntail cuts 1..16 bytes and leaves the head intact.
+	plan, _ = Parse("corrupt:*.wal:torntail")
+	wrapped = NewInjector(plan, 2).WrapBackend(b, "meta")
+	wal, _ = wrapped.ReadAll("meta.wal")
+	cut := len(origWAL) - len(wal)
+	if cut < 1 || cut > 16 {
+		t.Fatalf("torntail cut %d bytes, want 1..16", cut)
+	}
+	if !bytes.Equal(wal, origWAL[:len(wal)]) {
+		t.Fatal("torntail damaged bytes before the tail")
+	}
+
+	// truncate honors its cap.
+	plan, _ = Parse("corrupt:meta:truncate:32")
+	wrapped = NewInjector(plan, 3).WrapBackend(b, "meta")
+	wal, _ = wrapped.ReadAll("meta.wal")
+	if cut := len(origWAL) - len(wal); cut < 1 || cut > 32 {
+		t.Fatalf("truncate cut %d bytes, want 1..32", cut)
+	}
+
+	// A non-matching label passes through unwrapped.
+	if got := NewInjector(plan, 3).WrapBackend(b, "other"); got != kvstore.Backend(b) {
+		t.Fatal("non-matching label did not pass the inner backend through")
+	}
+}

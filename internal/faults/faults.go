@@ -12,19 +12,31 @@
 //	io:<fs>[<server>]:<prob>      transient sub-request error probability
 //	crash:<fs><server>@<at>[+<down>]  crash at <at>; restart after <down>
 //	retry:<n>                     max transient retries per sub-request
+//	corrupt:<store>[.wal|.snap]:<mode>[:<param>]  damage persisted bytes
 //
 // Clauses are separated by ';'. <fs> is "opfs" or "cpfs" (case-insensitive,
 // matched against the pfs instance label); omitting <server> on an io
 // clause applies the rule to every server of the instance. Durations use
 // Go syntax ("50ms", "1.5s"). A crash without "+<down>" is permanent.
 //
+// Corrupt clauses target durable store files read back at recovery: the
+// <store> label is matched against the label a CorruptBackend was wrapped
+// with ("*" matches every store), optionally narrowed to its .wal or .snap
+// file. Modes: "bitflip" (<param> = number of bits, default 1), "truncate"
+// (<param> = max bytes cut, default 64), "torntail" (1..16 bytes cut, the
+// shape of a mid-write crash). The mutation is drawn from a stream seeded
+// by (seed, store label, file name, rule), so a given seed damages the same
+// bytes of the same file every run — byte-identical fault injection for the
+// recovery tortures.
+//
 // Example:
 //
-//	io:cpfs:0.02;crash:cpfs0@50ms+150ms;retry:3
+//	io:cpfs:0.02;crash:cpfs0@50ms+150ms;retry:3;corrupt:meta.snap:bitflip:3
 //
 // injects a 2% transient error probability on every CServer sub-request,
-// crashes CServer 0 at t=50ms of virtual time for 150ms, and retries
-// transient errors up to 3 times with capped exponential backoff.
+// crashes CServer 0 at t=50ms of virtual time for 150ms, retries transient
+// errors up to 3 times with capped exponential backoff, and flips 3
+// deterministic bits in the metadata store's snapshot as it is read back.
 package faults
 
 import (
@@ -87,9 +99,16 @@ type Plan struct {
 	// MaxRetries caps transient retries per sub-request; 0 means
 	// DefaultMaxRetries.
 	MaxRetries int
+	// Corrupt lists the persisted-byte corruption rules (corrupt.go). They
+	// only take effect where a CorruptBackend is installed, so they do not
+	// count toward Empty: a corrupt-only plan leaves the serve-path fault
+	// machinery (and its deterministic tables) untouched.
+	Corrupt []CorruptRule
 }
 
-// Empty reports whether the plan injects nothing.
+// Empty reports whether the plan injects any serve-path faults (transient
+// errors or crashes). Corruption rules are applied at recovery time by
+// CorruptBackend and are deliberately excluded.
 func (p Plan) Empty() bool { return len(p.IO) == 0 && len(p.Crashes) == 0 }
 
 // String renders the plan in canonical clause form (parseable by Parse).
@@ -112,6 +131,9 @@ func (p Plan) String() string {
 	}
 	if p.MaxRetries > 0 {
 		parts = append(parts, fmt.Sprintf("retry:%d", p.MaxRetries))
+	}
+	for _, r := range p.Corrupt {
+		parts = append(parts, r.String())
 	}
 	return strings.Join(parts, ";")
 }
@@ -152,6 +174,12 @@ func Parse(s string) (Plan, error) {
 				return Plan{}, fmt.Errorf("faults: bad retry count %q", rest)
 			}
 			p.MaxRetries = n
+		case "corrupt":
+			r, err := parseCorrupt(rest)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Corrupt = append(p.Corrupt, r)
 		default:
 			return Plan{}, fmt.Errorf("faults: unknown clause kind %q", kind)
 		}

@@ -117,6 +117,11 @@ type Store struct {
 	groupCommits   atomic.Uint64
 	groupedRecords atomic.Uint64
 	recovered      int
+	// tornWALBytes counts trailing WAL garbage truncated away at Open (a
+	// mid-write crash); snapQuarantined marks a snapshot whose whole-frame
+	// CRC failed at Open, so recovery continued from the WAL alone.
+	tornWALBytes    int64
+	snapQuarantined bool
 }
 
 // walName and snapName derive the backend file names of a store.
@@ -147,12 +152,44 @@ func Open(backend Backend, name string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: read snapshot: %w", err)
 	}
-	replay(snap, s.applyRecord)
+	payload, ok, legacy := openSnapshot(snap)
+	switch {
+	case ok && !legacy:
+		replay(payload, s.applyRecord)
+	case ok && legacy:
+		// Pre-frame snapshot: no whole-file checksum, but a well-formed one
+		// replays to its last byte. Anything short of that — including a
+		// framed snapshot whose magic itself was damaged — is quarantined
+		// wholesale, never trusted as a prefix.
+		if _, consumed := replayConsumed(payload, s.applyRecord); consumed < len(payload) {
+			for i := range s.shards {
+				s.shards[i].data = make(map[string][]byte)
+			}
+			s.snapQuarantined = true
+		}
+	default:
+		// Damaged frame: quarantine the whole snapshot — a prefix of a
+		// corrupt snapshot could silently miss keys that later WAL records
+		// assume exist. The store still opens and replays the WAL; the
+		// caller sees the quarantine in Stats and recovers degraded.
+		s.snapQuarantined = true
+	}
 	wal, err := backend.ReadAll(walName(name))
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: read wal: %w", err)
 	}
-	s.recovered = replay(wal, s.applyRecord)
+	count, consumed := replayConsumed(wal, s.applyRecord)
+	s.recovered = count
+	if consumed < len(wal) {
+		// A torn tail from a mid-write crash (or mid-log corruption).
+		// Truncate it away so the next append starts on a record boundary:
+		// appending after garbage would strand every later record behind
+		// bytes replay refuses to cross.
+		s.tornWALBytes = int64(len(wal) - consumed)
+		if err := backend.Replace(s.walFile, wal[:consumed]); err != nil {
+			return nil, fmt.Errorf("kvstore: truncate torn wal tail: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -344,16 +381,19 @@ func (s *Store) Compact() error {
 	for _, e := range entries {
 		total += recordSize(e.key, e.val)
 	}
-	snap := make([]byte, 0, total)
+	snap := make([]byte, 0, total+snapFrameOverhead)
+	snap = append(snap, snapMagic...)
 	for _, e := range entries {
 		snap = appendRecord(snap, opPut, e.key, e.val)
 	}
 
-	// Swap: bring the snapshot forward with the side log, install it, and
-	// truncate the WAL. Appends are excluded for the swap's duration only.
+	// Swap: bring the snapshot forward with the side log, seal the frame
+	// with its whole-file CRC, install it, and truncate the WAL. Appends
+	// are excluded for the swap's duration only.
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	snap = append(snap, s.side...)
+	snap = appendSnapshotCRC(snap)
 	s.sideActive = false
 	s.side = s.side[:0]
 	if err := s.backend.Replace(s.snapFile, snap); err != nil {
@@ -380,6 +420,10 @@ type StoreStats struct {
 	Keys                int
 	WALBytes            int64
 	RecoveredRecords    int
+	// TornWALBytes is the trailing garbage truncated from the WAL at Open;
+	// SnapQuarantined reports a snapshot rejected wholesale by its frame CRC.
+	TornWALBytes    int64
+	SnapQuarantined bool
 	// GroupCommits counts durable WAL frames written by group-commit
 	// leaders; GroupedRecords counts the committer records they carried.
 	// Equal when every commit ran alone (the single-threaded simulation);
@@ -393,6 +437,8 @@ func (s *Store) Stats() StoreStats {
 	st := StoreStats{
 		WALBytes:         s.walBytes.Load(),
 		RecoveredRecords: s.recovered,
+		TornWALBytes:     s.tornWALBytes,
+		SnapQuarantined:  s.snapQuarantined,
 		GroupCommits:     s.groupCommits.Load(),
 		GroupedRecords:   s.groupedRecords.Load(),
 	}

@@ -96,6 +96,9 @@ func FuzzReplay(f *testing.F) {
 	f.Add([]byte{opPut, 0xff, 0xff, 0xff, 0xff}, uint16(3), byte(1))
 	f.Add(base[:len(base)/2], uint16(7), byte(0x80))
 	f.Add(append([]byte(nil), base...), uint16(uint16(len(base)-1)), byte(0x40))
+	// Torn tail after a mid-write crash: a partial record (the first bytes
+	// of a valid one) trails the log — the case Open now truncates away.
+	f.Add(append([]byte(nil), base[:9]...), uint16(2), byte(0x04))
 	f.Fuzz(func(t *testing.T, suffix []byte, pos uint16, xor byte) {
 		base, want := fuzzBaseLog()
 		collect := func(dst *[]fuzzRec) func(op byte, key string, val []byte) {
@@ -108,6 +111,24 @@ func FuzzReplay(f *testing.F) {
 		var raw []fuzzRec
 		if n := replay(suffix, collect(&raw)); n != len(raw) {
 			t.Fatalf("replay reported %d records, applied %d", n, len(raw))
+		}
+
+		// Consumed-offset contract (the torn-tail truncation point): the
+		// prefix up to consumed replays to exactly the same records, so
+		// truncating there loses nothing that was applied.
+		var rawAgain []fuzzRec
+		n, consumed := replayConsumed(suffix, collect(&rawAgain))
+		if n != len(raw) || consumed > len(suffix) {
+			t.Fatalf("replayConsumed = (%d, %d), replay applied %d of %d bytes", n, consumed, len(raw), len(suffix))
+		}
+		var prefix []fuzzRec
+		if m := replay(suffix[:consumed], collect(&prefix)); m != n {
+			t.Fatalf("replaying the consumed prefix gave %d records, want %d", m, n)
+		}
+		for i := range prefix {
+			if prefix[i] != rawAgain[i] {
+				t.Fatalf("consumed-prefix record %d: %+v != %+v", i, prefix[i], rawAgain[i])
+			}
 		}
 
 		// Valid log + arbitrary suffix: the valid records replay first,
