@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale bench-hitrate bench-recovery alloc-check check
+.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale bench-hitrate bench-recovery bench-net alloc-check check
 
 all: build
 
@@ -60,11 +60,21 @@ BENCH_RECOVERY ?= BENCH_pr8.json
 bench-recovery:
 	$(GO) run ./cmd/s4dbench -bench-recovery $(BENCH_RECOVERY)
 
+# Regenerate the network frontend tail-latency report: loopback TCP
+# connections through netserve (conns × pipeline depth, up to 128
+# connections), p50/p99/p999 per cell, plus the capped-budget overload
+# cell demonstrating BUSY backpressure. Numbers are machine-dependent;
+# the shape (pipeline_speedup > 1, bounded overload p999) is the signal.
+BENCH_NET ?= BENCH_pr9.json
+bench-net:
+	$(GO) run ./cmd/s4dbench -bench-net $(BENCH_NET)
+
 # Just the allocation-regression tests: pins the performance-mode serve
 # and identify paths, the metadata store's durable commit path, the
-# striped-table dirty/pending counters, and every cache policy's
-# touch/eviction paths, at 0 allocs/op.
+# striped-table dirty/pending counters, every cache policy's
+# touch/eviction paths, the latency histogram's record path, and the
+# network server's decode→dispatch→encode request path, at 0 allocs/op.
 alloc-check:
-	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ ./internal/kvstore/ ./internal/dmt/ ./internal/cdt/ ./internal/cachespace/ -v
+	$(GO) test -run 'ZeroAllocs' ./internal/pfs/ ./internal/core/ ./internal/iotrace/ ./internal/kvstore/ ./internal/dmt/ ./internal/cdt/ ./internal/cachespace/ ./internal/netserve/ ./internal/bench/ -v
 
 check: vet build race bench

@@ -8,6 +8,7 @@
 //	         [-bench-json file] [-bench-hitrate file] [-bench-recovery file]
 //	         [-bench-serve file] [-serve-clients list] [-serve-window d]
 //	         [-bench-serve-scale file] [-serve-procs list]
+//	         [-bench-net file] [-net-conns list] [-net-depths list]
 //	         [-cpuprofile file] [-memprofile file] [-trace file]
 //	         [-mutexprofile file] [-blockprofile file]
 //
@@ -49,6 +50,12 @@
 // epoch (lock-free read path) and locked (stripe-locked baseline) modes —
 // the BENCH_pr6.json generator. -mutexprofile and -blockprofile capture
 // contention evidence for any invocation.
+//
+// -bench-net runs the serve/net tail-latency family: real TCP connections
+// over loopback into the netserve frontend (-net-conns connection counts ×
+// -net-depths pipeline depths), reporting ops/s and p50/p99/p999 per cell
+// plus a capped-budget overload cell demonstrating BUSY backpressure — the
+// BENCH_pr9.json generator (see `make bench-net`).
 package main
 
 import (
@@ -85,6 +92,9 @@ func run() int {
 		serveWindow  = flag.Duration("serve-window", 400*time.Millisecond, "measured window per -bench-serve point")
 		benchScale   = flag.String("bench-serve-scale", "", "run the serve/scale GOMAXPROCS contention sweep and write its JSON report to this file")
 		serveProcs   = flag.String("serve-procs", "1,2,4,8", "GOMAXPROCS values for -bench-serve-scale")
+		benchNet     = flag.String("bench-net", "", "run the serve/net loopback tail-latency family and write its JSON report to this file")
+		netConns     = flag.String("net-conns", "8,32,128", "connection counts for -bench-net")
+		netDepths    = flag.String("net-depths", "1,4", "pipeline depths for -bench-net")
 		cpuProf      = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf      = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		tracePath    = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -198,6 +208,46 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("s4dbench: wrote %s\n", *benchScale)
+		return 0
+	}
+
+	if *benchNet != "" {
+		parseList := func(name, val string) ([]int, bool) {
+			var out []int
+			for _, s := range strings.Split(val, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "s4dbench: %s: bad value %q\n", name, s)
+					return nil, false
+				}
+				out = append(out, n)
+			}
+			return out, true
+		}
+		conns, ok := parseList("-net-conns", *netConns)
+		if !ok {
+			return 2
+		}
+		depths, ok := parseList("-net-depths", *netDepths)
+		if !ok {
+			return 2
+		}
+		f, err := os.Create(*benchNet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		netCfg := bench.ServeNetConfig{Conns: conns, Depths: depths, Window: *serveWindow}
+		if err := bench.EmitServeNetJSON(f, netCfg, os.Stderr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("s4dbench: wrote %s\n", *benchNet)
 		return 0
 	}
 

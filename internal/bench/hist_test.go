@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistIndexMonotone checks the bucket mapping is monotone and that
+// every value lands in a bucket whose upper bound is >= the value with
+// bounded relative error.
+func TestHistIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		i := histIndex(ns)
+		if i < prev {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", ns, i, prev)
+		}
+		prev = i
+		up := histUpper(i)
+		if up < ns {
+			t.Fatalf("bucket upper bound %d below value %d", up, ns)
+		}
+		if ns >= histSub && float64(up-ns) > float64(ns)/float64(histSub)+1 {
+			t.Fatalf("bucket error too large at %d: upper %d", ns, up)
+		}
+	}
+}
+
+// TestHistQuantiles compares histogram quantiles against exact sorted
+// quantiles of a heavy-tailed sample: they must agree within the bucket
+// resolution (1/histSub relative).
+func TestHistQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h LatencyHist
+	vals := make([]int64, 20000)
+	for i := range vals {
+		// Log-uniform between 1µs and 100ms: spans many octaves.
+		v := int64(1000 * (1 + rng.ExpFloat64()*rng.Float64()*100000))
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q * float64(len(vals)))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := vals[rank-1]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Fatalf("q%.3f under-reported: got %d < exact %d", q, got, exact)
+		}
+		if float64(got-exact) > float64(exact)*2/histSub+1 {
+			t.Fatalf("q%.3f too coarse: got %d, exact %d", q, got, exact)
+		}
+	}
+	if h.Count() != uint64(len(vals)) {
+		t.Fatalf("count %d != %d", h.Count(), len(vals))
+	}
+	if h.Max() != time.Duration(vals[len(vals)-1]) {
+		t.Fatalf("max %v != %v", h.Max(), time.Duration(vals[len(vals)-1]))
+	}
+}
+
+// TestHistConcurrentRecord exercises shared recording from many
+// goroutines (the serve benches' usage) under the race detector.
+func TestHistConcurrentRecord(t *testing.T) {
+	var h LatencyHist
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count %d != %d", h.Count(), goroutines*per)
+	}
+	if h.P50() > h.P99() || h.P99() > h.P999() || h.P999() > h.Max() {
+		t.Fatalf("quantiles not ordered: p50=%v p99=%v p999=%v max=%v", h.P50(), h.P99(), h.P999(), h.Max())
+	}
+}
+
+// TestHistMerge checks Merge equals recording into one histogram.
+func TestHistMerge(t *testing.T) {
+	var a, b, both LatencyHist
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		d := time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Max() != both.Max() {
+		t.Fatalf("merge mismatch: count %d/%d max %v/%v", a.Count(), both.Count(), a.Max(), both.Max())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("merge quantile %.3f: %v != %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+// TestHistRecordZeroAllocs pins the shared histogram's record path at zero
+// heap allocations per observation (`make alloc-check`): the serve benches
+// record every op of every client through one of these.
+func TestHistRecordZeroAllocs(t *testing.T) {
+	var h LatencyHist
+	d := 137 * time.Microsecond
+	if allocs := testing.AllocsPerRun(1000, func() { h.Record(d) }); allocs != 0 {
+		t.Fatalf("LatencyHist.Record allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = h.Quantile(0.99) }); allocs != 0 {
+		t.Fatalf("LatencyHist.Quantile allocates %.1f/op, want 0", allocs)
+	}
+}

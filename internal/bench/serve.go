@@ -61,12 +61,16 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	return c
 }
 
-// ServePoint is one measured client count.
+// ServePoint is one measured client count. The percentile fields come from
+// a shared LatencyHist recording every completed op in the measured window.
 type ServePoint struct {
 	Clients   int     `json:"clients"`
 	Ops       uint64  `json:"ops"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	NsPerOp   float64 `json:"ns_per_op"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	P999Us    float64 `json:"p999_us"`
 }
 
 // ServeReport is the schema of BENCH_pr5.json.
@@ -86,7 +90,7 @@ type ServeReport struct {
 func RunServe(cfg ServeConfig, progress io.Writer) (*ServeReport, error) {
 	cfg = cfg.withDefaults()
 	rep := &ServeReport{
-		Schema:     "s4d-serve/1",
+		Schema:     "s4d-serve/2",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Backend:    "wallclock",
@@ -181,6 +185,7 @@ func runServePoint(cfg ServeConfig, n int) (ServePoint, error) {
 		stop      atomic.Bool
 		measuring atomic.Bool
 		ops       atomic.Uint64
+		hist      LatencyHist
 		errOnce   sync.Once
 		firstErr  error
 		wg        sync.WaitGroup
@@ -197,6 +202,7 @@ func runServePoint(cfg ServeConfig, n int) (ServePoint, error) {
 			done := func(err error) { ch <- err }
 			for !stop.Load() {
 				off := rng.Int63n(fileSpan - reqSize)
+				t0 := time.Now()
 				var err error
 				if rng.Intn(3) > 0 {
 					err = eng.Write(c, file, off, reqSize, nil, done)
@@ -212,6 +218,7 @@ func runServePoint(cfg ServeConfig, n int) (ServePoint, error) {
 				}
 				if measuring.Load() {
 					ops.Add(1)
+					hist.Record(time.Since(t0))
 				}
 			}
 		}(c)
@@ -236,5 +243,8 @@ func runServePoint(cfg ServeConfig, n int) (ServePoint, error) {
 		Ops:       total,
 		OpsPerSec: float64(total) / elapsed.Seconds(),
 		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(total),
+		P50Us:     micros(hist.P50()),
+		P99Us:     micros(hist.P99()),
+		P999Us:    micros(hist.P999()),
 	}, nil
 }

@@ -28,7 +28,7 @@ func TestServeScaleReport(t *testing.T) {
 	if runtime.GOMAXPROCS(0) != before {
 		t.Fatalf("GOMAXPROCS not restored: %d, want %d", runtime.GOMAXPROCS(0), before)
 	}
-	if rep.Schema != "s4d-serve-scale/1" {
+	if rep.Schema != "s4d-serve-scale/2" {
 		t.Fatalf("schema %q", rep.Schema)
 	}
 	if rep.NumCPU != runtime.NumCPU() {
@@ -40,6 +40,9 @@ func TestServeScaleReport(t *testing.T) {
 	for _, pt := range rep.Points {
 		if pt.Ops == 0 || pt.OpsPerSec <= 0 {
 			t.Fatalf("empty cell: %+v", pt)
+		}
+		if pt.P50Us <= 0 || pt.P99Us < pt.P50Us || pt.P999Us < pt.P99Us {
+			t.Fatalf("bad percentiles: %+v", pt)
 		}
 	}
 	if rep.EpochVsLockedReadHeavy <= 0 {

@@ -29,7 +29,7 @@ func TestServeBenchScales(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "s4d-serve/1" {
+	if rep.Schema != "s4d-serve/2" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
 	if len(rep.Points) != 2 {
@@ -38,6 +38,9 @@ func TestServeBenchScales(t *testing.T) {
 	for _, pt := range rep.Points {
 		if pt.Ops == 0 || pt.OpsPerSec <= 0 {
 			t.Fatalf("empty measurement: %+v", pt)
+		}
+		if pt.P50Us <= 0 || pt.P99Us < pt.P50Us || pt.P999Us < pt.P99Us {
+			t.Fatalf("bad percentiles: %+v", pt)
 		}
 	}
 	if rep.SpeedupMaxVs1 < 2.0 {

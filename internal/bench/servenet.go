@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s4dcache/internal/cluster"
+	"s4dcache/internal/netclient"
+)
+
+// ServeNetConfig parameterizes the serve/net tail-latency family: real TCP
+// connections over loopback into the netserve frontend, sweeping
+// connection count × pipeline depth. Unlike serve/* (which calls the
+// engine in-process) every op here crosses the wire protocol — framing,
+// credit flow, the per-connection reader/writer pair — so the numbers
+// price the network frontend itself. A final overload cell caps the
+// server's global in-flight budget far below demand to show backpressure
+// keeping tail latency bounded instead of queueing unboundedly.
+type ServeNetConfig struct {
+	// Conns lists the connection counts to sweep (default 8,32,128).
+	Conns []int
+	// Depths lists the pipeline depths — concurrent requests kept in
+	// flight per connection (default 1,4).
+	Depths []int
+	// Window is the measured interval per point (default 300ms); Warmup
+	// runs first and is discarded (default 50ms).
+	Window, Warmup time.Duration
+	// Shards is the engine concurrency (default 16).
+	Shards int
+	// PerOpSSD and PerOpHDD are the modeled per-subrequest service times
+	// (defaults 100µs and 200µs).
+	PerOpSSD, PerOpHDD time.Duration
+	// OverloadMaxInFlight is the server-global in-flight cap of the
+	// overload cell (default 64; the cell runs at the largest configured
+	// conns × depth, so demand far exceeds it). 0 keeps the default;
+	// negative skips the overload cell.
+	OverloadMaxInFlight int
+}
+
+func (c ServeNetConfig) withDefaults() ServeNetConfig {
+	if len(c.Conns) == 0 {
+		c.Conns = []int{8, 32, 128}
+	}
+	if len(c.Depths) == 0 {
+		c.Depths = []int{1, 4}
+	}
+	if c.Window <= 0 {
+		c.Window = 300 * time.Millisecond
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 50 * time.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.PerOpSSD <= 0 {
+		c.PerOpSSD = 100 * time.Microsecond
+	}
+	if c.PerOpHDD <= 0 {
+		c.PerOpHDD = 200 * time.Microsecond
+	}
+	if c.OverloadMaxInFlight == 0 {
+		c.OverloadMaxInFlight = 64
+	}
+	return c
+}
+
+// ServeNetPoint is one measured (conns, depth) cell. Busy counts BUSY
+// rejections (non-zero only when a global in-flight cap is set);
+// percentiles cover successful ops in the measured window.
+type ServeNetPoint struct {
+	Conns       int     `json:"conns"`
+	Depth       int     `json:"depth"`
+	MaxInFlight int     `json:"max_in_flight,omitempty"`
+	Ops         uint64  `json:"ops"`
+	Busy        uint64  `json:"busy"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	P999Us      float64 `json:"p999_us"`
+}
+
+// ServeNetReport is the schema of BENCH_pr9.json.
+type ServeNetReport struct {
+	Schema     string          `json:"schema"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Backend    string          `json:"backend"`
+	Shards     int             `json:"shards"`
+	WindowMs   int64           `json:"window_ms"`
+	Points     []ServeNetPoint `json:"points"`
+	// Overload is the capped-budget cell (nil when skipped).
+	Overload *ServeNetPoint `json:"overload,omitempty"`
+	// PipelineSpeedup is depth-max over depth-min ops/s at the largest
+	// connection count (0 when fewer than two depths ran).
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+}
+
+// RunServeNet sweeps conns × depth, one fresh deployment per point, then
+// runs the overload cell.
+func RunServeNet(cfg ServeNetConfig, progress io.Writer) (*ServeNetReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &ServeNetReport{
+		Schema:     "s4d-serve-net/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Backend:    "netserve/loopback",
+		Shards:     cfg.Shards,
+		WindowMs:   cfg.Window.Milliseconds(),
+	}
+	for _, conns := range cfg.Conns {
+		for _, depth := range cfg.Depths {
+			if progress != nil {
+				fmt.Fprintf(progress, "bench-net: %d conn(s) depth %d\n", conns, depth)
+			}
+			pt, err := runServeNetPoint(cfg, conns, depth, 0)
+			if err != nil {
+				return nil, fmt.Errorf("bench: serve-net %dx%d: %w", conns, depth, err)
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	maxConns := cfg.Conns[len(cfg.Conns)-1]
+	minDepth, maxDepth := cfg.Depths[0], cfg.Depths[0]
+	for _, d := range cfg.Depths {
+		if d < minDepth {
+			minDepth = d
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if minDepth != maxDepth {
+		cell := func(depth int) float64 {
+			for _, pt := range rep.Points {
+				if pt.Conns == maxConns && pt.Depth == depth {
+					return pt.OpsPerSec
+				}
+			}
+			return 0
+		}
+		if base := cell(minDepth); base > 0 {
+			rep.PipelineSpeedup = cell(maxDepth) / base
+		}
+	}
+	if cfg.OverloadMaxInFlight > 0 {
+		if progress != nil {
+			fmt.Fprintf(progress, "bench-net: overload %d conn(s) depth %d cap %d\n",
+				maxConns, maxDepth, cfg.OverloadMaxInFlight)
+		}
+		pt, err := runServeNetPoint(cfg, maxConns, maxDepth, cfg.OverloadMaxInFlight)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve-net overload: %w", err)
+		}
+		rep.Overload = &pt
+	}
+	return rep, nil
+}
+
+// EmitServeNetJSON writes a ServeNetReport to w; s4dbench's -bench-net
+// flag and `make bench-net` drive it.
+func EmitServeNetJSON(w io.Writer, cfg ServeNetConfig, progress io.Writer) error {
+	rep, err := RunServeNet(cfg, progress)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runServeNetPoint builds a fresh wall-clock deployment behind a loopback
+// netserve listener and measures n connections, each holding depth
+// requests in flight (depth worker goroutines per shared per-connection
+// client, one sync op each — the client pipelines them onto the single
+// connection). BUSY rejections back off briefly and retry; only completed
+// ops are counted and timed.
+func runServeNetPoint(cfg ServeNetConfig, n, depth, maxInFlight int) (ServeNetPoint, error) {
+	tb, err := cluster.NewWallS4D(cluster.WallParams{
+		Shards:      cfg.Shards,
+		PerOpSSD:    cfg.PerOpSSD,
+		PerOpHDD:    cfg.PerOpHDD,
+		MaxInFlight: maxInFlight,
+	})
+	if err != nil {
+		return ServeNetPoint{}, err
+	}
+	defer tb.Close()
+
+	clients := make([]*netclient.Client, n)
+	for i := range clients {
+		cl, err := netclient.Dial(tb.Addr(), netclient.Options{Tenant: "bench"})
+		if err != nil {
+			return ServeNetPoint{}, fmt.Errorf("dial conn %d: %w", i, err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	var (
+		stop      atomic.Bool
+		measuring atomic.Bool
+		ops, busy atomic.Uint64
+		hist      LatencyHist
+		errOnce   sync.Once
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	const reqSize = int64(16 << 10)
+	const fileSpan = int64(4 << 20)
+	for i, cl := range clients {
+		file := fmt.Sprintf("net%03d", i)
+		for d := 0; d < depth; d++ {
+			wg.Add(1)
+			go func(cl *netclient.Client, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for !stop.Load() {
+					off := rng.Int63n(fileSpan - reqSize)
+					t0 := time.Now()
+					var err error
+					if rng.Intn(3) > 0 {
+						err = cl.Write(file, off, reqSize, nil)
+					} else {
+						err = cl.Read(file, off, reqSize, nil)
+					}
+					switch {
+					case err == nil:
+						if measuring.Load() {
+							ops.Add(1)
+							hist.Record(time.Since(t0))
+						}
+					case errors.Is(err, netclient.ErrBusy):
+						if measuring.Load() {
+							busy.Add(1)
+						}
+						time.Sleep(200 * time.Microsecond)
+					default:
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}(cl, int64(i*64+d+1))
+		}
+	}
+	time.Sleep(cfg.Warmup)
+	start := time.Now()
+	measuring.Store(true)
+	time.Sleep(cfg.Window)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return ServeNetPoint{}, firstErr
+	}
+	total := ops.Load()
+	if total == 0 {
+		return ServeNetPoint{}, fmt.Errorf("no operations completed in the %v window", cfg.Window)
+	}
+	stats := tb.Server.Stats()
+	if want := uint64(0); stats.BadRequests != want || stats.IOErrors != want {
+		return ServeNetPoint{}, fmt.Errorf("server errors during bench: %+v", stats)
+	}
+	return ServeNetPoint{
+		Conns:       n,
+		Depth:       depth,
+		MaxInFlight: maxInFlight,
+		Ops:         total,
+		Busy:        busy.Load(),
+		OpsPerSec:   float64(total) / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(total),
+		P50Us:       micros(hist.P50()),
+		P99Us:       micros(hist.P99()),
+		P999Us:      micros(hist.P999()),
+	}, nil
+}

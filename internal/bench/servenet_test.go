@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestServeNetSmoke is the CI loopback gate for the network frontend: a
+// small conns × depth sweep plus the overload cell, checking the report
+// shape, that pipelining helps, and that the capped-budget cell actually
+// exercised BUSY backpressure.
+func TestServeNetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark harness")
+	}
+	cfg := ServeNetConfig{
+		Conns:               []int{2, 8},
+		Depths:              []int{1, 4},
+		Window:              120 * time.Millisecond,
+		Warmup:              20 * time.Millisecond,
+		Shards:              8,
+		OverloadMaxInFlight: 4,
+	}
+	var buf bytes.Buffer
+	if err := EmitServeNetJSON(&buf, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeNetReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "s4d-serve-net/1" {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if want := 4; len(rep.Points) != want {
+		t.Fatalf("%d points, want %d", len(rep.Points), want)
+	}
+	for _, pt := range rep.Points {
+		if pt.Ops == 0 || pt.OpsPerSec <= 0 {
+			t.Fatalf("empty cell: %+v", pt)
+		}
+		if pt.P50Us <= 0 || pt.P99Us < pt.P50Us || pt.P999Us < pt.P99Us {
+			t.Fatalf("bad percentiles: %+v", pt)
+		}
+		if pt.Busy != 0 {
+			t.Fatalf("uncapped cell saw BUSY: %+v", pt)
+		}
+	}
+	if rep.PipelineSpeedup <= 1.0 {
+		t.Fatalf("pipeline speedup %.2fx, want > 1x (points: %+v)", rep.PipelineSpeedup, rep.Points)
+	}
+	if rep.Overload == nil {
+		t.Fatal("overload cell missing")
+	}
+	if rep.Overload.Busy == 0 {
+		t.Fatalf("overload cell saw no backpressure: %+v", rep.Overload)
+	}
+	if rep.Overload.Ops == 0 {
+		t.Fatalf("overload cell made no progress: %+v", rep.Overload)
+	}
+}

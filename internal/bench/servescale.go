@@ -88,7 +88,9 @@ func readPercent(workload string) (int, error) {
 	}
 }
 
-// ServeScalePoint is one measured (workload, mode, procs) cell.
+// ServeScalePoint is one measured (workload, mode, procs) cell. The
+// percentile fields come from a shared LatencyHist over the measured
+// window.
 type ServeScalePoint struct {
 	Workload  string  `json:"workload"`
 	Mode      string  `json:"mode"`
@@ -97,6 +99,9 @@ type ServeScalePoint struct {
 	Ops       uint64  `json:"ops"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	NsPerOp   float64 `json:"ns_per_op"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	P999Us    float64 `json:"p999_us"`
 }
 
 // ServeScaleReport is the schema of BENCH_pr6.json. NumCPU records the
@@ -104,14 +109,14 @@ type ServeScalePoint struct {
 // concurrency, and on a single-core host the sweep degenerates to a
 // scheduling benchmark (README "Serve scaling" discusses reading it).
 type ServeScaleReport struct {
-	Schema     string            `json:"schema"`
-	GoVersion  string            `json:"go_version"`
-	NumCPU     int               `json:"num_cpu"`
-	Backend    string            `json:"backend"`
-	Shards     int               `json:"shards"`
-	Clients    int               `json:"clients"`
-	WindowMs   int64             `json:"window_ms"`
-	Points     []ServeScalePoint `json:"points"`
+	Schema    string            `json:"schema"`
+	GoVersion string            `json:"go_version"`
+	NumCPU    int               `json:"num_cpu"`
+	Backend   string            `json:"backend"`
+	Shards    int               `json:"shards"`
+	Clients   int               `json:"clients"`
+	WindowMs  int64             `json:"window_ms"`
+	Points    []ServeScalePoint `json:"points"`
 	// SpeedupReadHeavy4v1 is epoch-mode read-heavy ops/s at procs=4 over
 	// procs=1 (0 when either point is absent).
 	SpeedupReadHeavy4v1 float64 `json:"speedup_read_heavy_4v1"`
@@ -127,7 +132,7 @@ func RunServeScale(cfg ServeScaleConfig, progress io.Writer) (*ServeScaleReport,
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
 	rep := &ServeScaleReport{
-		Schema:    "s4d-serve-scale/1",
+		Schema:    "s4d-serve-scale/2",
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Backend:   "wallclock",
@@ -271,6 +276,7 @@ func runServeScalePoint(cfg ServeScaleConfig, workload, mode string, procs int) 
 		stop      atomic.Bool
 		measuring atomic.Bool
 		ops       atomic.Uint64
+		hist      LatencyHist
 		errOnce   sync.Once
 		firstErr  error
 		wg        sync.WaitGroup
@@ -285,6 +291,7 @@ func runServeScalePoint(cfg ServeScaleConfig, workload, mode string, procs int) 
 			for !stop.Load() {
 				file := scaleFileName(rng.Intn(scaleFiles))
 				off := rng.Int63n(scaleFileSpan - scaleReqSize)
+				t0 := time.Now()
 				var err error
 				if rng.Intn(100) < readPct {
 					err = eng.Read(c, file, off, scaleReqSize, nil, done)
@@ -300,6 +307,7 @@ func runServeScalePoint(cfg ServeScaleConfig, workload, mode string, procs int) 
 				}
 				if measuring.Load() {
 					ops.Add(1)
+					hist.Record(time.Since(t0))
 				}
 			}
 		}(c)
@@ -327,6 +335,9 @@ func runServeScalePoint(cfg ServeScaleConfig, workload, mode string, procs int) 
 		Ops:       total,
 		OpsPerSec: float64(total) / elapsed.Seconds(),
 		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(total),
+		P50Us:     micros(hist.P50()),
+		P99Us:     micros(hist.P99()),
+		P999Us:    micros(hist.P999()),
 	}, nil
 }
 

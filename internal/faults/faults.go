@@ -13,6 +13,7 @@
 //	crash:<fs><server>@<at>[+<down>]  crash at <at>; restart after <down>
 //	retry:<n>                     max transient retries per sub-request
 //	corrupt:<store>[.wal|.snap]:<mode>[:<param>]  damage persisted bytes
+//	net:<mode>:<prob>[:<stall>]   wire faults on wrapped connections
 //
 // Clauses are separated by ';'. <fs> is "opfs" or "cpfs" (case-insensitive,
 // matched against the pfs instance label); omitting <server> on an io
@@ -104,6 +105,10 @@ type Plan struct {
 	// count toward Empty: a corrupt-only plan leaves the serve-path fault
 	// machinery (and its deterministic tables) untouched.
 	Corrupt []CorruptRule
+	// Net lists the wire-fault rules (netfault.go). Like Corrupt they only
+	// take effect where a connection is wrapped (Injector.WrapConn) and are
+	// excluded from Empty.
+	Net []NetRule
 }
 
 // Empty reports whether the plan injects any serve-path faults (transient
@@ -133,6 +138,9 @@ func (p Plan) String() string {
 		parts = append(parts, fmt.Sprintf("retry:%d", p.MaxRetries))
 	}
 	for _, r := range p.Corrupt {
+		parts = append(parts, r.String())
+	}
+	for _, r := range p.Net {
 		parts = append(parts, r.String())
 	}
 	return strings.Join(parts, ";")
@@ -180,6 +188,12 @@ func Parse(s string) (Plan, error) {
 				return Plan{}, err
 			}
 			p.Corrupt = append(p.Corrupt, r)
+		case "net":
+			r, err := parseNet(rest)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Net = append(p.Net, r)
 		default:
 			return Plan{}, fmt.Errorf("faults: unknown clause kind %q", kind)
 		}

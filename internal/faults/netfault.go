@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Net faults extend the plan DSL to the wire layer (internal/netserve /
+// netclient): a faultConn wraps a net.Conn and draws a verdict from a
+// seeded per-connection stream before every Read and Write, so connection
+// failures are as reproducible as the device and crash faults. Clauses:
+//
+//	net:drop:<prob>             close the connection mid-operation
+//	net:stall:<prob>[:<dur>]    delay the operation by <dur> (default 2ms)
+//	net:short:<prob>            write only a prefix, then fail the conn
+//
+// Probabilities are per I/O operation. The verdict stream is seeded by
+// (seed, "net", connection id), so a given seed drops/stalls the same
+// operation sequence of the same connection every run — the wall-clock
+// scheduler may interleave connections differently, but each connection's
+// fault schedule is deterministic.
+
+// NetRule is one wire-fault clause.
+type NetRule struct {
+	// Mode is "drop", "stall" or "short".
+	Mode string
+	// Prob is the per-operation trigger probability in [0,1].
+	Prob float64
+	// Stall is the injected delay for "stall" rules; 0 means 2ms.
+	Stall time.Duration
+}
+
+const defaultStall = 2 * time.Millisecond
+
+func (r NetRule) String() string {
+	switch r.Mode {
+	case "stall":
+		d := r.Stall
+		if d <= 0 {
+			d = defaultStall
+		}
+		return fmt.Sprintf("net:stall:%g:%v", r.Prob, d)
+	default:
+		return fmt.Sprintf("net:%s:%g", r.Mode, r.Prob)
+	}
+}
+
+// parseNet parses "<mode>:<prob>[:<stall>]".
+func parseNet(s string) (NetRule, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 {
+		return NetRule{}, fmt.Errorf("faults: net clause %q needs <mode>:<prob>", s)
+	}
+	mode := strings.ToLower(strings.TrimSpace(parts[0]))
+	switch mode {
+	case "drop", "stall", "short":
+	default:
+		return NetRule{}, fmt.Errorf("faults: unknown net mode %q", mode)
+	}
+	prob, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil || prob < 0 || prob > 1 {
+		return NetRule{}, fmt.Errorf("faults: net probability %q not in [0,1]", parts[1])
+	}
+	r := NetRule{Mode: mode, Prob: prob}
+	if len(parts) >= 3 {
+		if mode != "stall" {
+			return NetRule{}, fmt.Errorf("faults: net clause %q: only stall takes a duration", s)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(parts[2]))
+		if err != nil || d <= 0 {
+			return NetRule{}, fmt.Errorf("faults: bad net stall duration %q", parts[2])
+		}
+		r.Stall = d
+	}
+	return r, nil
+}
+
+// ErrConnDropped is the error a dropped or short-written connection
+// surfaces on the faulted side (the peer sees a plain connection reset).
+var ErrConnDropped = fmt.Errorf("faults: connection dropped")
+
+// WrapConn wraps a network connection with this injector's net rules; the
+// signature matches the WrapConn hooks of netserve.Config and
+// netclient.Options. With no net rules it returns c unchanged. id
+// identifies the connection (the server's accept counter or the client's
+// dial counter) and selects its verdict stream.
+func (in *Injector) WrapConn(c net.Conn, id int) net.Conn {
+	if len(in.plan.Net) == 0 {
+		return c
+	}
+	return &faultConn{
+		Conn:  c,
+		rules: in.plan.Net,
+		rng:   newLockedRand(subSeed(in.seed, "net", id)),
+	}
+}
+
+// faultConn injects the net rules around a wrapped connection. Verdicts
+// for Read and Write draw from one shared locked stream: connections have
+// concurrent reader and writer goroutines, and the lock keeps the draw
+// sequence well-defined (per-goroutine order stays deterministic because
+// each side alternates draw → operation).
+type faultConn struct {
+	net.Conn
+	rules   []NetRule
+	rng     *lockedRand
+	dropped atomic.Bool
+}
+
+// verdict draws one rule decision; at most one rule fires per operation
+// (first match in clause order).
+func (f *faultConn) verdict() (mode string, stall time.Duration, hit bool) {
+	for _, r := range f.rules {
+		if f.rng.Float64() < r.Prob {
+			d := r.Stall
+			if d <= 0 {
+				d = defaultStall
+			}
+			return r.Mode, d, true
+		}
+	}
+	return "", 0, false
+}
+
+func (f *faultConn) Read(b []byte) (int, error) {
+	if f.dropped.Load() {
+		return 0, ErrConnDropped
+	}
+	mode, stall, hit := f.verdict()
+	if hit {
+		switch mode {
+		case "drop":
+			f.drop()
+			return 0, ErrConnDropped
+		case "stall":
+			time.Sleep(stall)
+		case "short":
+			// Short *reads* are legal for net.Conn; nothing to inject on
+			// this side — the rule only bites on Write.
+		}
+	}
+	return f.Conn.Read(b)
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	if f.dropped.Load() {
+		return 0, ErrConnDropped
+	}
+	mode, stall, hit := f.verdict()
+	if hit {
+		switch mode {
+		case "drop":
+			f.drop()
+			return 0, ErrConnDropped
+		case "stall":
+			time.Sleep(stall)
+		case "short":
+			// Deliver a prefix, then kill the connection: the shape of a
+			// send interrupted by a mid-write failure. The peer sees a
+			// truncated frame followed by a close, exercising its framing
+			// resync (which, for this protocol, means tearing the session
+			// down).
+			n, _ := f.Conn.Write(b[:len(b)/2])
+			f.drop()
+			return n, ErrConnDropped
+		}
+	}
+	return f.Conn.Write(b)
+}
+
+// lockedRand serializes one rand stream across the connection's reader and
+// writer goroutines.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	v := l.rng.Float64()
+	l.mu.Unlock()
+	return v
+}
+
+func (f *faultConn) drop() {
+	if !f.dropped.Swap(true) {
+		f.Conn.Close()
+	}
+}
+
+func (f *faultConn) Close() error {
+	f.dropped.Store(true)
+	return f.Conn.Close()
+}

@@ -1,0 +1,173 @@
+// Package netserve is the network serve frontend: a TCP listener speaking
+// a length-prefixed little-endian binary protocol in front of the
+// concurrent S4D engine (core.NewConcurrent over pfs.WallFS). It turns the
+// in-process engine into an actual cache service — multi-tenant file
+// namespacing, per-connection bounded in-flight windows with explicit
+// backpressure (BUSY, never unbounded queuing), request pipelining with
+// out-of-order completion matched by request id, and graceful drain on
+// shutdown. The wire path is engineered as a hot path: pooled frame
+// buffers, a single buffered read for header+payload, the decoded payload
+// slice handed straight to the engine on writes and the engine's read
+// bytes written straight from the response buffer — zero copies inside the
+// server, and zero heap allocations per steady-state request (pinned by
+// `make alloc-check`).
+//
+// # Frame format (DESIGN.md §15)
+//
+// Every frame is a fixed header followed by its payload; all integers are
+// little-endian. Requests (client → server):
+//
+//	offset size field
+//	0      8    id       request id, echoed in the response
+//	8      1    op       1=HELLO 2=WRITE 3=READ
+//	9      1    flags    bit0: payload bytes follow the name
+//	10     2    nameLen  file-name length (HELLO: tenant-name length)
+//	12     8    offset   file offset (HELLO: protocol magic)
+//	20     8    size     request size  (HELLO: protocol version)
+//
+// followed by nameLen name bytes, then size payload bytes when flags bit0
+// is set (functional-mode writes). Responses (server → client):
+//
+//	offset size field
+//	0      8    id          echoed request id
+//	8      1    status      0=OK 1=BUSY 2=DRAINING 3=BAD_REQUEST 4=IO_ERROR
+//	9      1    flags       HELLO response: bit0 = payload mode
+//	10     2    reserved
+//	12     8    value       HELLO response: granted per-connection window
+//	20     4    payloadLen  read payload bytes that follow
+//
+// The first frame on a connection must be HELLO carrying the tenant name;
+// every subsequent file name is namespaced as "tenant|name" before it
+// reaches the engine's DMT, so tenants cannot observe each other's files.
+package netserve
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame geometry and limits.
+const (
+	ReqHdrLen  = 28
+	RespHdrLen = 24
+
+	// MaxNameLen bounds file and tenant names; MaxPayload bounds a single
+	// request or response payload. A frame exceeding either is a protocol
+	// error and closes the connection.
+	MaxNameLen = 1 << 10
+	MaxPayload = 8 << 20
+)
+
+// Request ops.
+const (
+	OpHello = 1
+	OpWrite = 2
+	OpRead  = 3
+)
+
+// Response status codes.
+const (
+	StatusOK         = 0
+	StatusBusy       = 1
+	StatusDraining   = 2
+	StatusBadRequest = 3
+	StatusIOError    = 4
+)
+
+// Header flag bits.
+const (
+	// FlagPayload marks a request whose name is followed by payload bytes
+	// (requests), or a HELLO response granted payload mode (responses).
+	FlagPayload = 1
+)
+
+// HELLO handshake constants, carried in the offset/size fields.
+const (
+	ProtoMagic   = 0x5334444e // "S4DN"
+	ProtoVersion = 1
+)
+
+// ReqHeader is a decoded request header.
+type ReqHeader struct {
+	ID      uint64
+	Op      uint8
+	Flags   uint8
+	NameLen uint16
+	Off     int64
+	Size    int64
+}
+
+// PutReqHeader encodes h into b[:ReqHdrLen].
+func PutReqHeader(b []byte, h ReqHeader) {
+	binary.LittleEndian.PutUint64(b[0:], h.ID)
+	b[8] = h.Op
+	b[9] = h.Flags
+	binary.LittleEndian.PutUint16(b[10:], h.NameLen)
+	binary.LittleEndian.PutUint64(b[12:], uint64(h.Off))
+	binary.LittleEndian.PutUint64(b[20:], uint64(h.Size))
+}
+
+// ParseReqHeader decodes b[:ReqHdrLen].
+func ParseReqHeader(b []byte) ReqHeader {
+	return ReqHeader{
+		ID:      binary.LittleEndian.Uint64(b[0:]),
+		Op:      b[8],
+		Flags:   b[9],
+		NameLen: binary.LittleEndian.Uint16(b[10:]),
+		Off:     int64(binary.LittleEndian.Uint64(b[12:])),
+		Size:    int64(binary.LittleEndian.Uint64(b[20:])),
+	}
+}
+
+// RespHeader is a decoded response header.
+type RespHeader struct {
+	ID         uint64
+	Status     uint8
+	Flags      uint8
+	Value      int64
+	PayloadLen uint32
+}
+
+// PutRespHeader encodes h into b[:RespHdrLen].
+func PutRespHeader(b []byte, h RespHeader) {
+	binary.LittleEndian.PutUint64(b[0:], h.ID)
+	b[8] = h.Status
+	b[9] = h.Flags
+	binary.LittleEndian.PutUint16(b[10:], 0)
+	binary.LittleEndian.PutUint64(b[12:], uint64(h.Value))
+	binary.LittleEndian.PutUint32(b[20:], h.PayloadLen)
+}
+
+// ParseRespHeader decodes b[:RespHdrLen].
+func ParseRespHeader(b []byte) RespHeader {
+	return RespHeader{
+		ID:         binary.LittleEndian.Uint64(b[0:]),
+		Status:     b[8],
+		Flags:      b[9],
+		Value:      int64(binary.LittleEndian.Uint64(b[12:])),
+		PayloadLen: binary.LittleEndian.Uint32(b[20:]),
+	}
+}
+
+// StatusString names a response status for errors and logs.
+func StatusString(s uint8) string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusBusy:
+		return "BUSY"
+	case StatusDraining:
+		return "DRAINING"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusIOError:
+		return "IO_ERROR"
+	default:
+		return fmt.Sprintf("status(%d)", s)
+	}
+}
+
+// TenantName composes the engine-side file name of a tenant's file — the
+// namespacing applied at the DMT boundary. Exported so tests and tools can
+// inspect engine state for a given tenant view.
+func TenantName(tenant, file string) string { return tenant + "|" + file }
