@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale bench-hitrate bench-recovery bench-net alloc-check check
+.PHONY: all build vet test race bench bench-json bench-serve bench-serve-scale bench-hitrate bench-recovery bench-net bench-metascale alloc-check check
 
 all: build
 
@@ -69,9 +69,19 @@ BENCH_NET ?= BENCH_pr9.json
 bench-net:
 	$(GO) run ./cmd/s4dbench -bench-net $(BENCH_NET)
 
+# Regenerate the metadata-at-scale report: legacy vs packed bytes/extent
+# at 100k and 1M distinct files, the resident-budget sweep (spill and
+# fault-in counters, lookup p50/p99), and the budgeted-vs-unbounded
+# engine hit-rate cells. Heap numbers are machine-dependent; the
+# accounting columns and hit-rate delta are deterministic.
+BENCH_META ?= BENCH_pr10.json
+bench-metascale:
+	$(GO) run ./cmd/s4dbench -bench-metascale $(BENCH_META)
+
 # Just the allocation-regression tests: pins the performance-mode serve
 # and identify paths, the metadata store's durable commit path, the
-# striped-table dirty/pending counters, every cache policy's
+# striped-table dirty/pending counters, the packed-extent lookup and
+# resident-budget spill bookkeeping, every cache policy's
 # touch/eviction paths, the latency histogram's record path, and the
 # network server's decode→dispatch→encode request path, at 0 allocs/op.
 alloc-check:

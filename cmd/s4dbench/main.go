@@ -93,6 +93,10 @@ func run() int {
 		benchScale   = flag.String("bench-serve-scale", "", "run the serve/scale GOMAXPROCS contention sweep and write its JSON report to this file")
 		serveProcs   = flag.String("serve-procs", "1,2,4,8", "GOMAXPROCS values for -bench-serve-scale")
 		benchNet     = flag.String("bench-net", "", "run the serve/net loopback tail-latency family and write its JSON report to this file")
+		benchMeta    = flag.String("bench-metascale", "", "run the metadata-at-scale family (100k/1M files, resident-budget sweep) and write its JSON report to this file")
+		metaFiles    = flag.String("meta-files", "100000,1000000", "distinct-file counts for -bench-metascale")
+		metaExtents  = flag.Int("meta-extents", 8, "mapped extents per file for -bench-metascale")
+		metaLookups  = flag.Int("meta-lookups", 200000, "random lookups per -bench-metascale cell")
 		netConns     = flag.String("net-conns", "8,32,128", "connection counts for -bench-net")
 		netDepths    = flag.String("net-depths", "1,4", "pipeline depths for -bench-net")
 		cpuProf      = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -248,6 +252,42 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("s4dbench: wrote %s\n", *benchNet)
+		return 0
+	}
+
+	if *benchMeta != "" {
+		var files []int
+		for _, s := range strings.Split(*metaFiles, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "s4dbench: -meta-files: bad count %q\n", s)
+				return 2
+			}
+			files = append(files, n)
+		}
+		f, err := os.Create(*benchMeta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		msc := bench.DefaultMetaScale()
+		msc.Files = files
+		if *metaExtents > 0 {
+			msc.ExtentsPerFile = *metaExtents
+		}
+		if *metaLookups > 0 {
+			msc.Lookups = *metaLookups
+		}
+		if err := bench.EmitMetaScaleJSON(f, msc, os.Stderr); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "s4dbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("s4dbench: wrote %s\n", *benchMeta)
 		return 0
 	}
 

@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-admission", "ablation-policy", "ablation-lazy", "ablation-dmtsync",
 		"ablation-rebuild", "ablation-tableii", "ablation-collective",
 		"ext-memcache", "faults", "hitrate", "hitrate-shift", "recovery",
+		"metascale",
 	}
 	ids := IDs()
 	have := make(map[string]bool, len(ids))

@@ -5,6 +5,7 @@ import (
 
 	"s4dcache/internal/cluster"
 	"s4dcache/internal/core"
+	"s4dcache/internal/dmt"
 	"s4dcache/internal/mpiio"
 	"s4dcache/internal/workload"
 )
@@ -255,12 +256,21 @@ func runMeta(cfg Config) (*Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	entries := tb.S4D.DMT().Entries()
-	metaBytes := tb.S4D.DMT().MetadataBytes()
+	table := tb.S4D.DMT()
+	entries := table.Entries()
+	metaBytes := table.MetadataBytes()
 	used := tb.S4D.Space().UsedBytes()
 	measured := 0.0
 	if used > 0 {
 		measured = float64(metaBytes) / float64(used) * 100
+	}
+	// The paper's 24 B/entry is an assumption; the packed table accounts
+	// its actual footprint (slab segments + per-file state + interned
+	// names), reported per entry next to the constant.
+	residentPer, memoryPer := 0.0, 0.0
+	if entries > 0 {
+		residentPer = float64(table.ResidentBytes()) / float64(entries)
+		memoryPer = float64(table.MemoryBytes()+table.Arena().Bytes()) / float64(entries)
 	}
 	t := &Table{
 		ID:      "meta",
@@ -269,9 +279,13 @@ func runMeta(cfg Config) (*Table, error) {
 	}
 	t.AddRow("analytic overhead (24B / 4KB)", "0.59%")
 	t.AddRow("DMT entries", fmt.Sprintf("%d", entries))
-	t.AddRow("metadata bytes", fmt.Sprintf("%d", metaBytes))
+	t.AddRow("paper constant B/entry", fmt.Sprintf("%d", int64(dmt.EntryBytes)))
+	t.AddRow("measured packed B/entry", fmt.Sprintf("%.1f", residentPer))
+	t.AddRow("measured B/entry incl. file state + names", fmt.Sprintf("%.1f", memoryPer))
+	t.AddRow("metadata bytes (paper accounting)", fmt.Sprintf("%d", metaBytes))
 	t.AddRow("cached bytes", fmt.Sprintf("%d", used))
 	t.AddRow("measured overhead", fmt.Sprintf("%.2f%%", measured))
 	t.AddNote("paper: ~0.6%%, negligible")
+	t.AddNote("see the metascale experiment for the 100k/1M-file footprint sweep")
 	return t, nil
 }

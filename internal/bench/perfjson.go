@@ -38,7 +38,9 @@ type SuiteResult struct {
 }
 
 // PerfReport is the schema of BENCH_*.json: machine-readable performance
-// numbers for cross-PR regression tracking.
+// numbers for cross-PR regression tracking. Mem prices the whole run's
+// memory (forced-GC heap points before/after plus GC count), so the
+// report tracks footprint regressions alongside time.
 type PerfReport struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go_version"`
@@ -47,6 +49,7 @@ type PerfReport struct {
 	Ranks      int           `json:"ranks"`
 	Micro      []MicroResult `json:"micro"`
 	Suite      SuiteResult   `json:"suite"`
+	Mem        MemDelta      `json:"mem"`
 }
 
 type microBench struct {
@@ -88,6 +91,7 @@ func EmitJSON(w io.Writer, cfg Config, progress io.Writer) error {
 		Scale:      cfg.Scale,
 		Ranks:      cfg.Ranks,
 	}
+	memBefore := captureMem()
 	for _, m := range microBenchmarks() {
 		if progress != nil {
 			fmt.Fprintf(progress, "bench-json: %s\n", m.name)
@@ -111,6 +115,7 @@ func EmitJSON(w io.Writer, cfg Config, progress io.Writer) error {
 		rep.Suite.Experiments++
 	}
 	rep.Suite.WallClockMs = time.Since(start).Milliseconds()
+	rep.Mem = memDelta(memBefore, captureMem())
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&rep)

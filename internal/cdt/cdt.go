@@ -3,12 +3,19 @@
 // performance-critical. Each entry records the range (D_file, D_offset,
 // Length) and the C_flag that marks data awaiting a lazy fetch into the
 // CServers by the Rebuilder.
+//
+// File names intern into a names.Arena — shared with the DMT and the
+// core's per-file bookkeeping when constructed WithArena — and every
+// internal structure is keyed by the dense arena id, so the table never
+// duplicates name bytes and FIFO refs carry 4-byte ids instead of string
+// headers.
 package cdt
 
 import (
 	"time"
 
 	"s4dcache/internal/extent"
+	"s4dcache/internal/names"
 )
 
 // Info is the payload of one critical extent.
@@ -31,13 +38,21 @@ type Fetch struct {
 	Benefit time.Duration
 }
 
+// Option configures New/NewStriped.
+type Option func(*Table)
+
+// WithArena shares a file-name interning arena with other tables.
+// Default: a private arena.
+func WithArena(a *names.Arena) Option { return func(t *Table) { t.arena = a } }
+
 // Table is the Critical Data Table. Use New.
 type Table struct {
-	files map[string]*extent.Map[Info]
-	// names lists the files in first-added order; PendingFetches follows
-	// it instead of the map so the Rebuilder's fetch order is
+	arena *names.Arena
+	files map[uint32]*extent.Map[Info]
+	// ids lists the files (arena ids) in first-added order; PendingFetches
+	// follows it instead of the map so the Rebuilder's fetch order is
 	// deterministic across runs.
-	names    []string
+	ids      []uint32
 	order    []fifoRef // insertion order, for bounded eviction
 	maxBytes int64
 	bytes    int64
@@ -54,17 +69,27 @@ type Table struct {
 }
 
 type fifoRef struct {
-	file string
-	off  int64
-	len  int64
-	seq  uint64
+	id  uint32
+	off int64
+	len int64
+	seq uint64
 }
 
 // New returns an empty table bounded to maxBytes of tracked data;
 // maxBytes <= 0 means unbounded.
-func New(maxBytes int64) *Table {
-	return &Table{files: make(map[string]*extent.Map[Info]), maxBytes: maxBytes}
+func New(maxBytes int64, opts ...Option) *Table {
+	t := &Table{files: make(map[uint32]*extent.Map[Info]), maxBytes: maxBytes}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.arena == nil {
+		t.arena = names.NewArena()
+	}
+	return t
 }
+
+// Arena returns the table's name-interning arena.
+func (t *Table) Arena() *names.Arena { return t.arena }
 
 // SetMaxBytes adjusts the table bound live; maxBytes <= 0 means
 // unbounded. Shrinking a bounded table evicts immediately. A table
@@ -78,13 +103,23 @@ func (t *Table) SetMaxBytes(maxBytes int64) {
 // MaxBytes returns the current table bound (<= 0 means unbounded).
 func (t *Table) MaxBytes() int64 { return t.maxBytes }
 
+// lookup resolves file's extent map without interning — nil if the
+// table has never tracked it. Allocation-free.
+func (t *Table) lookup(file string) *extent.Map[Info] {
+	id, ok := t.arena.Lookup(file)
+	if !ok {
+		return nil
+	}
+	return t.files[id]
+}
+
 // Add records [off, off+length) of file as critical. Re-adding an existing
 // range refreshes its benefit and keeps its C_flag.
 func (t *Table) Add(file string, off, length int64, benefit time.Duration) {
 	if length <= 0 {
 		return
 	}
-	m := t.fileMap(file)
+	id, m := t.fileMap(file)
 	// Preserve an existing C_flag if the new range overlaps flagged data.
 	flag := false
 	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
@@ -106,7 +141,7 @@ func (t *Table) Add(file string, off, length int64, benefit time.Duration) {
 	if t.maxBytes > 0 {
 		// The FIFO log only feeds evict(); an unbounded table would grow it
 		// forever without ever consuming it.
-		t.order = append(t.order, fifoRef{file: file, off: off, len: length, seq: t.seq})
+		t.order = append(t.order, fifoRef{id: id, off: off, len: length, seq: t.seq})
 		t.evict()
 	}
 }
@@ -114,8 +149,8 @@ func (t *Table) Add(file string, off, length int64, benefit time.Duration) {
 // Contains reports whether [off, off+length) is fully covered by critical
 // extents — the Algorithm 1 "req is in CDT" test.
 func (t *Table) Contains(file string, off, length int64) bool {
-	m, ok := t.files[file]
-	if !ok {
+	m := t.lookup(file)
+	if m == nil {
 		return false
 	}
 	return m.Covered(off, length)
@@ -124,8 +159,8 @@ func (t *Table) Contains(file string, off, length int64) bool {
 // SetCFlag marks the overlapped critical parts of [off, off+length) for
 // lazy fetching (Algorithm 1, line 18).
 func (t *Table) SetCFlag(file string, off, length int64) {
-	m, ok := t.files[file]
-	if !ok {
+	m := t.lookup(file)
+	if m == nil {
 		return
 	}
 	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
@@ -142,8 +177,8 @@ func (t *Table) SetCFlag(file string, off, length int64) {
 // ClearCFlag unmarks the overlapped parts of [off, off+length), after the
 // Rebuilder has fetched them (paper §III.F).
 func (t *Table) ClearCFlag(file string, off, length int64) {
-	m, ok := t.files[file]
-	if !ok {
+	m := t.lookup(file)
+	if m == nil {
 		return
 	}
 	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
@@ -160,8 +195,9 @@ func (t *Table) ClearCFlag(file string, off, length int64) {
 // PendingFetches returns up to max C_flag-marked ranges (all if max <= 0).
 func (t *Table) PendingFetches(max int) []Fetch {
 	var out []Fetch
-	for _, file := range t.names {
-		m := t.files[file]
+	for _, id := range t.ids {
+		m := t.files[id]
+		file := t.arena.Name(id)
 		m.Walk(func(e extent.Entry[Info]) bool {
 			if e.Val.CFlag {
 				out = append(out, Fetch{File: file, Off: e.Off, Len: e.Len, Benefit: e.Val.Benefit})
@@ -192,8 +228,9 @@ type Extent struct {
 // concurrency-equivalence tests.
 func (t *Table) Extents() []Extent {
 	var out []Extent
-	for _, file := range t.names {
-		m := t.files[file]
+	for _, id := range t.ids {
+		m := t.files[id]
+		file := t.arena.Name(id)
 		m.Walk(func(e extent.Entry[Info]) bool {
 			out = append(out, Extent{File: file, Off: e.Off, Len: e.Len, CFlag: e.Val.CFlag, Benefit: e.Val.Benefit})
 			return true
@@ -204,8 +241,8 @@ func (t *Table) Extents() []Extent {
 
 // Remove drops coverage of [off, off+length).
 func (t *Table) Remove(file string, off, length int64) {
-	m, ok := t.files[file]
-	if !ok {
+	m := t.lookup(file)
+	if m == nil {
 		return
 	}
 	total, flaggedOv := t.overlapBytes(m, off, length)
@@ -217,8 +254,8 @@ func (t *Table) Remove(file string, off, length int64) {
 // FileTracked reports whether any critical extent of file remains. Core
 // uses it to prune per-file bookkeeping once a file drops out of the table.
 func (t *Table) FileTracked(file string) bool {
-	m, ok := t.files[file]
-	return ok && m.Len() > 0
+	m := t.lookup(file)
+	return m != nil && m.Len() > 0
 }
 
 // Bytes returns the total tracked critical bytes.
@@ -244,14 +281,15 @@ func (t *Table) Entries() int {
 // Evicted returns how many FIFO evictions the byte bound has forced.
 func (t *Table) Evicted() uint64 { return t.evicted }
 
-func (t *Table) fileMap(file string) *extent.Map[Info] {
-	m, ok := t.files[file]
+func (t *Table) fileMap(file string) (uint32, *extent.Map[Info]) {
+	id := t.arena.Intern(file)
+	m, ok := t.files[id]
 	if !ok {
 		m = extent.New[Info](nil)
-		t.files[file] = m
-		t.names = append(t.names, file)
+		t.files[id] = m
+		t.ids = append(t.ids, id)
 	}
-	return m
+	return id, m
 }
 
 func (t *Table) evict() {
@@ -261,7 +299,7 @@ func (t *Table) evict() {
 	for t.bytes > t.maxBytes && len(t.order) > 0 {
 		ref := t.order[0]
 		t.order = t.order[1:]
-		m, ok := t.files[ref.file]
+		m, ok := t.files[ref.id]
 		if !ok {
 			continue
 		}

@@ -14,7 +14,7 @@ func (t *Table) Restore(file string, off, length int64, cflag bool, benefit time
 	if length <= 0 {
 		return
 	}
-	m := t.fileMap(file)
+	id, m := t.fileMap(file)
 	total, flaggedOv := t.overlapBytes(m, off, length)
 	t.bytes -= total
 	t.flagged -= flaggedOv
@@ -25,7 +25,7 @@ func (t *Table) Restore(file string, off, length int64, cflag bool, benefit time
 		t.flagged += length
 	}
 	if t.maxBytes > 0 {
-		t.order = append(t.order, fifoRef{file: file, off: off, len: length, seq: t.seq})
+		t.order = append(t.order, fifoRef{id: id, off: off, len: length, seq: t.seq})
 		t.evict()
 	}
 }

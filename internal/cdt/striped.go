@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"s4dcache/internal/names"
 )
 
 // numStripes is the lock-stripe count of the concurrent table — a power
@@ -45,8 +47,10 @@ type cstripe struct {
 }
 
 // NewStriped returns an empty concurrent table bounded to maxBytes of
-// tracked data across all stripes; maxBytes <= 0 means unbounded.
-func NewStriped(maxBytes int64) *Striped {
+// tracked data across all stripes; maxBytes <= 0 means unbounded. The
+// stripes share one name arena (the caller's via WithArena, or a private
+// one).
+func NewStriped(maxBytes int64, opts ...Option) *Striped {
 	s := &Striped{}
 	per := maxBytes
 	if maxBytes > 0 {
@@ -55,11 +59,23 @@ func NewStriped(maxBytes int64) *Striped {
 		// rounding byte.
 		per = (maxBytes + numStripes - 1) / numStripes
 	}
+	var shared *names.Arena
 	for i := range s.stripes {
-		s.stripes[i].t = New(per)
+		t := New(per, opts...)
+		if shared == nil {
+			shared = t.Arena()
+		} else {
+			// No WithArena given: the first stripe's private arena becomes
+			// the table-wide one.
+			t.arena = shared
+		}
+		s.stripes[i].t = t
 	}
 	return s
 }
+
+// Arena returns the shared name-interning arena.
+func (s *Striped) Arena() *names.Arena { return s.stripes[0].t.arena }
 
 // SetMaxBytes adjusts the aggregate table bound live; maxBytes <= 0
 // means unbounded. The bound is ceiling-split across stripes as in

@@ -60,7 +60,7 @@ func appendMergedRuns(dst []Run, m *extent.Map[Info]) []Run {
 // run with the stripe mutex held.
 func (sh *cstripe) republish(file string) {
 	fr := emptyFileRuns
-	if m := sh.t.files[file]; m != nil && m.Len() > 0 {
+	if m := sh.t.lookup(file); m != nil && m.Len() > 0 {
 		fr = &fileRuns{runs: appendMergedRuns(make([]Run, 0, m.Len()), m)}
 	}
 	v := sh.view.Load()
@@ -83,7 +83,8 @@ func (sh *cstripe) republish(file string) {
 	}
 	slot := &runSlot{}
 	slot.runs.Store(fr)
-	files[file] = slot
+	// The map key aliases the arena's canonical bytes, not a fresh copy.
+	files[sh.t.arena.Canonical(file)] = slot
 	sh.view.Store(&cstripeView{files: files})
 	sh.version.Add(1)
 }
@@ -92,15 +93,17 @@ func (sh *cstripe) republish(file string) {
 // table's FIFO eviction, which may delete coverage across several files
 // of the stripe in one Add.
 func (sh *cstripe) republishAll() {
-	files := make(map[string]*runSlot, len(sh.t.files))
-	for name, m := range sh.t.files {
+	t := sh.t
+	files := make(map[string]*runSlot, len(t.ids))
+	for _, id := range t.ids {
+		m := t.files[id]
 		fr := emptyFileRuns
 		if m.Len() > 0 {
 			fr = &fileRuns{runs: appendMergedRuns(make([]Run, 0, m.Len()), m)}
 		}
 		slot := &runSlot{}
 		slot.runs.Store(fr)
-		files[name] = slot
+		files[t.arena.Name(id)] = slot
 	}
 	sh.view.Store(&cstripeView{files: files})
 	sh.version.Add(1)

@@ -65,6 +65,10 @@ type Params struct {
 	SnapshotPeriod time.Duration
 	// ChargeMetaIO charges DMT commits as CServer I/O (needs PersistMeta).
 	ChargeMetaIO bool
+	// MetaBudget bounds the DMT's resident metadata bytes (DESIGN.md §16):
+	// over budget, cold clean files spill to sealed store records and fault
+	// back in on demand. 0 means unbounded. Needs PersistMeta.
+	MetaBudget int64
 	// Trace installs an iotrace.Recorder on both file systems.
 	Trace bool
 	// PaperTableII switches the cost model to the verbatim Table II
@@ -277,6 +281,7 @@ func build(p Params, withCache bool) (*Testbed, error) {
 		MetaStore:      metaStore,
 		SnapshotPeriod: p.SnapshotPeriod,
 		ChargeMetaIO:   p.ChargeMetaIO,
+		MetaBudget:     p.MetaBudget,
 		Policy:         p.Policy,
 		LazyFetch:      !p.EagerFetch,
 		CachePolicy:    p.CachePolicy,
@@ -322,12 +327,17 @@ func (tb *Testbed) RestartS4D(opts RestartOptions) error {
 	tb.S4D.Close()
 	var store *kvstore.Store
 	var err error
+	var spillRead func(string, []byte) []byte
 	if opts.Warm {
 		backend := tb.MetaBackend
 		// Plan.Empty deliberately ignores corrupt rules (they are not
 		// serve-path faults), so check them directly here.
 		if len(opts.CorruptPlan.Corrupt) > 0 || !opts.CorruptPlan.Empty() {
-			backend = faults.NewInjector(opts.CorruptPlan, opts.CorruptSeed).WrapBackend(backend, "dmt")
+			inj := faults.NewInjector(opts.CorruptPlan, opts.CorruptSeed)
+			backend = inj.WrapBackend(backend, "dmt")
+			// corrupt:dmt.spill rules damage spilled metadata as it faults
+			// back in, rather than the backend files.
+			spillRead = inj.SpillRead("dmt")
 		}
 		store, err = kvstore.Open(backend, "dmt", kvstore.Options{})
 	} else {
@@ -350,6 +360,8 @@ func (tb *Testbed) RestartS4D(opts RestartOptions) error {
 		MetaStore:      store,
 		SnapshotPeriod: p.SnapshotPeriod,
 		ChargeMetaIO:   p.ChargeMetaIO,
+		MetaBudget:     p.MetaBudget,
+		SpillRead:      spillRead,
 		Policy:         p.Policy,
 		LazyFetch:      !p.EagerFetch,
 		CachePolicy:    p.CachePolicy,

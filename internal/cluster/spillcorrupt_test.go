@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"s4dcache/internal/faults"
+)
+
+// TestCorruptSpillQuarantineThenMiss drives the corrupt:dmt.spill clause
+// end to end: a budgeted S4D spills clean file metadata to its store,
+// the restart damages every spill record as it faults back in, and the
+// system must quarantine the records and serve the reads as misses from
+// the DServers — correct bytes always, never mappings decoded from rot.
+func TestCorruptSpillQuarantineThenMiss(t *testing.T) {
+	const (
+		nFiles  = 24
+		extLen  = int64(4 << 10)
+		ranks   = 2
+		perFile = 2
+	)
+	params := Default()
+	// The test drains the Rebuilder explicitly; a periodic ticker would
+	// keep Engine.Run from ever draining.
+	params.RebuildPeriod = 0
+	params.Functional = true
+	params.PersistMeta = true
+	params.MetaBudget = 256 // far below nFiles' metadata footprint
+	params.CacheCapacity = int64(nFiles*perFile) * extLen * 2
+	tb, err := NewS4D(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	name := func(i int) string { return fmt.Sprintf("/spill/f%03d", i) }
+	payload := func(i, e int) []byte {
+		b := make([]byte, extLen)
+		for j := range b {
+			b[j] = byte(i*31 + e*7 + j)
+		}
+		return b
+	}
+	// Random distinct per-file offsets: small scattered writes are what
+	// the Data Identifier marks critical (and thus absorbs into the
+	// cache); sequential extents would stream to the DServers uncached.
+	rng := rand.New(rand.NewSource(3))
+	offs := make([][]int64, nFiles)
+	for i := range offs {
+		perm := rng.Perm(64)
+		offs[i] = make([]int64, perFile)
+		for e := range offs[i] {
+			offs[i][e] = int64(perm[e]) * extLen
+		}
+	}
+	for i := 0; i < nFiles; i++ {
+		for e := 0; e < perFile; e++ {
+			if err := tb.S4D.Write(i%ranks, name(i), offs[i][e], extLen, payload(i, e), nil); err != nil {
+				t.Fatal(err)
+			}
+			tb.Eng.Run()
+		}
+	}
+	// Drain the Rebuilder: residency goes clean (flushed to the DServers),
+	// which is what makes the files spill-eligible.
+	drained := false
+	tb.S4D.DrainRebuild(func() { drained = true })
+	tb.Eng.RunWhile(func() bool { return !drained })
+	pre := tb.S4D.Stats()
+	if pre.MetaSpills == 0 {
+		t.Fatalf("budget never spilled before the crash: %+v", pre)
+	}
+	tb.S4D.SnapshotNow()
+
+	plan, err := faults.Parse("corrupt:dmt.spill:bitflip:64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RestartS4D(RestartOptions{Warm: true, CorruptSeed: 9, CorruptPlan: plan}); err != nil {
+		t.Fatal(err)
+	}
+	tb.Eng.Run()
+
+	// Every read must return the written bytes. Quarantined files are full
+	// cache misses served by the DServers; wrong data is the one outcome
+	// that must never appear.
+	buf := make([]byte, extLen)
+	for i := 0; i < nFiles; i++ {
+		for e := 0; e < perFile; e++ {
+			finished := false
+			if err := tb.S4D.Read(i%ranks, name(i), offs[i][e], extLen, buf, func(err error) {
+				if err != nil {
+					t.Errorf("read %s/%d: %v", name(i), e, err)
+				}
+				finished = true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			tb.Eng.RunWhile(func() bool { return !finished })
+			if want := payload(i, e); !bytes.Equal(buf, want) {
+				t.Fatalf("file %d ext %d: corrupt spill record surfaced wrong bytes", i, e)
+			}
+		}
+	}
+	st := tb.S4D.Stats()
+	if st.MetaSpillQuarantined == 0 {
+		t.Fatalf("corrupted spill records were never quarantined: %+v", st)
+	}
+	if st.BytesReadDisk == 0 {
+		t.Fatal("quarantined files were not served from the DServers")
+	}
+}

@@ -152,11 +152,12 @@ func (c *Concurrent) pruneEpochsConc() {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		for file := range sh.fileEpoch {
+		for id := range sh.fileEpoch {
+			file := c.arena.Name(id)
 			if c.dmt.FileMapped(file) || c.cdt.FileTracked(file) {
 				continue
 			}
-			delete(sh.fileEpoch, file)
+			delete(sh.fileEpoch, id)
 			c.epochsPruned.Add(1)
 		}
 		sh.mu.Unlock()
@@ -198,8 +199,9 @@ func (c *Concurrent) flushOne(file string, off, length, cacheOff int64) {
 		return
 	}
 	sh, _ := c.shard(file)
+	fid := c.arena.Intern(file)
 	sh.mu.Lock()
-	epoch := sh.fileEpoch[file]
+	epoch := sh.fileEpoch[fid]
 	sh.mu.Unlock()
 	// Dirty space is never reclaimed and dirty mappings only move through
 	// this worker (per-file ordering), so cacheOff stays valid for the
@@ -214,7 +216,7 @@ func (c *Concurrent) flushOne(file string, off, length, cacheOff int64) {
 		}
 		werr := c.opfs.Write(file, off, length, sim.PriorityLow, buf, func(werr error) {
 			sh.mu.Lock()
-			if werr == nil && sh.fileEpoch[file] == epoch {
+			if werr == nil && sh.fileEpoch[fid] == epoch {
 				if c.dmt.SetClean(file, off, length) == nil {
 					c.space.MarkClean(cacheOff, length)
 					c.flushes.Add(1)
@@ -292,7 +294,8 @@ func (c *Concurrent) fetchGapConc(sh *cshard, shardIdx int, file string, off, le
 		sh.mu.Unlock()
 		return
 	}
-	epoch := sh.fileEpoch[file]
+	fid := c.arena.Intern(file)
+	epoch := sh.fileEpoch[fid]
 	sh.mu.Unlock()
 
 	buf := flushBuf(length)
@@ -321,7 +324,7 @@ func (c *Concurrent) fetchGapConc(sh *cshard, shardIdx int, file string, off, le
 			segPos := pos
 			werr := c.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityLow, slice(buf, off, segPos, fr.Len), func(werr error) {
 				sh.mu.Lock()
-				if werr == nil && sh.fileEpoch[file] == epoch {
+				if werr == nil && sh.fileEpoch[fid] == epoch {
 					if c.dmt.Insert(file, segPos, fr.Len, fr.CacheOff, false) == nil {
 						c.space.MarkClean(fr.CacheOff, fr.Len)
 					} else {

@@ -22,7 +22,7 @@ import (
 // clean phase that follows is fully concurrent-safe.
 func (c *Concurrent) beginRecoveryConc() error {
 	staging := dmt.New()
-	maxSeq, err := dmt.ReplayLog(c.metaStore, func(file string, off, length, cacheOff int64, dirty, insert bool) {
+	maxSeq, spillQuar, err := dmt.ReplayState(c.metaStore, func(file string, off, length, cacheOff int64, dirty, insert bool) {
 		if insert {
 			_ = staging.Insert(file, off, length, cacheOff, dirty)
 		} else {
@@ -30,16 +30,16 @@ func (c *Concurrent) beginRecoveryConc() error {
 		}
 	})
 	if err != nil {
-		return fmt.Errorf("core: replay DMT log: %w", err)
+		return fmt.Errorf("core: replay DMT state: %w", err)
 	}
-	live, err := dmt.NewStripedPersisted(c.metaStore, maxSeq)
+	live, err := dmt.NewStripedPersisted(c.metaStore, maxSeq, c.dmtOpts...)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	c.dmt = live
 
 	img := readSnapshot(c.metaStore)
-	c.quarRecords.Add(img.quarRecords)
+	c.quarRecords.Add(img.quarRecords + uint64(spillQuar))
 	if img.hasMeta {
 		c.snapEpoch.Store(img.meta.Epoch + 1)
 	} else {

@@ -12,6 +12,7 @@ import (
 	"s4dcache/internal/dmt"
 	"s4dcache/internal/extent"
 	"s4dcache/internal/kvstore"
+	"s4dcache/internal/names"
 	"s4dcache/internal/pfs"
 	"s4dcache/internal/sim"
 	"s4dcache/internal/staterec"
@@ -56,6 +57,14 @@ type ConcurrentConfig struct {
 	// MetaStore, if non-nil, persists the DMT through this store (the
 	// sharded engine uses the lock-striped table over the same store).
 	MetaStore *kvstore.Store
+	// MetaBudget bounds the DMT's resident metadata bytes across all
+	// stripes (DESIGN.md §16): over budget, cold clean files spill to
+	// sealed MetaStore records and fault back in on demand. 0 means
+	// unbounded. Requires MetaStore.
+	MetaBudget int64
+	// SpillRead, if set, observes every spill-record read before it is
+	// decoded on fault-in — the fault injector's corruption hook.
+	SpillRead func(name string, data []byte) []byte
 	// Policy selects the admission policy; zero value = PolicyBenefit.
 	Policy AdmissionPolicy
 	// Concurrency is the shard count — the number of independent serve
@@ -127,6 +136,12 @@ type Concurrent struct {
 	dmt    *dmt.Striped
 	cdt    *cdt.Striped
 	space  *cachespace.Sharded
+	// arena interns every file name once, shared by the DMT, the CDT and
+	// the per-shard epoch maps; dmtOpts is the striped-table option set
+	// NewConcurrent built, reused by the warm-restart table swap.
+	arena        *names.Arena
+	dmtOpts      []dmt.Option
+	metaFaultIns atomic.Uint64
 
 	// Adaptive policy engine (characterizer.go). admitNanos is the live
 	// criticality threshold in nanoseconds, loaded lock-free by the
@@ -204,7 +219,9 @@ type cshard struct {
 	trackerMu sync.Mutex
 	tracker   *costmodel.Tracker
 	locality  *localityTracker
-	fileEpoch map[string]uint64
+	// fileEpoch is keyed by the shared arena's dense file id, like the
+	// sequential engine's map.
+	fileEpoch map[uint32]uint64
 	// pending holds this shard's recovered clean extents awaiting
 	// re-admission; non-nil only during warm recovery, mutated only under
 	// mu (writer supersedes and the recovery worker's adopts).
@@ -292,6 +309,9 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 	if (cfg.WarmRestart || cfg.SnapshotPeriod > 0) && cfg.MetaStore == nil {
 		return nil, fmt.Errorf("core: WarmRestart/SnapshotPeriod require MetaStore")
 	}
+	if cfg.MetaBudget > 0 && cfg.MetaStore == nil {
+		return nil, fmt.Errorf("core: MetaBudget requires MetaStore")
+	}
 	if cfg.Policy == 0 {
 		cfg.Policy = PolicyBenefit
 	}
@@ -312,15 +332,7 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	table := dmt.NewStriped()
-	if cfg.MetaStore != nil && !cfg.WarmRestart {
-		// With WarmRestart the log replays through the recovery path below
-		// instead, installing only verified extents.
-		table, err = dmt.OpenStriped(cfg.MetaStore)
-		if err != nil {
-			return nil, fmt.Errorf("core: open DMT: %w", err)
-		}
-	}
+	arena := names.NewArena()
 	c := &Concurrent{
 		clock:        cfg.Clock,
 		opfs:         cfg.OPFS,
@@ -329,9 +341,9 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		policy:       cfg.Policy,
 		lockedReads:  cfg.LockedReads,
 		shards:       make([]cshard, cfg.Concurrency),
-		dmt:          table,
-		cdt:          cdt.NewStriped(cfg.CDTMaxBytes),
+		cdt:          cdt.NewStriped(cfg.CDTMaxBytes, cdt.WithArena(arena)),
 		space:        space,
+		arena:        arena,
 		cacheCap:     cfg.CacheCapacity,
 		baseCDTMax:   cfg.CDTMaxBytes,
 		rebuildBatch: cfg.RebuildBatch,
@@ -340,6 +352,28 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 		metaStore:    cfg.MetaStore,
 		recoverBatch: cfg.RecoverBatch,
 	}
+	c.dmtOpts = []dmt.Option{
+		dmt.WithArena(arena),
+		// The concurrent engine never charges metadata I/O (wall-clock
+		// costs are real); the hook only counts fault-ins for Stats.
+		dmt.WithFaultIO(func(int) { c.metaFaultIns.Add(1) }),
+	}
+	if cfg.MetaBudget > 0 {
+		c.dmtOpts = append(c.dmtOpts, dmt.WithMetaBudget(cfg.MetaBudget))
+	}
+	if cfg.SpillRead != nil {
+		c.dmtOpts = append(c.dmtOpts, dmt.WithSpillRead(cfg.SpillRead))
+	}
+	table := dmt.NewStriped(c.dmtOpts...)
+	if cfg.MetaStore != nil && !cfg.WarmRestart {
+		// With WarmRestart the log replays through the recovery path below
+		// instead, installing only verified extents.
+		table, err = dmt.OpenStriped(cfg.MetaStore, c.dmtOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: open DMT: %w", err)
+		}
+	}
+	c.dmt = table
 	c.admitNanos.Store(int64(cfg.Model.CriticalThreshold))
 	c.faulty.Store(cfg.Faulty)
 	// Unmap-before-free: every eviction drops its DMT mapping under the
@@ -352,7 +386,7 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.tracker = costmodel.NewTracker()
-		sh.fileEpoch = make(map[string]uint64)
+		sh.fileEpoch = make(map[uint32]uint64)
 		if cfg.Policy == PolicyLocality {
 			sh.locality = newLocalityTracker(0, 0)
 		}
@@ -547,7 +581,7 @@ func (c *Concurrent) Write(rank int, file string, off, size int64, data []byte, 
 	defer sh.mu.Unlock()
 	sh.stats.writes.Add(1)
 	sh.stats.bytesWritten.Add(size)
-	sh.fileEpoch[file]++
+	sh.fileEpoch[c.arena.Intern(file)]++
 	if c.recovering.Load() {
 		// The write's bytes supersede any still-queued recovered extents
 		// it overlaps (durably, so a crash mid-recovery cannot resurrect
@@ -679,7 +713,14 @@ var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
 // the read completes.
 func (c *Concurrent) readFast(sh *cshard, file string, off, size int64, buf []byte, done func(error), benefit time.Duration) bool {
 	sc := readScratchPool.Get().(*readScratch)
-	hits, gaps := c.dmt.ViewLookup(sc.hits[:0], sc.gaps[:0], file, off, size)
+	hits, gaps, ok := c.dmt.ViewLookup(sc.hits[:0], sc.gaps[:0], file, off, size)
+	if !ok {
+		// The file's metadata is spilled: fall back to the locked path,
+		// which faults it in under the stripe mutex.
+		sc.hits, sc.gaps = hits, gaps
+		readScratchPool.Put(sc)
+		return false
+	}
 	// Pin and revalidate every hit before issuing any segment: a torn
 	// batch (some segments issued fast, the rest re-looked-up locked)
 	// could double-serve parts of the request.
@@ -941,6 +982,14 @@ func (c *Concurrent) Stats() Stats {
 	st.CDTRestored = c.cdtRestored.Load()
 	st.Recovering = c.recovering.Load()
 	st.TimeToWarm = time.Duration(c.timeToWarm.Load())
+	st.MetaFaultIns = c.metaFaultIns.Load()
+	ds := c.dmt.Stats()
+	st.MetaResidentBytes = ds.ResidentBytes
+	st.MetaMemoryBytes = ds.MemoryBytes
+	st.MetaSpilledFiles = ds.SpilledFiles
+	st.MetaSpills = ds.Spills
+	st.MetaFaultInsTable = ds.FaultIns
+	st.MetaSpillQuarantined = ds.SpillQuarantined
 	if c.metaStore != nil {
 		ms := c.metaStore.Stats()
 		st.WALReplays = uint64(ms.RecoveredRecords)

@@ -30,6 +30,7 @@ import (
 	"s4dcache/internal/dmt"
 	"s4dcache/internal/extent"
 	"s4dcache/internal/kvstore"
+	"s4dcache/internal/names"
 	"s4dcache/internal/pfs"
 	"s4dcache/internal/sim"
 	"s4dcache/internal/staterec"
@@ -92,6 +93,15 @@ type Config struct {
 	// for every DMT commit so metadata persistence consumes simulated
 	// I/O time.
 	ChargeMetaIO bool
+	// MetaBudget bounds the DMT's resident metadata bytes (DESIGN.md §16).
+	// Over budget, cold clean files spill to sealed MetaStore records and
+	// fault back in on demand; fault-in reads are charged as CPFS I/O when
+	// ChargeMetaIO is set. 0 means unbounded (every file stays resident).
+	// Requires MetaStore.
+	MetaBudget int64
+	// SpillRead, if set, observes every spill-record read before it is
+	// decoded on fault-in — the fault injector's corruption hook.
+	SpillRead func(name string, data []byte) []byte
 	// Policy selects the admission policy; zero value = PolicyBenefit.
 	Policy AdmissionPolicy
 	// LazyFetch controls read-miss handling: when true (the paper's
@@ -160,12 +170,19 @@ type S4D struct {
 	ticker         *sim.Ticker
 	rebuildBusy    bool
 	rebuildWaiters []func()
-	fileEpoch      map[string]uint64
-	locality       *localityTracker
-	metaOff        int64
-	chargeMeta     bool
-	inFlightFetch  map[string]bool
-	metaStore      *kvstore.Store
+	// fileEpoch is keyed by the shared arena's dense file id — the same
+	// interning the DMT and CDT use — so per-file bookkeeping never
+	// duplicates name bytes (16B string headers become 4B ids).
+	fileEpoch map[uint32]uint64
+	arena     *names.Arena
+	// dmtOpts is the table option set New built (arena, budget, hooks);
+	// beginRecovery reuses it when it swaps in the post-replay table.
+	dmtOpts       []dmt.Option
+	locality      *localityTracker
+	metaOff       int64
+	chargeMeta    bool
+	inFlightFetch map[string]bool
+	metaStore     *kvstore.Store
 
 	// Fault state (see faulty.go). faulty is set at construction when
 	// either pfs instance carries a fault plan (sub-requests issued before
@@ -299,15 +316,12 @@ func New(cfg Config) (*S4D, error) {
 	if (cfg.WarmRestart || cfg.SnapshotPeriod > 0) && cfg.MetaStore == nil {
 		return nil, fmt.Errorf("core: WarmRestart/SnapshotPeriod require MetaStore")
 	}
-	table := dmt.New()
-	if cfg.MetaStore != nil && !cfg.WarmRestart {
-		// With WarmRestart the log replays through the recovery path below
-		// instead, installing only verified extents.
-		table, err = dmt.Open(cfg.MetaStore)
-		if err != nil {
-			return nil, fmt.Errorf("core: open DMT: %w", err)
-		}
+	if cfg.MetaBudget > 0 && cfg.MetaStore == nil {
+		return nil, fmt.Errorf("core: MetaBudget requires MetaStore")
 	}
+	// One arena interns every file name once, shared by the DMT, the CDT
+	// and the per-file epoch map.
+	arena := names.NewArena()
 	s := &S4D{
 		eng:            cfg.Engine,
 		opfs:           cfg.OPFS,
@@ -316,14 +330,14 @@ func New(cfg Config) (*S4D, error) {
 		policy:         cfg.Policy,
 		lazy:           cfg.LazyFetch,
 		tracker:        costmodel.NewTracker(),
-		cdt:            cdt.New(cfg.CDTMaxBytes),
-		dmt:            table,
+		cdt:            cdt.New(cfg.CDTMaxBytes, cdt.WithArena(arena)),
 		space:          space,
 		cacheCap:       cfg.CacheCapacity,
 		baseCDTMax:     cfg.CDTMaxBytes,
 		admitThreshold: cfg.Model.CriticalThreshold,
 		rebuildBatch:   cfg.RebuildBatch,
-		fileEpoch:      make(map[string]uint64),
+		fileEpoch:      make(map[uint32]uint64),
+		arena:          arena,
 		chargeMeta:     cfg.ChargeMetaIO && cfg.MetaStore != nil,
 		inFlightFetch:  make(map[string]bool),
 		metaStore:      cfg.MetaStore,
@@ -331,6 +345,28 @@ func New(cfg Config) (*S4D, error) {
 		downC:          make(map[int]bool),
 		recoverBatch:   cfg.RecoverBatch,
 	}
+	s.dmtOpts = []dmt.Option{
+		dmt.WithArena(arena),
+		// Fault-in reads are metadata I/O: charge them like commits, in
+		// extent-record units (s is fully built before any table op runs).
+		dmt.WithFaultIO(func(n int) { s.chargeMetaFaultIn(n) }),
+	}
+	if cfg.MetaBudget > 0 {
+		s.dmtOpts = append(s.dmtOpts, dmt.WithMetaBudget(cfg.MetaBudget))
+	}
+	if cfg.SpillRead != nil {
+		s.dmtOpts = append(s.dmtOpts, dmt.WithSpillRead(cfg.SpillRead))
+	}
+	table := dmt.New(s.dmtOpts...)
+	if cfg.MetaStore != nil && !cfg.WarmRestart {
+		// With WarmRestart the log replays through the recovery path below
+		// instead, installing only verified extents.
+		table, err = dmt.Open(cfg.MetaStore, s.dmtOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: open DMT: %w", err)
+		}
+	}
+	s.dmt = table
 	if cfg.Policy == PolicyLocality {
 		s.locality = newLocalityTracker(0, 0)
 	}
@@ -422,7 +458,7 @@ func (s *S4D) Write(rank int, file string, off, size int64, data []byte, done fu
 	}
 	s.stats.Writes++
 	s.stats.BytesWritten += size
-	s.fileEpoch[file]++
+	s.fileEpoch[s.arena.Intern(file)]++
 	if s.recovering {
 		// The write's bytes supersede any still-queued recovered extents it
 		// overlaps; dropping them durably keeps a crash mid-recovery from
@@ -735,11 +771,12 @@ func (s *S4D) eagerFetch(file string, off, length int64, data []byte) {
 // epoch; a pruned file that is written again simply restarts at epoch 1,
 // which at worst makes a later data movement retry conservatively.
 func (s *S4D) pruneEpochs() {
-	for file := range s.fileEpoch {
+	for id := range s.fileEpoch {
+		file := s.arena.Name(id)
 		if s.dmt.FileMapped(file) || s.cdt.FileTracked(file) {
 			continue
 		}
-		delete(s.fileEpoch, file)
+		delete(s.fileEpoch, id)
 		s.stats.EpochsPruned++
 	}
 }
@@ -757,6 +794,18 @@ func (s *S4D) chargeMetaIO() {
 	s.stats.MetaWrites++
 	_ = s.cpfs.Write(MetaFileName, s.metaOff, dmt.EntryBytes, sim.PriorityHigh, nil, nil)
 	s.metaOff += dmt.EntryBytes
+}
+
+// chargeMetaFaultIn issues a CPFS read for a DMT fault-in of n spilled
+// extent records, so re-reading spilled metadata consumes simulated
+// CServer time like writing it did (DESIGN.md §16).
+func (s *S4D) chargeMetaFaultIn(n int) {
+	s.stats.MetaFaultIns++
+	if !s.chargeMeta {
+		return
+	}
+	s.stats.MetaReads++
+	_ = s.cpfs.Read(MetaFileName, 0, int64(n)*dmt.EntryBytes, sim.PriorityHigh, nil, nil)
 }
 
 func (s *S4D) complete(done func()) {

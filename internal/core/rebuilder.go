@@ -97,7 +97,8 @@ func (s *S4D) flushExtent(file string, off, length, cacheOff int64, join *sim.Jo
 		join.Done()
 		return
 	}
-	epoch := s.fileEpoch[file]
+	fid := s.arena.Intern(file)
+	epoch := s.fileEpoch[fid]
 	buf := s.flushBuffer(length)
 	if err := s.cpfs.Read(CacheFileName, cacheOff, length, sim.PriorityLow, buf, func(rerr error) {
 		if rerr != nil {
@@ -108,7 +109,7 @@ func (s *S4D) flushExtent(file string, off, length, cacheOff int64, join *sim.Jo
 			return
 		}
 		if err := s.opfs.Write(file, off, length, sim.PriorityLow, buf, func(werr error) {
-			if werr == nil && s.fileEpoch[file] == epoch {
+			if werr == nil && s.fileEpoch[fid] == epoch {
 				if err := s.dmt.SetClean(file, off, length); err == nil {
 					s.space.MarkClean(cacheOff, length)
 					s.stats.Flushes++
@@ -195,7 +196,8 @@ func (s *S4D) fetchGap(file string, off, length int64, join *sim.Join) {
 		join.Done()
 		return
 	}
-	epoch := s.fileEpoch[file]
+	fid := s.arena.Intern(file)
+	epoch := s.fileEpoch[fid]
 	buf := s.flushBuffer(length)
 	abort := func() {
 		for _, fr := range frags {
@@ -204,7 +206,7 @@ func (s *S4D) fetchGap(file string, off, length int64, join *sim.Join) {
 		join.Done()
 	}
 	if err := s.opfs.Read(file, off, length, sim.PriorityLow, buf, func(rerr error) {
-		if rerr != nil || s.fileEpoch[file] != epoch {
+		if rerr != nil || s.fileEpoch[fid] != epoch {
 			// The read failed, or the file was written during the fetch (so
 			// the disk bytes may be stale relative to new cache mappings).
 			// Drop this fetch; the C_flag retries it next cycle.
@@ -224,7 +226,7 @@ func (s *S4D) fetchGap(file string, off, length int64, join *sim.Join) {
 			if err := s.cpfs.Write(CacheFileName, fr.CacheOff, fr.Len, sim.PriorityLow, slice(buf, off, segPos, fr.Len), func(werr error) {
 				// Map clean and unpin only once the data is in place, and
 				// only if the population write landed and no write raced it.
-				if werr == nil && s.fileEpoch[file] == epoch {
+				if werr == nil && s.fileEpoch[fid] == epoch {
 					if err := s.dmt.Insert(file, segPos, fr.Len, fr.CacheOff, false); err == nil {
 						s.space.MarkClean(fr.CacheOff, fr.Len)
 						s.chargeMetaIO()

@@ -33,7 +33,7 @@ const recoverStepDelay = 100 * time.Microsecond
 // extents.
 func (s *S4D) beginRecovery(store *kvstore.Store) error {
 	staging := dmt.New()
-	maxSeq, err := dmt.ReplayLog(store, func(file string, off, length, cacheOff int64, dirty, insert bool) {
+	maxSeq, spillQuar, err := dmt.ReplayState(store, func(file string, off, length, cacheOff int64, dirty, insert bool) {
 		if insert {
 			_ = staging.Insert(file, off, length, cacheOff, dirty)
 		} else {
@@ -41,16 +41,16 @@ func (s *S4D) beginRecovery(store *kvstore.Store) error {
 		}
 	})
 	if err != nil {
-		return fmt.Errorf("core: replay DMT log: %w", err)
+		return fmt.Errorf("core: replay DMT state: %w", err)
 	}
-	live, err := dmt.NewPersisted(store, maxSeq)
+	live, err := dmt.NewPersisted(store, maxSeq, s.dmtOpts...)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	s.dmt = live
 
 	img := readSnapshot(store)
-	s.stats.QuarantinedRecords += img.quarRecords
+	s.stats.QuarantinedRecords += img.quarRecords + uint64(spillQuar)
 	if img.hasMeta {
 		s.snapEpoch = img.meta.Epoch + 1
 	} else {

@@ -465,7 +465,7 @@ func TestRecoveryTortureCutsAndBitflips(t *testing.T) {
 			t.Fatalf("%s: store open failed: %v", tag, err)
 		}
 		staging := dmt.New()
-		if _, err := dmt.ReplayLog(st, func(file string, off, length, cacheOff int64, dirty, insert bool) {
+		if _, _, err := dmt.ReplayState(st, func(file string, off, length, cacheOff int64, dirty, insert bool) {
 			if insert {
 				_ = staging.Insert(file, off, length, cacheOff, dirty)
 			} else {

@@ -34,8 +34,27 @@ type Stats struct {
 	RebuildCycles, Flushes, FlushRetries, Fetches, FetchFailures, FetchRetries uint64
 	BytesFlushed, BytesFetched                                                 int64
 
-	// MetaWrites counts charged DMT persistence writes.
-	MetaWrites uint64
+	// MetaWrites counts charged DMT persistence writes. MetaReads counts
+	// charged fault-in reads of spilled metadata; MetaFaultIns counts every
+	// DMT fault-in (charged or not) observed by this engine's hook.
+	MetaWrites   uint64
+	MetaReads    uint64
+	MetaFaultIns uint64
+
+	// Resident-budget metadata counters (DESIGN.md §16), from the DMT.
+	// MetaResidentBytes/MetaMemoryBytes gauge the packed extent storage and
+	// its per-file bookkeeping; MetaSpilledFiles gauges files currently
+	// spilled to sealed store records; MetaSpills/MetaFaultInsTable count
+	// spill-out and fault-in transitions inside the table (the table's own
+	// counter, which also covers fault-ins triggered below the engine hook);
+	// MetaSpillQuarantined counts spill records rejected by fault-in
+	// verification and durably tombstoned.
+	MetaResidentBytes    int64
+	MetaMemoryBytes      int64
+	MetaSpilledFiles     int
+	MetaSpills           uint64
+	MetaFaultInsTable    uint64
+	MetaSpillQuarantined uint64
 
 	// EpochsPruned counts file write-epoch counters dropped once a file's
 	// cache residency (DMT mappings and CDT extents) was fully gone.
@@ -134,6 +153,13 @@ func (s *S4D) Stats() Stats {
 		st.MetaTornWALBytes = ms.TornWALBytes
 		st.MetaSnapQuarantined = ms.SnapQuarantined
 	}
+	ds := s.dmt.Stats()
+	st.MetaResidentBytes = ds.ResidentBytes
+	st.MetaMemoryBytes = ds.MemoryBytes
+	st.MetaSpilledFiles = ds.SpilledFiles
+	st.MetaSpills = ds.Spills
+	st.MetaFaultInsTable = ds.FaultIns
+	st.MetaSpillQuarantined = ds.SpillQuarantined
 	st.Recovering = s.recovering
 	if s.degraded() {
 		st.DegradedTime += s.eng.Now() - s.degradedSince

@@ -5,18 +5,34 @@
 // optional persistent operation log in a kvstore.Store — the Berkeley DB
 // file of the paper's implementation (§IV.A) — replayed on open so that
 // mappings survive crashes.
+//
+// Storage layout (the million-file metadata plane): file names intern
+// into a shared names.Arena and every per-file structure is addressed by
+// the dense arena id — no map[string] keys, no duplicated name strings.
+// Extents pack into an extent.Slab (struct-of-arrays, 20 bytes/extent);
+// each file holds only a 16-byte segment handle inside a 48-byte
+// fileState. On top of that sits the resident-metadata budget: when the
+// packed extent bytes exceed MetaBudget, cold clean files (second-chance
+// clock over per-file touch bits) are sealed into per-file baseline
+// records (staterec.KindFileMap) in the store and dropped from memory; a
+// lookup that misses residency faults the record back in synchronously.
+// Baseline records double as incremental log compaction: each carries
+// the op-log sequence it supersedes, and replay skips the file's ops at
+// or below it.
 package dmt
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"s4dcache/internal/extent"
 	"s4dcache/internal/kvstore"
+	"s4dcache/internal/names"
+	"s4dcache/internal/staterec"
 )
 
 // EntryBytes is the persistent size the paper assumes per DMT entry
-// (six 4-byte fields, §V.E.1), used by the metadata-overhead experiment.
+// (six 4-byte fields, §V.E.1). Kept as the paper's comparison constant;
+// the measured in-memory cost comes from ResidentBytes/MemoryBytes.
 const EntryBytes = 24
 
 // Mapping is the payload of one mapped extent.
@@ -40,14 +56,100 @@ type Hit struct {
 	Dirty bool
 }
 
+// packMapping encodes a Mapping into the slab's uint64 payload:
+// cache offset shifted up one bit, D_flag in bit 0.
+func packMapping(cacheOff int64, dirty bool) uint64 {
+	v := uint64(cacheOff) << 1
+	if dirty {
+		v |= 1
+	}
+	return v
+}
+
+func unpackMapping(v uint64) (cacheOff int64, dirty bool) {
+	return int64(v >> 1), v&1 == 1
+}
+
+// splitMapping advances the packed cache offset by the split delta,
+// preserving the D_flag bit.
+func splitMapping(v uint64, delta int64) uint64 { return v + uint64(delta)<<1 }
+
+// File residency states.
+const (
+	// fsResident: extents live in the slab segment. The zero fileState
+	// is an empty resident file.
+	fsResident uint8 = iota
+	// fsSpilled: extents live only in the file's sealed baseline record
+	// in the store; spillN caches the extent count.
+	fsSpilled
+)
+
+// clearLen is the delete-op length that tombstones a whole file — used
+// when a quarantined baseline must not let stale log ops resurrect.
+const clearLen = int64(1) << 62
+
+// fileState is the per-file header: 48 bytes, slice-addressed by slot.
+type fileState struct {
+	id      uint32 // arena name id
+	state   uint8
+	clock   uint8 // second-chance bit: set on touch, cleared by the sweep
+	churned uint8 // log ops since last baseline (Compact skips clean files)
+	_       uint8
+	seg     extent.Seg
+	spillN  uint32 // extent count while spilled
+	_       uint32
+	bytes   int64 // mapped bytes of the file
+	dirty   int64 // mapped bytes with D_flag set
+}
+
+// fileStateBytes is the accounted per-file overhead: the fileState
+// itself plus its idx map entry and order slot.
+const fileStateBytes = 48 + 16 + 4
+
+// config collects construction options shared by Table and Striped.
+type config struct {
+	arena     *names.Arena
+	budget    int64
+	spillRead func(name string, data []byte) []byte
+	faultIO   func(extents int)
+}
+
+// Option configures New/Open and their striped/persisted variants.
+type Option func(*config)
+
+// WithArena shares a file-name interning arena with other tables (the
+// CDT, the core's per-file bookkeeping). Default: a private arena.
+func WithArena(a *names.Arena) Option { return func(c *config) { c.arena = a } }
+
+// WithMetaBudget bounds the resident packed-extent bytes; cold clean
+// files spill to sealed store records beyond it. <= 0 (the default)
+// keeps everything resident. Requires a store to take effect.
+func WithMetaBudget(n int64) Option { return func(c *config) { c.budget = n } }
+
+// WithSpillRead installs a read-back hook applied to baseline record
+// bytes on fault-in — the fault injector's corruption point for spilled
+// metadata.
+func WithSpillRead(fn func(name string, data []byte) []byte) Option {
+	return func(c *config) { c.spillRead = fn }
+}
+
+// WithFaultIO installs a hook called with the extent count of every
+// fault-in — the simulator core charges the modeled CPFS read there.
+func WithFaultIO(fn func(extents int)) Option { return func(c *config) { c.faultIO = fn } }
+
 // Table is the Data Mapping Table. Use New or Open.
 type Table struct {
-	files map[string]*extent.Map[Mapping]
-	// names lists the files in first-mapped order. Cross-file scans
-	// (DirtyExtents, CleanExtents, Compact) follow it instead of the map,
-	// so the Rebuilder's flush order — and with it the whole simulated
-	// I/O schedule — is deterministic across runs.
-	names []string
+	arena *names.Arena
+	slab  *extent.Slab
+	idx   map[uint32]int32 // arena id -> slot in files
+	files []fileState
+	// order lists file slots in first-mapped order. Cross-file scans
+	// (DirtyExtents, CleanExtents, Compact) and the spill clock follow
+	// it instead of any map, so the Rebuilder's flush order — and with
+	// it the whole simulated I/O schedule — is deterministic across runs.
+	order []int32
+	hand  int // clock hand into order
+
 	store *kvstore.Store
 	seq   uint64
 	// nextSeq, when set, supplies persist-log sequence numbers instead of
@@ -55,48 +157,122 @@ type Table struct {
 	// so sub-tables writing to one store never collide on log keys. Nil —
 	// the default — keeps the original single-table numbering exactly.
 	nextSeq func() uint64
+	// lastSeq, when set, reads the current shared sequence (striped);
+	// nil reads the local counter. Baseline records stamp it as the
+	// sequence they supersede.
+	lastSeq func() uint64
 
-	// ov and sdHits are reusable scratch buffers for the lookup and
-	// set-dirty hot paths. Neither is live across any call that could
-	// re-enter the table, so single buffers suffice.
-	ov     []extent.Entry[Mapping]
+	budget     int64
+	spillRead  func(name string, data []byte) []byte
+	faultIO    func(extents int)
+	onResident func(name string) // striped epoch-view republish hook
+
+	// sdHits is the reusable scratch of the set-dirty path. Not live
+	// across any call that could re-enter the table.
 	sdHits []Hit
 
+	residentBytes int64 // packed extent bytes currently in the slab
+	mappedBytes   int64
 	// dirtyBytes tracks the mapped bytes whose D_flag is set, maintained
 	// incrementally by apply so HasDirty is O(1): the Rebuilder polls it
 	// every period and must not walk (or allocate) per poll.
 	dirtyBytes int64
 
 	inserts, deletes uint64
+	spills, faultIns uint64
+	spillQuarantined uint64
+	spillSkipped     uint64
+	spilledFiles     int
 }
 
 // New returns a memory-only table (no persistence).
-func New() *Table {
-	return &Table{files: make(map[string]*extent.Map[Mapping])}
+func New(opts ...Option) *Table {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return newTable(c)
 }
 
-// Open returns a table persisted as an operation log in store, replaying
-// any existing log. Every mutation is written through before the in-memory
-// state changes, as the paper requires for power-failure safety.
-func Open(store *kvstore.Store) (*Table, error) {
+func newTable(c config) *Table {
+	if c.arena == nil {
+		c.arena = names.NewArena()
+	}
+	return &Table{
+		arena:     c.arena,
+		slab:      extent.NewSlab(),
+		idx:       make(map[uint32]int32),
+		budget:    c.budget,
+		spillRead: c.spillRead,
+		faultIO:   c.faultIO,
+	}
+}
+
+// Open returns a table persisted in store, replaying any existing
+// baseline records and operation log. Every mutation is written through
+// before the in-memory state changes, as the paper requires for
+// power-failure safety. Baselines of clean files install spilled (no
+// extents decoded) and fault in on first touch; the budget sweep runs
+// once after replay.
+func Open(store *kvstore.Store, opts ...Option) (*Table, error) {
 	if store == nil {
 		return nil, fmt.Errorf("dmt: store is required")
 	}
-	t := New()
+	t := New(opts...)
 	t.store = store
-	// Continue the sequence after the highest logged op (ReplayLog's max).
-	seq, err := ReplayLog(store, func(file string, off, length, cacheOff int64, dirty, insert bool) {
-		kind := kindInsert
-		if !insert {
-			kind = kindDelete
-		}
-		t.apply(logOp{kind: kind, file: file, off: off, length: length, cacheOff: cacheOff, dirty: dirty})
-	})
+	maxSeq, _, err := walkState(store,
+		func(name string, h staterec.FileMapHeader, total, dirty int64, data []byte) {
+			t.installBaseline(name, h, total, dirty, data)
+		},
+		func(op logOp) { t.apply(op) },
+	)
 	if err != nil {
 		return nil, err
 	}
-	t.seq = seq
+	t.seq = maxSeq
+	t.enforceBudget(-1)
 	return t, nil
+}
+
+// Arena returns the table's name-interning arena.
+func (t *Table) Arena() *names.Arena { return t.arena }
+
+// SetMetaBudget adjusts the resident budget live (<= 0 unbounded) and
+// runs the spill sweep immediately.
+func (t *Table) SetMetaBudget(n int64) {
+	t.budget = n
+	t.enforceBudget(-1)
+}
+
+// MetaBudget returns the resident budget (<= 0 means unbounded).
+func (t *Table) MetaBudget() int64 { return t.budget }
+
+// lookupSlot resolves file to its slot without interning: -1 if the
+// table has never mapped it. Allocation-free.
+func (t *Table) lookupSlot(file string) int32 {
+	id, ok := t.arena.Lookup(file)
+	if !ok {
+		return -1
+	}
+	si, ok := t.idx[id]
+	if !ok {
+		return -1
+	}
+	return si
+}
+
+// ensureSlot interns file and returns its slot, creating the fileState
+// on first touch.
+func (t *Table) ensureSlot(file string) int32 {
+	id := t.arena.Intern(file)
+	if si, ok := t.idx[id]; ok {
+		return si
+	}
+	si := int32(len(t.files))
+	t.files = append(t.files, fileState{id: id})
+	t.idx[id] = si
+	t.order = append(t.order, si)
+	return si
 }
 
 // Insert maps [off, off+length) of file to cacheOff in the cache file,
@@ -110,6 +286,7 @@ func (t *Table) Insert(file string, off, length, cacheOff int64, dirty bool) err
 		return err
 	}
 	t.apply(op)
+	t.enforceBudget(-1)
 	return nil
 }
 
@@ -147,7 +324,7 @@ func (t *Table) InsertBatch(file string, frags []FragmentInsert) error {
 	if t.store != nil {
 		batch := t.store.NewBatch()
 		for _, op := range ops {
-			batch.Put(fmt.Sprintf(opPrefix+"%020d", t.nextSeqNum()), encodeOp(op))
+			batch.Put(opKey(t.nextSeqNum()), encodeOp(op))
 		}
 		if err := batch.Commit(); err != nil {
 			return fmt.Errorf("dmt: batch insert: %w", err)
@@ -156,6 +333,7 @@ func (t *Table) InsertBatch(file string, frags []FragmentInsert) error {
 	for _, op := range ops {
 		t.apply(op)
 	}
+	t.enforceBudget(-1)
 	return nil
 }
 
@@ -169,6 +347,7 @@ func (t *Table) Delete(file string, off, length int64) error {
 		return err
 	}
 	t.apply(op)
+	t.enforceBudget(-1)
 	return nil
 }
 
@@ -187,11 +366,21 @@ func (t *Table) SetDirty(file string, off, length int64) error {
 }
 
 func (t *Table) setDirty(file string, off, length int64, dirty bool) error {
-	m, ok := t.files[file]
-	if !ok {
+	si := t.lookupSlot(file)
+	if si < 0 {
 		return nil
 	}
-	t.sdHits = t.appendClipped(t.sdHits[:0], m, off, length)
+	if t.files[si].state == fsSpilled {
+		if !dirty {
+			// Spilled files are clean by invariant; nothing to clear.
+			return nil
+		}
+		t.faultIn(si)
+		t.enforceBudget(si)
+	}
+	fs := &t.files[si]
+	fs.clock = 1
+	t.sdHits = t.appendClipped(t.sdHits[:0], fs.seg, off, length)
 	hits := t.sdHits
 	for _, h := range hits {
 		if h.Dirty == dirty {
@@ -213,95 +402,125 @@ func (t *Table) Lookup(file string, off, length int64) (hits []Hit, gaps []exten
 // AppendLookup is Lookup appending into caller-supplied buffers, returning
 // the extended slices. The serve path in internal/core reuses one pair of
 // buffers per request, eliminating two allocations per intercepted I/O.
+// A lookup of a spilled file faults its baseline record back in first.
 func (t *Table) AppendLookup(hits []Hit, gaps []extent.Gap, file string, off, length int64) ([]Hit, []extent.Gap) {
-	m, ok := t.files[file]
-	if !ok {
+	si := t.lookupSlot(file)
+	if si < 0 {
 		if length > 0 {
 			gaps = append(gaps, extent.Gap{Off: off, Len: length})
 		}
 		return hits, gaps
 	}
-	return t.appendClipped(hits, m, off, length), m.AppendGaps(gaps, off, length)
+	if t.files[si].state == fsSpilled {
+		t.faultIn(si)
+		t.enforceBudget(si)
+	}
+	fs := &t.files[si]
+	fs.clock = 1
+	return t.appendClipped(hits, fs.seg, off, length), t.slab.AppendGaps(fs.seg, gaps, off, length)
 }
 
 // Contains reports whether the full range is mapped.
 func (t *Table) Contains(file string, off, length int64) bool {
-	m, ok := t.files[file]
-	if !ok {
+	si := t.lookupSlot(file)
+	if si < 0 {
 		return false
 	}
-	return m.Covered(off, length)
+	if t.files[si].state == fsSpilled {
+		t.faultIn(si)
+		t.enforceBudget(si)
+	}
+	fs := &t.files[si]
+	fs.clock = 1
+	return t.slab.Covered(fs.seg, off, length)
 }
 
-// FileMapped reports whether any range of file is currently mapped. Core
-// uses it to prune per-file bookkeeping (write epochs) once a file's cache
-// residency is fully gone.
+// FileMapped reports whether any range of file is currently mapped
+// (resident or spilled — no fault-in). Core uses it to prune per-file
+// bookkeeping (write epochs) once a file's cache residency is fully gone.
 func (t *Table) FileMapped(file string) bool {
-	m, ok := t.files[file]
-	return ok && m.Len() > 0
+	si := t.lookupSlot(file)
+	if si < 0 {
+		return false
+	}
+	fs := &t.files[si]
+	if fs.state == fsSpilled {
+		return fs.spillN > 0
+	}
+	return fs.seg.Len() > 0
 }
 
 // DirtyExtents returns up to max dirty mapped ranges across all files
-// (all if max <= 0), each with File set.
+// (all if max <= 0), each with File set. Files without dirty bytes are
+// skipped via their incremental counters — spilled files are clean by
+// invariant, so the scan never faults anything in.
 func (t *Table) DirtyExtents(max int) []Hit {
 	var out []Hit
-	for _, file := range t.names {
-		m := t.files[file]
-		m.Walk(func(e extent.Entry[Mapping]) bool {
-			if e.Val.Dirty {
-				out = append(out, Hit{File: file, Off: e.Off, Len: e.Len, CacheOff: e.Val.CacheOff, Dirty: true})
-				if max > 0 && len(out) >= max {
-					return false
-				}
+	for _, si := range t.order {
+		fs := &t.files[si]
+		if fs.dirty == 0 {
+			continue
+		}
+		file := t.arena.Name(fs.id)
+		offs, lens, vals := t.slab.View(fs.seg)
+		for i := range offs {
+			if vals[i]&1 == 0 {
+				continue
 			}
-			return true
-		})
-		if max > 0 && len(out) >= max {
-			break
+			co, _ := unpackMapping(vals[i])
+			out = append(out, Hit{File: file, Off: offs[i], Len: int64(lens[i]), CacheOff: co, Dirty: true})
+			if max > 0 && len(out) >= max {
+				return out
+			}
 		}
 	}
 	return out
 }
 
 // CleanExtents returns up to max clean mapped ranges (all if max <= 0),
-// candidates for space reclamation.
+// candidates for space reclamation. Spilled files fault in for the scan
+// (it enumerates real extents); the budget sweep runs once afterwards.
 func (t *Table) CleanExtents(max int) []Hit {
 	var out []Hit
-	for _, file := range t.names {
-		m := t.files[file]
-		m.Walk(func(e extent.Entry[Mapping]) bool {
-			if !e.Val.Dirty {
-				out = append(out, Hit{File: file, Off: e.Off, Len: e.Len, CacheOff: e.Val.CacheOff})
-				if max > 0 && len(out) >= max {
-					return false
-				}
+	for _, si := range t.order {
+		if t.files[si].state == fsSpilled {
+			t.faultIn(si)
+		}
+		fs := &t.files[si]
+		file := t.arena.Name(fs.id)
+		offs, lens, vals := t.slab.View(fs.seg)
+		for i := range offs {
+			if vals[i]&1 == 1 {
+				continue
 			}
-			return true
-		})
-		if max > 0 && len(out) >= max {
-			break
+			co, _ := unpackMapping(vals[i])
+			out = append(out, Hit{File: file, Off: offs[i], Len: int64(lens[i]), CacheOff: co})
+			if max > 0 && len(out) >= max {
+				t.enforceBudget(-1)
+				return out
+			}
 		}
 	}
+	t.enforceBudget(-1)
 	return out
 }
 
-// Entries returns the total mapped extent count.
+// Entries returns the total mapped extent count (resident + spilled).
 func (t *Table) Entries() int {
 	n := 0
-	for _, m := range t.files {
-		n += m.Len()
+	for i := range t.files {
+		fs := &t.files[i]
+		if fs.state == fsSpilled {
+			n += int(fs.spillN)
+		} else {
+			n += fs.seg.Len()
+		}
 	}
 	return n
 }
 
-// Bytes returns the total mapped byte count.
-func (t *Table) Bytes() int64 {
-	var n int64
-	for _, m := range t.files {
-		n += m.Bytes()
-	}
-	return n
-}
+// Bytes returns the total mapped byte count, maintained incrementally.
+func (t *Table) Bytes() int64 { return t.mappedBytes }
 
 // DirtyBytes returns the mapped bytes whose D_flag is set, maintained
 // incrementally (O(1), no walk).
@@ -312,96 +531,306 @@ func (t *Table) DirtyBytes() int64 { return t.dirtyBytes }
 func (t *Table) HasDirty() bool { return t.dirtyBytes > 0 }
 
 // MetadataBytes estimates the persistent size of the table at the paper's
-// 24 bytes per entry (§V.E.1).
+// 24 bytes per entry (§V.E.1). Compare with ResidentBytes/MemoryBytes,
+// which are measured.
 func (t *Table) MetadataBytes() int64 { return int64(t.Entries()) * EntryBytes }
 
-// Compact rewrites the persistent log as one insert per live extent,
-// bounding recovery time. A memory-only table compacts trivially.
+// ResidentBytes returns the packed extent bytes currently resident in
+// the slab — the quantity MetaBudget bounds.
+func (t *Table) ResidentBytes() int64 { return t.residentBytes }
+
+// MemoryBytes returns the measured memory footprint of the table:
+// slab chunks (including allocator slack) plus per-file headers and
+// index slots. The shared name arena is excluded — it is owned jointly
+// with the CDT and core (report Arena().Bytes() separately).
+func (t *Table) MemoryBytes() int64 {
+	return t.slab.Bytes() + int64(len(t.files))*fileStateBytes
+}
+
+// SpilledFiles returns how many files are currently spilled.
+func (t *Table) SpilledFiles() int { return t.spilledFiles }
+
+// Compact rewrites the persistent state as per-file baseline records,
+// then drops the op log. Only churned files — those with log ops since
+// their last baseline or spill — are rewritten, so compaction cost
+// tracks churn, not file count. The sequence counter is never reset:
+// baseline gating relies on it staying monotonic.
 func (t *Table) Compact() error {
 	if t.store == nil {
 		return nil
+	}
+	for _, si := range t.order {
+		if err := t.writeBaseline(si); err != nil {
+			return err
+		}
 	}
 	for _, k := range t.store.Keys(opPrefix) {
 		if err := t.store.Delete(k); err != nil {
 			return fmt.Errorf("dmt: compact: %w", err)
 		}
 	}
-	t.seq = 0
-	for _, file := range t.names {
-		m := t.files[file]
-		var walkErr error
-		m.Walk(func(e extent.Entry[Mapping]) bool {
-			op := logOp{kind: kindInsert, file: file, off: e.Off, length: e.Len, cacheOff: e.Val.CacheOff, dirty: e.Val.Dirty}
-			if err := t.persist(op); err != nil {
-				walkErr = err
-				return false
-			}
-			return true
-		})
-		if walkErr != nil {
-			return walkErr
-		}
-	}
 	return t.store.Compact()
 }
 
-// Stats reports table activity.
+// writeBaseline seals slot si's current state into its baseline record
+// if it churned since the last one. Part of Compact (and of Striped's).
+func (t *Table) writeBaseline(si int32) error {
+	fs := &t.files[si]
+	if fs.churned == 0 || fs.state == fsSpilled {
+		return nil
+	}
+	name := t.arena.Name(fs.id)
+	if fs.seg.Len() == 0 {
+		// Emptied file: ops are about to be dropped, and any stale
+		// baseline would resurrect pre-delete state.
+		if err := t.store.Delete(spillKey(name)); err != nil {
+			return fmt.Errorf("dmt: compact: %w", err)
+		}
+		fs.churned = 0
+		return nil
+	}
+	offs, lens, vals := t.slab.View(fs.seg)
+	rec := staterec.EncodeFileMap(name, t.lastSeqNum(), len(offs), func(i int) (int64, int64, uint64) {
+		return offs[i], int64(lens[i]), vals[i]
+	})
+	if err := t.store.Put(spillKey(name), rec); err != nil {
+		return fmt.Errorf("dmt: compact: %w", err)
+	}
+	fs.churned = 0
+	return nil
+}
+
+// Stats reports table activity and measured memory state.
 type Stats struct {
 	Inserts, Deletes uint64
 	Entries          int
 	Bytes            int64
+	// ResidentBytes/MemoryBytes are the measured footprint (see the
+	// methods of the same names); SpilledFiles, Spills, FaultIns,
+	// SpillQuarantined and SpillSkipped describe the budget machinery.
+	ResidentBytes    int64
+	MemoryBytes      int64
+	SpilledFiles     int
+	Spills           uint64
+	FaultIns         uint64
+	SpillQuarantined uint64
+	SpillSkipped     uint64
 }
 
 // Stats returns a snapshot of activity counters.
 func (t *Table) Stats() Stats {
-	return Stats{Inserts: t.inserts, Deletes: t.deletes, Entries: t.Entries(), Bytes: t.Bytes()}
+	return Stats{
+		Inserts: t.inserts, Deletes: t.deletes, Entries: t.Entries(), Bytes: t.Bytes(),
+		ResidentBytes: t.residentBytes, MemoryBytes: t.MemoryBytes(),
+		SpilledFiles: t.spilledFiles, Spills: t.spills, FaultIns: t.faultIns,
+		SpillQuarantined: t.spillQuarantined, SpillSkipped: t.spillSkipped,
+	}
 }
 
 func (t *Table) apply(op logOp) {
-	m, ok := t.files[op.file]
-	if !ok {
-		m = extent.New[Mapping](func(v Mapping, delta int64) Mapping {
-			return Mapping{CacheOff: v.CacheOff + delta, Dirty: v.Dirty}
-		})
-		t.files[op.file] = m
-		t.names = append(t.names, op.file)
+	si := t.ensureSlot(op.file)
+	if t.files[si].state == fsSpilled {
+		t.faultIn(si)
 	}
+	fs := &t.files[si]
+	covered, dirtyCov := t.overlapStats(fs.seg, op.off, op.length)
+	oldSeg := t.slab.SegBytes(fs.seg)
 	switch op.kind {
 	case kindInsert:
 		t.inserts++
-		t.dirtyBytes -= t.dirtyOverlapBytes(m, op.off, op.length)
-		m.Insert(op.off, op.length, Mapping{CacheOff: op.cacheOff, Dirty: op.dirty})
+		t.slab.Insert(&fs.seg, op.off, op.length, packMapping(op.cacheOff, op.dirty), splitMapping)
+		fs.bytes += op.length - covered
+		t.mappedBytes += op.length - covered
+		fs.dirty -= dirtyCov
+		t.dirtyBytes -= dirtyCov
 		if op.dirty {
+			fs.dirty += op.length
 			t.dirtyBytes += op.length
 		}
 	case kindDelete:
 		t.deletes++
-		t.dirtyBytes -= t.dirtyOverlapBytes(m, op.off, op.length)
-		m.Delete(op.off, op.length)
+		t.slab.Delete(&fs.seg, op.off, op.length, splitMapping)
+		fs.bytes -= covered
+		t.mappedBytes -= covered
+		fs.dirty -= dirtyCov
+		t.dirtyBytes -= dirtyCov
 	}
+	t.residentBytes += t.slab.SegBytes(fs.seg) - oldSeg
+	fs.churned = 1
+	fs.clock = 1
 }
 
-// dirtyOverlapBytes returns how many dirty mapped bytes of m fall inside
-// [off, off+length), clipped. It reuses t.ov, which every caller has
-// released by the time apply runs.
-func (t *Table) dirtyOverlapBytes(m *extent.Map[Mapping], off, length int64) int64 {
-	var n int64
+// overlapStats returns the mapped bytes of seg inside [off, off+length)
+// (clipped) and how many of them carry the D_flag — the incremental
+// counter deltas of apply. Allocation-free.
+func (t *Table) overlapStats(g extent.Seg, off, length int64) (covered, dirty int64) {
+	offs, lens, vals := t.slab.View(g)
 	end := off + length
-	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
-	for _, e := range t.ov {
-		if !e.Val.Dirty {
-			continue
+	for i := t.slab.FirstIntersecting(g, off); i < len(offs); i++ {
+		if offs[i] >= end {
+			break
 		}
-		lo, hi := e.Off, e.End()
+		lo, hi := offs[i], offs[i]+int64(lens[i])
 		if lo < off {
 			lo = off
 		}
 		if hi > end {
 			hi = end
 		}
-		n += hi - lo
+		if hi <= lo {
+			continue
+		}
+		covered += hi - lo
+		if vals[i]&1 == 1 {
+			dirty += hi - lo
+		}
 	}
-	return n
+	return covered, dirty
+}
+
+// enforceBudget spills cold clean files until the resident packed-extent
+// bytes fit the budget. Second-chance clock over the deterministic order
+// list: a touched file survives one sweep. protect (a slot, or -1) is
+// never spilled — the file a fault-in just revived. Dirty files never
+// spill (their D_flag state must stay instantly reachable for the
+// Rebuilder); a spill whose record write fails is skipped and counted.
+func (t *Table) enforceBudget(protect int32) {
+	if t.budget <= 0 || t.store == nil || t.residentBytes <= t.budget {
+		return
+	}
+	for steps := 2 * len(t.order); steps > 0 && t.residentBytes > t.budget; steps-- {
+		if len(t.order) == 0 {
+			return
+		}
+		if t.hand >= len(t.order) {
+			t.hand = 0
+		}
+		si := t.order[t.hand]
+		t.hand++
+		if si == protect {
+			continue
+		}
+		fs := &t.files[si]
+		if fs.state != fsResident || fs.seg.Len() == 0 || fs.dirty > 0 {
+			continue
+		}
+		if fs.clock != 0 {
+			fs.clock = 0
+			continue
+		}
+		t.spillFile(si)
+	}
+}
+
+// spillFile seals slot si into its baseline record and drops its
+// extents from the slab. Caller verified eligibility (resident, clean,
+// non-empty).
+func (t *Table) spillFile(si int32) {
+	fs := &t.files[si]
+	name := t.arena.Name(fs.id)
+	offs, lens, vals := t.slab.View(fs.seg)
+	rec := staterec.EncodeFileMap(name, t.lastSeqNum(), len(offs), func(i int) (int64, int64, uint64) {
+		return offs[i], int64(lens[i]), vals[i]
+	})
+	if err := t.store.Put(spillKey(name), rec); err != nil {
+		// An injected or real write failure aborts this spill; the file
+		// simply stays resident (the budget is advisory, correctness is
+		// not).
+		t.spillSkipped++
+		return
+	}
+	n := uint32(fs.seg.Len())
+	t.residentBytes -= t.slab.SegBytes(fs.seg)
+	t.slab.Free(&fs.seg)
+	fs.state = fsSpilled
+	fs.spillN = n
+	// The record now covers every logged op of the file (<= lastSeq),
+	// so the file is clean for Compact too.
+	fs.churned = 0
+	t.spilledFiles++
+	t.spills++
+	if t.onResident != nil {
+		t.onResident(name)
+	}
+}
+
+// faultIn decodes slot si's baseline record back into the slab. A
+// missing or corrupt record quarantines the file — tombstoned, deleted,
+// counted, and served as a miss from then on — never applied.
+func (t *Table) faultIn(si int32) {
+	fs := &t.files[si]
+	name := t.arena.Name(fs.id)
+	key := spillKey(name)
+	data, ok := t.store.Get(key)
+	if ok && t.spillRead != nil {
+		data = t.spillRead(name, data)
+	}
+	decoded := false
+	n := 0
+	if ok {
+		h, err := staterec.DecodeFileMap(data, func(off, length int64, val uint64) {
+			t.slab.Insert(&fs.seg, off, length, val, splitMapping)
+			n++
+		})
+		decoded = err == nil && h.File == name
+	}
+	t.spilledFiles--
+	fs.state = fsResident
+	fs.spillN = 0
+	fs.clock = 1
+	if !decoded {
+		// Quarantine: drop any partial decode, tombstone the file in the
+		// op log so stale ops cannot resurrect it, then delete the bad
+		// record. If the tombstone write fails the record stays put — the
+		// next open re-quarantines deterministically.
+		t.slab.Free(&fs.seg)
+		t.mappedBytes -= fs.bytes
+		t.dirtyBytes -= fs.dirty
+		fs.bytes, fs.dirty = 0, 0
+		t.spillQuarantined++
+		if err := t.persist(logOp{kind: kindDelete, file: name, off: 0, length: clearLen}); err == nil {
+			_ = t.store.Delete(key)
+		}
+		if t.onResident != nil {
+			t.onResident(name)
+		}
+		return
+	}
+	t.residentBytes += t.slab.SegBytes(fs.seg)
+	t.faultIns++
+	if t.faultIO != nil {
+		t.faultIO(n)
+	}
+	if t.onResident != nil {
+		t.onResident(name)
+	}
+}
+
+// installBaseline applies one replayed baseline record during Open. A
+// clean file installs spilled — count and bytes from the validated
+// record, no extents decoded — and faults in on first touch. A record
+// holding dirty extents (written by Compact, not the spiller) installs
+// resident: the spilled state must stay all-clean for the Rebuilder's
+// dirty scans.
+func (t *Table) installBaseline(name string, h staterec.FileMapHeader, total, dirty int64, data []byte) {
+	si := t.ensureSlot(name)
+	fs := &t.files[si]
+	if dirty == 0 {
+		fs.state = fsSpilled
+		fs.spillN = h.Count
+		fs.bytes = total
+		t.mappedBytes += total
+		t.spilledFiles++
+		return
+	}
+	_, _ = staterec.DecodeFileMap(data, func(off, length int64, val uint64) {
+		t.slab.Insert(&fs.seg, off, length, val, splitMapping)
+	})
+	fs.bytes = total
+	fs.dirty = dirty
+	t.mappedBytes += total
+	t.dirtyBytes += dirty
+	t.residentBytes += t.slab.SegBytes(fs.seg)
 }
 
 // nextSeqNum returns the next persist-log sequence number: the injected
@@ -414,39 +843,61 @@ func (t *Table) nextSeqNum() uint64 {
 	return t.seq
 }
 
+// lastSeqNum returns the highest issued sequence number — what a
+// baseline record written now supersedes.
+func (t *Table) lastSeqNum() uint64 {
+	if t.lastSeq != nil {
+		return t.lastSeq()
+	}
+	return t.seq
+}
+
 func (t *Table) persist(op logOp) error {
 	if t.store == nil {
 		return nil
 	}
-	key := fmt.Sprintf(opPrefix+"%020d", t.nextSeqNum())
-	if err := t.store.Put(key, encodeOp(op)); err != nil {
+	if err := t.store.Put(opKey(t.nextSeqNum()), encodeOp(op)); err != nil {
 		return fmt.Errorf("dmt: persist: %w", err)
 	}
 	return nil
 }
 
 // appendClipped appends the mapped subranges of [off, off+length) to dst,
-// clipped to the query range. The overlap scan reuses t.ov, which is free
-// again by return (the loop makes no calls back into the table).
-func (t *Table) appendClipped(dst []Hit, m *extent.Map[Mapping], off, length int64) []Hit {
+// clipped to the query range. Allocation-free beyond dst growth.
+func (t *Table) appendClipped(dst []Hit, g extent.Seg, off, length int64) []Hit {
+	offs, lens, vals := t.slab.View(g)
 	end := off + length
-	t.ov = m.AppendOverlaps(t.ov[:0], off, length)
-	for _, e := range t.ov {
-		lo, hi := e.Off, e.End()
-		cacheOff := e.Val.CacheOff
+	for i := t.slab.FirstIntersecting(g, off); i < len(offs); i++ {
+		if offs[i] >= end {
+			break
+		}
+		lo, hi := offs[i], offs[i]+int64(lens[i])
+		co, dirty := unpackMapping(vals[i])
 		if lo < off {
-			cacheOff += off - lo
+			co += off - lo
 			lo = off
 		}
 		if hi > end {
 			hi = end
 		}
-		dst = append(dst, Hit{Off: lo, Len: hi - lo, CacheOff: cacheOff, Dirty: e.Val.Dirty})
+		if hi <= lo {
+			continue
+		}
+		dst = append(dst, Hit{Off: lo, Len: hi - lo, CacheOff: co, Dirty: dirty})
 	}
 	return dst
 }
 
-const opPrefix = "dmtop|"
+const (
+	opPrefix = "dmtop|"
+	// spillPrefix keys the per-file baseline records; the file name
+	// rides in the key so a corrupt value still identifies its file.
+	spillPrefix = "dmtfx|"
+)
+
+func opKey(seq uint64) string { return fmt.Sprintf(opPrefix+"%020d", seq) }
+
+func spillKey(name string) string { return spillPrefix + name }
 
 const (
 	kindInsert byte = 1
@@ -460,46 +911,4 @@ type logOp struct {
 	length   int64
 	cacheOff int64
 	dirty    bool
-}
-
-func encodeOp(op logOp) []byte {
-	buf := make([]byte, 0, 1+4+len(op.file)+8+8+8+1)
-	buf = append(buf, op.kind)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.file)))
-	buf = append(buf, op.file...)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.off))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.length))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(op.cacheOff))
-	var dirty byte
-	if op.dirty {
-		dirty = 1
-	}
-	buf = append(buf, dirty)
-	return buf
-}
-
-func decodeOp(data []byte) (logOp, error) {
-	var op logOp
-	if len(data) < 1+4 {
-		return op, fmt.Errorf("dmt: short op record (%d bytes)", len(data))
-	}
-	op.kind = data[0]
-	if op.kind != kindInsert && op.kind != kindDelete {
-		return op, fmt.Errorf("dmt: bad op kind %d", op.kind)
-	}
-	fileLen := int(binary.LittleEndian.Uint32(data[1:]))
-	pos := 5
-	if len(data) < pos+fileLen+8+8+8+1 {
-		return op, fmt.Errorf("dmt: truncated op record")
-	}
-	op.file = string(data[pos : pos+fileLen])
-	pos += fileLen
-	op.off = int64(binary.LittleEndian.Uint64(data[pos:]))
-	pos += 8
-	op.length = int64(binary.LittleEndian.Uint64(data[pos:]))
-	pos += 8
-	op.cacheOff = int64(binary.LittleEndian.Uint64(data[pos:]))
-	pos += 8
-	op.dirty = data[pos] == 1
-	return op, nil
 }

@@ -40,7 +40,10 @@ func TestViewLookupMatchesAppendLookup(t *testing.T) {
 	}
 	for _, r := range ranges {
 		wantH, wantG := s.AppendLookup(nil, nil, file, r[0], r[1])
-		gotH, gotG := s.ViewLookup(nil, nil, file, r[0], r[1])
+		gotH, gotG, ok := s.ViewLookup(nil, nil, file, r[0], r[1])
+		if !ok {
+			t.Fatalf("range %v: view reports spilled on an unbounded table", r)
+		}
 		if len(gotH) != len(wantH) || len(gotG) != len(wantG) {
 			t.Fatalf("range %v: view %d hits/%d gaps, locked %d hits/%d gaps",
 				r, len(gotH), len(gotG), len(wantH), len(wantG))
@@ -68,7 +71,7 @@ func TestViewLookupMatchesAppendLookup(t *testing.T) {
 		}
 	}
 	// Unknown file: whole range is one gap, nothing mapped.
-	if h, g := s.ViewLookup(nil, nil, "other", 10, 20); len(h) != 0 || len(g) != 1 || g[0] != (extent.Gap{Off: 10, Len: 20}) {
+	if h, g, ok := s.ViewLookup(nil, nil, "other", 10, 20); !ok || len(h) != 0 || len(g) != 1 || g[0] != (extent.Gap{Off: 10, Len: 20}) {
 		t.Fatalf("unknown file: hits=%v gaps=%v", h, g)
 	}
 	if s.ViewMappedAt("other", 0, 10, 0) {
@@ -88,7 +91,7 @@ func TestViewLookupAfterDeleteAndReplay(t *testing.T) {
 	if s.ViewContains(file, 0, 1) {
 		t.Fatal("view still contains deleted mapping")
 	}
-	if h, g := s.ViewLookup(nil, nil, file, 0, 100); len(h) != 0 || len(g) != 1 {
+	if h, g, ok := s.ViewLookup(nil, nil, file, 0, 100); !ok || len(h) != 0 || len(g) != 1 {
 		t.Fatalf("deleted file: hits=%v gaps=%v", h, g)
 	}
 }
@@ -168,7 +171,12 @@ func TestStripedConcurrentViewReaders(t *testing.T) {
 					return
 				}
 				lastVer = ver
-				hits, gaps = s.ViewLookup(hits[:0], gaps[:0], file, 0, fileLen)
+				var ok bool
+				hits, gaps, ok = s.ViewLookup(hits[:0], gaps[:0], file, 0, fileLen)
+				if !ok {
+					errs <- "view reports spilled on an unbounded table"
+					return
+				}
 				if len(hits) == 0 {
 					// Mid-flip epoch: Delete published before the re-insert.
 					// Legal — the whole file is one gap.
@@ -235,7 +243,7 @@ func TestViewLookupZeroAllocs(t *testing.T) {
 	hits := make([]Hit, 0, 32)
 	gaps := make([]extent.Gap, 0, 32)
 	if n := testing.AllocsPerRun(200, func() {
-		hits, gaps = s.ViewLookup(hits[:0], gaps[:0], file, 100, 2000)
+		hits, gaps, _ = s.ViewLookup(hits[:0], gaps[:0], file, 100, 2000)
 	}); n != 0 {
 		t.Fatalf("ViewLookup allocates %v/op, want 0", n)
 	}

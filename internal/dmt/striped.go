@@ -7,6 +7,8 @@ import (
 
 	"s4dcache/internal/extent"
 	"s4dcache/internal/kvstore"
+	"s4dcache/internal/names"
+	"s4dcache/internal/staterec"
 )
 
 // numStripes is the lock-stripe count of the concurrent table. A power of
@@ -30,16 +32,27 @@ func stripeIndex(file string) uint32 {
 // mutations of distinct files proceed in parallel, and their durable
 // appends coalesce in the store's group committer. All sub-tables share
 // one persist-log sequence (an atomic counter injected via Table.nextSeq),
-// so log keys stay globally unique and replay order is well defined.
+// so log keys stay globally unique and replay order is well defined. They
+// also share one name arena, and a MetaBudget divides evenly across
+// stripes — each stripe's clock spills independently under its own lock,
+// republishing the file's epoch view as a spilled sentinel so the
+// lock-free read path never observes a half-spilled file.
 //
 // The simulator core keeps the plain Table — its cross-file scan order
 // (first-mapped) drives the deterministic Rebuilder schedule. Striped is
-// the concurrent server-side API layered on the same log format: a log
-// written by either table opens in the other.
+// the concurrent server-side API layered on the same persistent format: a
+// store written by either table opens in the other.
 type Striped struct {
 	stripes [numStripes]dstripe
 	seq     atomic.Uint64
 	store   *kvstore.Store
+	arena   *names.Arena
+	// slots is the published epoch-view index: an immutable slot array
+	// addressed by arena id (view.go). Writers publish through their
+	// file's stable slot; the array itself is only swapped when it grows
+	// (slotMu serializes growth across stripes).
+	slots  atomic.Pointer[[]*fileSlot]
+	slotMu sync.Mutex
 }
 
 // dstripe is one lock stripe: the live sub-table behind its writer mutex
@@ -50,58 +63,103 @@ type Striped struct {
 type dstripe struct {
 	mu sync.Mutex
 	t  *Table
-	// view is the published immutable snapshot; version counts
-	// publications (the torn-read oracle). Writers store both with the
-	// mutex held; readers only load.
-	view    atomic.Pointer[stripeView]
+	s  *Striped // parent, for the shared view slot array
+	// version counts this stripe's view publications (the torn-read
+	// oracle). Writers add with the mutex held; readers only load.
 	version atomic.Uint64
 	_       [64]byte
 }
 
 // NewStriped returns a memory-only concurrent table.
-func NewStriped() *Striped {
-	s := &Striped{}
+func NewStriped(opts ...Option) *Striped {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.arena == nil {
+		c.arena = names.NewArena()
+	}
+	s := &Striped{arena: c.arena}
+	empty := make([]*fileSlot, 0)
+	s.slots.Store(&empty)
+	// The budget divides evenly; each stripe enforces its share under its
+	// own lock, so no cross-stripe coordination rides the serve path.
+	sc := c
+	if c.budget > 0 {
+		sc.budget = (c.budget + numStripes - 1) / numStripes
+	}
 	for i := range s.stripes {
-		t := New()
+		sh := &s.stripes[i]
+		sh.s = s
+		t := newTable(sc)
 		t.nextSeq = s.nextSeq
-		s.stripes[i].t = t
+		t.lastSeq = s.seq.Load
+		// Spill and fault-in republish through the stripe so lock-free
+		// readers flip atomically between resident entries and the
+		// spilled sentinel.
+		t.onResident = func(name string) { sh.republish(name) }
+		sh.t = t
 	}
 	return s
 }
 
-// OpenStriped returns a concurrent table persisted as an operation log in
-// store, replaying any existing log (written by either a plain Table or a
-// Striped one) with each op routed to its file's stripe.
-func OpenStriped(store *kvstore.Store) (*Striped, error) {
+// Arena returns the shared name-interning arena.
+func (s *Striped) Arena() *names.Arena { return s.arena }
+
+// OpenStriped returns a concurrent table persisted in store, replaying
+// any existing baseline records and operation log (written by either a
+// plain Table or a Striped one) with each file routed to its stripe.
+// Clean baselines install spilled and fault in on first touch, so a
+// million-file store reopens without decoding — or holding — extents for
+// files nothing looks at.
+func OpenStriped(store *kvstore.Store, opts ...Option) (*Striped, error) {
 	if store == nil {
 		return nil, fmt.Errorf("dmt: store is required")
 	}
-	s := NewStriped()
+	s := NewStriped(opts...)
 	s.store = store
 	for i := range s.stripes {
 		s.stripes[i].t.store = store
 	}
-	max, err := ReplayLog(store, func(file string, off, length, cacheOff int64, dirty, insert bool) {
-		kind := kindInsert
-		if !insert {
-			kind = kindDelete
-		}
-		s.stripes[stripeIndex(file)].t.apply(logOp{kind: kind, file: file, off: off, length: length, cacheOff: cacheOff, dirty: dirty})
-	})
+	max, _, err := walkState(store,
+		func(name string, h staterec.FileMapHeader, total, dirty int64, data []byte) {
+			s.stripes[stripeIndex(name)].t.installBaseline(name, h, total, dirty, data)
+		},
+		func(op logOp) {
+			s.stripes[stripeIndex(op.file)].t.apply(op)
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
 	s.seq.Store(max)
 	// Replay applied ops directly into the sub-tables, bypassing the
-	// per-call publication; publish every stripe's view before any reader
-	// can exist.
+	// per-call publication; publish every stripe's view — and run each
+	// stripe's budget sweep — before any reader can exist.
 	for i := range s.stripes {
+		s.stripes[i].t.enforceBudget(-1)
 		s.stripes[i].republishAll()
 	}
 	return s, nil
 }
 
 func (s *Striped) nextSeq() uint64 { return s.seq.Add(1) }
+
+// SetMetaBudget adjusts the resident budget live, dividing it across
+// stripes and sweeping each immediately. Spills republish through the
+// stripes' epoch views as they happen.
+func (s *Striped) SetMetaBudget(n int64) {
+	per := n
+	if n > 0 {
+		per = (n + numStripes - 1) / numStripes
+	}
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		sh.t.SetMetaBudget(per)
+		sh.mu.Unlock()
+	}
+}
 
 // stripe locks and returns the sub-table owning file. The caller must
 // unlock the returned mutex.
@@ -173,10 +231,9 @@ func (s *Striped) SetDirty(file string, off, length int64) error {
 }
 
 // Lookup splits [off, off+length) of file into mapped subranges and gaps.
+// A lookup of a spilled file faults it back in and republishes its view.
 func (s *Striped) Lookup(file string, off, length int64) ([]Hit, []extent.Gap) {
-	t, mu := s.stripe(file)
-	defer mu.Unlock()
-	return t.AppendLookup(nil, nil, file, off, length)
+	return s.AppendLookup(nil, nil, file, off, length)
 }
 
 // AppendLookup is Lookup appending into caller-supplied buffers. The
@@ -223,6 +280,8 @@ func (s *Striped) DirtyExtents(max int) []Hit {
 }
 
 // CleanExtents returns up to max clean mapped ranges (all if max <= 0).
+// Spilled files fault in for the scan; each stripe resweeps its budget
+// afterwards and republishes what it respilled.
 func (s *Striped) CleanExtents(max int) []Hit {
 	var out []Hit
 	for i := range s.stripes {
@@ -297,6 +356,31 @@ func (s *Striped) HasDirty() bool {
 // entry.
 func (s *Striped) MetadataBytes() int64 { return int64(s.Entries()) * EntryBytes }
 
+// ResidentBytes returns the packed extent bytes resident across stripes.
+func (s *Striped) ResidentBytes() int64 {
+	var n int64
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		n += sh.t.ResidentBytes()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MemoryBytes returns the measured footprint across stripes (excluding
+// the shared arena; see Table.MemoryBytes).
+func (s *Striped) MemoryBytes() int64 {
+	var n int64
+	for i := range s.stripes {
+		sh := &s.stripes[i]
+		sh.mu.Lock()
+		n += sh.t.MemoryBytes()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Stats returns aggregated activity counters across stripes.
 func (s *Striped) Stats() Stats {
 	var out Stats
@@ -309,14 +393,23 @@ func (s *Striped) Stats() Stats {
 		out.Deletes += st.Deletes
 		out.Entries += st.Entries
 		out.Bytes += st.Bytes
+		out.ResidentBytes += st.ResidentBytes
+		out.MemoryBytes += st.MemoryBytes
+		out.SpilledFiles += st.SpilledFiles
+		out.Spills += st.Spills
+		out.FaultIns += st.FaultIns
+		out.SpillQuarantined += st.SpillQuarantined
+		out.SpillSkipped += st.SpillSkipped
 	}
 	return out
 }
 
-// Compact rewrites the persistent log as one insert per live extent. It
-// holds every stripe lock for the duration — the log delete/rewrite is a
-// global operation and must not interleave with stripe mutations — but
-// the store-level snapshot it triggers runs off the commit path.
+// Compact rewrites the persistent state as per-file baseline records and
+// drops the op log — only churned files are resealed, as Table.Compact.
+// It holds every stripe lock for the duration: the log delete/rewrite is
+// a global operation and must not interleave with stripe mutations. The
+// shared sequence counter is never reset; baseline gating relies on it
+// staying monotonic.
 func (s *Striped) Compact() error {
 	if s.store == nil {
 		return nil
@@ -329,28 +422,17 @@ func (s *Striped) Compact() error {
 			s.stripes[i].mu.Unlock()
 		}
 	}()
+	for i := range s.stripes {
+		t := s.stripes[i].t
+		for _, si := range t.order {
+			if err := t.writeBaseline(si); err != nil {
+				return err
+			}
+		}
+	}
 	for _, k := range s.store.Keys(opPrefix) {
 		if err := s.store.Delete(k); err != nil {
 			return fmt.Errorf("dmt: compact: %w", err)
-		}
-	}
-	s.seq.Store(0)
-	for i := range s.stripes {
-		t := s.stripes[i].t
-		for _, file := range t.names {
-			m := t.files[file]
-			var walkErr error
-			m.Walk(func(e extent.Entry[Mapping]) bool {
-				op := logOp{kind: kindInsert, file: file, off: e.Off, length: e.Len, cacheOff: e.Val.CacheOff, dirty: e.Val.Dirty}
-				if err := t.persist(op); err != nil {
-					walkErr = err
-					return false
-				}
-				return true
-			})
-			if walkErr != nil {
-				return walkErr
-			}
 		}
 	}
 	return s.store.Compact()

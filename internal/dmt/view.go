@@ -2,6 +2,7 @@ package dmt
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"s4dcache/internal/extent"
 )
@@ -15,11 +16,17 @@ import (
 //
 // Two levels keep publication cheap:
 //
-//   - stripeView holds an immutable file → slot map. It is rebuilt (copied)
-//     only when a file first appears in the stripe — the slow, rare event.
+//   - the Striped table holds one published slot array indexed by arena
+//     id — names are already interned, so the dense id replaces a
+//     name-keyed map. The array is immutable once published; it grows by
+//     doubling (copy the slot pointers, fill fresh slots, swap one
+//     pointer), so admitting a new file is O(1) amortized where a
+//     copy-on-write map would pay O(files in the stripe) per admission.
 //   - fileSlot holds an atomic pointer to the file's immutable sorted
 //     extent slice. Every mutation of a file republishes just that slice,
-//     O(extents of the file), and swaps one pointer.
+//     O(extents of the file), and swaps one pointer. Slot pointers are
+//     stable across array growth, so a republish through an old array
+//     generation is never lost.
 //
 // Writers serialize per stripe (the stripe mutex), mutate the live Table,
 // and republish before releasing the mutex — one publication per exported
@@ -28,62 +35,90 @@ import (
 // version counter increments after each publication; it is the oracle of
 // the torn-mapping property tests and a change detector for diagnostics.
 //
+// The resident-budget spiller publishes through the same mechanism: when
+// a file spills, its slot atomically swaps to the spilled sentinel, and a
+// fault-in swaps the decoded entries back. A lock-free reader therefore
+// sees exactly one of three states — the old entries, the sentinel, or
+// the new entries — never a half-spilled file. The sentinel is not "no
+// mappings": View* calls report it distinctly (ok=false) so the serve
+// path falls back to the locking lookup, which faults the file in.
+//
 // Memory-ordering contract (DESIGN.md §12): the view pointer store is the
 // release edge — every Table mutation happens-before the store, and a
 // reader's pointer load acquires everything the snapshot was built from.
 // Staleness is bounded by the writer's critical section: a reader may see
 // the previous epoch, never a partial one.
 
-// stripeView is one stripe's published file set. The map itself is
-// immutable; per-file mutations swap the slot's extent pointer instead.
-type stripeView struct {
-	files map[string]*fileSlot
-}
-
-// fileSlot carries one file's current immutable extent snapshot.
+// fileSlot carries one file's current immutable extent snapshot. A nil
+// pointer means the file was interned (possibly by another table sharing
+// the arena) but never published here — no mappings.
 type fileSlot struct {
 	ext atomic.Pointer[fileExtents]
 }
 
-// fileExtents is an immutable sorted extent slice. Never mutated after
-// publication.
-type fileExtents struct {
-	entries []extent.Entry[Mapping]
+// viewExt is one published extent in a snapshot: 24 bytes after padding,
+// against 40 for the generic extent.Entry[Mapping] — a published view
+// must not re-inflate extents, or at the million-file scale the views
+// would out-weigh the packed slab they mirror.
+type viewExt struct {
+	off int64
+	val uint64 // packed mapping (cache offset << 1 | D_flag)
+	len uint32
 }
 
-var emptyFileExtents = &fileExtents{}
+// fileExtents is an immutable sorted extent snapshot: one allocation for
+// the whole run (small files dominate file counts; per-file allocation
+// overhead is the footprint driver). Never mutated after publication.
+// spilled marks the sentinel state: the file's extents live only in its
+// baseline record, and view reads must defer to the locking path.
+type fileExtents struct {
+	ents    []viewExt
+	spilled bool
+}
+
+var (
+	emptyFileExtents   = &fileExtents{}
+	spilledFileExtents = &fileExtents{spilled: true}
+)
+
+// snapshotFile builds file's publishable snapshot from the live table:
+// a copy of its packed extent run when resident, the spilled sentinel
+// otherwise.
+func (t *Table) snapshotFile(file string) *fileExtents {
+	si := t.lookupSlot(file)
+	if si < 0 {
+		return emptyFileExtents
+	}
+	fs := &t.files[si]
+	if fs.state == fsSpilled {
+		if fs.spillN == 0 {
+			return emptyFileExtents
+		}
+		return spilledFileExtents
+	}
+	n := fs.seg.Len()
+	if n == 0 {
+		return emptyFileExtents
+	}
+	offs, lens, vals := t.slab.View(fs.seg)
+	ents := make([]viewExt, n)
+	for i := range ents {
+		ents[i] = viewExt{off: offs[i], val: vals[i], len: lens[i]}
+	}
+	return &fileExtents{ents: ents}
+}
 
 // republish rebuilds file's published snapshot from the live table. Must
 // run with the stripe mutex held (writers are serialized); readers load
 // the result lock-free.
 func (sh *dstripe) republish(file string) {
-	fe := emptyFileExtents
-	if m := sh.t.files[file]; m != nil && m.Len() > 0 {
-		fe = &fileExtents{entries: m.AppendEntries(make([]extent.Entry[Mapping], 0, m.Len()))}
+	id, ok := sh.s.arena.Lookup(file)
+	if !ok {
+		// Never interned — the table cannot hold it either; nothing to
+		// publish.
+		return
 	}
-	v := sh.view.Load()
-	if v != nil {
-		if slot := v.files[file]; slot != nil {
-			slot.ext.Store(fe)
-			sh.version.Add(1)
-			return
-		}
-	}
-	// First publication of this file in the stripe: copy-on-write the map.
-	n := 1
-	if v != nil {
-		n += len(v.files)
-	}
-	files := make(map[string]*fileSlot, n)
-	if v != nil {
-		for k, s := range v.files {
-			files[k] = s
-		}
-	}
-	slot := &fileSlot{}
-	slot.ext.Store(fe)
-	files[file] = slot
-	sh.view.Store(&stripeView{files: files})
+	sh.s.slotFor(id).ext.Store(sh.t.snapshotFile(file))
 	sh.version.Add(1)
 }
 
@@ -91,42 +126,75 @@ func (sh *dstripe) republish(file string) {
 // used after a replay (OpenStriped), where apply bypassed the per-call
 // publication.
 func (sh *dstripe) republishAll() {
-	files := make(map[string]*fileSlot, len(sh.t.files))
-	for name, m := range sh.t.files {
-		fe := emptyFileExtents
-		if m.Len() > 0 {
-			fe = &fileExtents{entries: m.AppendEntries(make([]extent.Entry[Mapping], 0, m.Len()))}
-		}
-		slot := &fileSlot{}
-		slot.ext.Store(fe)
-		files[name] = slot
+	t := sh.t
+	for i := range t.files {
+		id := t.files[i].id
+		sh.s.slotFor(id).ext.Store(t.snapshotFile(t.arena.Name(id)))
 	}
-	sh.view.Store(&stripeView{files: files})
 	sh.version.Add(1)
 }
 
-// viewEntries loads file's current published extent snapshot, or nil if
-// the file has never been published. Lock-free.
-func (s *Striped) viewEntries(file string) []extent.Entry[Mapping] {
-	v := s.stripes[stripeIndex(file)].view.Load()
-	if v == nil {
-		return nil
+// slotFor returns the published slot of arena id, growing the slot
+// array if the id is new. Callers hold their stripe mutex; growth
+// serializes on slotMu (ids of different stripes interleave, but each
+// id belongs to exactly one stripe, so slot stores never race).
+func (s *Striped) slotFor(id uint32) *fileSlot {
+	if arr := *s.slots.Load(); int(id) < len(arr) {
+		return arr[id]
 	}
-	slot := v.files[file]
-	if slot == nil {
-		return nil
-	}
-	return slot.ext.Load().entries
+	return s.growSlots(id)
 }
 
-// firstEnding returns the index of the first entry whose End > off — a
-// manual binary search (sort.Search's closure would allocate on the
-// zero-alloc serve path).
-func firstEnding(entries []extent.Entry[Mapping], off int64) int {
-	lo, hi := 0, len(entries)
+// growSlots doubles the slot array to cover id: copy the stable slot
+// pointers, allocate fresh slots for the new range, publish with one
+// swap. Readers holding the old array miss only slots no file they can
+// name had published into.
+func (s *Striped) growSlots(id uint32) *fileSlot {
+	s.slotMu.Lock()
+	defer s.slotMu.Unlock()
+	arr := *s.slots.Load()
+	if int(id) < len(arr) {
+		return arr[id]
+	}
+	n := 2 * len(arr)
+	if n < 1024 {
+		n = 1024
+	}
+	if n <= int(id) {
+		n = int(id) + 1
+	}
+	next := make([]*fileSlot, n)
+	copy(next, arr)
+	for i := len(arr); i < n; i++ {
+		next[i] = &fileSlot{}
+	}
+	s.slots.Store(&next)
+	return next[id]
+}
+
+// viewExtents loads file's current published snapshot, or nil if the
+// file has never been published. Lock-free: the arena id lookup and the
+// slot array load are both atomic-snapshot reads.
+func (s *Striped) viewExtents(file string) *fileExtents {
+	id, ok := s.arena.Lookup(file)
+	if !ok {
+		return nil
+	}
+	arr := *s.slots.Load()
+	if int(id) >= len(arr) {
+		return nil
+	}
+	return arr[id].ext.Load()
+}
+
+// firstEnding returns the index of the first packed extent whose end >
+// off — a manual binary search (sort.Search's closure would allocate on
+// the zero-alloc serve path).
+func firstEnding(ents []viewExt, off int64) int {
+	lo, hi := 0, len(ents)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if entries[mid].End() > off {
+		if ents[mid].off+int64(ents[mid].len) > off {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -136,28 +204,37 @@ func firstEnding(entries []extent.Entry[Mapping], off int64) int {
 }
 
 // ViewLookup is AppendLookup against the stripe's published epoch view:
-// the same hits/gaps split, computed without taking any mutex. The result
-// is a consistent snapshot — at most one epoch stale, never torn. Callers
+// the same hits/gaps split, computed without taking any mutex. The third
+// return is false when the file's view is the spilled sentinel — the
+// buffers come back untouched and the caller must fall back to the
+// locking lookup, which faults the file in. When ok, the result is a
+// consistent snapshot — at most one epoch stale, never torn. Callers
 // that act on the hits must re-validate after pinning (see ViewMappedAt
 // and the core fast read path).
-func (s *Striped) ViewLookup(hits []Hit, gaps []extent.Gap, file string, off, length int64) ([]Hit, []extent.Gap) {
+func (s *Striped) ViewLookup(hits []Hit, gaps []extent.Gap, file string, off, length int64) ([]Hit, []extent.Gap, bool) {
 	if length <= 0 {
-		return hits, gaps
+		return hits, gaps, true
+	}
+	fe := s.viewExtents(file)
+	if fe == nil {
+		fe = emptyFileExtents
+	} else if fe.spilled {
+		return hits, gaps, false
 	}
 	end := off + length
-	entries := s.viewEntries(file)
 	pos := off
-	for i := firstEnding(entries, off); i < len(entries); i++ {
-		e := entries[i]
-		if e.Off >= end {
+	for i := firstEnding(fe.ents, off); i < len(fe.ents); i++ {
+		e := fe.ents[i]
+		eOff, eEnd := e.off, e.off+int64(e.len)
+		if eOff >= end {
 			break
 		}
-		if e.Off > pos {
-			gaps = append(gaps, extent.Gap{Off: pos, Len: e.Off - pos})
-			pos = e.Off
+		if eOff > pos {
+			gaps = append(gaps, extent.Gap{Off: pos, Len: eOff - pos})
+			pos = eOff
 		}
-		lo, hi := e.Off, e.End()
-		cacheOff := e.Val.CacheOff
+		lo, hi := eOff, eEnd
+		cacheOff, dirty := unpackMapping(e.val)
 		if lo < off {
 			cacheOff += off - lo
 			lo = off
@@ -165,34 +242,43 @@ func (s *Striped) ViewLookup(hits []Hit, gaps []extent.Gap, file string, off, le
 		if hi > end {
 			hi = end
 		}
-		hits = append(hits, Hit{Off: lo, Len: hi - lo, CacheOff: cacheOff, Dirty: e.Val.Dirty})
+		hits = append(hits, Hit{Off: lo, Len: hi - lo, CacheOff: cacheOff, Dirty: dirty})
 		pos = hi
 	}
 	if pos < end {
 		gaps = append(gaps, extent.Gap{Off: pos, Len: end - pos})
 	}
-	return hits, gaps
+	return hits, gaps, true
 }
 
 // ViewMappedAt reports whether the published view still maps
 // [off, off+length) of file contiguously to cacheOff — the post-pin
-// revalidation of the lock-free read path. Lock-free and allocation-free.
+// revalidation of the lock-free read path. A spilled view reports false
+// (conservative: the caller re-validates through the locking path).
+// Lock-free and allocation-free.
 func (s *Striped) ViewMappedAt(file string, off, length, cacheOff int64) bool {
 	if length <= 0 {
 		return true
 	}
-	entries := s.viewEntries(file)
+	fe := s.viewExtents(file)
+	if fe == nil {
+		fe = emptyFileExtents
+	} else if fe.spilled {
+		return false
+	}
 	end := off + length
 	pos, want := off, cacheOff
-	for i := firstEnding(entries, off); i < len(entries) && pos < end; i++ {
-		e := entries[i]
-		if e.Off > pos {
+	for i := firstEnding(fe.ents, off); i < len(fe.ents) && pos < end; i++ {
+		e := fe.ents[i]
+		eOff, eEnd := e.off, e.off+int64(e.len)
+		if eOff > pos {
 			return false
 		}
-		if co := e.Val.CacheOff + (pos - e.Off); co != want {
+		eCacheOff, _ := unpackMapping(e.val)
+		if co := eCacheOff + (pos - eOff); co != want {
 			return false
 		}
-		adv := e.End() - pos
+		adv := eEnd - pos
 		if pos+adv > end {
 			adv = end - pos
 		}
@@ -203,24 +289,58 @@ func (s *Striped) ViewMappedAt(file string, off, length, cacheOff int64) bool {
 }
 
 // ViewContains reports whether the published view fully maps the range.
-// Lock-free and allocation-free.
+// A spilled view reports false. Lock-free and allocation-free.
 func (s *Striped) ViewContains(file string, off, length int64) bool {
 	if length <= 0 {
 		return true
 	}
-	entries := s.viewEntries(file)
+	fe := s.viewExtents(file)
+	if fe == nil {
+		fe = emptyFileExtents
+	} else if fe.spilled {
+		return false
+	}
 	end := off + length
 	pos := off
-	for i := firstEnding(entries, off); i < len(entries) && pos < end; i++ {
-		e := entries[i]
-		if e.Off > pos {
+	for i := firstEnding(fe.ents, off); i < len(fe.ents) && pos < end; i++ {
+		e := fe.ents[i]
+		if e.off > pos {
 			return false
 		}
-		if e.End() > pos {
-			pos = e.End()
+		if eEnd := e.off + int64(e.len); eEnd > pos {
+			pos = eEnd
 		}
 	}
 	return pos >= end
+}
+
+// View accounting: per-file publication costs, sized against measured
+// heap deltas. Every id in the slot array pays a pointer plus its
+// fileSlot allocation. A resident file adds its fileExtents object and
+// packed entries; empty and spilled files share the sentinels and add
+// nothing — which is what lets a MetaBudget shrink the view layer along
+// with the slab.
+const (
+	viewSlotBytes   = 8 + 16 // slot-array pointer + fileSlot
+	viewHeaderBytes = 32     // fileExtents (slice header + flag, padded)
+	viewEntryBytes  = int64(unsafe.Sizeof(viewExt{}))
+)
+
+// ViewBytes measures the published epoch-view layer — the resident price
+// of the lock-free read path, reported alongside MemoryBytes (live
+// table) and the shared arena. O(published files): bench accounting,
+// not a hot path.
+func (s *Striped) ViewBytes() int64 {
+	arr := *s.slots.Load()
+	n := int64(len(arr)) * viewSlotBytes
+	for _, slot := range arr {
+		fe := slot.ext.Load()
+		if fe == nil || fe == emptyFileExtents || fe == spilledFileExtents {
+			continue
+		}
+		n += viewHeaderBytes + int64(len(fe.ents))*viewEntryBytes
+	}
+	return n
 }
 
 // StripeVersion returns the publication counter of file's stripe. It

@@ -1,0 +1,174 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// posSplit advances the payload by the split delta, like the DMT's
+// cache-offset payload.
+func posSplit(v uint64, delta int64) uint64 { return v + uint64(delta) }
+
+func posSplitV(v uint64, delta int64) uint64 { return v + uint64(delta) }
+
+// checkSegEquals compares a packed segment against the reference Map
+// with identical history.
+func checkSegEquals(t *testing.T, s *Slab, g Seg, m *Map[uint64]) {
+	t.Helper()
+	offs, lens, vals := s.View(g)
+	if len(offs) != m.Len() {
+		t.Fatalf("entry count: packed %d, map %d", len(offs), m.Len())
+	}
+	i := 0
+	m.Walk(func(e Entry[uint64]) bool {
+		if offs[i] != e.Off || int64(lens[i]) != e.Len || vals[i] != e.Val {
+			t.Fatalf("entry %d: packed (%d,%d,%d), map (%d,%d,%d)",
+				i, offs[i], lens[i], vals[i], e.Off, e.Len, e.Val)
+		}
+		i++
+		return true
+	})
+}
+
+func TestSlabMatchesMapRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSlab()
+	var g Seg
+	m := New[uint64](posSplit)
+	for op := 0; op < 20000; op++ {
+		off := int64(rng.Intn(4096)) * 16
+		length := int64(1+rng.Intn(64)) * 16
+		if rng.Intn(3) == 0 {
+			s.Delete(&g, off, length, posSplit)
+			m.Delete(off, length)
+		} else {
+			val := uint64(rng.Intn(1 << 30))
+			s.Insert(&g, off, length, val, posSplit)
+			m.Insert(off, length, val)
+		}
+		if op%512 == 0 {
+			checkSegEquals(t, s, g, m)
+		}
+	}
+	checkSegEquals(t, s, g, m)
+
+	// Gaps and coverage agree on random queries.
+	for q := 0; q < 2000; q++ {
+		off := int64(rng.Intn(5000)) * 16
+		length := int64(1+rng.Intn(128)) * 16
+		pg := s.AppendGaps(g, nil, off, length)
+		mg := m.Gaps(off, length)
+		if len(pg) != len(mg) {
+			t.Fatalf("gap count @%d+%d: packed %d, map %d", off, length, len(pg), len(mg))
+		}
+		for i := range pg {
+			if pg[i] != mg[i] {
+				t.Fatalf("gap %d: packed %+v, map %+v", i, pg[i], mg[i])
+			}
+		}
+		if s.Covered(g, off, length) != m.Covered(off, length) {
+			t.Fatalf("covered mismatch @%d+%d", off, length)
+		}
+	}
+}
+
+func TestSlabManySegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewSlab()
+	const nSegs = 300
+	segs := make([]Seg, nSegs)
+	maps := make([]*Map[uint64], nSegs)
+	for i := range maps {
+		maps[i] = New[uint64](posSplitV)
+	}
+	for op := 0; op < 30000; op++ {
+		i := rng.Intn(nSegs)
+		switch rng.Intn(10) {
+		case 0: // free the whole segment (spill-style drop)
+			s.Free(&segs[i])
+			maps[i] = New[uint64](posSplitV)
+		case 1, 2:
+			off := int64(rng.Intn(1024)) * 8
+			length := int64(1+rng.Intn(32)) * 8
+			s.Delete(&segs[i], off, length, posSplitV)
+			maps[i].Delete(off, length)
+		default:
+			off := int64(rng.Intn(1024)) * 8
+			length := int64(1+rng.Intn(32)) * 8
+			val := uint64(rng.Intn(1 << 20))
+			s.Insert(&segs[i], off, length, val, posSplitV)
+			maps[i].Insert(off, length, val)
+		}
+	}
+	for i := range segs {
+		checkSegEquals(t, s, segs[i], maps[i])
+	}
+	// Free everything: all chunks must drain and release their bytes,
+	// except possibly the open chunk.
+	for i := range segs {
+		s.Free(&segs[i])
+	}
+	if s.bytes > slabChunkSlots*SlabEntryBytes {
+		t.Fatalf("after freeing all segments %d bytes remain allocated", s.bytes)
+	}
+}
+
+func TestSlabLongExtentSplitsIntoPieces(t *testing.T) {
+	s := NewSlab()
+	var g Seg
+	total := maxExtentLen + int64(1000)
+	s.Insert(&g, 0, total, 500, posSplit)
+	offs, lens, vals := s.View(g)
+	if len(offs) != 2 {
+		t.Fatalf("pieces = %d, want 2", len(offs))
+	}
+	if offs[0] != 0 || int64(lens[0]) != maxExtentLen || vals[0] != 500 {
+		t.Fatalf("piece 0: %d %d %d", offs[0], lens[0], vals[0])
+	}
+	if offs[1] != maxExtentLen || int64(lens[1]) != 1000 || vals[1] != 500+uint64(maxExtentLen) {
+		t.Fatalf("piece 1: %d %d %d", offs[1], lens[1], vals[1])
+	}
+	if !s.Covered(g, 0, total) {
+		t.Fatal("long insert not fully covered")
+	}
+}
+
+func TestSlabOversizeSegment(t *testing.T) {
+	s := NewSlab()
+	var g Seg
+	// More extents than one shared chunk holds forces a dedicated chunk.
+	for i := 0; i < slabChunkSlots+100; i++ {
+		off := int64(i) * 100
+		s.Insert(&g, off, 50, uint64(i), posSplit)
+	}
+	if g.Len() != slabChunkSlots+100 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	offs, lens, vals := s.View(g)
+	for i := range offs {
+		if offs[i] != int64(i)*100 || lens[i] != 50 || vals[i] != uint64(i) {
+			t.Fatalf("entry %d: %d %d %d", i, offs[i], lens[i], vals[i])
+		}
+	}
+	s.Free(&g)
+	if g.Len() != 0 {
+		t.Fatal("freed seg not empty")
+	}
+}
+
+func TestSlabInsertZeroAllocsSteadyState(t *testing.T) {
+	s := NewSlab()
+	var g Seg
+	for i := 0; i < 64; i++ {
+		s.Insert(&g, int64(i)*100, 50, uint64(i), posSplit)
+	}
+	// Overwriting existing coverage at stable capacity must not allocate.
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Insert(&g, 1600, 50, 7, posSplit)
+		s.Covered(g, 1600, 50)
+		s.FirstIntersecting(g, 800)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state insert allocates %.1f/op, want 0", allocs)
+	}
+}

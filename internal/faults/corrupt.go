@@ -46,7 +46,10 @@ type CorruptRule struct {
 	// matches every store.
 	Store string
 	// File narrows the rule to the store's "wal" or "snap" file; empty
-	// matches both.
+	// matches both. The special target "spill" instead matches the DMT's
+	// spilled-metadata records as they are read back on fault-in (via the
+	// SpillRead hook, not the backend wrapper) — it must be named
+	// explicitly, an empty File never damages spill reads.
 	File string
 	// Mode is how the bytes are damaged.
 	Mode CorruptMode
@@ -77,8 +80,8 @@ func parseCorrupt(s string) (CorruptRule, error) {
 	r := CorruptRule{Store: strings.ToLower(strings.TrimSpace(target))}
 	if store, file, hasFile := strings.Cut(r.Store, "."); hasFile {
 		file = strings.ToLower(file)
-		if file != "wal" && file != "snap" {
-			return CorruptRule{}, fmt.Errorf("faults: corrupt target file %q, want wal or snap", file)
+		if file != "wal" && file != "snap" && file != "spill" {
+			return CorruptRule{}, fmt.Errorf("faults: corrupt target file %q, want wal, snap or spill", file)
 		}
 		r.Store, r.File = store, file
 	}
@@ -109,12 +112,44 @@ func parseCorrupt(s string) (CorruptRule, error) {
 	return r, nil
 }
 
-// matches reports whether the rule applies to file name of the labeled store.
+// matches reports whether the rule applies to file name of the labeled
+// store. Spill rules never match here: backend files are "<store>.wal" /
+// "<store>.snap", and spill records go through the SpillRead hook instead.
 func (r CorruptRule) matches(label, name string) bool {
 	if r.Store != "*" && !strings.EqualFold(r.Store, label) {
 		return false
 	}
 	return r.File == "" || strings.HasSuffix(name, "."+r.File)
+}
+
+// SpillRead returns the spilled-metadata read hook for the labeled store:
+// a function applying the plan's `corrupt:<store>.spill:<mode>` rules to
+// each spilled DMT record as it is read back on fault-in. Returns nil when
+// no rule explicitly targets the label's spill records. The hook damages a
+// copy — the store still owns the original bytes — and each (seed, label,
+// record, rule) tuple derives its own stream, so re-faulting the same file
+// sees identical damage, as at-rest corruption would.
+func (in *Injector) SpillRead(label string) func(name string, data []byte) []byte {
+	var idx []int
+	for i, r := range in.plan.Corrupt {
+		if r.File == "spill" && (r.Store == "*" || strings.EqualFold(r.Store, label)) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	rules, seed := in.plan.Corrupt, in.seed
+	return func(name string, data []byte) []byte {
+		if len(data) == 0 {
+			return data
+		}
+		out := append([]byte(nil), data...)
+		for _, i := range idx {
+			out = applyCorruption(out, rules[i], corruptSeed(seed, label, name, i))
+		}
+		return out
+	}
 }
 
 // WrapBackend wraps a kvstore backend so that reads of persisted files come

@@ -34,6 +34,12 @@ const (
 	// KindMeta is the snapshot header: epoch and expected record counts,
 	// letting recovery detect records that went missing entirely.
 	KindMeta byte = 3
+	// KindFileMap is a whole-file DMT baseline: every mapped extent of
+	// one file with its packed payload, plus the op-log sequence the
+	// record supersedes. Written when the resident-budget spiller drops
+	// a cold file from memory and by log compaction; replay applies the
+	// record first and skips ops at or below its BaseSeq.
+	KindFileMap byte = 4
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -218,4 +224,89 @@ func DecodeMeta(data []byte) (Meta, error) {
 		Criticals:     binary.LittleEndian.Uint32(payload[12:]),
 		CapacityBytes: int64(binary.LittleEndian.Uint64(payload[16:])),
 	}, nil
+}
+
+// FileMapHeader identifies a whole-file DMT baseline record.
+type FileMapHeader struct {
+	// File is the original file the record maps.
+	File string
+	// BaseSeq is the highest op-log sequence the record supersedes:
+	// replay skips the file's ops numbered at or below it.
+	BaseSeq uint64
+	// Count is the number of extents in the record.
+	Count uint32
+}
+
+// fileMapEntryBytes is the encoded size of one baseline extent:
+// offset, length and packed payload, 8 bytes each.
+const fileMapEntryBytes = 24
+
+// EncodeFileMap seals a whole-file baseline of n extents, read through
+// at (offset, length, packed payload per index, ascending offsets).
+func EncodeFileMap(file string, baseSeq uint64, n int, at func(i int) (off, length int64, val uint64)) []byte {
+	payload := make([]byte, 0, 4+len(file)+8+4+n*fileMapEntryBytes)
+	payload = appendString(payload, file)
+	payload = binary.LittleEndian.AppendUint64(payload, baseSeq)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(n))
+	for i := 0; i < n; i++ {
+		off, length, val := at(i)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(off))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(length))
+		payload = binary.LittleEndian.AppendUint64(payload, val)
+	}
+	return seal(KindFileMap, payload)
+}
+
+// DecodeFileMapHeader unseals a baseline record and parses only its
+// header — the cheap open-time path that defers extent decoding until
+// the file faults in.
+func DecodeFileMapHeader(data []byte) (FileMapHeader, error) {
+	h, _, err := unsealFileMap(data)
+	return h, err
+}
+
+// DecodeFileMap unseals a baseline record and streams its extents
+// through fn in stored (ascending-offset) order.
+func DecodeFileMap(data []byte, fn func(off, length int64, val uint64)) (FileMapHeader, error) {
+	h, rest, err := unsealFileMap(data)
+	if err != nil {
+		return h, err
+	}
+	prevEnd := int64(-1)
+	for i := uint32(0); i < h.Count; i++ {
+		off := int64(binary.LittleEndian.Uint64(rest))
+		length := int64(binary.LittleEndian.Uint64(rest[8:]))
+		val := binary.LittleEndian.Uint64(rest[16:])
+		rest = rest[fileMapEntryBytes:]
+		if length <= 0 || off < 0 || off < prevEnd {
+			return h, fmt.Errorf("%w: file-map extent order", ErrCorrupt)
+		}
+		prevEnd = off + length
+		fn(off, length, val)
+	}
+	return h, nil
+}
+
+func unsealFileMap(data []byte) (FileMapHeader, []byte, error) {
+	kind, payload, err := Unseal(data)
+	if err != nil {
+		return FileMapHeader{}, nil, err
+	}
+	if kind != KindFileMap {
+		return FileMapHeader{}, nil, fmt.Errorf("%w: kind %d, want file-map", ErrCorrupt, kind)
+	}
+	file, rest, ok := takeString(payload)
+	if !ok || len(rest) < 8+4 {
+		return FileMapHeader{}, nil, fmt.Errorf("%w: file-map payload shape", ErrCorrupt)
+	}
+	h := FileMapHeader{
+		File:    file,
+		BaseSeq: binary.LittleEndian.Uint64(rest),
+		Count:   binary.LittleEndian.Uint32(rest[8:]),
+	}
+	rest = rest[12:]
+	if len(rest) != int(h.Count)*fileMapEntryBytes {
+		return FileMapHeader{}, nil, fmt.Errorf("%w: file-map extent count", ErrCorrupt)
+	}
+	return h, rest, nil
 }
